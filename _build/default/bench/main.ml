@@ -1,0 +1,401 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation (section 5) on the simulated DSSMP, and provides
+   Bechamel micro-benchmarks of the simulator itself.
+
+     dune exec bench/main.exe            # everything (default)
+     dune exec bench/main.exe -- table3 table4 fig6 ... fig12
+     dune exec bench/main.exe -- bechamel   # wall-clock benches only
+
+   Paper targets, for eyeballing:
+     Table 3  primitive costs (see printed ratio column)
+     Table 4  Jacobi 1618M/30.0  MM 3081M/26.9  TSP 54.2M/23.0
+              Water 1993M/26.9  Barnes-Hut 977M/13.8  W-kernel 1540M/26.7
+     Fig 6    Jacobi flat, breakup 16%
+     Fig 7    MM flat, breakup ~0%
+     Fig 8    TSP breakup ~2400%, potential 49%, concave
+     Fig 9    Water breakup 322%, potential 67%
+     Fig 10   Barnes-Hut breakup 161%, potential 85%, convex
+     Fig 11   lock hit ratio rises with C; Water/BH above TSP
+     Fig 12   kernel breakup 334% -> 26% with the loop transformation *)
+
+let nprocs = 32
+
+module Sweep = Mgs_harness.Sweep
+module Figures = Mgs_harness.Figures
+
+let water_params = Mgs_apps.Water.default
+
+let kernel_params = { Mgs_apps.Water_kernel.default with Mgs_apps.Water_kernel.nmol = 64 }
+
+(* Each application's sweep is computed once and shared by every target
+   that needs it. *)
+let sweep_of w = lazy (Sweep.sweep ~nprocs w)
+
+let jacobi = sweep_of (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default)
+
+let matmul = sweep_of (Mgs_apps.Matmul.workload Mgs_apps.Matmul.default)
+
+let tsp = sweep_of (Mgs_apps.Tsp.workload Mgs_apps.Tsp.default)
+
+let water = sweep_of (Mgs_apps.Water.workload water_params)
+
+let barnes = sweep_of (Mgs_apps.Barnes.workload Mgs_apps.Barnes.default)
+
+let wkern = sweep_of (Mgs_apps.Water_kernel.workload kernel_params)
+
+let wkern_tiled = sweep_of (Mgs_apps.Water_kernel.workload_tiled kernel_params)
+
+let table3 () =
+  print_endline "=== Table 3: costs of primitive MGS operations ===";
+  Mgs_harness.Micro.print_table (Mgs_harness.Micro.run_all ());
+  print_newline ()
+
+let seq_runtime w =
+  let p = Sweep.run_point ~nprocs:1 ~cluster:1 w in
+  p.Sweep.report.Mgs.Report.runtime
+
+let table4 () =
+  print_endline "=== Table 4: applications, sequential runtime, speedup on 32 procs ===";
+  let row app size w sweep =
+    let seq = seq_runtime w in
+    let t32 = Sweep.runtime_of (Lazy.force sweep) nprocs in
+    {
+      Figures.app;
+      problem_size = size;
+      seq_runtime = seq;
+      speedup = float_of_int seq /. float_of_int t32;
+    }
+  in
+  let rows =
+    [
+      row "Jacobi"
+        (Mgs_apps.Jacobi.problem_size Mgs_apps.Jacobi.default)
+        (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default)
+        jacobi;
+      row "Matrix Multiply"
+        (Mgs_apps.Matmul.problem_size Mgs_apps.Matmul.default)
+        (Mgs_apps.Matmul.workload Mgs_apps.Matmul.default)
+        matmul;
+      row "TSP"
+        (Mgs_apps.Tsp.problem_size Mgs_apps.Tsp.default)
+        (Mgs_apps.Tsp.workload Mgs_apps.Tsp.default)
+        tsp;
+      row "Water" (Mgs_apps.Water.problem_size water_params)
+        (Mgs_apps.Water.workload water_params)
+        water;
+      row "Barnes-Hut"
+        (Mgs_apps.Barnes.problem_size Mgs_apps.Barnes.default)
+        (Mgs_apps.Barnes.workload Mgs_apps.Barnes.default)
+        barnes;
+      row "Water-kernel"
+        (Mgs_apps.Water_kernel.problem_size kernel_params)
+        (Mgs_apps.Water_kernel.workload kernel_params)
+        wkern;
+    ]
+  in
+  print_string (Figures.table4 rows);
+  print_newline ()
+
+let breakdown name sweep () =
+  Printf.printf "=== %s ===\n" name;
+  print_string (Figures.breakdown_figure ~title:name (Lazy.force sweep));
+  print_newline ()
+
+let fig6 = breakdown "Figure 6: Jacobi runtime breakdown" jacobi
+
+let fig7 = breakdown "Figure 7: Matrix Multiply runtime breakdown" matmul
+
+let fig8 = breakdown "Figure 8: TSP runtime breakdown" tsp
+
+let fig9 = breakdown "Figure 9: Water runtime breakdown" water
+
+let fig10 = breakdown "Figure 10: Barnes-Hut runtime breakdown" barnes
+
+let fig11 () =
+  print_endline "=== Figure 11: MGS lock hit ratio vs cluster size ===";
+  print_string
+    (Figures.lock_figure
+       [
+         ("TSP", Lazy.force tsp);
+         ("Water", Lazy.force water);
+         ("Barnes-Hut", Lazy.force barnes);
+       ]);
+  print_newline ()
+
+let fig12 () =
+  print_endline "=== Figure 12: Water-kernel, untransformed vs tiled ===";
+  print_string
+    (Figures.breakdown_figure ~title:"Water-kernel (untransformed)" (Lazy.force wkern));
+  print_newline ();
+  print_string
+    (Figures.breakdown_figure ~title:"Water-kernel (tiled, 2 tiles/SSMP)"
+       (Lazy.force wkern_tiled));
+  print_newline ()
+
+let summary () =
+  print_endline "=== Framework metrics summary (paper section 2.4) ===";
+  print_string
+    (Figures.metrics_summary
+       [
+         ("Jacobi", Lazy.force jacobi);
+         ("Matrix Multiply", Lazy.force matmul);
+         ("TSP", Lazy.force tsp);
+         ("Water", Lazy.force water);
+         ("Barnes-Hut", Lazy.force barnes);
+         ("Water-kernel", Lazy.force wkern);
+         ("Water-kernel (tiled)", Lazy.force wkern_tiled);
+       ]);
+  print_newline ()
+
+(* --- Bechamel wall-clock benches of the simulator ------------------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let run_workload ~cluster w () = ignore (Sweep.run_point ~verify:false ~nprocs:8 ~cluster w) in
+  let t name w ~cluster = Test.make ~name (Staged.stage (run_workload ~cluster w)) in
+  let micro_test =
+    Test.make ~name:"table3-micro"
+      (Staged.stage (fun () -> ignore (Mgs_harness.Micro.run_all ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"simulator"
+      [
+        micro_test;
+        t "table4+fig6-jacobi" (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny) ~cluster:2;
+        t "fig7-matmul" (Mgs_apps.Matmul.workload Mgs_apps.Matmul.tiny) ~cluster:2;
+        t "fig8-tsp" (Mgs_apps.Tsp.workload Mgs_apps.Tsp.tiny) ~cluster:2;
+        t "fig9-water" (Mgs_apps.Water.workload Mgs_apps.Water.tiny) ~cluster:2;
+        t "fig10-barnes" (Mgs_apps.Barnes.workload Mgs_apps.Barnes.tiny) ~cluster:2;
+        t "fig11-locks" (Mgs_apps.Water.workload Mgs_apps.Water.tiny) ~cluster:4;
+        t "fig12-kernel"
+          (Mgs_apps.Water_kernel.workload Mgs_apps.Water_kernel.tiny)
+          ~cluster:2;
+        t "fig12-kernel-tiled"
+          (Mgs_apps.Water_kernel.workload_tiled Mgs_apps.Water_kernel.tiny)
+          ~cluster:2;
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  print_endline "=== Bechamel: simulator wall-clock per experiment ===";
+  let results = analyze (benchmark ()) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Printf.sprintf "%.3f ms/run" (est /. 1e6)
+        | _ -> "(no estimate)"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Mgs_util.Tableprint.print ~header:[ "experiment"; "wall clock" ]
+    ~rows:(List.sort compare !rows);
+  print_newline ()
+
+(* --- ablation studies (design choices from DESIGN.md) --------------- *)
+
+let ablation study name () =
+  Printf.printf "=== Ablation: %s ===\n" name;
+  let w = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
+  print_string (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(study ()) w);
+  print_newline ()
+
+let ablation_single_writer =
+  ablation Mgs_harness.Ablation.single_writer_study "single-writer optimization (Water)"
+
+let ablation_early_ack =
+  ablation Mgs_harness.Ablation.early_ack_study "early read-invalidation ack (Water)"
+
+let ablation_page_size = ablation Mgs_harness.Ablation.page_size_study "page size (Water)"
+
+let ablation_latency =
+  ablation Mgs_harness.Ablation.latency_study "inter-SSMP latency (Water)"
+
+let ablation_tlb () =
+  Printf.printf "=== Ablation: software TLB capacity (Jacobi) ===\n";
+  let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default in
+  print_string
+    (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(Mgs_harness.Ablation.tlb_study ()) w);
+  print_newline ()
+
+let ablation_pipeline () =
+  Printf.printf "=== Ablation: serial vs pipelined release (Jacobi) ===\n";
+  let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default in
+  print_string
+    (Mgs_harness.Ablation.run ~nprocs:16
+       ~variants:(Mgs_harness.Ablation.pipelined_release_study ())
+       w);
+  print_newline ()
+
+let ablation_protocol () =
+  Printf.printf "=== Ablation: MGS vs Ivy baseline protocol ===\n";
+  let tsp = Mgs_apps.Tsp.workload { Mgs_apps.Tsp.default with Mgs_apps.Tsp.ncities = 8 } in
+  print_string
+    (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(Mgs_harness.Ablation.protocol_study ())
+       tsp);
+  print_newline ();
+  let water = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
+  print_string
+    (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(Mgs_harness.Ablation.protocol_study ())
+       water);
+  print_newline ()
+
+(* LU is not part of the paper's evaluation; provided as an extra
+   workload over the same framework. *)
+let extra_lu () =
+  print_endline "=== Extra: LU decomposition (not in the paper) ===";
+  let points = Sweep.sweep ~nprocs (Mgs_apps.Lu.workload Mgs_apps.Lu.default) in
+  print_string (Figures.breakdown_figure ~title:"LU, P = 32" points);
+  print_newline ()
+
+(* RADIX's permutation phase writes scatter over the whole destination
+   array — the worst case for page-grain software shared memory, and
+   the sharing pattern where the multiple-writer machinery earns its
+   keep.  Shown as a sweep plus the three-protocol comparison. *)
+let extra_radix () =
+  print_endline "=== Extra: SPLASH-2 RADIX sort (not in the paper) ===";
+  let w = Mgs_apps.Radix.workload Mgs_apps.Radix.default in
+  let points = Sweep.sweep ~nprocs w in
+  print_string (Figures.breakdown_figure ~title:"Radix, P = 32" points);
+  print_newline ();
+  print_string
+    (Mgs_harness.Ablation.run ~nprocs:16
+       ~variants:(Mgs_harness.Ablation.protocol_study ())
+       (Mgs_apps.Radix.workload
+          { Mgs_apps.Radix.default with Mgs_apps.Radix.nkeys = 1024 }));
+  print_newline ()
+
+let extra_fft () =
+  print_endline "=== Extra: six-step FFT (not in the paper) ===";
+  let points = Sweep.sweep ~nprocs (Mgs_apps.Fft.workload Mgs_apps.Fft.default) in
+  print_string (Figures.breakdown_figure ~title:"FFT, P = 32" points);
+  print_newline ()
+
+(* the whole Figure 6-10 evaluation re-run under lazy release
+   consistency: what the paper's results would have looked like had MGS
+   adopted the TreadMarks-lineage techniques its related work cites *)
+let hlrc_figs () =
+  print_endline "=== Extra: Figures 6-10 under HLRC (lazy release consistency) ===";
+  let sweep_hlrc w =
+    let clusters = Sweep.clusters_of nprocs in
+    List.map
+      (fun cluster ->
+        let cfg =
+          Mgs.Machine.config ~lan_latency:1000 ~protocol:Mgs.State.Protocol_hlrc ~nprocs
+            ~cluster ()
+        in
+        let m = Mgs.Machine.create cfg in
+        let body, check = w.Sweep.prepare m in
+        let report = Mgs.Machine.run m body in
+        Mgs.Machine.assert_quiescent m;
+        check m;
+        { Sweep.cluster; report; lock_hit_ratio = Mgs.Report.lock_hit_ratio report })
+      clusters
+  in
+  List.iter
+    (fun (name, w) ->
+      let points = sweep_hlrc w in
+      print_string (Figures.breakdown_figure ~title:(name ^ " under HLRC") points);
+      print_newline ())
+    [
+      ("Jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default);
+      ("TSP", Mgs_apps.Tsp.workload Mgs_apps.Tsp.default);
+      ("Water", Mgs_apps.Water.workload water_params);
+      ("Barnes-Hut", Mgs_apps.Barnes.workload Mgs_apps.Barnes.default);
+    ]
+
+(* beyond the paper's fixed P = 32: scalability in total processors at
+   a fixed cluster size (are bigger DSSMPs built from 8-way SSMPs
+   worthwhile?) *)
+let scaling () =
+  print_endline "=== Extra: scaling P at fixed C = 8 (Water) ===";
+  let rows =
+    List.map
+      (fun p ->
+        let w = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
+        let pt = Sweep.run_point ~nprocs:p ~cluster:(min 8 p) w in
+        let r = pt.Sweep.report in
+        [
+          string_of_int p;
+          string_of_int r.Mgs.Report.runtime;
+          Printf.sprintf "%.0f" r.Mgs.Report.breakdown.Mgs.Report.mgs;
+          string_of_int r.Mgs.Report.lan_messages;
+          Printf.sprintf "%.2f" pt.Sweep.lock_hit_ratio;
+        ])
+      [ 8; 16; 32; 64 ]
+  in
+  Mgs_util.Tableprint.print
+    ~header:[ "P"; "runtime"; "MGS cycles/proc"; "LAN msgs"; "lock hit" ]
+    ~rows;
+  print_newline ()
+
+(* machine-readable export of every sweep for external plotting *)
+let csv () =
+  print_string
+    (String.concat ""
+       [
+         Figures.csv_of_sweep ~name:"jacobi" (Lazy.force jacobi);
+         Figures.csv_of_sweep ~name:"matmul" (Lazy.force matmul);
+         Figures.csv_of_sweep ~name:"tsp" (Lazy.force tsp);
+         Figures.csv_of_sweep ~name:"water" (Lazy.force water);
+         Figures.csv_of_sweep ~name:"barnes" (Lazy.force barnes);
+         Figures.csv_of_sweep ~name:"water-kernel" (Lazy.force wkern);
+         Figures.csv_of_sweep ~name:"water-kernel-tiled" (Lazy.force wkern_tiled);
+         Figures.csv_of_sweep ~name:"radix"
+           (Sweep.sweep ~nprocs (Mgs_apps.Radix.workload Mgs_apps.Radix.default));
+       ])
+
+let messages () =
+  print_endline "=== Protocol message mix (Water) ===";
+  print_string (Figures.message_mix (Lazy.force water));
+  print_newline ()
+
+let targets : (string * (unit -> unit)) list =
+  [
+    ("table3", table3);
+    ("table4", table4);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("summary", summary);
+    ("ablation-singlewriter", ablation_single_writer);
+    ("ablation-earlyack", ablation_early_ack);
+    ("ablation-pagesize", ablation_page_size);
+    ("ablation-latency", ablation_latency);
+    ("ablation-protocol", ablation_protocol);
+    ("ablation-pipeline", ablation_pipeline);
+    ("ablation-tlb", ablation_tlb);
+    ("extra-lu", extra_lu);
+    ("extra-fft", extra_fft);
+    ("extra-radix", extra_radix);
+    ("hlrc-figs", hlrc_figs);
+    ("scaling", scaling);
+    ("csv", csv);
+    ("messages", messages);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen = if args = [] then List.map fst targets else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown target %S; known: %s\n" name
+          (String.concat " " (List.map fst targets));
+        exit 1)
+    chosen

@@ -1,0 +1,180 @@
+(* Command-line driver: run any of the paper's applications on any
+   DSSMP configuration, either a single point or a full cluster-size
+   sweep (the paper's framework).
+
+     mgs_run --app water --procs 32 --cluster 8
+     mgs_run --app tsp --procs 16 --sweep
+     mgs_run --app barnes --size 64 --iters 1 --delay 2000 --sweep *)
+
+open Cmdliner
+
+let apps =
+  [
+    "jacobi"; "matmul"; "tsp"; "water"; "barnes"; "water-kernel"; "water-kernel-tiled"; "lu";
+    "fft"; "radix";
+  ]
+
+let workload ~app ~size ~iters =
+  let d v = Option.value ~default:v in
+  match app with
+  | "jacobi" ->
+    let p = Mgs_apps.Jacobi.default in
+    let p = { p with Mgs_apps.Jacobi.n = d p.Mgs_apps.Jacobi.n size } in
+    let p = { p with Mgs_apps.Jacobi.iters = d p.Mgs_apps.Jacobi.iters iters } in
+    (Mgs_apps.Jacobi.workload p, Mgs_apps.Jacobi.problem_size p)
+  | "matmul" ->
+    let p = Mgs_apps.Matmul.default in
+    let p = { p with Mgs_apps.Matmul.n = d p.Mgs_apps.Matmul.n size } in
+    (Mgs_apps.Matmul.workload p, Mgs_apps.Matmul.problem_size p)
+  | "tsp" ->
+    let p = Mgs_apps.Tsp.default in
+    let p = { p with Mgs_apps.Tsp.ncities = d p.Mgs_apps.Tsp.ncities size } in
+    (Mgs_apps.Tsp.workload p, Mgs_apps.Tsp.problem_size p)
+  | "water" ->
+    let p = Mgs_apps.Water.default in
+    let p = { p with Mgs_apps.Water.nmol = d p.Mgs_apps.Water.nmol size } in
+    let p = { p with Mgs_apps.Water.iters = d p.Mgs_apps.Water.iters iters } in
+    (Mgs_apps.Water.workload p, Mgs_apps.Water.problem_size p)
+  | "barnes" ->
+    let p = Mgs_apps.Barnes.default in
+    let p = { p with Mgs_apps.Barnes.nbodies = d p.Mgs_apps.Barnes.nbodies size } in
+    let p = { p with Mgs_apps.Barnes.iters = d p.Mgs_apps.Barnes.iters iters } in
+    (Mgs_apps.Barnes.workload p, Mgs_apps.Barnes.problem_size p)
+  | "water-kernel" ->
+    let p = Mgs_apps.Water_kernel.default in
+    let p = { p with Mgs_apps.Water_kernel.nmol = d p.Mgs_apps.Water_kernel.nmol size } in
+    (Mgs_apps.Water_kernel.workload p, Mgs_apps.Water_kernel.problem_size p)
+  | "water-kernel-tiled" ->
+    let p = Mgs_apps.Water_kernel.default in
+    let p = { p with Mgs_apps.Water_kernel.nmol = d p.Mgs_apps.Water_kernel.nmol size } in
+    (Mgs_apps.Water_kernel.workload_tiled p, Mgs_apps.Water_kernel.problem_size p)
+  | "lu" ->
+    let p = Mgs_apps.Lu.default in
+    let p = { p with Mgs_apps.Lu.n = d p.Mgs_apps.Lu.n size } in
+    (Mgs_apps.Lu.workload p, Mgs_apps.Lu.problem_size p)
+  | "fft" ->
+    let p = Mgs_apps.Fft.default in
+    let p = { p with Mgs_apps.Fft.m = d p.Mgs_apps.Fft.m size } in
+    (Mgs_apps.Fft.workload p, Mgs_apps.Fft.problem_size p)
+  | "radix" ->
+    let p = Mgs_apps.Radix.default in
+    let p = { p with Mgs_apps.Radix.nkeys = d p.Mgs_apps.Radix.nkeys size } in
+    (Mgs_apps.Radix.workload p, Mgs_apps.Radix.problem_size p)
+  | _ -> failwith "unknown app"
+
+let run app size iters procs cluster delay page_bytes protocol sweep no_verify trace csv =
+  let w, size_desc = workload ~app ~size ~iters in
+  let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
+  let verify = not no_verify in
+  Printf.printf "app=%s (%s)  P=%d  delay=%d cycles  page=%dB  protocol=%s\n%!" app size_desc
+    procs delay page_bytes
+    (match protocol with
+    | Mgs.State.Protocol_mgs -> "mgs"
+    | Mgs.State.Protocol_hlrc -> "hlrc"
+    | Mgs.State.Protocol_ivy -> "ivy");
+  let trace_chan = Option.map open_out trace in
+  let run_one cluster =
+    let cfg =
+      Mgs.Machine.config ~page_words ~lan_latency:delay ~protocol ~nprocs:procs ~cluster ()
+    in
+    let m = Mgs.Machine.create cfg in
+    (match trace_chan with
+    | Some oc -> Mgs.Machine.trace_messages m (fun line -> output_string oc (line ^ "\n"))
+    | None -> ());
+    let body, check = w.Mgs_harness.Sweep.prepare m in
+    let report = Mgs.Machine.run m body in
+    if verify then begin
+      Mgs.Machine.assert_quiescent m;
+      check m
+    end;
+    {
+      Mgs_harness.Sweep.cluster;
+      report;
+      lock_hit_ratio = Mgs.Report.lock_hit_ratio report;
+    }
+  in
+  if sweep then begin
+    let points = List.map run_one (Mgs_harness.Sweep.clusters_of procs) in
+    if csv then print_string (Mgs_harness.Figures.csv_of_sweep ~name:app points)
+    else
+      print_string
+        (Mgs_harness.Figures.breakdown_figure
+           ~title:(Printf.sprintf "%s, P = %d" app procs)
+           points)
+  end
+  else begin
+    let cluster = Option.value ~default:procs cluster in
+    let p = run_one cluster in
+    Format.printf "%a@." Mgs.Report.pp p.Mgs_harness.Sweep.report;
+    Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio
+  end;
+  Option.iter close_out trace_chan;
+  if verify then print_endline "verification: OK"
+
+let app_t =
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun a -> (a, a)) apps))) None
+    & info [ "app"; "a" ] ~docv:"APP" ~doc:"Application to run: $(docv).")
+
+let size_t =
+  Arg.(value & opt (some int) None & info [ "size"; "n" ] ~docv:"N" ~doc:"Problem size.")
+
+let iters_t =
+  Arg.(value & opt (some int) None & info [ "iters"; "i" ] ~docv:"I" ~doc:"Iterations.")
+
+let procs_t =
+  Arg.(value & opt int 32 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Total processors.")
+
+let cluster_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cluster"; "c" ] ~docv:"C" ~doc:"Processors per SSMP (default: P).")
+
+let delay_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "delay"; "d" ] ~docv:"CYCLES" ~doc:"Inter-SSMP message latency.")
+
+let page_t =
+  Arg.(value & opt int 1024 & info [ "page-bytes" ] ~docv:"B" ~doc:"Page size in bytes.")
+
+let protocol_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("mgs", Mgs.State.Protocol_mgs);
+             ("hlrc", Mgs.State.Protocol_hlrc);
+             ("ivy", Mgs.State.Protocol_ivy);
+           ])
+        Mgs.State.Protocol_mgs
+    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Inter-SSMP protocol: mgs, hlrc, or ivy.")
+
+let sweep_t =
+  Arg.(value & flag & info [ "sweep"; "s" ] ~doc:"Sweep cluster sizes 1..P (powers of two).")
+
+let no_verify_t =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip output verification.")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Dump every protocol message (time tag src dst words) to $(docv).")
+
+let csv_t =
+  Arg.(value & flag & info [ "csv" ] ~doc:"With --sweep: print CSV instead of the figure.")
+
+let cmd =
+  let doc = "run MGS multigrain shared-memory applications on a simulated DSSMP" in
+  Cmd.v
+    (Cmd.info "mgs_run" ~doc)
+    Term.(
+      const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
+      $ protocol_t $ sweep_t $ no_verify_t $ trace_t $ csv_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/protocols.ml: List Mgs Mgs_mem Mgs_sync Printf

@@ -1,0 +1,1 @@
+examples/protocols.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mgs Mgs_mem Mgs_sync

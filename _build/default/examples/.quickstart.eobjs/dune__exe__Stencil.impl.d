@@ -1,0 +1,1 @@
+examples/stencil.ml: Float Mgs Mgs_harness Mgs_mem Mgs_sync Printf

@@ -1,0 +1,1 @@
+examples/work_queue.ml: List Mgs Mgs_mem Mgs_sync Printf

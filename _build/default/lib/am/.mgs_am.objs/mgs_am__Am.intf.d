@@ -1,0 +1,1 @@
+lib/am/am.mli: Mgs_engine Mgs_machine Mgs_net

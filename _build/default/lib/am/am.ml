@@ -1,0 +1,51 @@
+type recorder =
+  Mgs_engine.Sim.time -> tag:string -> src:int -> dst:int -> words:int -> unit
+
+type t = {
+  sim : Mgs_engine.Sim.t;
+  costs : Mgs_machine.Costs.t;
+  topo : Mgs_machine.Topology.t;
+  lan : Mgs_net.Lan.t;
+  cpus : Mgs_machine.Cpu.t array;
+  counts : (string, int) Hashtbl.t;
+  mutable total : int;
+  mutable recorder : recorder option;
+}
+
+let create sim costs topo ~lan ~cpus =
+  if Array.length cpus <> topo.Mgs_machine.Topology.nprocs then
+    invalid_arg "Am.create: cpu count mismatch";
+  { sim; costs; topo; lan; cpus; counts = Hashtbl.create 32; total = 0; recorder = None }
+
+let bump am tag =
+  am.total <- am.total + 1;
+  let prev = Option.value ~default:0 (Hashtbl.find_opt am.counts tag) in
+  Hashtbl.replace am.counts tag (prev + 1)
+
+let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
+  bump am tag;
+  let p = am.costs.Mgs_machine.Costs.proto in
+  let src_ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo src in
+  let dst_ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo dst in
+  let at = Mgs_engine.Sim.now am.sim in
+  let deliver arrive =
+    (match am.recorder with Some r -> r arrive ~tag ~src ~dst ~words | None -> ());
+    let fin =
+      Mgs_machine.Cpu.occupy am.cpus.(dst) ~at:arrive ~cost:(p.handler_dispatch + cost)
+    in
+    Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
+  in
+  Mgs_net.Lan.send am.lan ~src:src_ssmp ~dst:dst_ssmp ~at ~words deliver
+
+let run_on am ~proc ~at ~cost k =
+  let fin = Mgs_machine.Cpu.occupy am.cpus.(proc) ~at ~cost in
+  Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
+
+let set_recorder am r = am.recorder <- r
+
+let count am tag = Option.value ~default:0 (Hashtbl.find_opt am.counts tag)
+
+let counts am =
+  List.sort compare (Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) am.counts [])
+
+let total_posted am = am.total

@@ -1,0 +1,57 @@
+(** Active messages.
+
+    MGS protocol engines communicate exclusively through active
+    messages: a message names a destination processor and runs a handler
+    there on arrival (section 4.2.3).  The handler occupies the
+    destination processor — pushing its {!Mgs_machine.Cpu.busy_until}
+    horizon forward and charging the MGS bucket — which is how protocol
+    processing dilates application progress on that processor.
+
+    Transport goes through {!Mgs_net.Lan}: inter-SSMP messages pay the
+    LAN latency and sender occupancy; intra-SSMP messages use the fast
+    path.  Bulk (page/diff) payloads add DMA latency but no per-word
+    processor occupancy, as on Alewife. *)
+
+type t
+
+val create :
+  Mgs_engine.Sim.t ->
+  Mgs_machine.Costs.t ->
+  Mgs_machine.Topology.t ->
+  lan:Mgs_net.Lan.t ->
+  cpus:Mgs_machine.Cpu.t array ->
+  t
+
+val post :
+  t ->
+  ?tag:string ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  cost:int ->
+  (Mgs_engine.Sim.time -> unit) ->
+  unit
+(** [post am ~src ~dst ~words ~cost k] sends a message from processor
+    [src] to processor [dst], carrying [words] bulk words, whose handler
+    consumes [handler_dispatch + cost] cycles of [dst]'s time.  [k] runs
+    when the handler completes, at the completion time.  [tag] labels
+    the message for the per-type counters. *)
+
+val run_on : t -> proc:int -> at:Mgs_engine.Sim.time -> cost:int -> (Mgs_engine.Sim.time -> unit) -> unit
+(** [run_on am ~proc ~at ~cost k] charges [cost] cycles of occupancy on
+    [proc] starting no earlier than [at] and runs [k] at completion —
+    protocol work not triggered by a message (e.g. a continuation after
+    a lock handoff). *)
+
+val set_recorder :
+  t -> (Mgs_engine.Sim.time -> tag:string -> src:int -> dst:int -> words:int -> unit) option -> unit
+(** Install (or remove) a callback invoked at every message delivery —
+    the hook behind trace dumps.  The callback must not post messages. *)
+
+val count : t -> string -> int
+(** Messages posted so far with the given tag. *)
+
+val counts : t -> (string * int) list
+(** All (tag, count) pairs, sorted by tag. *)
+
+val total_posted : t -> int

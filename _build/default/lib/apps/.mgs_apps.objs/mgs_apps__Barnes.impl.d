@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: Array Float List Mgs Mgs_harness Mgs_machine Mgs_mem Mgs_svm Mgs_sync Mgs_util Printf

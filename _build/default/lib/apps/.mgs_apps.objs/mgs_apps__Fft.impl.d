@@ -1,0 +1,1 @@
+lib/apps/fft.ml: Array Float Mgs Mgs_harness Mgs_mem Mgs_sync Mgs_util Printf

@@ -1,0 +1,1 @@
+lib/apps/fft.mli: Mgs_harness

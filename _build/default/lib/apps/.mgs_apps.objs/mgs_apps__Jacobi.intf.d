@@ -1,0 +1,1 @@
+lib/apps/jacobi.mli: Mgs_harness

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Mgs Mgs_harness Mgs_mem Mgs_sync Printf

@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Mgs_harness

@@ -1,0 +1,1 @@
+lib/apps/radix.mli: Mgs_harness

@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Array Mgs Mgs_harness Mgs_mem Mgs_sync Mgs_util Printf

@@ -1,0 +1,1 @@
+lib/apps/water.ml: Array Float List Mgs Mgs_harness Mgs_machine Mgs_mem Mgs_sync Mgs_util Printf

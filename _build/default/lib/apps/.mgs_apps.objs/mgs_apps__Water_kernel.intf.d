@@ -1,0 +1,1 @@
+lib/apps/water_kernel.mli: Mgs_harness

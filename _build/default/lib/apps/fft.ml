@@ -1,0 +1,177 @@
+type params = { m : int; butterfly_cycles : int; seed : int }
+
+let default = { m = 32; butterfly_cycles = 60; seed = 37 }
+
+let tiny = { m = 8; butterfly_cycles = 60; seed = 19 }
+
+let problem_size p = Printf.sprintf "%d-point complex FFT (%dx%d)" (p.m * p.m) p.m p.m
+
+let input p =
+  let rng = Mgs_util.Rng.create ~seed:p.seed in
+  Array.init (2 * p.m * p.m) (fun _ -> Mgs_util.Rng.float rng 2.0 -. 1.0)
+
+(* In-place m-point radix-2 FFT of a row, written against abstract
+   accessors so the simulated and sequential versions execute the
+   identical operation sequence (hence bit-identical results).
+   [base] is the word index of the row's first real part. *)
+let fft_row ~read ~write ~compute ~m ~base =
+  let re k = base + (2 * k) and im k = base + (2 * k) + 1 in
+  (* bit reversal *)
+  let bits =
+    let rec go b n = if n <= 1 then b else go (b + 1) (n / 2) in
+    go 0 m
+  in
+  let rev k =
+    let r = ref 0 in
+    for b = 0 to bits - 1 do
+      if k land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+    done;
+    !r
+  in
+  for k = 0 to m - 1 do
+    let j = rev k in
+    if j > k then begin
+      let ar = read (re k) and ai = read (im k) in
+      let br = read (re j) and bi = read (im j) in
+      write (re k) br;
+      write (im k) bi;
+      write (re j) ar;
+      write (im j) ai
+    end
+  done;
+  (* butterflies *)
+  let len = ref 2 in
+  while !len <= m do
+    let half = !len / 2 in
+    let ang = -2.0 *. Float.pi /. float_of_int !len in
+    for start = 0 to (m / !len) - 1 do
+      let s = start * !len in
+      for t = 0 to half - 1 do
+        compute ();
+        let wr = cos (ang *. float_of_int t) and wi = sin (ang *. float_of_int t) in
+        let ur = read (re (s + t)) and ui = read (im (s + t)) in
+        let vr = read (re (s + t + half)) and vi = read (im (s + t + half)) in
+        let xr = (wr *. vr) -. (wi *. vi) and xi = (wr *. vi) +. (wi *. vr) in
+        write (re (s + t)) (ur +. xr);
+        write (im (s + t)) (ui +. xi);
+        write (re (s + t + half)) (ur -. xr);
+        write (im (s + t + half)) (ui -. xi)
+      done
+    done;
+    len := !len * 2
+  done
+
+(* The six-step algorithm over abstract storage; [row_mine] selects the
+   rows a caller computes, [barrier] separates the phases.  Buffers:
+   [x] input (read-only), [b] and [t] working matrices. *)
+let six_step ~read ~write ~compute ~barrier ~row_mine ~m ~x ~b ~t =
+  let n = m * m in
+  (* phase 1: gather B[k2][k1] = x[k2 + m*k1] (transpose load) *)
+  for k2 = 0 to m - 1 do
+    if row_mine k2 then
+      for k1 = 0 to m - 1 do
+        let src = k2 + (m * k1) and dst = (k2 * m) + k1 in
+        write (b + (2 * dst)) (read (x + (2 * src)));
+        write (b + (2 * dst) + 1) (read (x + (2 * src) + 1))
+      done
+  done;
+  barrier ();
+  (* phase 2: FFT rows of B, then twiddle B[k2][j1] *= W(n)^(j1*k2) *)
+  for k2 = 0 to m - 1 do
+    if row_mine k2 then begin
+      fft_row ~read ~write ~compute ~m ~base:(b + (2 * k2 * m));
+      for j1 = 0 to m - 1 do
+        compute ();
+        let ang = -2.0 *. Float.pi *. float_of_int (j1 * k2) /. float_of_int n in
+        let wr = cos ang and wi = sin ang in
+        let idx = b + (2 * ((k2 * m) + j1)) in
+        let vr = read idx and vi = read (idx + 1) in
+        write idx ((wr *. vr) -. (wi *. vi));
+        write (idx + 1) ((wr *. vi) +. (wi *. vr))
+      done
+    end
+  done;
+  barrier ();
+  (* phase 3: transpose T[j1][k2] = B[k2][j1] (all-to-all) *)
+  for j1 = 0 to m - 1 do
+    if row_mine j1 then
+      for k2 = 0 to m - 1 do
+        let src = (k2 * m) + j1 and dst = (j1 * m) + k2 in
+        write (t + (2 * dst)) (read (b + (2 * src)));
+        write (t + (2 * dst) + 1) (read (b + (2 * src) + 1))
+      done
+  done;
+  barrier ();
+  (* phase 4: FFT rows of T; T[j1][j2] = X[j1 + m*j2] *)
+  for j1 = 0 to m - 1 do
+    if row_mine j1 then fft_row ~read ~write ~compute ~m ~base:(t + (2 * j1 * m))
+  done;
+  barrier ()
+
+let seq_reference p =
+  let m = p.m in
+  let n = m * m in
+  let store = Array.make (2 * 3 * n) 0.0 in
+  Array.blit (input p) 0 store 0 (2 * n);
+  six_step
+    ~read:(fun i -> store.(i))
+    ~write:(fun i v -> store.(i) <- v)
+    ~compute:(fun () -> ())
+    ~barrier:(fun () -> ())
+    ~row_mine:(fun _ -> true)
+    ~m ~x:0 ~b:(2 * n) ~t:(4 * n);
+  Array.sub store (4 * n) (2 * n)
+
+let dft_reference p =
+  let m = p.m in
+  let n = m * m in
+  let x = input p in
+  let out = Array.make (2 * n) 0.0 in
+  for j = 0 to n - 1 do
+    let sr = ref 0.0 and si = ref 0.0 in
+    for k = 0 to n - 1 do
+      let ang = -2.0 *. Float.pi *. float_of_int (j * k) /. float_of_int n in
+      let wr = cos ang and wi = sin ang in
+      sr := !sr +. (x.(2 * k) *. wr) -. (x.((2 * k) + 1) *. wi);
+      si := !si +. (x.(2 * k) *. wi) +. (x.((2 * k) + 1) *. wr)
+    done;
+    (* X[j] lives at T[j mod m][j / m] in the six-step output *)
+    let slot = ((j mod m) * m) + (j / m) in
+    out.(2 * slot) <- !sr;
+    out.((2 * slot) + 1) <- !si
+  done;
+  out
+
+let workload p =
+  let m = p.m in
+  if m land (m - 1) <> 0 then invalid_arg "Fft: m must be a power of two";
+  let n = m * m in
+  let prepare mach =
+    let x = Mgs.Machine.alloc mach ~words:(2 * n) ~home:Mgs_mem.Allocator.Blocked in
+    let b = Mgs.Machine.alloc mach ~words:(2 * n) ~home:Mgs_mem.Allocator.Blocked in
+    let t = Mgs.Machine.alloc mach ~words:(2 * n) ~home:Mgs_mem.Allocator.Blocked in
+    Array.iteri (fun i v -> Mgs.Machine.poke mach (x + i) v) (input p);
+    let bar = Mgs_sync.Barrier.create mach in
+    let body ctx =
+      let nprocs = Mgs.Api.nprocs ctx in
+      let me = Mgs.Api.proc ctx in
+      let rows_per = (m + nprocs - 1) / nprocs in
+      let row_mine r = r / rows_per = me || (r / rows_per >= nprocs && me = nprocs - 1) in
+      six_step
+        ~read:(fun a -> Mgs.Api.read ctx a)
+        ~write:(fun a v -> Mgs.Api.write ctx a v)
+        ~compute:(fun () -> Mgs.Api.compute ctx p.butterfly_cycles)
+        ~barrier:(fun () -> Mgs_sync.Barrier.wait ctx bar)
+        ~row_mine ~m ~x ~b ~t
+    in
+    let check mach =
+      let expect = seq_reference p in
+      for i = 0 to (2 * n) - 1 do
+        let got = Mgs.Machine.peek mach (t + i) in
+        if got <> expect.(i) then
+          failwith (Printf.sprintf "fft mismatch at %d: got %.17g want %.17g" i got expect.(i))
+      done
+    in
+    (body, check)
+  in
+  { Mgs_harness.Sweep.name = "FFT"; prepare }

@@ -1,0 +1,35 @@
+(** 1-D complex FFT via the six-step (transpose) method (SPLASH-2
+    kernel lineage).
+
+    Not part of the paper's evaluation — included as an extra workload
+    whose {e transpose} phases are all-to-all page-grain communication,
+    the worst case for software shared memory and a sharp contrast to
+    the row-local FFT phases (multigrain locality at its purest: each
+    FFT phase is entirely SSMP-local, each transpose is entirely
+    page-grain).
+
+    The n = m x m points are laid out as an m-row matrix of complex
+    values (two words each); rows are distributed in contiguous bands. *)
+
+type params = {
+  m : int;  (** matrix edge; n = m * m points; power of two *)
+  butterfly_cycles : int;  (** modelled cost per butterfly *)
+  seed : int;
+}
+
+val default : params
+
+val tiny : params
+
+val problem_size : params -> string
+
+val workload : params -> Mgs_harness.Sweep.workload
+(** Verifies the spectrum bit-for-bit against the identical algorithm
+    run sequentially, and (for small sizes) against a direct DFT to
+    1e-6. *)
+
+val seq_reference : params -> float array
+(** The sequential six-step result (interleaved re/im), for tests. *)
+
+val dft_reference : params -> float array
+(** Direct O(n^2) DFT of the same input (interleaved re/im). *)

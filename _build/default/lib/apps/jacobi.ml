@@ -1,0 +1,89 @@
+type params = { n : int; iters : int; flop_cycles : int }
+
+let default = { n = 126; iters = 5; flop_cycles = 40 }
+
+let tiny = { n = 14; iters = 3; flop_cycles = 40 }
+
+(* the paper's full problem size; hours of simulation, use sparingly *)
+let paper = { n = 1022; iters = 10; flop_cycles = 40 }
+
+let problem_size p = Printf.sprintf "%dx%d grid, %d iterations" p.n p.n p.iters
+
+(* Initial condition: hot left edge, cold elsewhere. *)
+let initial r c n = if c = 0 then 100.0 else if r = 0 || r = n + 1 then 50.0 else 0.0
+
+let seq_reference p =
+  let dim = p.n + 2 in
+  let a = Array.init (dim * dim) (fun i -> initial (i / dim) (i mod dim) p.n) in
+  let b = Array.copy a in
+  let src = ref a and dst = ref b in
+  for _ = 1 to p.iters do
+    let s = !src and d = !dst in
+    for r = 1 to p.n do
+      for c = 1 to p.n do
+        d.((r * dim) + c) <-
+          0.25 *. (s.(((r - 1) * dim) + c) +. s.(((r + 1) * dim) + c)
+                   +. s.((r * dim) + c - 1) +. s.((r * dim) + c + 1))
+      done
+    done;
+    let t = !src in
+    src := !dst;
+    dst := t
+  done;
+  !src
+
+let workload p =
+  let prepare m =
+    let dim = p.n + 2 in
+    let words = dim * dim in
+    let ga = Mgs.Machine.alloc m ~words ~home:Mgs_mem.Allocator.Blocked in
+    let gb = Mgs.Machine.alloc m ~words ~home:Mgs_mem.Allocator.Blocked in
+    for r = 0 to dim - 1 do
+      for c = 0 to dim - 1 do
+        Mgs.Machine.poke m (ga + (r * dim) + c) (initial r c p.n);
+        Mgs.Machine.poke m (gb + (r * dim) + c) (initial r c p.n)
+      done
+    done;
+    let bar = Mgs_sync.Barrier.create m in
+    let body ctx =
+      let nprocs = Mgs.Api.nprocs ctx in
+      let me = Mgs.Api.proc ctx in
+      (* contiguous row band per processor *)
+      let rows_per = (p.n + nprocs - 1) / nprocs in
+      let r0 = 1 + (me * rows_per) in
+      let r1 = min p.n (r0 + rows_per - 1) in
+      let src = ref ga and dst = ref gb in
+      for _ = 1 to p.iters do
+        let s = !src and d = !dst in
+        for r = r0 to r1 do
+          for c = 1 to p.n do
+            let up = Mgs.Api.read ctx (s + ((r - 1) * dim) + c) in
+            let down = Mgs.Api.read ctx (s + ((r + 1) * dim) + c) in
+            let left = Mgs.Api.read ctx (s + (r * dim) + c - 1) in
+            let right = Mgs.Api.read ctx (s + (r * dim) + c + 1) in
+            Mgs.Api.compute ctx p.flop_cycles;
+            Mgs.Api.write ctx (d + (r * dim) + c) (0.25 *. (up +. down +. left +. right))
+          done
+        done;
+        let t = !src in
+        src := !dst;
+        dst := t;
+        Mgs_sync.Barrier.wait ctx bar
+      done
+    in
+    let check m =
+      let expect = seq_reference p in
+      let final = if p.iters mod 2 = 0 then ga else gb in
+      for r = 1 to p.n do
+        for c = 1 to p.n do
+          let got = Mgs.Machine.peek m (final + (r * dim) + c) in
+          let want = expect.((r * dim) + c) in
+          if got <> want then
+            failwith
+              (Printf.sprintf "jacobi mismatch at (%d,%d): got %.17g want %.17g" r c got want)
+        done
+      done
+    in
+    (body, check)
+  in
+  { Mgs_harness.Sweep.name = "Jacobi"; prepare }

@@ -1,0 +1,30 @@
+(** Jacobi: 2-D grid relaxation (paper section 5.2).
+
+    Two (n+2) x (n+2) grids alternate as source and destination; each
+    iteration replaces every interior point by the average of its four
+    neighbours.  Rows are distributed in contiguous bands, one band per
+    processor, so sharing is coarse-grained reads of boundary rows —
+    the paper's example of an application whose performance is almost
+    independent of cluster size (Figure 6, breakup penalty 16%). *)
+
+type params = {
+  n : int;  (** interior points per dimension *)
+  iters : int;
+  flop_cycles : int;  (** modelled computation per grid point *)
+}
+
+val default : params
+(** 126 x 126, 5 iterations — a scaled version of the paper's
+    1024 x 1024 x 10 (EXPERIMENTS.md discusses the scaling). *)
+
+val tiny : params
+(** Test-sized instance. *)
+
+val paper : params
+(** The paper's full 1024-class problem (long simulation). *)
+
+val problem_size : params -> string
+
+val workload : params -> Mgs_harness.Sweep.workload
+(** Verifies the final grid bit-for-bit against a sequential
+    reference. *)

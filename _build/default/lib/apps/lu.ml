@@ -1,0 +1,77 @@
+type params = { n : int; flop_cycles : int; seed : int }
+
+let default = { n = 48; flop_cycles = 40; seed = 29 }
+
+let tiny = { n = 10; flop_cycles = 40; seed = 13 }
+
+let problem_size p = Printf.sprintf "%dx%d matrix" p.n p.n
+
+(* Diagonally dominant input so elimination needs no pivoting. *)
+let initial p =
+  let rng = Mgs_util.Rng.create ~seed:p.seed in
+  Array.init (p.n * p.n) (fun idx ->
+      let i = idx / p.n and j = idx mod p.n in
+      let v = Mgs_util.Rng.float rng 1.0 in
+      if i = j then v +. float_of_int p.n else v)
+
+(* In-place elimination storing L (below the diagonal, unit implied)
+   and U (on and above); the parallel version performs the identical
+   operations in the identical order per element. *)
+let seq_reference p =
+  let n = p.n in
+  let a = initial p in
+  for k = 0 to n - 2 do
+    for i = k + 1 to n - 1 do
+      let m = a.((i * n) + k) /. a.((k * n) + k) in
+      a.((i * n) + k) <- m;
+      for j = k + 1 to n - 1 do
+        a.((i * n) + j) <- a.((i * n) + j) -. (m *. a.((k * n) + j))
+      done
+    done
+  done;
+  a
+
+let workload p =
+  let n = p.n in
+  let prepare m =
+    let ma = Mgs.Machine.alloc m ~words:(n * n) ~home:Mgs_mem.Allocator.Interleaved in
+    Array.iteri (fun i v -> Mgs.Machine.poke m (ma + i) v) (initial p);
+    let bar = Mgs_sync.Barrier.create m in
+    let body ctx =
+      let open Mgs.Api in
+      let nprocs = nprocs ctx in
+      let me = proc ctx in
+      (* rows are distributed cyclically: row i belongs to i mod P *)
+      for k = 0 to n - 2 do
+        (* everyone waits for the pivot row to be published *)
+        Mgs_sync.Barrier.wait ctx bar;
+        let pivot = read ctx (ma + (k * n) + k) in
+        for i = k + 1 to n - 1 do
+          if i mod nprocs = me then begin
+            let mult = read ctx (ma + (i * n) + k) /. pivot in
+            compute ctx p.flop_cycles;
+            write ctx (ma + (i * n) + k) mult;
+            for j = k + 1 to n - 1 do
+              let akj = read ctx (ma + (k * n) + j) in
+              let aij = read ctx (ma + (i * n) + j) in
+              compute ctx p.flop_cycles;
+              write ctx (ma + (i * n) + j) (aij -. (mult *. akj))
+            done
+          end
+        done
+      done;
+      Mgs_sync.Barrier.wait ctx bar
+    in
+    let check m =
+      let expect = seq_reference p in
+      for idx = 0 to (n * n) - 1 do
+        let got = Mgs.Machine.peek m (ma + idx) in
+        if got <> expect.(idx) then
+          failwith
+            (Printf.sprintf "lu mismatch at (%d,%d): got %.17g want %.17g" (idx / n)
+               (idx mod n) got expect.(idx))
+      done
+    in
+    (body, check)
+  in
+  { Mgs_harness.Sweep.name = "LU"; prepare }

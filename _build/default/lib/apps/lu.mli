@@ -1,0 +1,24 @@
+(** Dense LU factorization without pivoting (SPLASH-2 kernel).
+
+    Not part of the paper's evaluation — included as an additional
+    workload exercising a different sharing pattern: one pivot row is
+    read-broadcast to every processor per step while each processor
+    updates its own cyclically-distributed rows, so the protocol sees a
+    producer/all-consumers page each iteration.  The matrix is made
+    diagonally dominant so no pivoting is needed. *)
+
+type params = {
+  n : int;  (** matrix dimension *)
+  flop_cycles : int;  (** modelled cost per inner-loop update *)
+  seed : int;
+}
+
+val default : params
+
+val tiny : params
+
+val problem_size : params -> string
+
+val workload : params -> Mgs_harness.Sweep.workload
+(** Verifies the factored matrix bit-for-bit against a sequential
+    elimination (identical operation order). *)

@@ -1,0 +1,78 @@
+type params = { n : int; mac_cycles : int }
+
+let default = { n = 64; mac_cycles = 120 }
+
+let tiny = { n = 10; mac_cycles = 120 }
+
+(* the paper's full problem size *)
+let paper = { n = 256; mac_cycles = 120 }
+
+let problem_size p = Printf.sprintf "%dx%d matrices" p.n p.n
+
+let elt_a i j = float_of_int (((i * 7) + (j * 3)) mod 11) -. 5.0
+
+let elt_b i j = float_of_int (((i * 5) + (j * 11)) mod 13) -. 6.0
+
+let seq_reference p =
+  let n = p.n in
+  let c = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (elt_a i k *. elt_b k j)
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let workload p =
+  let prepare m =
+    let n = p.n in
+    let words = n * n in
+    let ma = Mgs.Machine.alloc m ~words ~home:Mgs_mem.Allocator.Blocked in
+    let mb = Mgs.Machine.alloc m ~words ~home:Mgs_mem.Allocator.Blocked in
+    let mc = Mgs.Machine.alloc m ~words ~home:Mgs_mem.Allocator.Blocked in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Mgs.Machine.poke m (ma + (i * n) + j) (elt_a i j);
+        Mgs.Machine.poke m (mb + (i * n) + j) (elt_b i j)
+      done
+    done;
+    let bar = Mgs_sync.Barrier.create m in
+    let body ctx =
+      let nprocs = Mgs.Api.nprocs ctx in
+      let me = Mgs.Api.proc ctx in
+      let rows_per = (n + nprocs - 1) / nprocs in
+      let r0 = me * rows_per in
+      let r1 = min (n - 1) (r0 + rows_per - 1) in
+      for i = r0 to r1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for k = 0 to n - 1 do
+            let a = Mgs.Api.read ctx (ma + (i * n) + k) in
+            let b = Mgs.Api.read ctx (mb + (k * n) + j) in
+            Mgs.Api.compute ctx p.mac_cycles;
+            acc := !acc +. (a *. b)
+          done;
+          Mgs.Api.write ctx (mc + (i * n) + j) !acc
+        done
+      done;
+      Mgs_sync.Barrier.wait ctx bar
+    in
+    let check m =
+      let expect = seq_reference p in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let got = Mgs.Machine.peek m (mc + (i * n) + j) in
+          if got <> expect.((i * n) + j) then
+            failwith
+              (Printf.sprintf "matmul mismatch at (%d,%d): got %.17g want %.17g" i j got
+                 expect.((i * n) + j))
+        done
+      done
+    in
+    (body, check)
+  in
+  { Mgs_harness.Sweep.name = "Matrix Multiply"; prepare }

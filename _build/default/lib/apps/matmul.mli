@@ -1,0 +1,24 @@
+(** Matrix Multiply: C = A x B on square matrices (paper section 5.2).
+
+    Rows of the result are distributed in contiguous bands.  A and B are
+    read-shared, C is written privately per band, so like Jacobi the
+    application is coarse-grained and nearly insensitive to cluster size
+    (Figure 7, breakup penalty ~0%). *)
+
+type params = {
+  n : int;  (** matrix dimension *)
+  mac_cycles : int;  (** modelled multiply-accumulate cost *)
+}
+
+val default : params
+(** 64 x 64 — a scaled version of the paper's 256 x 256. *)
+
+val tiny : params
+
+val paper : params
+(** The paper's full 256x256 problem. *)
+
+val problem_size : params -> string
+
+val workload : params -> Mgs_harness.Sweep.workload
+(** Verifies the product bit-for-bit against a sequential reference. *)

@@ -1,0 +1,113 @@
+type params = {
+  nkeys : int;
+  digit_bits : int;
+  key_bits : int;
+  op_cycles : int;
+  seed : int;
+}
+
+let default = { nkeys = 2048; digit_bits = 4; key_bits = 16; op_cycles = 30; seed = 91 }
+
+let tiny = { nkeys = 96; digit_bits = 2; key_bits = 8; op_cycles = 30; seed = 7 }
+
+let problem_size p =
+  Printf.sprintf "%d keys, %d-bit digits of %d-bit keys" p.nkeys p.digit_bits p.key_bits
+
+let passes p =
+  if p.key_bits mod p.digit_bits <> 0 then
+    invalid_arg "Radix: key_bits must be a multiple of digit_bits";
+  p.key_bits / p.digit_bits
+
+let initial p =
+  let rng = Mgs_util.Rng.create ~seed:p.seed in
+  Array.init p.nkeys (fun _ -> Mgs_util.Rng.int rng (1 lsl p.key_bits))
+
+let seq_reference p =
+  let a = initial p in
+  Array.sort compare a;
+  a
+
+let workload p =
+  let n = p.nkeys and radix = 1 lsl p.digit_bits in
+  let npass = passes p in
+  let prepare m =
+    (* the two key buffers are blocked so a processor's own band is
+       homed locally; the histogram matrix is interleaved *)
+    let buf0 = Mgs.Machine.alloc m ~words:n ~home:Mgs_mem.Allocator.Blocked in
+    let buf1 = Mgs.Machine.alloc m ~words:n ~home:Mgs_mem.Allocator.Blocked in
+    let hist_words =
+      Mgs.Machine.alloc m
+        ~words:((Mgs.Machine.topo m).Mgs_machine.Topology.nprocs * radix)
+        ~home:Mgs_mem.Allocator.Interleaved
+    in
+    Array.iteri (fun i k -> Mgs.Machine.poke m (buf0 + i) (float_of_int k)) (initial p);
+    let bar = Mgs_sync.Barrier.create m in
+    let body ctx =
+      let open Mgs.Api in
+      let nprocs = nprocs ctx and me = proc ctx in
+      let b0 = me * n / nprocs and b1 = ((me + 1) * n / nprocs) - 1 in
+      let src = ref buf0 and dst = ref buf1 in
+      for pass = 0 to npass - 1 do
+        let shift = pass * p.digit_bits in
+        let digit k = (k lsr shift) land (radix - 1) in
+        (* 1. local histogram of my band (private OCaml scratch; the
+           SPLASH-2 code likewise histograms into local memory) *)
+        let counts = Array.make radix 0 in
+        for i = b0 to b1 do
+          let k = read_int ctx (!src + i) in
+          counts.(digit k) <- counts.(digit k) + 1;
+          compute ctx p.op_cycles
+        done;
+        for d = 0 to radix - 1 do
+          write_int ctx (hist_words + (me * radix) + d) counts.(d)
+        done;
+        Mgs_sync.Barrier.wait ctx bar;
+        (* 2. every processor reads the full histogram matrix to rank
+           its own digits: all-to-all read sharing of freshly written
+           pages, the pattern the prefix phase of SPLASH-2 RADIX sees *)
+        let offs = Array.make radix 0 in
+        let below_digits = ref 0 in
+        for d = 0 to radix - 1 do
+          let before_me = ref 0 and total = ref 0 in
+          for q = 0 to nprocs - 1 do
+            let c = read_int ctx (hist_words + (q * radix) + d) in
+            if q < me then before_me := !before_me + c;
+            total := !total + c
+          done;
+          offs.(d) <- !below_digits + !before_me;
+          below_digits := !below_digits + !total;
+          compute ctx p.op_cycles
+        done;
+        Mgs_sync.Barrier.wait ctx bar;
+        (* 3. permutation: scattered writes across the whole destination
+           buffer — the fine-grain irregular phase that makes RADIX a
+           stress test for page-grain software shared memory *)
+        for i = b0 to b1 do
+          let k = read_int ctx (!src + i) in
+          let d = digit k in
+          write_int ctx (!dst + offs.(d)) k;
+          offs.(d) <- offs.(d) + 1;
+          compute ctx p.op_cycles
+        done;
+        Mgs_sync.Barrier.wait ctx bar;
+        let t = !src in
+        src := !dst;
+        dst := t
+      done;
+      (* sorted keys end up in [!src] after the final swap *)
+      if me = 0 && !src <> (if npass mod 2 = 0 then buf0 else buf1) then
+        failwith "radix: buffer parity broken"
+    in
+    let check m =
+      let final = if npass mod 2 = 0 then buf0 else buf1 in
+      let expect = seq_reference p in
+      for i = 0 to n - 1 do
+        let got = int_of_float (Mgs.Machine.peek m (final + i)) in
+        if got <> expect.(i) then
+          failwith
+            (Printf.sprintf "radix mismatch at %d: got %d want %d" i got expect.(i))
+      done
+    in
+    (body, check)
+  in
+  { Mgs_harness.Sweep.name = "Radix"; prepare }

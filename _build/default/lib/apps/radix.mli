@@ -1,0 +1,43 @@
+(** Parallel radix sort (SPLASH-2 RADIX kernel).
+
+    Not part of the paper's evaluation — included as an additional
+    workload with a sharing pattern none of the paper's applications
+    exhibit: each pass ends with a {e permutation} phase whose writes
+    scatter over the entire destination array, so at small cluster sizes
+    nearly every page is written by many SSMPs between two barriers.
+    This is the classic worst case for page-grain software shared
+    memory and a direct stress test of the multiple-writer twin/diff
+    machinery (every page of the destination carries diffs from up to
+    [P/C] clusters per pass).
+
+    The histogram prefix phase adds all-to-all {e read} sharing of the
+    per-processor count matrix.  Keys move between two buffers, one
+    pass per [digit_bits]-bit digit, exactly as in the SPLASH-2 code. *)
+
+type params = {
+  nkeys : int;
+  digit_bits : int;  (** bits per pass; the radix is [2^digit_bits] *)
+  key_bits : int;  (** key width; must be a multiple of [digit_bits] *)
+  op_cycles : int;  (** modelled computation per key per phase *)
+  seed : int;
+}
+
+val default : params
+(** 2048 16-bit keys sorted in four 4-bit passes. *)
+
+val tiny : params
+
+val problem_size : params -> string
+
+val passes : params -> int
+(** Number of counting-sort passes.  @raise Invalid_argument if
+    [key_bits] is not a multiple of [digit_bits]. *)
+
+val initial : params -> int array
+(** The unsorted input keys (deterministic in [seed]). *)
+
+val seq_reference : params -> int array
+(** The keys in sorted order. *)
+
+val workload : params -> Mgs_harness.Sweep.workload
+(** Verifies the final buffer equals the sorted key sequence. *)

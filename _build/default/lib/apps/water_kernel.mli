@@ -1,0 +1,39 @@
+(** The Water force-interaction kernel, in two versions (paper section
+    5.2.3, Figure 12).
+
+    The {e untransformed} kernel is Water's N^2 force phase: linear
+    traversal from the owned portion, per-molecule locks, invalidation
+    traffic on every pair.
+
+    The {e transformed} kernel is the paper's best-effort hand
+    optimization: the molecule array is tiled with two tiles per SSMP,
+    and computation proceeds in phases scheduled (round-robin
+    tournament) so that each tile is owned by exactly one SSMP per
+    phase.  All sharing within a phase is intra-SSMP cache-line
+    sharing; only the page-grain tile migration crosses phases — {e
+    perfect multigrain locality}, dropping the breakup penalty from
+    334% to 26% while keeping a 107% multigrain potential. *)
+
+type params = {
+  nmol : int;
+  force_cycles : int;
+  seed : int;
+}
+
+val default : params
+(** 96 molecules, 1 iteration — scaled from the paper's 512 x 1;
+    the benches use 64 for quicker sweeps. *)
+
+val tiny : params
+
+val paper : params
+(** The paper's 512-molecule kernel. *)
+
+val problem_size : params -> string
+
+val workload : params -> Mgs_harness.Sweep.workload
+(** Untransformed kernel. *)
+
+val workload_tiled : params -> Mgs_harness.Sweep.workload
+(** Loop-transformed kernel.  Both verify the force accumulators
+    against the same sequential N^2 reference. *)

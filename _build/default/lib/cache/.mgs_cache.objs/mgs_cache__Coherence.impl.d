@@ -1,0 +1,1 @@
+lib/cache/coherence.ml: Array Hashtbl List Mgs_machine Mgs_mem Mgs_util Printf

@@ -1,0 +1,1 @@
+lib/cache/coherence.mli: Mgs_machine Mgs_mem

@@ -1,0 +1,229 @@
+type kind = Read | Write
+
+type stats = {
+  mutable hits : int;
+  mutable local_misses : int;
+  mutable remote_misses : int;
+  mutable misses_2party : int;
+  mutable misses_3party : int;
+  mutable software_extensions : int;
+}
+
+(* Per-processor cache slot state for the line it currently holds. *)
+type slot_state = Invalid | Shared | Modified
+
+type dir_entry = {
+  mutable owner : int; (* local proc holding the line Modified; -1 if none *)
+  sharers : Mgs_util.Bitset.t; (* local procs holding it Shared (excl. owner) *)
+}
+
+type t = {
+  costs : Mgs_machine.Costs.t;
+  geom : Mgs_mem.Geom.t;
+  cluster : int;
+  tags : int array array; (* [proc].(slot) = line id or -1 *)
+  states : slot_state array array;
+  dir : (int, dir_entry) Hashtbl.t; (* line id -> entry *)
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    hits = 0;
+    local_misses = 0;
+    remote_misses = 0;
+    misses_2party = 0;
+    misses_3party = 0;
+    software_extensions = 0;
+  }
+
+let create costs geom ~cluster =
+  if cluster <= 0 then invalid_arg "Coherence.create: cluster";
+  let slots = costs.Mgs_machine.Costs.hardware.cache_line_slots in
+  {
+    costs;
+    geom;
+    cluster;
+    tags = Array.init cluster (fun _ -> Array.make slots (-1));
+    states = Array.init cluster (fun _ -> Array.make slots Invalid);
+    dir = Hashtbl.create 1024;
+    stats = fresh_stats ();
+  }
+
+let entry_of c line =
+  match Hashtbl.find_opt c.dir line with
+  | Some e -> e
+  | None ->
+    let e = { owner = -1; sharers = Mgs_util.Bitset.create c.cluster } in
+    Hashtbl.add c.dir line e;
+    e
+
+let slot_of c line = line mod Array.length c.tags.(0)
+
+(* Drop [proc]'s cache slot contribution to the directory when the slot
+   is reassigned to a different line. *)
+let evict c ~proc ~slot =
+  let old = c.tags.(proc).(slot) in
+  if old >= 0 && c.states.(proc).(slot) <> Invalid then begin
+    match Hashtbl.find_opt c.dir old with
+    | None -> ()
+    | Some e ->
+      if e.owner = proc then e.owner <- -1;
+      Mgs_util.Bitset.remove e.sharers proc
+  end
+
+(* Remove the line from another processor's cache (invalidation). *)
+let zap c ~proc ~line =
+  let slot = slot_of c line in
+  if c.tags.(proc).(slot) = line then c.states.(proc).(slot) <- Invalid
+
+let downgrade c ~proc ~line =
+  let slot = slot_of c line in
+  if c.tags.(proc).(slot) = line && c.states.(proc).(slot) = Modified then
+    c.states.(proc).(slot) <- Shared
+
+let access c ~proc ~addr ~frame_owner ~kind =
+  if proc < 0 || proc >= c.cluster then invalid_arg "Coherence.access: proc";
+  if frame_owner < 0 || frame_owner >= c.cluster then
+    invalid_arg "Coherence.access: frame_owner";
+  let hw = c.costs.Mgs_machine.Costs.hardware in
+  let line = Mgs_mem.Geom.line_of_addr c.geom addr in
+  let slot = slot_of c line in
+  let st = if c.tags.(proc).(slot) = line then c.states.(proc).(slot) else Invalid in
+  let hit = match (kind, st) with Read, (Shared | Modified) | Write, Modified -> true | _ -> false in
+  if hit then begin
+    c.stats.hits <- c.stats.hits + 1;
+    hw.cache_hit
+  end
+  else begin
+    evict c ~proc ~slot;
+    let e = entry_of c line in
+    let nsharers = Mgs_util.Bitset.cardinal e.sharers in
+    let overflow = nsharers > hw.hw_dir_pointers in
+    let base =
+      match kind with
+      | Read ->
+        if e.owner >= 0 && e.owner <> proc then begin
+          (* Fetch from a dirty third party; the owner downgrades. *)
+          let cost = if e.owner = frame_owner then hw.miss_2party else hw.miss_3party in
+          downgrade c ~proc:e.owner ~line;
+          Mgs_util.Bitset.add e.sharers e.owner;
+          e.owner <- -1;
+          cost
+        end
+        else if proc = frame_owner then hw.miss_local
+        else hw.miss_remote
+      | Write ->
+        if e.owner >= 0 && e.owner <> proc then begin
+          let cost = if e.owner = frame_owner then hw.miss_2party else hw.miss_3party in
+          zap c ~proc:e.owner ~line;
+          e.owner <- -1;
+          cost
+        end
+        else begin
+          (* Invalidate all other sharers. *)
+          let others = ref [] in
+          Mgs_util.Bitset.iter (fun s -> if s <> proc then others := s :: !others) e.sharers;
+          match !others with
+          | [] -> if proc = frame_owner then hw.miss_local else hw.miss_remote
+          | [ s ] ->
+            zap c ~proc:s ~line;
+            if s = frame_owner then hw.miss_2party else hw.miss_3party
+          | l ->
+            List.iter (fun s -> zap c ~proc:s ~line) l;
+            hw.miss_3party
+        end
+    in
+    let cost = if overflow then base + hw.remote_software else base in
+    (match kind with
+    | Read ->
+      Mgs_util.Bitset.add e.sharers proc;
+      c.tags.(proc).(slot) <- line;
+      c.states.(proc).(slot) <- Shared
+    | Write ->
+      Mgs_util.Bitset.clear e.sharers;
+      e.owner <- proc;
+      c.tags.(proc).(slot) <- line;
+      c.states.(proc).(slot) <- Modified);
+    (match kind with
+    | Read ->
+      if proc = frame_owner && base = hw.miss_local then
+        c.stats.local_misses <- c.stats.local_misses + 1
+      else if base = hw.miss_remote then c.stats.remote_misses <- c.stats.remote_misses + 1
+      else if base = hw.miss_2party then c.stats.misses_2party <- c.stats.misses_2party + 1
+      else c.stats.misses_3party <- c.stats.misses_3party + 1
+    | Write ->
+      if base = hw.miss_local then c.stats.local_misses <- c.stats.local_misses + 1
+      else if base = hw.miss_remote then c.stats.remote_misses <- c.stats.remote_misses + 1
+      else if base = hw.miss_2party then c.stats.misses_2party <- c.stats.misses_2party + 1
+      else c.stats.misses_3party <- c.stats.misses_3party + 1);
+    if overflow then c.stats.software_extensions <- c.stats.software_extensions + 1;
+    cost
+  end
+
+let flush_page c ~vpn ~dirty =
+  let lines = Mgs_mem.Geom.lines_per_page c.geom in
+  let base_line = vpn * lines in
+  let present = ref 0 in
+  dirty := 0;
+  for l = base_line to base_line + lines - 1 do
+    match Hashtbl.find_opt c.dir l with
+    | None -> ()
+    | Some e ->
+      let any = e.owner >= 0 || not (Mgs_util.Bitset.is_empty e.sharers) in
+      if any then incr present;
+      if e.owner >= 0 then begin
+        incr dirty;
+        zap c ~proc:e.owner ~line:l
+      end;
+      Mgs_util.Bitset.iter (fun s -> zap c ~proc:s ~line:l) e.sharers;
+      Hashtbl.remove c.dir l
+  done;
+  !present
+
+let check_invariants c =
+  (* cache slots must be backed by directory entries *)
+  Array.iteri
+    (fun proc tags ->
+      Array.iteri
+        (fun slot line ->
+          if line >= 0 && c.states.(proc).(slot) <> Invalid then begin
+            match Hashtbl.find_opt c.dir line with
+            | None ->
+              failwith
+                (Printf.sprintf "proc %d caches line %d with no directory entry" proc line)
+            | Some e -> (
+              match c.states.(proc).(slot) with
+              | Modified ->
+                if e.owner <> proc then
+                  failwith (Printf.sprintf "proc %d Modified line %d but owner=%d" proc line e.owner)
+              | Shared ->
+                if not (Mgs_util.Bitset.mem e.sharers proc || e.owner = proc) then
+                  failwith (Printf.sprintf "proc %d Shared line %d not in sharers" proc line)
+              | Invalid -> ())
+          end)
+        tags)
+    c.tags;
+  (* no directory entry may record an owner who no longer caches it as
+     Modified... the owner may have been evicted, in which case the slot
+     is reused; we only require that a recorded owner does not cache the
+     line in Shared state *)
+  Hashtbl.iter
+    (fun line e ->
+      if e.owner >= 0 then begin
+        let slot = slot_of c line in
+        if c.tags.(e.owner).(slot) = line && c.states.(e.owner).(slot) = Shared then
+          failwith (Printf.sprintf "owner %d of line %d is only Shared" e.owner line)
+      end)
+    c.dir
+
+let stats c = c.stats
+
+let reset_stats c =
+  let s = c.stats in
+  s.hits <- 0;
+  s.local_misses <- 0;
+  s.remote_misses <- 0;
+  s.misses_2party <- 0;
+  s.misses_3party <- 0;
+  s.software_extensions <- 0

@@ -1,0 +1,1 @@
+lib/core/api.mli: Mgs_engine Mgs_machine Mgs_svm State

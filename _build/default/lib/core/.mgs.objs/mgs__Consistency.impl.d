@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Proto Proto_hlrc State

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Api Mgs_engine Mgs_machine Mgs_mem Report State

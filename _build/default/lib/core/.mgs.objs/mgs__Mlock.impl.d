@@ -1,0 +1,1 @@
+lib/core/mlock.ml: Mgs_engine Queue

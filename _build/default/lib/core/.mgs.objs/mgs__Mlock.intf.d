@@ -1,0 +1,1 @@
+lib/core/mlock.mli: Mgs_engine

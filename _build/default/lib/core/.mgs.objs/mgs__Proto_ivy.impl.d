@@ -1,0 +1,1 @@
+lib/core/proto_ivy.ml: Am Array Bitset Coherence Cpu Geom Hashtbl List Mgs_engine Mlock Option Pagedata Sim State Tlb Topology

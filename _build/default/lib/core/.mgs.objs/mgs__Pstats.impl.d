@@ -1,0 +1,1 @@
+lib/core/pstats.ml: Format

@@ -1,0 +1,1 @@
+lib/core/pstats.mli: Format

@@ -1,0 +1,1 @@
+lib/core/report.ml: Am Array Coherence Cpu Format Lan Pstats State Topology

@@ -1,0 +1,119 @@
+open State
+
+type ctx = {
+  m : State.t;
+  proc : int;
+  cpu : Mgs_machine.Cpu.t;
+  mutable ops : int;
+  yield_mask : int;
+}
+
+(* Fibers yield to the event queue every [1 lsl yield_log] shared
+   accesses, bounding the skew between a fiber's local clock and global
+   simulated time (protocol events interleave at yield points). *)
+let yield_log = 5
+
+let make_ctx m ~proc =
+  if proc < 0 || proc >= m.topo.Topology.nprocs then invalid_arg "Api.make_ctx: proc";
+  { m; proc; cpu = m.cpus.(proc); ops = 0; yield_mask = (1 lsl yield_log) - 1 }
+
+let proc ctx = ctx.proc
+
+let nprocs ctx = ctx.m.topo.Topology.nprocs
+
+let cluster ctx = ctx.m.topo.Topology.cluster
+
+let ssmp ctx = Topology.ssmp_of_proc ctx.m.topo ctx.proc
+
+let cycles ctx = ctx.cpu.Cpu.clock
+
+let compute ctx n = Cpu.advance ctx.cpu User n
+
+let idle_until ctx t =
+  Mgs_engine.Fiber.sleep_until ctx.m.sim t;
+  Cpu.catch_up_to ctx.cpu User (Sim.now ctx.m.sim)
+
+let release ctx =
+  match ctx.m.protocol with
+  | Protocol_mgs -> Proto.release_all ctx.m ~proc:ctx.proc
+  | Protocol_hlrc -> Proto_hlrc.release_all ctx.m ~proc:ctx.proc
+  | Protocol_ivy -> ()
+
+(* Single-SSMP (C = P) accesses bypass the software protocol entirely —
+   the paper's 32-processor runs substitute null MGS calls — paying only
+   translation, a one-time mapping fill, and hardware coherence. *)
+let access_single ctx ~write ~vpn ~addr =
+  let m = ctx.m in
+  let c = m.costs in
+  let se = get_sentry m vpn in
+  (match Tlb.lookup m.tlbs.(ctx.proc) ~vpn with
+  | Some _ -> ()
+  | None ->
+    Cpu.advance ctx.cpu User (c.svm.table_lookup + c.svm.tlb_write);
+    Tlb.fill m.tlbs.(ctx.proc) ~vpn ~mode:Tlb.Rw);
+  let frame_owner = local_idx m se.s_home_proc in
+  let kind = if write then Coherence.Write else Coherence.Read in
+  let stall = Coherence.access m.caches.(0) ~proc:ctx.proc ~addr ~frame_owner ~kind in
+  Cpu.advance ctx.cpu User stall;
+  se.s_master
+
+(* Multi-SSMP accesses: TLB hit or MGS fault, then hardware coherence
+   against the SSMP's copy. *)
+let access_multi ctx ~write ~vpn ~addr =
+  let m = ctx.m in
+  let s = Topology.ssmp_of_proc m.topo ctx.proc in
+  (match Tlb.lookup m.tlbs.(ctx.proc) ~vpn with
+  | Some Tlb.Rw -> ()
+  | Some Tlb.Ro when not write -> ()
+  | Some Tlb.Ro | None -> (
+    match m.protocol with
+    | Protocol_mgs -> Proto.fault m ~proc:ctx.proc ~vpn ~write
+    | Protocol_ivy -> Proto_ivy.fault m ~proc:ctx.proc ~vpn ~write
+    | Protocol_hlrc -> Proto_hlrc.fault m ~proc:ctx.proc ~vpn ~write));
+  let ce = get_centry m s vpn in
+  let data = match ce.cdata with Some d -> d | None -> assert false in
+  let kind = if write then Coherence.Write else Coherence.Read in
+  let lidx = local_idx m ctx.proc in
+  let stall = Coherence.access m.caches.(s) ~proc:lidx ~addr ~frame_owner:ce.frame_owner ~kind in
+  Cpu.advance ctx.cpu User stall;
+  data
+
+let access ctx ~write ~kind addr =
+  let m = ctx.m in
+  if addr < 0 || addr >= Allocator.words_allocated m.heap then
+    invalid_arg (Printf.sprintf "Api: address %d outside the shared heap" addr);
+  Cpu.sync_busy ctx.cpu;
+  ctx.ops <- ctx.ops + 1;
+  if ctx.ops land ctx.yield_mask = 0 then
+    Mgs_engine.Fiber.sleep_until m.sim ctx.cpu.Cpu.clock;
+  Cpu.advance ctx.cpu User (Mgs_svm.Translate.cost m.costs kind);
+  let vpn = Geom.vpn_of_addr m.geom addr in
+  let page =
+    if Topology.single_ssmp m.topo then access_single ctx ~write ~vpn ~addr
+    else access_multi ctx ~write ~vpn ~addr
+  in
+  (page, Geom.offset_of_addr m.geom addr)
+
+let read ctx ?(kind = Mgs_svm.Translate.Array) addr =
+  let page, off = access ctx ~write:false ~kind addr in
+  let v = page.(off) in
+  (match ctx.m.shadow with
+  | Some h ->
+    let expect = Option.value ~default:0.0 (Hashtbl.find_opt h addr) in
+    if Int64.bits_of_float v <> Int64.bits_of_float expect then
+      Printf.eprintf "SHADOW t=%d proc=%d addr=%d vpn=%d read=%.17g expect=%.17g
+%!"
+        (Sim.now ctx.m.sim) ctx.proc addr
+        (Geom.vpn_of_addr ctx.m.geom addr)
+        v expect
+  | None -> ());
+  v
+
+let write ctx ?(kind = Mgs_svm.Translate.Array) addr v =
+  let page, off = access ctx ~write:true ~kind addr in
+  (match ctx.m.shadow with Some h -> Hashtbl.replace h addr v | None -> ());
+  page.(off) <- v
+
+let read_int ctx ?kind addr = int_of_float (read ctx ?kind addr)
+
+let write_int ctx ?kind addr v = write ctx ?kind addr (float_of_int v)

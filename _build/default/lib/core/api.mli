@@ -1,0 +1,62 @@
+(** Application-facing shared-memory operations.
+
+    A [ctx] represents one simulated processor executing application
+    code inside a fiber.  [read]/[write] charge software address
+    translation, consult the processor's TLB (faulting into the MGS
+    Local Client on a miss), charge the hardware cache-coherence stall,
+    and then access the SSMP's copy of the page — so application data
+    really flows through page replication, twinning, diffing and
+    merging.
+
+    All functions must be called from the processor's own fiber. *)
+
+type ctx = private {
+  m : State.t;
+  proc : int;
+  cpu : Mgs_machine.Cpu.t;
+  mutable ops : int;
+  yield_mask : int;
+}
+
+val make_ctx : State.t -> proc:int -> ctx
+(** Create the context for processor [proc].  [Machine.run] does this
+    for each worker. *)
+
+val proc : ctx -> int
+(** This processor's id, [0 .. nprocs-1]. *)
+
+val nprocs : ctx -> int
+
+val cluster : ctx -> int
+(** C: processors per SSMP. *)
+
+val ssmp : ctx -> int
+(** The SSMP this processor belongs to. *)
+
+val read : ctx -> ?kind:Mgs_svm.Translate.kind -> int -> float
+(** [read ctx addr] loads the word at virtual address [addr].
+    [kind] selects the translation cost (default [Array]). *)
+
+val write : ctx -> ?kind:Mgs_svm.Translate.kind -> int -> float -> unit
+
+val read_int : ctx -> ?kind:Mgs_svm.Translate.kind -> int -> int
+(** Integer view of a word ([read] rounded; exact up to 2{^53}). *)
+
+val write_int : ctx -> ?kind:Mgs_svm.Translate.kind -> int -> int -> unit
+
+val cycles : ctx -> int
+(** This processor's current cycle count (the sum of all buckets) —
+    used by the micro benchmarks to bracket individual operations. *)
+
+val compute : ctx -> int -> unit
+(** [compute ctx n] models [n] cycles of private computation (no shared
+    accesses), charged to the User bucket. *)
+
+val idle_until : ctx -> Mgs_engine.Sim.time -> unit
+(** Spin (charged to User) until global simulated time [t] — used by
+    micro benchmarks to sequence steps across processors without shared
+    memory. *)
+
+val release : ctx -> unit
+(** Explicit release operation: flush this SSMP's delayed update queue
+    to the homes (what lock releases and barriers do implicitly). *)

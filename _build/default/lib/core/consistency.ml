@@ -1,0 +1,14 @@
+open State
+
+let at_release m ~proc ~notices =
+  match m.protocol with
+  | Protocol_mgs -> Proto.release_all m ~proc
+  | Protocol_hlrc ->
+    Proto_hlrc.release_all m ~proc;
+    Proto_hlrc.publish m ~proc ~into:notices
+  | Protocol_ivy -> ()
+
+let at_acquire m ~proc ~notices =
+  match m.protocol with
+  | Protocol_hlrc -> Proto_hlrc.apply_notices m ~proc notices
+  | Protocol_mgs | Protocol_ivy -> ()

@@ -1,0 +1,17 @@
+(** Protocol-independent hooks the synchronization library calls at
+    release and acquire points.
+
+    - MGS: a release flushes the delayed update queue eagerly (the
+      invalidation epochs make acquires free);
+    - HLRC: a release flushes diffs home and publishes write notices
+      into the synchronization object; an acquire applies the incoming
+      notices (lazy invalidation);
+    - Ivy: sequential consistency needs neither. *)
+
+val at_release : State.t -> proc:int -> notices:(int, int) Hashtbl.t -> unit
+(** Called before a lock is handed over / a barrier combine is sent.
+    Fiber context. *)
+
+val at_acquire : State.t -> proc:int -> notices:(int, int) Hashtbl.t -> unit
+(** Called after a lock is obtained / a barrier releases.  Fiber
+    context. *)

@@ -1,0 +1,166 @@
+open State
+
+type config = {
+  nprocs : int;
+  cluster : int;
+  page_words : int;
+  line_words : int;
+  costs : Costs.t;
+  event_limit : int;
+  features : State.features;
+  protocol : State.protocol;
+  shadow : bool;
+  tlb_entries : int option;
+}
+
+let config ?(page_words = 256) ?(line_words = 4) ?(costs = Costs.default) ?lan_latency
+    ?(event_limit = 500_000_000) ?(shadow = Sys.getenv_opt "MGS_SHADOW" = Some "1")
+    ?(features = State.default_features) ?(protocol = State.Protocol_mgs) ?tlb_entries
+    ~nprocs ~cluster () =
+  let costs =
+    match lan_latency with None -> costs | Some d -> Costs.with_lan_latency costs d
+  in
+  {
+    nprocs;
+    cluster;
+    page_words;
+    line_words;
+    costs;
+    event_limit;
+    features;
+    protocol;
+    shadow;
+    tlb_entries;
+  }
+
+type t = State.t
+
+let create cfg =
+  let sim = Sim.create () in
+  let geom = Geom.create ~page_words:cfg.page_words ~line_words:cfg.line_words () in
+  let topo = Topology.create ~nprocs:cfg.nprocs ~cluster:cfg.cluster in
+  let cpus = Array.init cfg.nprocs Cpu.create in
+  let caches =
+    Array.init topo.Topology.nssmps (fun _ ->
+        Coherence.create cfg.costs geom ~cluster:cfg.cluster)
+  in
+  let lan = Lan.create sim cfg.costs ~nssmps:topo.Topology.nssmps in
+  let am = Am.create sim cfg.costs topo ~lan ~cpus in
+  let clients =
+    Array.init topo.Topology.nssmps (fun s ->
+        { cl_id = s; cl_pages = Hashtbl.create 256; k_map = Hashtbl.create 256 })
+  in
+  let duqs =
+    Array.init cfg.nprocs (fun _ ->
+        { duq_set = Hashtbl.create 64; duq_q = Queue.create (); psync = Hashtbl.create 64 })
+  in
+  let m =
+    {
+      sim;
+      costs = cfg.costs;
+      features = cfg.features;
+      protocol = cfg.protocol;
+      geom;
+      topo;
+      heap = Allocator.create geom ~nprocs:cfg.nprocs;
+      cpus;
+      caches;
+      lan;
+      am;
+      clients;
+      duqs;
+      servers = Hashtbl.create 1024;
+      tlbs = Array.init cfg.nprocs (fun _ -> Tlb.create ?capacity:cfg.tlb_entries ());
+      pstats = Pstats.create ();
+      sync_counters = { lock_acquires = 0; lock_hits = 0; barrier_episodes = 0 };
+      rel_resume = Array.make cfg.nprocs None;
+      fibers = [];
+      event_limit = cfg.event_limit;
+      shadow = (if cfg.shadow then Some (Hashtbl.create 4096) else None);
+      shadow_errors = 0;
+    }
+  in
+  m
+
+let sim (m : t) = m.sim
+
+let shadow_mismatches (m : t) = m.shadow_errors
+let topo (m : t) = m.topo
+let costs (m : t) = m.costs
+let geom (m : t) = m.geom
+
+let alloc (m : t) ~words ~home = Allocator.alloc m.heap ~words ~home
+
+let check_addr (m : t) addr =
+  if addr < 0 || addr >= Allocator.words_allocated m.heap then
+    invalid_arg (Printf.sprintf "Machine: address %d outside the shared heap" addr)
+
+let poke (m : t) addr v =
+  check_addr m addr;
+  (match m.shadow with Some h -> Hashtbl.replace h addr v | None -> ());
+  let se = get_sentry m (Geom.vpn_of_addr m.geom addr) in
+  se.s_master.(Geom.offset_of_addr m.geom addr) <- v
+
+let peek (m : t) addr =
+  check_addr m addr;
+  let vpn = Geom.vpn_of_addr m.geom addr in
+  let se = get_sentry m vpn in
+  let off = Geom.offset_of_addr m.geom addr in
+  (* under the single-writer baseline the owner's copy supersedes the
+     master until it is written back *)
+  match (m.protocol, Bitset.choose se.s_write_dir) with
+  | Protocol_ivy, Some owner -> (
+    let ce = get_centry m owner vpn in
+    match ce.cdata with Some d -> d.(off) | None -> se.s_master.(off))
+  | _ -> se.s_master.(off)
+
+let run (m : t) body =
+  let limit = m.event_limit in
+  let fibers =
+    List.init m.topo.Topology.nprocs (fun p ->
+        Mgs_engine.Fiber.spawn m.sim ~at:0 ~name:(Printf.sprintf "proc%d" p) (fun () ->
+            let ctx = Api.make_ctx m ~proc:p in
+            body ctx;
+            Cpu.finish m.cpus.(p)))
+  in
+  m.fibers <- fibers;
+  ignore (Sim.run m.sim ~limit ());
+  Mgs_engine.Fiber.check_all_completed fibers;
+  Report.of_machine m
+
+let trace_messages (m : t) sink =
+  Am.set_recorder m.am
+    (Some
+       (fun time ~tag ~src ~dst ~words ->
+         sink (Printf.sprintf "%d %s %d %d %d" time tag src dst words)))
+
+let assert_quiescent (m : t) =
+  Array.iteri
+    (fun p d ->
+      if Hashtbl.length d.duq_set <> 0 then
+        failwith (Printf.sprintf "proc %d: delayed update queue not empty" p);
+      if Hashtbl.length d.psync <> 0 then
+        failwith (Printf.sprintf "proc %d: pending-sync set not empty" p))
+    m.duqs;
+  Array.iter
+    (fun cl ->
+      Hashtbl.iter
+        (fun vpn ce ->
+          if Mlock.held ce.mlock then
+            failwith (Printf.sprintf "SSMP %d page %d: mapping lock still held" cl.cl_id vpn);
+          if ce.pstate = P_busy then
+            failwith (Printf.sprintf "SSMP %d page %d: still BUSY" cl.cl_id vpn))
+        cl.cl_pages)
+    m.clients;
+  Hashtbl.iter
+    (fun vpn se ->
+      if se.s_state = S_rel then
+        failwith (Printf.sprintf "page %d: server still in REL_IN_PROG" vpn);
+      Bitset.iter
+        (fun ssmp ->
+          let ce = get_centry m ssmp vpn in
+          if ce.pstate <> P_read && ce.pstate <> P_write then
+            failwith
+              (Printf.sprintf "page %d: SSMP %d in a directory without a copy" vpn ssmp))
+        se.s_read_dir)
+    m.servers

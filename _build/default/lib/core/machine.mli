@@ -1,0 +1,87 @@
+(** Assembly of one simulated DSSMP running the MGS system.
+
+    Typical use:
+    {[
+      let cfg = Machine.config ~nprocs:32 ~cluster:8 () in
+      let m = Machine.create cfg in
+      let a = Machine.alloc m ~words:4096 ~home:Mgs_mem.Allocator.Blocked in
+      (* initialize shared data outside simulated time *)
+      for i = 0 to 4095 do Machine.poke m (a + i) 0.0 done;
+      let report = Machine.run m (fun ctx -> ... Api.read ctx (a + i) ...) in
+      Format.printf "%a@." Report.pp report
+    ]} *)
+
+type config = {
+  nprocs : int;  (** P: total processors *)
+  cluster : int;  (** C: processors per SSMP; must divide P *)
+  page_words : int;
+  line_words : int;
+  costs : Mgs_machine.Costs.t;
+  event_limit : int;  (** livelock guard for [run] *)
+  features : State.features;  (** protocol feature toggles (ablations) *)
+  protocol : State.protocol;  (** inter-SSMP protocol: MGS or the Ivy baseline *)
+  shadow : bool;
+      (** maintain a sequentially-consistent mirror and count reads that
+          diverge from it — a protocol-correctness oracle valid for
+          data-race-free programs *)
+  tlb_entries : int option;  (** finite TLB capacity (FIFO); unbounded if [None] *)
+}
+
+val config :
+  ?page_words:int ->
+  ?line_words:int ->
+  ?costs:Mgs_machine.Costs.t ->
+  ?lan_latency:int ->
+  ?event_limit:int ->
+  ?shadow:bool ->
+  ?features:State.features ->
+  ?protocol:State.protocol ->
+  ?tlb_entries:int ->
+  nprocs:int ->
+  cluster:int ->
+  unit ->
+  config
+(** Defaults: 1 KB pages (256 words), 16 B lines, {!Mgs_machine.Costs.default} with
+    its LAN latency overridden by [lan_latency] when given. *)
+
+type t = State.t
+
+val create : config -> t
+
+val sim : t -> Mgs_engine.Sim.t
+
+val shadow_mismatches : t -> int
+(** Number of reads that diverged from the shadow mirror (0 unless the
+    [shadow] oracle is on and the protocol lost data). *)
+
+val topo : t -> Mgs_machine.Topology.t
+val costs : t -> Mgs_machine.Costs.t
+val geom : t -> Mgs_mem.Geom.t
+
+val alloc : t -> words:int -> home:Mgs_mem.Allocator.home_policy -> int
+(** Reserve shared virtual memory (page-granular); returns the base
+    word address.  Call before [run]. *)
+
+val poke : t -> int -> float -> unit
+(** Direct write to the home copy, outside simulated time — for
+    initializing inputs before [run]. *)
+
+val peek : t -> int -> float
+(** Direct read of the home copy — for verifying outputs after [run]
+    (valid once the program has performed its final release/barrier). *)
+
+val run : t -> (Api.ctx -> unit) -> Report.t
+(** Spawn one fiber per processor executing the SPMD body, run the
+    simulation to completion, and summarize.
+    @raise Failure if any fiber deadlocks or the event limit trips. *)
+
+val trace_messages : t -> (string -> unit) -> unit
+(** Stream one line per delivered protocol message ("time tag src dst
+    words") into the sink, for offline analysis of the message flow.
+    Pass-through to {!Mgs_am.Am.set_recorder}; call before [run]. *)
+
+val assert_quiescent : t -> unit
+(** Check end-of-run protocol invariants: every delayed update queue is
+    empty, no mapping lock is held, and every server entry is out of
+    REL_IN_PROG with consistent directories.
+    @raise Failure describing the first violation. *)

@@ -1,0 +1,617 @@
+open State
+
+(* ------------------------------------------------------------------ *)
+(* Server engine: page replication (arcs 17-19, 22).                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Ship a copy of the master page to [requester], granting its SSMP
+   read or write privilege.  The receiver-side handler allocates the
+   frame (and the twin, for writes) and installs the page, then resumes
+   the faulting fiber, which still holds the mapping lock. *)
+let send_data m se ~requester ~write =
+  let c = m.costs in
+  let ssmp = Topology.ssmp_of_proc m.topo requester in
+  if write then begin
+    Bitset.add se.s_write_dir ssmp;
+    se.s_state <- S_write
+  end
+  else Bitset.add se.s_read_dir ssmp;
+  if not (Hashtbl.mem se.s_frame_procs ssmp) then Hashtbl.replace se.s_frame_procs ssmp requester;
+  trace m se.s_vpn "send_data -> proc %d (ssmp %d) write=%b rd=%s wr=%s" requester ssmp write
+    (Format.asprintf "%a" Bitset.pp se.s_read_dir)
+    (Format.asprintf "%a" Bitset.pp se.s_write_dir);
+  let payload = Pagedata.copy se.s_master in
+  let install_cost =
+    c.proto.frame_alloc
+    + if write then c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word) else 0
+  in
+  let tag = if write then "WDAT" else "RDAT" in
+  Am.post m.am ~tag ~src:se.s_home_proc ~dst:requester ~words:m.geom.Geom.page_words
+    ~cost:install_cost (fun _t ->
+      let ce = get_centry m ssmp se.s_vpn in
+      assert (ce.pstate = P_busy);
+      assert (Mlock.held ce.mlock);
+      ce.cdata <- Some payload;
+      ce.ctwin <- (if write then Some (Pagedata.copy payload) else None);
+      ce.frame_owner <- local_idx m requester;
+      ce.pstate <- (if write then P_write else P_read);
+      ce.c_dirty <- false;
+      Bitset.clear ce.tlb_dir;
+      match ce.fetch_resume with
+      | Some resume ->
+        ce.fetch_resume <- None;
+        resume ()
+      | None -> assert false)
+
+(* RREQ / WREQ arrival at the home (arcs 17-19; queued by arc 22 during
+   a release). *)
+let server_req m ~vpn ~requester ~write =
+  let se = get_sentry m vpn in
+  match se.s_state with
+  | S_rel ->
+    if write then se.s_pend_wr <- requester :: se.s_pend_wr
+    else se.s_pend_rd <- requester :: se.s_pend_rd
+  | S_read | S_write -> send_data m se ~requester ~write
+
+(* WNOTIFY arrival (arc 18): an SSMP upgraded its read copy in place.
+   During REL_IN_PROG the notification is stale by construction — the
+   in-flight INV will collect the SSMP's writes as a DIFF — so it is
+   dropped. *)
+let server_wnotify m ~vpn ~ssmp =
+  let se = get_sentry m vpn in
+  trace m vpn "WNOTIFY from ssmp %d (state rel=%b)" ssmp (se.s_state = S_rel);
+  match se.s_state with
+  | S_rel -> ()
+  | S_read | S_write ->
+    if Bitset.mem se.s_read_dir ssmp then begin
+      Bitset.remove se.s_read_dir ssmp;
+      Bitset.add se.s_write_dir ssmp;
+      se.s_state <- S_write
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Release completion at the server (arc 23).                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec complete_release m se =
+  trace m se.s_vpn "complete_release: retained=%d pending_diffs=%d page=%b"
+    se.s_retained (List.length se.s_pending_diffs) (se.s_pending_page <> None);
+  (* Merge buffered write-backs: the retained writer's full page first,
+     then every diff (diffs carry exactly the words their writers
+     modified this epoch, so they must win over the full page). *)
+  (match se.s_pending_page with
+  | Some p -> Pagedata.blit ~src:p ~dst:se.s_master
+  | None -> ());
+  let had_diffs = se.s_pending_diffs <> [] in
+  List.iter (fun d -> Pagedata.apply_diff se.s_master d) (List.rev se.s_pending_diffs);
+  se.s_pending_page <- None;
+  se.s_pending_diffs <- [];
+  if had_diffs && se.s_retained >= 0 then begin
+    (* A concurrent upgrader (WNOTIFY racing the REL) also wrote this
+       page, so the "single" writer's retained copy misses the merged
+       diff words.  Recall it with a plain invalidation and finish the
+       release when its reply arrives. *)
+    let ssmp = se.s_retained in
+    se.s_retained <- -1;
+    se.s_count <- 1;
+    m.pstats.invals <- m.pstats.invals + 1;
+    let dst = Hashtbl.find se.s_frame_procs ssmp in
+    Am.post m.am ~tag:"INV" ~src:se.s_home_proc ~dst ~words:0 ~cost:0 (fun _t ->
+        client_inv m ~ssmp ~vpn:se.s_vpn ~single:false)
+  end
+  else begin
+  Bitset.clear se.s_read_dir;
+  Bitset.clear se.s_write_dir;
+  (* The single-writer optimization lets one SSMP keep its read-write
+     copy across the release; the server must keep it in the write
+     directory so a later release by anyone recalls that copy.  (The
+     paper's Table 1 shows the directories cleared outright, but the
+     retained copy of arc 16/tt=3 is only coherent if its membership
+     survives — we keep it.) *)
+  if se.s_retained >= 0 then Bitset.add se.s_write_dir se.s_retained;
+  se.s_retained <- -1;
+  se.s_state <- (if Bitset.is_empty se.s_write_dir then S_read else S_write);
+  let racks = se.s_pend_rl and rd = se.s_pend_rd and wr = se.s_pend_wr in
+  se.s_pend_rl <- [];
+  se.s_pend_rd <- [];
+  se.s_pend_wr <- [];
+  List.iter (send_rack m se) (List.rev racks);
+  List.iter (fun r -> send_data m se ~requester:r ~write:false) (List.rev rd);
+  List.iter (fun r -> send_data m se ~requester:r ~write:true) (List.rev wr);
+  (* Deferred RELs: all their writes precede this point, so one batched
+     follow-up epoch covers every one of them.  Releasers whose SSMP no
+     longer holds a copy were fully merged by the epoch that just
+     completed and can be acknowledged outright. *)
+  (match se.s_pend_rel_next with
+  | [] -> ()
+  | rels ->
+    se.s_pend_rel_next <- [];
+    let covered, pending =
+      List.partition
+        (fun r ->
+          let rs = Topology.ssmp_of_proc m.topo r in
+          not (Bitset.mem se.s_read_dir rs || Bitset.mem se.s_write_dir rs))
+        rels
+    in
+    List.iter (send_rack m se) covered;
+    if pending <> [] then start_epoch m se ~releasers:(List.rev pending))
+  end
+
+and send_rack m se proc =
+  Am.post m.am ~tag:"RACK" ~src:se.s_home_proc ~dst:proc ~words:0 ~cost:0 (fun _t ->
+      match m.rel_resume.(proc) with
+      | Some resume ->
+        m.rel_resume.(proc) <- None;
+        resume ()
+      | None -> assert false)
+
+(* Begin an invalidation epoch on behalf of [releasers] (arcs 20-21). *)
+and start_epoch m se ~releasers =
+  assert (se.s_state <> S_rel);
+  let targets =
+    let u = Bitset.copy se.s_read_dir in
+    Bitset.union_into u se.s_write_dir;
+    Bitset.elements u
+  in
+  let single =
+    m.features.single_writer_opt
+    && se.s_state = S_write
+    && Bitset.cardinal se.s_write_dir = 1
+  in
+  se.s_state <- S_rel;
+  se.s_count <- List.length targets;
+  se.s_retained <- -1;
+  se.s_pend_rl <- releasers;
+  se.s_pend_rd <- [];
+  se.s_pend_wr <- [];
+  if targets = [] then complete_release m se
+  else
+    List.iter
+      (fun ssmp ->
+        let sw = single && Bitset.mem se.s_write_dir ssmp in
+        if sw then m.pstats.one_winvals <- m.pstats.one_winvals + 1
+        else m.pstats.invals <- m.pstats.invals + 1;
+        let dst = Hashtbl.find se.s_frame_procs ssmp in
+        Am.post m.am
+          ~tag:(if sw then "1WINV" else "INV")
+          ~src:se.s_home_proc ~dst ~words:0 ~cost:0
+          (fun _t -> client_inv m ~ssmp ~vpn:se.s_vpn ~single:sw))
+      targets
+
+(* ACK / DIFF / 1WDATA arrival at the home (arcs 22-23). *)
+and server_collect m ~vpn ~ssmp ~payload =
+  let se = get_sentry m vpn in
+  trace m vpn "collect from ssmp %d: %s (count %d -> %d)" ssmp
+    (match payload with
+    | `Ack -> "ACK"
+    | `Diff d -> Printf.sprintf "DIFF(%d)" (List.length d)
+    | `Page _ -> "PAGE"
+    | `Clean -> "1WCLEAN")
+    se.s_count (se.s_count - 1);
+  assert (se.s_state = S_rel);
+  (match payload with
+  | `Ack ->
+    m.pstats.acks <- m.pstats.acks + 1;
+    Hashtbl.remove se.s_frame_procs ssmp
+  | `Diff d ->
+    se.s_pending_diffs <- d :: se.s_pending_diffs;
+    Hashtbl.remove se.s_frame_procs ssmp
+  | `Page p ->
+    assert (se.s_pending_page = None);
+    se.s_pending_page <- Some p;
+    se.s_retained <- ssmp
+  | `Clean -> se.s_retained <- ssmp);
+  se.s_count <- se.s_count - 1;
+  assert (se.s_count >= 0);
+  if se.s_count = 0 then complete_release m se
+
+(* ------------------------------------------------------------------ *)
+(* Remote Client engine: invalidation and write-back (arcs 14-16).     *)
+(* ------------------------------------------------------------------ *)
+
+(* All PINV_ACKs are in: clean up the frame and answer the server.
+   Runs with the mapping lock held; releases it. *)
+and finish_inv m ~ssmp ~vpn =
+  let c = m.costs in
+  let ce = get_centry m ssmp vpn in
+  let se = get_sentry m vpn in
+  let rc = global_proc m ssmp ce.frame_owner in
+  let home = se.s_home_proc in
+  let dirty = ref 0 in
+  (* Page cleaning also scrubs the cache model's metadata so a future
+     refetch of this virtual page cannot see stale tags. *)
+  ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
+  Bitset.clear ce.tlb_dir;
+  let was_dirty = ce.c_dirty in
+  ce.c_dirty <- false;
+  match ce.inv_tt with
+  | 2 when not was_dirty ->
+    (* Write copy, but the dirty bit is clear: nothing changed since the
+       last twin sync, so free the page and acknowledge without paying
+       for a diff. *)
+    ce.cdata <- None;
+    ce.ctwin <- None;
+    ce.pstate <- P_inv;
+    Mlock.release m.sim ce.mlock;
+    Am.post m.am ~tag:"ACK" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
+        server_collect m ~vpn ~ssmp ~payload:`Ack)
+  | 3 when not was_dirty ->
+    (* Retained copy already in sync with the home: a cheap 1WCLEAN
+       keeps the retention without resending the page. *)
+    m.pstats.one_wclean <- m.pstats.one_wclean + 1;
+    Mlock.release m.sim ce.mlock;
+    Am.post m.am ~tag:"1WCLEAN" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
+        server_collect m ~vpn ~ssmp ~payload:`Clean)
+  | 1 ->
+    (* Read copy: free the page and acknowledge.  With the early-ack
+       optimization (paper section 4.2.4) the ACK leaves before the
+       cleaning work completes — read-only data has no coherence issue,
+       so the cleaning only needs to finish before the frame is reused,
+       which the mapping lock guarantees. *)
+    ce.cdata <- None;
+    ce.ctwin <- None;
+    ce.pstate <- P_inv;
+    if m.features.early_read_ack then begin
+      Am.post m.am ~tag:"ACK" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
+          server_collect m ~vpn ~ssmp ~payload:`Ack);
+      (* the cleaning runs after the ACK, holding only the mapping *)
+      let clean = Geom.lines_per_page m.geom * c.proto.clean_per_line in
+      Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
+          Mlock.release m.sim ce.mlock)
+    end
+    else begin
+      Mlock.release m.sim ce.mlock;
+      Am.post m.am ~tag:"ACK" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
+          server_collect m ~vpn ~ssmp ~payload:`Ack)
+    end
+  | 2 ->
+    (* Write copy: diff against the twin, free the page, send the diff. *)
+    let data = Option.get ce.cdata and twin = Option.get ce.ctwin in
+    let d = Pagedata.diff data ~twin in
+    let nd = Pagedata.diff_size d in
+    m.pstats.diffs <- m.pstats.diffs + 1;
+    m.pstats.diff_words <- m.pstats.diff_words + nd;
+    let diff_cost =
+      (m.geom.Geom.page_words * c.proto.diff_per_word) + (nd * c.proto.diff_word_out)
+    in
+    ce.cdata <- None;
+    ce.ctwin <- None;
+    ce.pstate <- P_inv;
+    Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:diff_cost (fun _t ->
+        Mlock.release m.sim ce.mlock;
+        Am.post m.am ~tag:"DIFF" ~src:rc ~dst:home ~words:(2 * nd)
+          ~cost:(nd * c.proto.merge_per_word) (fun _t ->
+            server_collect m ~vpn ~ssmp ~payload:(`Diff d)))
+  | 3 ->
+    (* Single-writer optimization: ship the whole page home, keep the
+       copy cached with a fresh twin. *)
+    let data = Option.get ce.cdata in
+    let snapshot = Pagedata.copy data in
+    (match ce.ctwin with
+    | Some t -> Pagedata.blit ~src:data ~dst:t
+    | None -> assert false);
+    m.pstats.one_wdata <- m.pstats.one_wdata + 1;
+    let retwin_cost = m.geom.Geom.page_words * c.proto.twin_per_word in
+    Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:retwin_cost (fun _t ->
+        Mlock.release m.sim ce.mlock;
+        Am.post m.am ~tag:"1WDATA" ~src:rc ~dst:home ~words:m.geom.Geom.page_words
+          ~cost:(m.geom.Geom.page_words * c.proto.copy_per_word) (fun _t ->
+            server_collect m ~vpn ~ssmp ~payload:(`Page snapshot)))
+  | _ -> assert false
+
+(* INV / 1WINV arrival at an SSMP (arc 14): under the mapping lock,
+   clean the page, interrupt every mapping processor with PINV, and
+   finish when the last PINV_ACK returns (arcs 15-16). *)
+and client_inv m ~ssmp ~vpn ~single =
+  let c = m.costs in
+  let ce = get_centry m ssmp vpn in
+  trace m vpn "client_inv ssmp %d single=%b (lock held=%b)" ssmp single (Mlock.held ce.mlock);
+  Mlock.acquire_k m.sim ce.mlock (fun () ->
+      trace m vpn "client_inv ssmp %d RUNNING pstate=%s" ssmp
+        (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
+      match ce.pstate with
+      | P_inv ->
+        (* The copy is already gone (stale INV); just acknowledge. *)
+        let se = get_sentry m vpn in
+        let src = global_proc m ssmp 0 in
+        Mlock.release m.sim ce.mlock;
+        Am.post m.am ~tag:"ACK" ~src ~dst:se.s_home_proc ~words:0 ~cost:0 (fun _t ->
+            server_collect m ~vpn ~ssmp ~payload:`Ack)
+      | P_busy -> assert false (* a BUSY SSMP is never in the directories *)
+      | P_read | P_write ->
+        (* Table 1 arc 12 drops the page from the DUQ here, since the
+           in-flight invalidation will carry the SSMP's writes home.
+           We deliberately keep the entry: a local writer's release must
+           not complete before those writes are merged, and its REL —
+           arriving while the epoch is in REL_IN_PROG — is exactly what
+           blocks it until then (it gets RACKed at completion).  A REL
+           for an epoch that already completed finds empty directories
+           and acknowledges immediately, so the cost is one message. *)
+        let rc = global_proc m ssmp ce.frame_owner in
+        let was_write = ce.pstate = P_write in
+        ce.inv_tt <- (if single then 3 else if was_write then 2 else 1);
+        (* Cleaning cost: read invalidations and 1WINV clean the page up
+           front (arc 14); write invalidations pay the diff instead.
+           With the early-ack optimization the read-copy cleaning moves
+           off the critical path (it runs after the ACK, in finish_inv). *)
+        let clean_cost =
+          if single || ((not was_write) && not m.features.early_read_ack) then
+            Geom.lines_per_page m.geom * c.proto.clean_per_line
+          else 0
+        in
+        Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean_cost (fun _t ->
+            let targets = Bitset.elements ce.tlb_dir in
+            ce.inv_count <- List.length targets;
+            if targets = [] then finish_inv m ~ssmp ~vpn
+            else
+              List.iter
+                (fun lidx ->
+                  let p = global_proc m ssmp lidx in
+                  m.pstats.pinvs <- m.pstats.pinvs + 1;
+                  Am.post m.am ~tag:"PINV" ~src:rc ~dst:p ~words:0 ~cost:c.proto.tlb_inv
+                    (fun _t ->
+                      Tlb.invalidate m.tlbs.(p) ~vpn;
+                      (* Arc 12: this epoch collects the page's writes,
+                         so drop the DUQ entry — but remember that the
+                         processor's next release must await the
+                         epoch's completion. *)
+                      let d = m.duqs.(p) in
+                      if Hashtbl.mem d.duq_set vpn then begin
+                        Hashtbl.remove d.duq_set vpn;
+                        Hashtbl.replace d.psync vpn ()
+                      end;
+                      Am.post m.am ~tag:"PINV_ACK" ~src:p ~dst:rc ~words:0 ~cost:0
+                        (fun _t ->
+                          ce.inv_count <- ce.inv_count - 1;
+                          if ce.inv_count = 0 then finish_inv m ~ssmp ~vpn)))
+                targets))
+
+(* SYNC arrival: the releaser only needs the epoch that collected its
+   writes to be complete.  If one is in flight, ride its RACK list
+   (safe here: the writes predate the epoch's TLB quiesce); otherwise
+   everything is already merged. *)
+and server_sync m ~vpn ~releaser =
+  let se = get_sentry m vpn in
+  match se.s_state with
+  | S_rel -> se.s_pend_rl <- releaser :: se.s_pend_rl
+  | S_read | S_write -> send_rack m se releaser
+
+(* REL arrival at the home (arcs 20-22). *)
+and server_rel m ~vpn ~releaser =
+  let se = get_sentry m vpn in
+  trace m vpn "REL from proc %d: state=%s rd=%s wr=%s" releaser
+    (match se.s_state with S_rel -> "REL_IN_PROG" | S_read -> "READ" | S_write -> "WRITE")
+    (Format.asprintf "%a" Bitset.pp se.s_read_dir)
+    (Format.asprintf "%a" Bitset.pp se.s_write_dir);
+  match se.s_state with
+  | S_rel ->
+    (* Joining the current epoch's RACK list would be unsound: writes
+       performed after this epoch's snapshots (possible with a retained
+       copy) would appear released before they are merged.  Reprocess
+       the REL once the epoch completes. *)
+    se.s_pend_rel_next <- releaser :: se.s_pend_rel_next
+  | (S_read | S_write)
+    when
+      (let rs = Topology.ssmp_of_proc m.topo releaser in
+       not (Bitset.mem se.s_read_dir rs || Bitset.mem se.s_write_dir rs)) ->
+    (* The releaser's SSMP holds no copy: its writes were collected by
+       an earlier invalidation whose epoch has already completed, so
+       the release is already globally visible — acknowledge without
+       invalidating anyone. *)
+    Am.post m.am ~tag:"RACK" ~src:se.s_home_proc ~dst:releaser ~words:0 ~cost:0 (fun _t ->
+        match m.rel_resume.(releaser) with
+        | Some resume ->
+          m.rel_resume.(releaser) <- None;
+          resume ()
+        | None -> assert false)
+  | S_read | S_write ->
+    let targets =
+      let u = Bitset.copy se.s_read_dir in
+      Bitset.union_into u se.s_write_dir;
+      Bitset.elements u
+    in
+    let single =
+    m.features.single_writer_opt
+    && se.s_state = S_write
+    && Bitset.cardinal se.s_write_dir = 1
+  in
+    se.s_state <- S_rel;
+    se.s_count <- List.length targets;
+    se.s_retained <- -1;
+    se.s_pend_rl <- [ releaser ];
+    se.s_pend_rd <- [];
+    se.s_pend_wr <- [];
+    if targets = [] then complete_release m se
+    else
+      List.iter
+        (fun ssmp ->
+          let sw = single && Bitset.mem se.s_write_dir ssmp in
+          if sw then m.pstats.one_winvals <- m.pstats.one_winvals + 1
+          else m.pstats.invals <- m.pstats.invals + 1;
+          let dst = Hashtbl.find se.s_frame_procs ssmp in
+          Am.post m.am
+            ~tag:(if sw then "1WINV" else "INV")
+            ~src:se.s_home_proc ~dst ~words:0 ~cost:0
+            (fun _t -> client_inv m ~ssmp ~vpn ~single:sw))
+        targets
+
+(* ------------------------------------------------------------------ *)
+(* Local Client engine: the fiber-side fault path (arcs 1-7).          *)
+(* ------------------------------------------------------------------ *)
+
+let fault m ~proc ~vpn ~write =
+  let c = m.costs in
+  let cpu = m.cpus.(proc) in
+  let ssmp = Topology.ssmp_of_proc m.topo proc in
+  let duq = m.duqs.(proc) in
+  let ce = get_centry m ssmp vpn in
+  let lidx = local_idx m proc in
+  Cpu.advance cpu Mgs c.svm.fault_entry;
+  if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+  Cpu.advance cpu Mgs (c.svm.map_lock + c.svm.table_lookup);
+  let fill ~rw ~to_duq =
+    Bitset.add ce.tlb_dir lidx;
+    Tlb.fill m.tlbs.(proc) ~vpn ~mode:(if rw then Tlb.Rw else Tlb.Ro);
+    Cpu.advance cpu Mgs c.svm.tlb_write;
+    if to_duq then begin
+      Cpu.advance cpu Mgs c.proto.duq_op;
+      duq_add duq vpn;
+      ce.c_dirty <- true
+    end;
+    Mlock.release m.sim ce.mlock
+  in
+  trace m vpn "fault proc %d write=%b pstate=%s" proc write
+    (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
+  match (ce.pstate, write) with
+  | P_read, false ->
+    (* Arc 1: fill from the existing local read copy. *)
+    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    fill ~rw:false ~to_duq:false
+  | P_write, _ ->
+    (* Arcs 1, 3, 4: local copy has write privilege. *)
+    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    fill ~rw:write ~to_duq:write
+  | P_read, true ->
+    (* Arc 2: upgrade through the Remote Client (arc 13), then arc 7. *)
+    m.pstats.upgrades <- m.pstats.upgrades + 1;
+    Bitset.add ce.tlb_dir lidx;
+    Tlb.fill m.tlbs.(proc) ~vpn ~mode:Tlb.Rw;
+    Cpu.advance cpu Mgs (c.svm.tlb_write + c.proto.msg_send);
+    let rc = global_proc m ssmp ce.frame_owner in
+    let twin_cost = c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word) in
+    Am.post m.am ~tag:"UPGRADE" ~src:proc ~dst:rc ~words:0 ~cost:twin_cost (fun _t ->
+        (match ce.cdata with
+        | Some d -> ce.ctwin <- Some (Pagedata.copy d)
+        | None -> assert false);
+        ce.pstate <- P_write;
+        let home = home_proc_of_vpn m vpn in
+        Am.post m.am ~tag:"WNOTIFY" ~src:rc ~dst:home ~words:0 ~cost:c.proto.server_op
+          (fun _t -> server_wnotify m ~vpn ~ssmp);
+        Am.post m.am ~tag:"UP_ACK" ~src:rc ~dst:proc ~words:0 ~cost:0 (fun _t ->
+            match ce.fetch_resume with
+            | Some resume ->
+              ce.fetch_resume <- None;
+              resume ()
+            | None -> assert false));
+    let t0 = cpu.Cpu.clock in
+    Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    m.pstats.upgrade_wait <- m.pstats.upgrade_wait + (cpu.Cpu.clock - t0);
+    Cpu.advance cpu Mgs c.proto.duq_op;
+    duq_add duq vpn;
+    ce.c_dirty <- true;
+    Mlock.release m.sim ce.mlock
+  | P_inv, _ ->
+    (* Arc 5: fetch from the home server; BUSY with the lock held. *)
+    if write then m.pstats.write_fetches <- m.pstats.write_fetches + 1
+    else m.pstats.read_fetches <- m.pstats.read_fetches + 1;
+    ce.pstate <- P_busy;
+    Cpu.advance cpu Mgs c.proto.msg_send;
+    let home = home_proc_of_vpn m vpn in
+    Am.post m.am
+      ~tag:(if write then "WREQ" else "RREQ")
+      ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
+      (fun _t -> server_req m ~vpn ~requester:proc ~write);
+    let t0 = cpu.Cpu.clock in
+    Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
+    (* Arc 6/7: the install handler set the page state; finish locally. *)
+    fill ~rw:write ~to_duq:write
+  | P_busy, _ ->
+    (* The mapping lock is held throughout BUSY, so no second fiber can
+       observe it. *)
+    assert false
+
+(* ------------------------------------------------------------------ *)
+(* Release operation, client side (arcs 8-10).                         *)
+(* ------------------------------------------------------------------ *)
+
+let release_all m ~proc =
+  (* a no-op under sequential consistency: there is nothing delayed *)
+  if m.protocol = Protocol_mgs && not (Topology.single_ssmp m.topo) then begin
+    let c = m.costs in
+    let cpu = m.cpus.(proc) in
+    let duq = m.duqs.(proc) in
+    Cpu.sync_busy cpu;
+    if not (duq_is_empty duq && Hashtbl.length duq.psync = 0) then begin
+      m.pstats.release_ops <- m.pstats.release_ops + 1;
+      let take_sync () =
+        let pick = Hashtbl.fold (fun vpn () _ -> Some vpn) duq.psync None in
+        match pick with
+        | Some vpn ->
+          Hashtbl.remove duq.psync vpn;
+          if Hashtbl.mem duq.duq_set vpn then None (* the REL below covers it *)
+          else Some vpn
+        | None -> None
+      in
+      let rec sync () =
+        if Hashtbl.length duq.psync > 0 then begin
+          (match take_sync () with
+          | None -> ()
+          | Some vpn ->
+            m.pstats.syncs <- m.pstats.syncs + 1;
+            Cpu.advance cpu Mgs (c.proto.duq_op + c.proto.msg_send);
+            let home = home_proc_of_vpn m vpn in
+            Am.post m.am ~tag:"SYNC" ~src:proc ~dst:home ~words:0 ~cost:c.proto.duq_op
+              (fun _t -> server_sync m ~vpn ~releaser:proc);
+            let t0 = cpu.Cpu.clock in
+            Mgs_engine.Fiber.suspend (fun resume ->
+                assert (m.rel_resume.(proc) = None);
+                m.rel_resume.(proc) <- Some resume);
+            Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+            m.pstats.sync_wait <- m.pstats.sync_wait + (cpu.Cpu.clock - t0));
+          sync ()
+        end
+      in
+      let send_rel vpn =
+        m.pstats.releases <- m.pstats.releases + 1;
+        Cpu.advance cpu Mgs (c.proto.duq_op + c.proto.msg_send);
+        let home = home_proc_of_vpn m vpn in
+        Am.post m.am ~tag:"REL" ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
+          (fun _t -> server_rel m ~vpn ~releaser:proc)
+      in
+      let await_rack () =
+        Mgs_engine.Fiber.suspend (fun resume ->
+            assert (m.rel_resume.(proc) = None);
+            m.rel_resume.(proc) <- Some resume)
+      in
+      if m.features.pipelined_release then begin
+        (* optimization over Table 1 arcs 8-10: every REL is sent before
+           the first RACK is awaited, overlapping independent pages'
+           invalidation epochs *)
+        let rec send_all acc =
+          match duq_pop duq with
+          | None -> acc
+          | Some vpn ->
+            send_rel vpn;
+            send_all (acc + 1)
+        in
+        let outstanding = send_all 0 in
+        let t0 = cpu.Cpu.clock in
+        for _ = 1 to outstanding do
+          await_rack ()
+        done;
+        Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+        m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
+        sync ()
+      end
+      else begin
+        (* Table 1 semantics: one REL outstanding at a time *)
+        let rec flush () =
+          match duq_pop duq with
+          | None -> sync ()
+          | Some vpn ->
+            send_rel vpn;
+            let t0 = cpu.Cpu.clock in
+            await_rack ();
+            Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+            m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
+            flush ()
+        in
+        flush ()
+      end
+    end
+  end
+
+let duq_pending m ~proc = Hashtbl.length m.duqs.(proc).duq_set

@@ -1,0 +1,39 @@
+(** The MGS multigrain shared-memory protocol (paper section 3, Figure 4,
+    Tables 1-2).
+
+    Three engines cooperate:
+
+    - the {b Local Client} handles TLB faults on the faulting processor:
+      it fills mappings from an existing local copy (charging the TLB
+      fill cost), upgrades read pages to write privilege through the
+      Remote Client, or fetches pages from the home Server (RREQ/WREQ,
+      entering the BUSY state with the per-mapping lock held);
+    - the {b Remote Client} runs on the processor owning an SSMP's copy:
+      it performs page upgrades (twinning) and page invalidations —
+      cleaning the page out of the SSMP's caches, interrupting every
+      mapping processor with PINV, and answering the server with ACK,
+      DIFF, or 1WDATA according to the copy's privilege and the
+      single-writer optimization;
+    - the {b Server} runs on the home processor: it replicates pages
+      (RDAT/WDAT), tracks read/write directories per SSMP, and executes
+      eager release operations (REL -> INV/1WINV fan-out ->
+      diff merging -> RACK), queueing requests that arrive while a
+      release is in progress.
+
+    [fault] and [release_all] are fiber-side entry points; everything
+    else runs inside active-message handlers. *)
+
+val fault : State.t -> proc:int -> vpn:int -> write:bool -> unit
+(** Handle a TLB fault by processor [proc] on page [vpn].  Must be
+    called from fiber context; returns once the processor holds a TLB
+    mapping of the required mode and the SSMP holds a suitable copy.
+    All time is charged to the MGS bucket of [proc]. *)
+
+val release_all : State.t -> proc:int -> unit
+(** Perform a release operation for processor [proc]: flush the SSMP's
+    delayed update queue, sending one REL per dirty page and waiting for
+    each RACK (Table 1 arcs 8-10).  No-op on a single-SSMP machine.
+    Must be called from fiber context. *)
+
+val duq_pending : State.t -> proc:int -> int
+(** Number of dirty pages currently queued in [proc]'s SSMP. *)

@@ -1,0 +1,261 @@
+open State
+
+(* --- home side ------------------------------------------------------- *)
+
+(* Merging a diff bumps the page version; both the previous and the new
+   version are returned: the flusher's copy is complete with respect to
+   the new version only if no foreign merge intervened since its fetch
+   (i.e. the previous version is exactly the one its copy reflects). *)
+let home_merge m ~vpn ~diff =
+  let se = get_sentry m vpn in
+  Pagedata.apply_diff se.s_master diff;
+  let prev = se.s_version in
+  se.s_version <- se.s_version + 1;
+  m.pstats.diffs <- m.pstats.diffs + 1;
+  m.pstats.diff_words <- m.pstats.diff_words + Pagedata.diff_size diff;
+  (prev, se.s_version)
+
+(* --- diff flushing ----------------------------------------------------- *)
+
+(* Flush one page's accumulated writes to its home and wait for the
+   version acknowledgement.  The mapping lock is held across the whole
+   round trip: a sibling releasing the same page parks here and
+   completes only once these writes are globally visible, preserving
+   release ordering without any invalidation epoch. *)
+let flush_locked m ~proc ~vpn k =
+  let c = m.costs in
+  let ssmp = Topology.ssmp_of_proc m.topo proc in
+  let cl = client m ssmp in
+  let ce = get_centry m ssmp vpn in
+  if ce.pstate <> P_write || not ce.c_dirty then k ()
+  else begin
+    let data = Option.get ce.cdata and twin = Option.get ce.ctwin in
+    let d = Pagedata.diff data ~twin in
+    Pagedata.blit ~src:data ~dst:twin;
+    ce.c_dirty <- false;
+    (* re-protect the page (as TreadMarks-family systems do): shoot down
+       the local TLB mappings so any further sibling write refaults and
+       re-logs the page — otherwise writes through surviving Rw entries
+       would never be flushed again *)
+    let mappers = Bitset.elements ce.tlb_dir in
+    List.iter (fun l -> Tlb.invalidate m.tlbs.(global_proc m ssmp l) ~vpn) mappers;
+    Bitset.clear ce.tlb_dir;
+    let nd = Pagedata.diff_size d in
+    let cpu = m.cpus.(proc) in
+    Cpu.advance cpu Mgs
+      ((m.geom.Geom.page_words * c.proto.diff_per_word)
+      + (nd * c.proto.diff_word_out)
+      + (c.proto.tlb_inv * max 1 (List.length mappers))
+      + c.proto.msg_send);
+    m.pstats.releases <- m.pstats.releases + 1;
+    let home = home_proc_of_vpn m vpn in
+    trace m vpn "flush by proc %d: %d words" proc nd;
+    Am.post m.am ~tag:"HLRC_DIFF" ~src:proc ~dst:home ~words:(2 * nd)
+      ~cost:(c.proto.server_op + (nd * c.proto.merge_per_word))
+      (fun _t ->
+        let prev, v = home_merge m ~vpn ~diff:d in
+        Am.post m.am ~tag:"HLRC_VACK" ~src:home ~dst:proc ~words:0 ~cost:0 (fun _t ->
+            (* our copy now reflects version [v] only if it already
+               reflected [prev] — a foreign merge in between means our
+               copy misses those words and must stay marked stale *)
+            trace m vpn "vack proc %d: prev=%d v=%d c_version=%d" proc prev v ce.c_version;
+            if ce.c_version = prev then ce.c_version <- v;
+            let known = Option.value ~default:0 (Hashtbl.find_opt cl.k_map vpn) in
+            if v > known then Hashtbl.replace cl.k_map vpn v;
+            k ()))
+  end
+
+(* Run [flush_locked] from fiber context, suspending until the home's
+   acknowledgement if the flush went remote. *)
+let flush_and_wait m ~proc ~vpn =
+  let cpu = m.cpus.(proc) in
+  let finished = ref false in
+  flush_locked m ~proc ~vpn (fun () ->
+      finished := true;
+      match m.rel_resume.(proc) with
+      | Some resume ->
+        m.rel_resume.(proc) <- None;
+        resume ()
+      | None -> () (* completed synchronously: nothing was dirty *));
+  if not !finished then begin
+    Mgs_engine.Fiber.suspend (fun resume ->
+        assert (m.rel_resume.(proc) = None);
+        m.rel_resume.(proc) <- Some resume);
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim)
+  end
+
+let flush_page_fiber m ~proc ~vpn =
+  let ssmp = Topology.ssmp_of_proc m.topo proc in
+  let ce = get_centry m ssmp vpn in
+  let cpu = m.cpus.(proc) in
+  if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+  flush_and_wait m ~proc ~vpn;
+  Mlock.release m.sim ce.mlock
+
+let flush_page_if_dirty = flush_page_fiber
+
+let release_all m ~proc =
+  if not (Topology.single_ssmp m.topo) then begin
+    let duq = m.duqs.(proc) in
+    let cpu = m.cpus.(proc) in
+    Cpu.sync_busy cpu;
+    if not (duq_is_empty duq) then begin
+      m.pstats.release_ops <- m.pstats.release_ops + 1;
+      let rec drain () =
+        match duq_pop duq with
+        | None -> ()
+        | Some vpn ->
+          Cpu.advance cpu Mgs m.costs.proto.duq_op;
+          let t0 = cpu.Cpu.clock in
+          flush_page_fiber m ~proc ~vpn;
+          m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
+          drain ()
+      in
+      drain ()
+    end;
+    (* a sibling's in-flight flush of a shared page is ordered by the
+       mapping lock (held until its ack), so nothing else is needed *)
+    Hashtbl.reset duq.psync
+  end
+
+(* --- notices ------------------------------------------------------------ *)
+
+let publish m ~proc ~into =
+  if not (Topology.single_ssmp m.topo) then begin
+    let ssmp = Topology.ssmp_of_proc m.topo proc in
+    let cl = client m ssmp in
+    let cpu = m.cpus.(proc) in
+    Cpu.advance cpu Mgs (m.costs.proto.duq_op * max 1 (Hashtbl.length cl.k_map / 8));
+    Hashtbl.iter
+      (fun vpn v ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt into vpn) in
+        if v > prev then Hashtbl.replace into vpn v)
+      cl.k_map
+  end
+
+let apply_notices m ~proc map =
+  if not (Topology.single_ssmp m.topo) then begin
+    let ssmp = Topology.ssmp_of_proc m.topo proc in
+    let cl = client m ssmp in
+    let cpu = m.cpus.(proc) in
+    Cpu.advance cpu Mgs (m.costs.proto.duq_op * max 1 (Hashtbl.length map / 8));
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun vpn v ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt cl.k_map vpn) in
+        if v > prev then Hashtbl.replace cl.k_map vpn v;
+        match Hashtbl.find_opt cl.cl_pages vpn with
+        | Some ce when (ce.pstate = P_read || ce.pstate = P_write) && ce.c_version < v ->
+          stale := vpn :: !stale
+        | _ -> ())
+      map;
+    (* lazily invalidate every copy now known to be stale *)
+    List.iter
+      (fun vpn ->
+        let ce = get_centry m ssmp vpn in
+        if Mlock.acquire_fiber m.sim ce.mlock then
+          Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+        let known = Option.value ~default:0 (Hashtbl.find_opt cl.k_map vpn) in
+        if (ce.pstate = P_read || ce.pstate = P_write) && ce.c_version < known then begin
+          (* our own unreleased writes must reach the home first *)
+          flush_and_wait m ~proc ~vpn;
+          (* drop the copy: cache scrub + local TLB shoot-down *)
+          let dirty = ref 0 in
+          ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
+          let mappers = Bitset.elements ce.tlb_dir in
+          List.iter (fun l -> Tlb.invalidate m.tlbs.(global_proc m ssmp l) ~vpn) mappers;
+          Cpu.advance cpu Mgs
+            ((m.costs.proto.tlb_inv * max 1 (List.length mappers))
+            + (Geom.lines_per_page m.geom * m.costs.proto.clean_per_line));
+          Bitset.clear ce.tlb_dir;
+          ce.cdata <- None;
+          ce.ctwin <- None;
+          ce.c_dirty <- false;
+          ce.pstate <- P_inv;
+          trace m vpn "lazy invalidate at ssmp %d (proc %d, known %d)" ssmp proc known;
+          m.pstats.invals <- m.pstats.invals + 1
+        end;
+        Mlock.release m.sim ce.mlock)
+      !stale
+  end
+
+(* --- fault path ----------------------------------------------------------- *)
+
+let fault m ~proc ~vpn ~write =
+  let c = m.costs in
+  let cpu = m.cpus.(proc) in
+  let ssmp = Topology.ssmp_of_proc m.topo proc in
+  let duq = m.duqs.(proc) in
+  let ce = get_centry m ssmp vpn in
+  let lidx = local_idx m proc in
+  Cpu.advance cpu Mgs c.svm.fault_entry;
+  if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+  Cpu.advance cpu Mgs (c.svm.map_lock + c.svm.table_lookup);
+  let fill ~rw ~to_duq =
+    Bitset.add ce.tlb_dir lidx;
+    Tlb.fill m.tlbs.(proc) ~vpn ~mode:(if rw then Tlb.Rw else Tlb.Ro);
+    Cpu.advance cpu Mgs c.svm.tlb_write;
+    if to_duq then begin
+      Cpu.advance cpu Mgs c.proto.duq_op;
+      duq_add duq vpn;
+      ce.c_dirty <- true
+    end;
+    Mlock.release m.sim ce.mlock
+  in
+  match (ce.pstate, write) with
+  | P_read, false ->
+    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    fill ~rw:false ~to_duq:false
+  | P_write, _ ->
+    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    fill ~rw:write ~to_duq:write
+  | P_read, true ->
+    (* multiple writers are allowed: twin locally, no server contact *)
+    m.pstats.upgrades <- m.pstats.upgrades + 1;
+    trace m vpn "upgrade in place by proc %d (c_version=%d)" proc ce.c_version;
+    ce.ctwin <- Some (Pagedata.copy (Option.get ce.cdata));
+    ce.pstate <- P_write;
+    Cpu.advance cpu Mgs (c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word));
+    fill ~rw:true ~to_duq:true
+  | P_inv, _ ->
+    if write then m.pstats.write_fetches <- m.pstats.write_fetches + 1
+    else m.pstats.read_fetches <- m.pstats.read_fetches + 1;
+    ce.pstate <- P_busy;
+    Cpu.advance cpu Mgs c.proto.msg_send;
+    let home = home_proc_of_vpn m vpn in
+    Am.post m.am
+      ~tag:(if write then "HLRC_WREQ" else "HLRC_RREQ")
+      ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
+      (fun _t ->
+        let se = get_sentry m vpn in
+        let payload = Pagedata.copy se.s_master in
+        let version = se.s_version in
+        trace m vpn "fetch by proc %d write=%b version=%d" proc write version;
+        let install_cost =
+          c.proto.frame_alloc
+          +
+          if write then c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word)
+          else 0
+        in
+        Am.post m.am
+          ~tag:(if write then "HLRC_WDAT" else "HLRC_RDAT")
+          ~src:home ~dst:proc ~words:m.geom.Geom.page_words ~cost:install_cost (fun _t ->
+            assert (ce.pstate = P_busy);
+            ce.cdata <- Some payload;
+            ce.ctwin <- (if write then Some (Pagedata.copy payload) else None);
+            ce.frame_owner <- local_idx m proc;
+            ce.pstate <- (if write then P_write else P_read);
+            ce.c_dirty <- false;
+            ce.c_version <- version;
+            Bitset.clear ce.tlb_dir;
+            match ce.fetch_resume with
+            | Some resume ->
+              ce.fetch_resume <- None;
+              resume ()
+            | None -> assert false));
+    let t0 = cpu.Cpu.clock in
+    Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
+    fill ~rw:write ~to_duq:write
+  | P_busy, _ -> assert false

@@ -1,0 +1,259 @@
+open State
+
+(* Server-side page states are reused from the MGS sentry:
+   - S_read: no writer; read_dir lists the SSMPs with read copies;
+   - S_write: write_dir holds the single owner SSMP;
+   - S_rel: an ownership transition is in progress (requests pend).
+
+   Every transition — including the final data grant — holds the page
+   in S_rel until the grantee acknowledges installation (IVY_GACK), so
+   a later request can never invalidate a copy that is still in flight.
+   [s_ivy_grantee]/[s_ivy_grant_write] describe the pending grant. *)
+
+(* --- client side: invalidations and recalls ------------------------- *)
+
+(* Invalidate the TLB entries of every mapping processor, then [k]. *)
+let shoot_tlbs m ~ssmp ~vpn ~rc k =
+  let ce = get_centry m ssmp vpn in
+  let targets = Bitset.elements ce.tlb_dir in
+  Bitset.clear ce.tlb_dir;
+  match targets with
+  | [] -> k ()
+  | _ ->
+    let remaining = ref (List.length targets) in
+    List.iter
+      (fun lidx ->
+        let p = global_proc m ssmp lidx in
+        m.pstats.pinvs <- m.pstats.pinvs + 1;
+        Am.post m.am ~tag:"PINV" ~src:rc ~dst:p ~words:0 ~cost:m.costs.proto.tlb_inv
+          (fun _t ->
+            Tlb.invalidate m.tlbs.(p) ~vpn;
+            Am.post m.am ~tag:"PINV_ACK" ~src:p ~dst:rc ~words:0 ~cost:0 (fun _t ->
+                decr remaining;
+                if !remaining = 0 then k ())))
+      targets
+
+(* Drop this SSMP's copy; reply with the page contents if it was the
+   owner (the master must be refreshed before anyone else reads).
+   A BUSY mapping means the copy was already dropped (an upgrade in
+   flight) — nothing to do, and blocking on the mapping lock would
+   deadlock against the fetching fiber. *)
+let client_inv m ~ssmp ~vpn ~(reply : Pagedata.page option -> unit) =
+  let ce = get_centry m ssmp vpn in
+  if ce.pstate = P_busy then reply None
+  else
+    Mlock.acquire_k m.sim ce.mlock (fun () ->
+        match ce.pstate with
+        | P_inv | P_busy ->
+          Mlock.release m.sim ce.mlock;
+          reply None
+        | P_read | P_write ->
+          let was_owner = ce.pstate = P_write in
+          let rc = global_proc m ssmp ce.frame_owner in
+          let dirty = ref 0 in
+          ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
+          shoot_tlbs m ~ssmp ~vpn ~rc (fun () ->
+              let payload =
+                if was_owner then Some (Pagedata.copy (Option.get ce.cdata)) else None
+              in
+              ce.cdata <- None;
+              ce.ctwin <- None;
+              ce.pstate <- P_inv;
+              let clean = Geom.lines_per_page m.geom * m.costs.proto.clean_per_line in
+              Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
+                  Mlock.release m.sim ce.mlock;
+                  reply payload)))
+
+(* Downgrade the owner to a read copy, returning the page contents. *)
+let client_recall m ~ssmp ~vpn ~(reply : Pagedata.page -> unit) =
+  let ce = get_centry m ssmp vpn in
+  Mlock.acquire_k m.sim ce.mlock (fun () ->
+      assert (ce.pstate = P_write);
+      let rc = global_proc m ssmp ce.frame_owner in
+      let dirty = ref 0 in
+      ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
+      (* mapping processors refill read-only afterwards *)
+      shoot_tlbs m ~ssmp ~vpn ~rc (fun () ->
+          let payload = Pagedata.copy (Option.get ce.cdata) in
+          ce.pstate <- P_read;
+          let clean = Geom.lines_per_page m.geom * m.costs.proto.clean_per_line in
+          Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
+              Mlock.release m.sim ce.mlock;
+              reply payload)))
+
+(* --- server side ------------------------------------------------------ *)
+
+let install m ~requester ~vpn ~write ~payload =
+  let ssmp = Topology.ssmp_of_proc m.topo requester in
+  let ce = get_centry m ssmp vpn in
+  assert (ce.pstate = P_busy);
+  ce.cdata <- Some payload;
+  ce.frame_owner <- local_idx m requester;
+  ce.pstate <- (if write then P_write else P_read);
+  Bitset.clear ce.tlb_dir;
+  match ce.fetch_resume with
+  | Some resume ->
+    ce.fetch_resume <- None;
+    resume ()
+  | None -> assert false
+
+(* Ship the page; the transition stays open until the grantee's ack. *)
+let rec do_grant m se ~requester ~write =
+  let ssmp = Topology.ssmp_of_proc m.topo requester in
+  let vpn = se.s_vpn in
+  assert (se.s_state = S_rel);
+  if write then begin
+    Bitset.clear se.s_read_dir;
+    Bitset.clear se.s_write_dir;
+    Bitset.add se.s_write_dir ssmp
+  end
+  else Bitset.add se.s_read_dir ssmp;
+  Hashtbl.replace se.s_frame_procs ssmp requester;
+  let payload = Pagedata.copy se.s_master in
+  Am.post m.am
+    ~tag:(if write then "IVY_WDAT" else "IVY_RDAT")
+    ~src:se.s_home_proc ~dst:requester ~words:m.geom.Geom.page_words
+    ~cost:(m.costs.proto.frame_alloc + m.costs.proto.server_op)
+    (fun _t ->
+      install m ~requester ~vpn ~write ~payload;
+      Am.post m.am ~tag:"IVY_GACK" ~src:requester ~dst:se.s_home_proc ~words:0 ~cost:0
+        (fun _t ->
+          se.s_state <- (if Bitset.is_empty se.s_write_dir then S_read else S_write);
+          (* serve requests that pended during the transition *)
+          let rd = List.rev se.s_pend_rd and wr = List.rev se.s_pend_wr in
+          se.s_pend_rd <- [];
+          se.s_pend_wr <- [];
+          List.iter (fun r -> server_req m ~vpn ~requester:r ~write:false) rd;
+          List.iter (fun r -> server_req m ~vpn ~requester:r ~write:true) wr))
+
+and server_req m ~vpn ~requester ~write =
+  let se = get_sentry m vpn in
+  let src_ssmp = Topology.ssmp_of_proc m.topo requester in
+  match se.s_state with
+  | S_rel ->
+    if write then se.s_pend_wr <- requester :: se.s_pend_wr
+    else se.s_pend_rd <- requester :: se.s_pend_rd
+  | S_read | S_write ->
+    se.s_state <- S_rel;
+    se.s_ivy_grantee <- requester;
+    se.s_ivy_grant_write <- write;
+    if write then begin
+      m.pstats.write_fetches <- m.pstats.write_fetches + 1;
+      (* invalidate every other copy, then grant exclusivity *)
+      let targets =
+        let u = Bitset.copy se.s_read_dir in
+        Bitset.union_into u se.s_write_dir;
+        Bitset.remove u src_ssmp;
+        Bitset.elements u
+      in
+      (* the requester's own membership (if any) is already gone: an
+         upgrading SSMP drops its copy before sending IVY_WREQ *)
+      Bitset.remove se.s_read_dir src_ssmp;
+      if targets = [] then do_grant m se ~requester ~write:true
+      else begin
+        se.s_count <- List.length targets;
+        List.iter
+          (fun ssmp ->
+            m.pstats.invals <- m.pstats.invals + 1;
+            let dst = Hashtbl.find se.s_frame_procs ssmp in
+            Am.post m.am ~tag:"IVY_INV" ~src:se.s_home_proc ~dst ~words:0 ~cost:0
+              (fun _t ->
+                let rc = Hashtbl.find se.s_frame_procs ssmp in
+                client_inv m ~ssmp ~vpn ~reply:(fun payload ->
+                    let words =
+                      match payload with Some _ -> m.geom.Geom.page_words | None -> 0
+                    in
+                    let cost =
+                      match payload with
+                      | Some _ -> m.geom.Geom.page_words * m.costs.proto.copy_per_word
+                      | None -> 0
+                    in
+                    Am.post m.am ~tag:"IVY_ACK" ~src:rc ~dst:se.s_home_proc ~words ~cost
+                      (fun _t ->
+                        (match payload with
+                        | Some p -> Pagedata.blit ~src:p ~dst:se.s_master
+                        | None -> ());
+                        Bitset.remove se.s_read_dir ssmp;
+                        Bitset.remove se.s_write_dir ssmp;
+                        Hashtbl.remove se.s_frame_procs ssmp;
+                        se.s_count <- se.s_count - 1;
+                        if se.s_count = 0 then
+                          do_grant m se ~requester:se.s_ivy_grantee
+                            ~write:se.s_ivy_grant_write))))
+          targets
+      end
+    end
+    else begin
+      m.pstats.read_fetches <- m.pstats.read_fetches + 1;
+      match Bitset.choose se.s_write_dir with
+      | Some owner when owner <> src_ssmp ->
+        (* downgrade the owner first so the master is current *)
+        se.s_count <- 1;
+        let dst = Hashtbl.find se.s_frame_procs owner in
+        m.pstats.one_winvals <- m.pstats.one_winvals + 1;
+        Am.post m.am ~tag:"IVY_RECALL" ~src:se.s_home_proc ~dst ~words:0 ~cost:0 (fun _t ->
+            let rc = Hashtbl.find se.s_frame_procs owner in
+            client_recall m ~ssmp:owner ~vpn ~reply:(fun payload ->
+                Am.post m.am ~tag:"IVY_PAGE" ~src:rc ~dst:se.s_home_proc
+                  ~words:m.geom.Geom.page_words
+                  ~cost:(m.geom.Geom.page_words * m.costs.proto.copy_per_word)
+                  (fun _t ->
+                    Pagedata.blit ~src:payload ~dst:se.s_master;
+                    Bitset.remove se.s_write_dir owner;
+                    Bitset.add se.s_read_dir owner;
+                    do_grant m se ~requester ~write:false)))
+      | _ -> do_grant m se ~requester ~write:false
+    end
+
+(* --- fiber-side fault path --------------------------------------------- *)
+
+let fault m ~proc ~vpn ~write =
+  let c = m.costs in
+  let cpu = m.cpus.(proc) in
+  let ssmp = Topology.ssmp_of_proc m.topo proc in
+  let ce = get_centry m ssmp vpn in
+  let lidx = local_idx m proc in
+  Cpu.advance cpu Mgs c.svm.fault_entry;
+  if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+  Cpu.advance cpu Mgs (c.svm.map_lock + c.svm.table_lookup);
+  let fill ~rw =
+    Bitset.add ce.tlb_dir lidx;
+    Tlb.fill m.tlbs.(proc) ~vpn ~mode:(if rw then Tlb.Rw else Tlb.Ro);
+    Cpu.advance cpu Mgs c.svm.tlb_write;
+    Mlock.release m.sim ce.mlock
+  in
+  let fetch () =
+    ce.pstate <- P_busy;
+    Cpu.advance cpu Mgs c.proto.msg_send;
+    let home = home_proc_of_vpn m vpn in
+    Am.post m.am
+      ~tag:(if write then "IVY_WREQ" else "IVY_RREQ")
+      ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
+      (fun _t -> server_req m ~vpn ~requester:proc ~write);
+    let t0 = cpu.Cpu.clock in
+    Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
+    fill ~rw:write
+  in
+  match (ce.pstate, write) with
+  | P_read, false ->
+    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    fill ~rw:false
+  | P_write, _ ->
+    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    fill ~rw:write
+  | P_read, true ->
+    (* write to a read-shared page: drop the local copy (shooting down
+       the local TLB mappings), then fetch exclusive ownership *)
+    m.pstats.upgrades <- m.pstats.upgrades + 1;
+    let mappers = Bitset.elements ce.tlb_dir in
+    List.iter (fun l -> Tlb.invalidate m.tlbs.(global_proc m ssmp l) ~vpn) mappers;
+    Cpu.advance cpu Mgs (c.proto.tlb_inv * max 1 (List.length mappers));
+    Bitset.clear ce.tlb_dir;
+    let dirty = ref 0 in
+    ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
+    ce.cdata <- None;
+    fetch ()
+  | P_inv, _ -> fetch ()
+  | P_busy, _ -> assert false

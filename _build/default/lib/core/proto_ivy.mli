@@ -1,0 +1,18 @@
+(** A conventional sequentially-consistent, single-writer page protocol
+    (Ivy / Li-Hudak style), as the software-DSM baseline MGS's
+    multiple-writer release-consistent protocol is designed to beat.
+
+    At most one SSMP holds a page with write privilege at any time; any
+    number may hold read copies.  A write fault invalidates every copy
+    and transfers exclusive ownership; a read fault downgrades the owner
+    (which writes the page back and keeps a read copy).  There are no
+    twins, diffs, or delayed update queues — and therefore no release
+    operations: synchronization objects need no memory flushes.
+
+    Selected with [Machine.config ~protocol:Ivy]; the ablation benches
+    compare it against MGS on the paper's workloads, where false sharing
+    makes pages ping-pong. *)
+
+val fault : State.t -> proc:int -> vpn:int -> write:bool -> unit
+(** Handle a TLB fault under the Ivy protocol.  Fiber context; returns
+    with the mapping installed at the required privilege. *)

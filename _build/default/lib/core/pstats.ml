@@ -1,0 +1,74 @@
+type t = {
+  mutable tlb_local_fills : int;
+  mutable read_fetches : int;
+  mutable write_fetches : int;
+  mutable upgrades : int;
+  mutable releases : int;
+  mutable release_ops : int;
+  mutable invals : int;
+  mutable one_winvals : int;
+  mutable pinvs : int;
+  mutable diffs : int;
+  mutable diff_words : int;
+  mutable one_wdata : int;
+  mutable one_wclean : int; (* 1WCLEAN replies: retained page already in sync *)
+  mutable acks : int;
+  mutable syncs : int; (* SYNC messages (arc-12 deferred completions) *)
+  mutable sync_wait : int; (* cycles spent awaiting SYNC acknowledgements *)
+  mutable rel_wait : int; (* cycles releasers spent awaiting RACKs *)
+  mutable fetch_wait : int; (* cycles faulting fibers spent awaiting page data *)
+  mutable upgrade_wait : int; (* cycles spent awaiting UP_ACK *)
+}
+
+let create () =
+  {
+    tlb_local_fills = 0;
+    read_fetches = 0;
+    write_fetches = 0;
+    upgrades = 0;
+    releases = 0;
+    release_ops = 0;
+    invals = 0;
+    one_winvals = 0;
+    pinvs = 0;
+    diffs = 0;
+    diff_words = 0;
+    one_wdata = 0;
+    one_wclean = 0;
+    acks = 0;
+    syncs = 0;
+    sync_wait = 0;
+    rel_wait = 0;
+    fetch_wait = 0;
+    upgrade_wait = 0;
+  }
+
+let reset t =
+  t.tlb_local_fills <- 0;
+  t.read_fetches <- 0;
+  t.write_fetches <- 0;
+  t.upgrades <- 0;
+  t.releases <- 0;
+  t.release_ops <- 0;
+  t.invals <- 0;
+  t.one_winvals <- 0;
+  t.pinvs <- 0;
+  t.diffs <- 0;
+  t.diff_words <- 0;
+  t.one_wdata <- 0;
+  t.one_wclean <- 0;
+  t.acks <- 0;
+  t.syncs <- 0;
+  t.sync_wait <- 0;
+  t.rel_wait <- 0;
+  t.fetch_wait <- 0;
+  t.upgrade_wait <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tlb_fills=%d rreq=%d wreq=%d upgrades=%d rel=%d rel_ops=%d inv=%d 1winv=%d pinv=%d \
+     diffs=%d diff_words=%d 1wdata=%d acks=%d"
+    t.tlb_local_fills t.read_fetches t.write_fetches t.upgrades t.releases t.release_ops
+    t.invals t.one_winvals t.pinvs t.diffs t.diff_words t.one_wdata t.acks;
+  Format.fprintf ppf " syncs=%d sync_wait=%d rel_wait=%d fetch_wait=%d upgrade_wait=%d"
+    t.syncs t.sync_wait t.rel_wait t.fetch_wait t.upgrade_wait

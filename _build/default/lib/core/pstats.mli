@@ -1,0 +1,32 @@
+(** Counters for MGS protocol events.
+
+    One instance per machine; every protocol engine bumps these, and the
+    harness reports them alongside the cycle breakdowns. *)
+
+type t = {
+  mutable tlb_local_fills : int;  (** faults satisfied by an existing local mapping *)
+  mutable read_fetches : int;  (** RREQ messages (inter-SSMP read misses) *)
+  mutable write_fetches : int;  (** WREQ messages (inter-SSMP write misses) *)
+  mutable upgrades : int;  (** UPGRADE operations (read->write privilege) *)
+  mutable releases : int;  (** REL messages (one per dirty page flushed) *)
+  mutable release_ops : int;  (** release operations that flushed >= 1 page *)
+  mutable invals : int;  (** INV messages sent by the server *)
+  mutable one_winvals : int;  (** 1WINV messages (single-writer optimization) *)
+  mutable pinvs : int;  (** PINV TLB-invalidation interrupts *)
+  mutable diffs : int;  (** DIFF messages *)
+  mutable diff_words : int;  (** modified words carried by all diffs *)
+  mutable one_wdata : int;  (** 1WDATA full-page write-backs *)
+  mutable one_wclean : int;  (** 1WCLEAN replies (retained page already in sync) *)
+  mutable acks : int;  (** ACK messages (read-copy invalidations) *)
+  mutable syncs : int;  (** SYNC messages (arc-12 deferred completions) *)
+  mutable sync_wait : int;  (** cycles spent awaiting SYNC acknowledgements *)
+  mutable rel_wait : int;  (** cycles releasers spent awaiting RACKs *)
+  mutable fetch_wait : int;  (** cycles faulting fibers spent awaiting page data *)
+  mutable upgrade_wait : int;  (** cycles spent awaiting UP_ACK *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+open State
+
+type breakdown = { user : float; lock : float; barrier : float; mgs : float }
+
+type t = {
+  nprocs : int;
+  cluster : int;
+  runtime : int;
+  breakdown : breakdown;
+  per_proc_total : int array;
+  pstats : Pstats.t;
+  cache : Coherence.stats;
+  lan_messages : int;
+  lan_words : int;
+  messages_by_tag : (string * int) list;
+  lock_acquires : int;
+  lock_hits : int;
+  barrier_episodes : int;
+}
+
+let copy_pstats (p : Pstats.t) : Pstats.t =
+  {
+    tlb_local_fills = p.tlb_local_fills;
+    read_fetches = p.read_fetches;
+    write_fetches = p.write_fetches;
+    upgrades = p.upgrades;
+    releases = p.releases;
+    release_ops = p.release_ops;
+    invals = p.invals;
+    one_winvals = p.one_winvals;
+    pinvs = p.pinvs;
+    diffs = p.diffs;
+    diff_words = p.diff_words;
+    one_wdata = p.one_wdata;
+    one_wclean = p.one_wclean;
+    acks = p.acks;
+    syncs = p.syncs;
+    sync_wait = p.sync_wait;
+    rel_wait = p.rel_wait;
+    fetch_wait = p.fetch_wait;
+    upgrade_wait = p.upgrade_wait;
+  }
+
+let aggregate_cache m : Coherence.stats =
+  let acc : Coherence.stats =
+    {
+      hits = 0;
+      local_misses = 0;
+      remote_misses = 0;
+      misses_2party = 0;
+      misses_3party = 0;
+      software_extensions = 0;
+    }
+  in
+  Array.iter
+    (fun cache ->
+      let s = Coherence.stats cache in
+      acc.hits <- acc.hits + s.hits;
+      acc.local_misses <- acc.local_misses + s.local_misses;
+      acc.remote_misses <- acc.remote_misses + s.remote_misses;
+      acc.misses_2party <- acc.misses_2party + s.misses_2party;
+      acc.misses_3party <- acc.misses_3party + s.misses_3party;
+      acc.software_extensions <- acc.software_extensions + s.software_extensions)
+    m.caches;
+  acc
+
+let of_machine m =
+  let n = m.topo.Topology.nprocs in
+  let mean bucket =
+    let sum = Array.fold_left (fun acc cpu -> acc + Cpu.bucket_cycles cpu bucket) 0 m.cpus in
+    float_of_int sum /. float_of_int n
+  in
+  let lan_stats = Lan.stats m.lan in
+  {
+    nprocs = n;
+    cluster = m.topo.Topology.cluster;
+    runtime = Array.fold_left (fun acc cpu -> max acc cpu.Cpu.finished_at) 0 m.cpus;
+    breakdown =
+      { user = mean Cpu.User; lock = mean Cpu.Lock; barrier = mean Cpu.Barrier; mgs = mean Cpu.Mgs };
+    per_proc_total = Array.map Cpu.total_cycles m.cpus;
+    pstats = copy_pstats m.pstats;
+    cache = aggregate_cache m;
+    lan_messages = lan_stats.Lan.messages;
+    lan_words = lan_stats.Lan.data_words;
+    messages_by_tag = Am.counts m.am;
+    lock_acquires = m.sync_counters.lock_acquires;
+    lock_hits = m.sync_counters.lock_hits;
+    barrier_episodes = m.sync_counters.barrier_episodes;
+  }
+
+let total b = b.user +. b.lock +. b.barrier +. b.mgs
+
+let lock_hit_ratio r =
+  if r.lock_acquires = 0 then 1.0
+  else float_of_int r.lock_hits /. float_of_int r.lock_acquires
+
+let pp ppf r =
+  Format.fprintf ppf
+    "P=%d C=%d runtime=%d cycles | user=%.0f lock=%.0f barrier=%.0f mgs=%.0f | lan=%d msgs \
+     %d words | locks %d/%d hits | %a"
+    r.nprocs r.cluster r.runtime r.breakdown.user r.breakdown.lock r.breakdown.barrier
+    r.breakdown.mgs r.lan_messages r.lan_words r.lock_hits r.lock_acquires Pstats.pp r.pstats

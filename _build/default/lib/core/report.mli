@@ -1,0 +1,36 @@
+(** Run summary: the paper's runtime breakdown plus protocol, network,
+    cache, and synchronization counters. *)
+
+type breakdown = {
+  user : float;  (** mean cycles per processor: computation + translation + hw stalls *)
+  lock : float;  (** lock acquire/release and lock waiting *)
+  barrier : float;  (** barrier overhead and waiting *)
+  mgs : float;  (** software coherence: fault service, releases, handler occupancy *)
+}
+
+type t = {
+  nprocs : int;
+  cluster : int;
+  runtime : int;  (** parallel execution time: max processor finish time *)
+  breakdown : breakdown;
+  per_proc_total : int array;  (** total charged cycles per processor *)
+  pstats : Pstats.t;  (** protocol counters (snapshot) *)
+  cache : Mgs_cache.Coherence.stats;  (** aggregated over all SSMPs *)
+  lan_messages : int;
+  lan_words : int;
+  messages_by_tag : (string * int) list;  (** protocol message mix (RREQ, REL, ...) *)
+  lock_acquires : int;
+  lock_hits : int;
+  barrier_episodes : int;
+}
+
+val of_machine : State.t -> t
+
+val total : breakdown -> float
+
+val lock_hit_ratio : t -> float
+(** Fraction of lock acquires satisfied without inter-SSMP
+    communication; 1.0 when there were no acquires. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-paragraph human-readable summary. *)

@@ -1,0 +1,240 @@
+(* Shared mutable state of one simulated DSSMP running MGS.
+
+   This module holds the data structures of all three protocol engines
+   (Local Client, Remote Client, Server — paper Figure 4) plus the
+   machine assembly record.  It is internal to the [mgs] library:
+   applications go through {!Machine} and {!Api}; the synchronization
+   library reaches in for the pieces it shares with the protocol (the
+   active-message layer, CPUs, and the release operation). *)
+
+module Bitset = Mgs_util.Bitset
+module Sim = Mgs_engine.Sim
+module Geom = Mgs_mem.Geom
+module Pagedata = Mgs_mem.Pagedata
+module Allocator = Mgs_mem.Allocator
+module Topology = Mgs_machine.Topology
+module Costs = Mgs_machine.Costs
+module Cpu = Mgs_machine.Cpu
+module Coherence = Mgs_cache.Coherence
+module Lan = Mgs_net.Lan
+module Am = Mgs_am.Am
+module Tlb = Mgs_svm.Tlb
+
+(* Local Client page states (Figure 4 left).  The TLB_* states of the
+   paper live in the per-processor TLBs; [pstate] is the SSMP-level
+   page privilege. *)
+type page_state = P_inv | P_read | P_write | P_busy
+
+(* Per-(SSMP, page) client entry: the Local Client's mapping state plus
+   the Remote Client's invalidation bookkeeping for the same frame. *)
+type centry = {
+  c_vpn : int;
+  mutable pstate : page_state;
+  mutable cdata : Pagedata.page option; (* physical local copy *)
+  mutable ctwin : Pagedata.page option; (* twin, present iff write privilege *)
+  mutable frame_owner : int; (* local proc index of first toucher; -1 unset *)
+  tlb_dir : Bitset.t; (* local procs holding a TLB mapping *)
+  mlock : Mlock.t; (* per-mapping mutual exclusion (Table 1 col. L) *)
+  mutable fetch_resume : (unit -> unit) option; (* fiber blocked in BUSY / upgrade *)
+  mutable inv_count : int; (* outstanding PINV_ACKs *)
+  mutable inv_tt : int; (* 1 = read inv, 2 = write inv (diff), 3 = single writer *)
+  mutable c_dirty : bool; (* written since the last twin sync (dirty bit) *)
+  mutable c_version : int; (* HLRC: home version this copy reflects *)
+}
+
+type ssmp_client = {
+  cl_id : int;
+  cl_pages : (int, centry) Hashtbl.t; (* vpn -> entry *)
+  k_map : (int, int) Hashtbl.t;
+      (* HLRC: page versions this SSMP has learned about through
+         synchronization (its causal "knowledge") *)
+}
+
+(* Per-processor delayed update queue (Table 1): the set of pages this
+   processor has written since its last release.  [psync] holds pages
+   whose entry was removed by a PINV (arc 12) because an invalidation
+   epoch is collecting the writes: the next release must still await
+   that epoch's completion (a cheap SYNC, not a new flush). *)
+type duq = {
+  duq_set : (int, unit) Hashtbl.t;
+  duq_q : int Queue.t;
+  psync : (int, unit) Hashtbl.t;
+}
+
+(* Server states (Figure 4 right). *)
+type server_state = S_read | S_write | S_rel
+
+type sentry = {
+  s_vpn : int;
+  s_home_proc : int; (* global processor whose memory is home *)
+  s_master : Pagedata.page; (* the physical home copy *)
+  s_read_dir : Bitset.t; (* SSMPs holding read copies *)
+  s_write_dir : Bitset.t; (* SSMPs holding write copies *)
+  s_frame_procs : (int, int) Hashtbl.t; (* ssmp -> remote-client processor *)
+  mutable s_state : server_state;
+  mutable s_count : int; (* outstanding invalidation replies *)
+  mutable s_retained : int; (* SSMP keeping its copy via 1WDATA; -1 none *)
+  (* Replies are buffered and merged only when the last one arrives:
+     the full page of a 1WDATA must be applied before any DIFF, or a
+     concurrent upgrader's changes (WNOTIFY racing the REL) would be
+     clobbered. *)
+  mutable s_pending_page : Pagedata.page option;
+  mutable s_pending_diffs : Pagedata.diff list;
+  mutable s_pend_rd : int list; (* requester procs queued during REL_IN_PROG *)
+  mutable s_pend_wr : int list;
+  mutable s_pend_rl : int list; (* releaser procs awaiting RACK *)
+  mutable s_pend_rel_next : int list; (* RELs deferred past this epoch *)
+  mutable s_ivy_grantee : int; (* Ivy: processor awaiting the pending grant *)
+  mutable s_ivy_grant_write : bool;
+  mutable s_version : int; (* HLRC: bumped on every merged update *)
+}
+
+(* Counters shared with the synchronization library (Figure 11). *)
+type sync_counters = {
+  mutable lock_acquires : int;
+  mutable lock_hits : int; (* acquires satisfied without inter-SSMP messages *)
+  mutable barrier_episodes : int;
+}
+
+(* Protocol feature toggles (ablation studies; see bench targets). *)
+type features = {
+  single_writer_opt : bool;  (* paper section 3.1.1: 1WINV/1WDATA path *)
+  early_read_ack : bool;
+      (* paper section 4.2.4 ("future implementation"): acknowledge
+         read-only invalidations before the page cleaning completes,
+         taking the cleaning off the release's critical path *)
+  pipelined_release : bool;
+      (* Table 1 arcs 8-10 drain the DUQ one REL at a time; with this
+         flag every REL is sent before the first RACK is awaited, so
+         independent pages' epochs overlap *)
+}
+
+let default_features =
+  { single_writer_opt = true; early_read_ack = false; pipelined_release = false }
+
+(* Which software page protocol runs between SSMPs. *)
+type protocol =
+  | Protocol_mgs  (* the paper's multiple-writer release-consistent protocol *)
+  | Protocol_ivy  (* sequentially-consistent single-writer baseline *)
+  | Protocol_hlrc
+      (* home-based lazy release consistency (TreadMarks-lineage): diffs
+         flush to the home at release with no invalidation fan-out;
+         write notices ride the synchronization objects and invalidate
+         acquirer copies lazily *)
+
+type t = {
+  sim : Sim.t;
+  costs : Costs.t;
+  features : features;
+  protocol : protocol;
+  geom : Geom.t;
+  topo : Topology.t;
+  heap : Allocator.t;
+  cpus : Cpu.t array;
+  caches : Coherence.t array; (* one per SSMP *)
+  lan : Lan.t;
+  am : Am.t;
+  clients : ssmp_client array;
+  duqs : duq array; (* indexed by processor *)
+  servers : (int, sentry) Hashtbl.t; (* vpn -> home-side entry *)
+  tlbs : Tlb.t array;
+  pstats : Pstats.t;
+  sync_counters : sync_counters;
+  rel_resume : (unit -> unit) option array; (* per proc: fiber awaiting RACK *)
+  mutable fibers : Mgs_engine.Fiber.t list;
+  mutable event_limit : int; (* livelock guard for Machine.run *)
+  shadow : (int, float) Hashtbl.t option;
+      (* sequentially-consistent mirror used to detect protocol data
+         loss in data-race-free programs (config flag or MGS_SHADOW=1) *)
+  mutable shadow_errors : int;
+}
+
+let local_idx m proc = proc mod m.topo.Topology.cluster
+
+let global_proc m ssmp lidx = (ssmp * m.topo.Topology.cluster) + lidx
+
+let home_proc_of_vpn m vpn = Allocator.home_of_vpn m.heap vpn
+
+let client m ssmp = m.clients.(ssmp)
+
+let get_centry m ssmp vpn =
+  let cl = m.clients.(ssmp) in
+  match Hashtbl.find_opt cl.cl_pages vpn with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        c_vpn = vpn;
+        pstate = P_inv;
+        cdata = None;
+        ctwin = None;
+        frame_owner = -1;
+        tlb_dir = Bitset.create m.topo.Topology.cluster;
+        mlock = Mlock.create ();
+        fetch_resume = None;
+        inv_count = 0;
+        inv_tt = 0;
+        c_dirty = false;
+        c_version = 0;
+      }
+    in
+    Hashtbl.add cl.cl_pages vpn e;
+    e
+
+let get_sentry m vpn =
+  match Hashtbl.find_opt m.servers vpn with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        s_vpn = vpn;
+        s_home_proc = home_proc_of_vpn m vpn;
+        s_master = Pagedata.create m.geom;
+        s_read_dir = Bitset.create m.topo.Topology.nssmps;
+        s_write_dir = Bitset.create m.topo.Topology.nssmps;
+        s_frame_procs = Hashtbl.create 8;
+        s_state = S_read;
+        s_count = 0;
+        s_retained = -1;
+        s_pending_page = None;
+        s_pending_diffs = [];
+        s_pend_rd = [];
+        s_pend_wr = [];
+        s_pend_rl = [];
+        s_pend_rel_next = [];
+        s_ivy_grantee = -1;
+        s_ivy_grant_write = false;
+        s_version = 0;
+      }
+    in
+    Hashtbl.add m.servers vpn e;
+    e
+
+(* Delayed update queue: a set with FIFO flush order. *)
+let duq_add d vpn =
+  if not (Hashtbl.mem d.duq_set vpn) then begin
+    Hashtbl.replace d.duq_set vpn ();
+    Queue.add vpn d.duq_q
+  end
+
+let rec duq_pop d =
+  match Queue.take_opt d.duq_q with
+  | None -> None
+  | Some vpn ->
+    if Hashtbl.mem d.duq_set vpn then begin
+      Hashtbl.remove d.duq_set vpn;
+      Some vpn
+    end
+    else duq_pop d
+
+let duq_is_empty d = Hashtbl.length d.duq_set = 0
+
+(* Lightweight protocol tracing for debugging: set MGS_TRACE_VPN to a
+   page number to stream that page's protocol events to stderr. *)
+let trace_vpn =
+  match Sys.getenv_opt "MGS_TRACE_VPN" with Some s -> int_of_string s | None -> -1
+
+let trace m vpn fmt =
+  if vpn = trace_vpn then
+    Printf.eprintf ("[t=%d vpn=%d] " ^^ fmt ^^ "\n%!") (Sim.now m.sim) vpn
+  else Printf.ifprintf stderr fmt

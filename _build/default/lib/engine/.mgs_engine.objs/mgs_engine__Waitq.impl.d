@@ -1,0 +1,1 @@
+lib/engine/waitq.ml: Fiber Queue Sim

@@ -1,0 +1,46 @@
+type status = Running | Completed | Failed of exn
+
+type t = { mutable status : status; name : string }
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let status fb = fb.status
+
+let name fb = fb.name
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ -> failwith "Fiber.suspend: called outside a fiber"
+
+let spawn sim ~at ~name body =
+  let fb = { status = Running; name } in
+  let handled () =
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun () -> fb.status <- Completed);
+        exnc = (fun e -> fb.status <- Failed e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) -> register (fun () -> continue k ()))
+            | _ -> None);
+      }
+  in
+  Sim.at sim at handled;
+  fb
+
+let sleep_until sim t = suspend (fun resume -> Sim.at sim t resume)
+
+let check_all_completed fibers =
+  (* surface real failures before reporting deadlocks: a crashed fiber
+     usually explains why the others are still parked at a barrier *)
+  List.iter (fun fb -> match fb.status with Failed e -> raise e | _ -> ()) fibers;
+  List.iter
+    (fun fb ->
+      match fb.status with
+      | Completed | Failed _ -> ()
+      | Running -> failwith (Printf.sprintf "fiber %S deadlocked (still blocked)" fb.name))
+    fibers

@@ -1,0 +1,38 @@
+(** Cooperative fibers on top of the event queue.
+
+    Each simulated processor runs its program as a fiber.  A fiber
+    executes synchronously inside simulator events; when it must wait
+    for simulated time to pass or for a protocol interaction, it
+    suspends, handing its resumption thunk to whoever will eventually
+    schedule it (a timer, a message handler, a lock release, ...).
+
+    Implemented with OCaml 5 effect handlers, so fiber code is written
+    in direct style. *)
+
+type status = Running | Completed | Failed of exn
+
+type t
+(** Handle on a spawned fiber. *)
+
+val spawn : Sim.t -> at:Sim.time -> name:string -> (unit -> unit) -> t
+(** [spawn sim ~at ~name body] schedules [body] to start at time [at].
+    [name] is used in error reports. *)
+
+val status : t -> status
+val name : t -> string
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] suspends the calling fiber.  [register] receives
+    the resume thunk and must arrange for it to be invoked exactly once
+    (typically by scheduling it with {!Sim.at} or parking it on a wait
+    list).  Must be called from fiber context.
+    @raise Failure when called outside a fiber. *)
+
+val sleep_until : Sim.t -> Sim.time -> unit
+(** [sleep_until sim t] suspends the calling fiber and resumes it at
+    simulated time [t] (clamped to now). *)
+
+val check_all_completed : t list -> unit
+(** @raise Failure naming the first fiber that is not [Completed]
+    (deadlocked fibers show up as [Running] after the event queue
+    drains; failed fibers re-raise their exception). *)

@@ -1,0 +1,38 @@
+type time = int
+
+type t = {
+  queue : (unit -> unit) Mgs_util.Pqueue.t;
+  mutable clock : time;
+  mutable seq : int;
+}
+
+let create () = { queue = Mgs_util.Pqueue.create (); clock = 0; seq = 0 }
+
+let now sim = sim.clock
+
+let at sim t f =
+  let t = max t sim.clock in
+  sim.seq <- sim.seq + 1;
+  Mgs_util.Pqueue.push sim.queue ~prio:t ~seq:sim.seq f
+
+let after sim d f =
+  if d < 0 then invalid_arg "Sim.after: negative delay";
+  at sim (sim.clock + d) f
+
+let pending sim = Mgs_util.Pqueue.length sim.queue
+
+let step sim =
+  match Mgs_util.Pqueue.pop sim.queue with
+  | None -> false
+  | Some (t, _, f) ->
+    sim.clock <- max sim.clock t;
+    f ();
+    true
+
+let run sim ?(limit = max_int) () =
+  let rec go n =
+    if n >= limit then failwith "Sim.run: event limit exhausted (livelock?)"
+    else if step sim then go (n + 1)
+    else n
+  in
+  go 0

@@ -1,0 +1,41 @@
+(** Discrete-event simulation core.
+
+    A simulator owns a queue of timestamped events (thunks).  [run]
+    executes events in nondecreasing time order; ties are broken by
+    scheduling order, so a run is fully deterministic.  All simulated
+    components (network links, protocol engines, processor fibers)
+    interact exclusively by scheduling events. *)
+
+type time = int
+(** Simulated time in processor cycles. *)
+
+type t
+(** A simulator instance. *)
+
+val create : unit -> t
+(** [create ()] is a fresh simulator at time 0 with no events. *)
+
+val now : t -> time
+(** [now sim] is the timestamp of the event currently executing (or the
+    last executed); 0 before any event runs. *)
+
+val at : t -> time -> (unit -> unit) -> unit
+(** [at sim t f] schedules [f] to run at absolute time [max t (now sim)].
+    Scheduling in the past is clamped to the present rather than
+    rejected: protocol handlers routinely complete work whose latency
+    was accounted on a processor clock that lags global time. *)
+
+val after : t -> time -> (unit -> unit) -> unit
+(** [after sim d f] is [at sim (now sim + d) f].  [d] must be [>= 0]. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val step : t -> bool
+(** [step sim] executes the next event; [false] when none remain. *)
+
+val run : t -> ?limit:int -> unit -> int
+(** [run sim ()] executes events until none remain and returns the
+    number executed.  [limit] (default unlimited) bounds the count as a
+    livelock guard.
+    @raise Failure if [limit] is exhausted. *)

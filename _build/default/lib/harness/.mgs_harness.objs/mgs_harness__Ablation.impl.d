@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: List Mgs Mgs_util Option Printf Sweep

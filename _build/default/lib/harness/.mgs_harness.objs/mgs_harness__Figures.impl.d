@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Buffer List Mgs Mgs_util Option Printf Sweep

@@ -1,0 +1,1 @@
+lib/harness/micro.ml: Hashtbl List Mgs Mgs_machine Mgs_mem Mgs_svm Mgs_util Printf

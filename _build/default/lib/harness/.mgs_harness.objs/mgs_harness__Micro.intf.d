@@ -1,0 +1,1 @@
+lib/harness/micro.mli: Mgs_machine

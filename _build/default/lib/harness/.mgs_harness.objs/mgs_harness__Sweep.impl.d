@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: List Mgs Mgs_machine Option

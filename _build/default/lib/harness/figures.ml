@@ -1,0 +1,130 @@
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)
+
+let breakdown_figure ~title points =
+  let labels = List.map (fun p -> Printf.sprintf "C=%d" p.Sweep.cluster) points in
+  let values =
+    Array.of_list
+      (List.map
+         (fun p ->
+           let b = p.Sweep.report.Mgs.Report.breakdown in
+           [| b.Mgs.Report.user; b.Mgs.Report.lock; b.Mgs.Report.barrier; b.Mgs.Report.mgs |])
+         points)
+  in
+  let bars =
+    Mgs_util.Tableprint.stacked_bars ~title ~labels
+      ~series_names:[ "User"; "Lock"; "Barrier"; "MGS" ]
+      ~values ()
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let r = p.Sweep.report in
+        let b = r.Mgs.Report.breakdown in
+        [
+          string_of_int p.Sweep.cluster;
+          string_of_int r.Mgs.Report.runtime;
+          Printf.sprintf "%.0f" b.Mgs.Report.user;
+          Printf.sprintf "%.0f" b.Mgs.Report.lock;
+          Printf.sprintf "%.0f" b.Mgs.Report.barrier;
+          Printf.sprintf "%.0f" b.Mgs.Report.mgs;
+          string_of_int r.Mgs.Report.lan_messages;
+        ])
+      points
+  in
+  let table =
+    Mgs_util.Tableprint.render
+      ~header:[ "C"; "Runtime"; "User"; "Lock"; "Barrier"; "MGS"; "LAN msgs" ]
+      ~rows
+  in
+  let metrics =
+    Printf.sprintf "breakup penalty = %s, multigrain potential = %s, curvature = %s (%.3f)\n"
+      (pct (Sweep.breakup_penalty points))
+      (pct (Sweep.multigrain_potential points))
+      (Sweep.curvature_class points)
+      (Sweep.multigrain_curvature points)
+  in
+  bars ^ "\n" ^ table ^ metrics
+
+let lock_figure named_sweeps =
+  let clusters =
+    match named_sweeps with
+    | (_, points) :: _ -> List.map (fun p -> p.Sweep.cluster) points
+    | [] -> []
+  in
+  let header = "App" :: List.map (fun c -> Printf.sprintf "C=%d" c) clusters in
+  let rows =
+    List.map
+      (fun (name, points) ->
+        name
+        :: List.map (fun p -> Printf.sprintf "%.3f" p.Sweep.lock_hit_ratio) points)
+      named_sweeps
+  in
+  Mgs_util.Tableprint.render ~header ~rows
+
+let csv_of_sweep ~name points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "app,cluster,runtime,user,lock,barrier,mgs,lan_messages,lan_words,lock_hit_ratio\n";
+  List.iter
+    (fun p ->
+      let r = p.Sweep.report in
+      let b = r.Mgs.Report.breakdown in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%.0f,%.0f,%.0f,%.0f,%d,%d,%.4f\n" name p.Sweep.cluster
+           r.Mgs.Report.runtime b.Mgs.Report.user b.Mgs.Report.lock b.Mgs.Report.barrier
+           b.Mgs.Report.mgs r.Mgs.Report.lan_messages r.Mgs.Report.lan_words
+           p.Sweep.lock_hit_ratio))
+    points;
+  Buffer.contents buf
+
+let message_mix points =
+  (* union of tags across the sweep, one column per cluster size *)
+  let tags =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun p -> List.map fst p.Sweep.report.Mgs.Report.messages_by_tag)
+         points)
+  in
+  let header = "tag" :: List.map (fun p -> Printf.sprintf "C=%d" p.Sweep.cluster) points in
+  let rows =
+    List.map
+      (fun tag ->
+        tag
+        :: List.map
+             (fun p ->
+               string_of_int
+                 (Option.value ~default:0
+                    (List.assoc_opt tag p.Sweep.report.Mgs.Report.messages_by_tag)))
+             points)
+      tags
+  in
+  Mgs_util.Tableprint.render ~header ~rows
+
+type table4_row = { app : string; problem_size : string; seq_runtime : int; speedup : float }
+
+let table4 rows =
+  Mgs_util.Tableprint.render
+    ~header:[ "Application"; "Problem Size"; "Seq (cycles)"; "Speedup" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.app;
+             r.problem_size;
+             Mgs_util.Tableprint.fmt_cycles (float_of_int r.seq_runtime);
+             Printf.sprintf "%.1f" r.speedup;
+           ])
+         rows)
+
+let metrics_summary named_sweeps =
+  Mgs_util.Tableprint.render
+    ~header:[ "App"; "Breakup penalty"; "Multigrain potential"; "Curvature" ]
+    ~rows:
+      (List.map
+         (fun (name, points) ->
+           [
+             name;
+             pct (Sweep.breakup_penalty points);
+             pct (Sweep.multigrain_potential points);
+             Sweep.curvature_class points;
+           ])
+         named_sweeps)

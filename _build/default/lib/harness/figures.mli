@@ -1,0 +1,30 @@
+(** Rendering of sweeps in the paper's formats: runtime-breakdown
+    stacked bars (Figures 6-10, 12), the lock hit-rate series
+    (Figure 11), and the application summary (Table 4). *)
+
+val breakdown_figure : title:string -> Sweep.point list -> string
+(** Stacked User/Lock/Barrier/MGS bars, one per cluster size, plus a
+    table of the exact numbers and the three framework metrics. *)
+
+val lock_figure : (string * Sweep.point list) list -> string
+(** Figure 11: lock hit ratio per cluster size for several workloads. *)
+
+type table4_row = {
+  app : string;
+  problem_size : string;
+  seq_runtime : int;  (** sequential (P = 1) runtime in cycles *)
+  speedup : float;  (** speedup on the full machine without MGS (C = P) *)
+}
+
+val table4 : table4_row list -> string
+
+val metrics_summary : (string * Sweep.point list) list -> string
+(** One row per workload: breakup penalty, multigrain potential,
+    curvature class. *)
+
+val csv_of_sweep : name:string -> Sweep.point list -> string
+(** Machine-readable export: one line per cluster size with runtime,
+    the four buckets, LAN traffic, and the lock hit ratio. *)
+
+val message_mix : Sweep.point list -> string
+(** Table of protocol message counts by tag per cluster size. *)

@@ -1,0 +1,17 @@
+(** Micro measurements reproducing Table 3: the cost of primitive MGS
+    operations, measured by bracketing single operations inside tiny
+    simulated programs (1 KB pages, zero inter-SSMP delay, as in the
+    paper). *)
+
+type measurement = {
+  name : string;
+  group : string;  (** "Hardware Shared Memory" etc., as in Table 3 *)
+  paper : int;  (** the paper's measured value (cycles @20 MHz) *)
+  measured : int;  (** this simulator's value *)
+}
+
+val run_all : ?costs:Mgs_machine.Costs.t -> unit -> measurement list
+(** Execute every micro benchmark; order matches Table 3. *)
+
+val print_table : measurement list -> unit
+(** Render the Table 3 comparison (paper vs measured vs ratio). *)

@@ -1,0 +1,79 @@
+(** Cluster-size sweeps and the paper's DSSMP performance framework
+    (section 2.4): run a workload at a fixed processor count P while the
+    cluster size C ranges over powers of two, and derive the breakup
+    penalty, multigrain potential, and multigrain curvature. *)
+
+type workload = {
+  name : string;
+  prepare : Mgs.Machine.t -> (Mgs.Api.ctx -> unit) * (Mgs.Machine.t -> unit);
+      (** Allocate and initialize shared data on a fresh machine; return
+          the SPMD body and a post-run verifier (which may raise). *)
+}
+
+type point = {
+  cluster : int;
+  report : Mgs.Report.t;
+  lock_hit_ratio : float;
+}
+
+val clusters_of : int -> int list
+(** Powers of two from 1 to P. *)
+
+val run_point :
+  ?page_words:int ->
+  ?costs:Mgs_machine.Costs.t ->
+  ?lan_latency:int ->
+  ?verify:bool ->
+  nprocs:int ->
+  cluster:int ->
+  workload ->
+  point
+(** One configuration.  Default LAN latency 1000 cycles (section 5.2.1),
+    1 KB pages; [verify] (default true) runs the workload's checker and
+    {!Mgs.Machine.assert_quiescent}. *)
+
+val sweep :
+  ?page_words:int ->
+  ?costs:Mgs_machine.Costs.t ->
+  ?lan_latency:int ->
+  ?verify:bool ->
+  ?clusters:int list ->
+  nprocs:int ->
+  workload ->
+  point list
+(** All cluster sizes (ascending). *)
+
+(** Framework metrics over a sweep (which must include C = 1 .. P). *)
+
+val runtime_of : point list -> int -> int
+(** Runtime at a given cluster size.  @raise Not_found if absent. *)
+
+val breakup_penalty : point list -> float
+(** [(T(P/2) - T(P)) / T(P)] — e.g. 3.22 for Water's 322%. *)
+
+val multigrain_potential : point list -> float
+(** [(T(1) - T(P/2)) / T(P/2)] — how much faster the application runs
+    when each node is a (P/2)-way multiprocessor rather than a
+    uniprocessor ("applications execute up to 85% faster ..."), e.g.
+    0.67 for Water, 0.85 for Barnes-Hut. *)
+
+val multigrain_curvature : point list -> float
+(** Mean signed deviation of the runtime curve from the chord joining
+    (log C = 0, T(1)) and (log C = log P/2, T(P/2)), normalized by T(1):
+    positive means the curve lies below the chord (convex — most of the
+    potential realized at small clusters), negative concave. *)
+
+val curvature_class : point list -> string
+(** ["convex"], ["concave"], or ["flat"]. *)
+
+(** Pure variants over [(cluster, runtime)] curves, used by the tests: *)
+
+val runtime_of_rt : (int * int) list -> int -> int
+
+val breakup_penalty_rt : (int * int) list -> float
+
+val multigrain_potential_rt : (int * int) list -> float
+
+val multigrain_curvature_rt : (int * int) list -> float
+
+val curvature_class_rt : (int * int) list -> string

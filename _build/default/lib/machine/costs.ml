@@ -1,0 +1,105 @@
+type hardware = {
+  cache_hit : int;
+  miss_local : int;
+  miss_remote : int;
+  miss_2party : int;
+  miss_3party : int;
+  remote_software : int;
+  hw_dir_pointers : int;
+  cache_line_slots : int;
+}
+
+type svm = {
+  array_translation : int;
+  pointer_translation : int;
+  fault_entry : int;
+  table_lookup : int;
+  tlb_write : int;
+  map_lock : int;
+}
+
+type proto = {
+  handler_dispatch : int;
+  msg_send : int;
+  intra_msg : int;
+  dma_per_word : int;
+  frame_alloc : int;
+  twin_alloc : int;
+  twin_per_word : int;
+  diff_per_word : int;
+  diff_word_out : int;
+  merge_per_word : int;
+  copy_per_word : int;
+  clean_per_line : int;
+  tlb_inv : int;
+  server_op : int;
+  duq_op : int;
+}
+
+type lan = { latency : int; send_occupancy : int }
+
+type sync = {
+  lock_local_acquire : int;
+  lock_local_release : int;
+  barrier_local : int;
+  flat_barrier : int;
+  flat_lock : int;
+}
+
+type t = { hardware : hardware; svm : svm; proto : proto; lan : lan; sync : sync }
+
+(* Defaults are calibrated (see test/test_micro.ml and bench target
+   table3) so that the emergent software-protocol costs land near the
+   paper's Table 3 measurements for 1 KB pages and zero LAN delay. *)
+let default =
+  {
+    hardware =
+      {
+        cache_hit = 2;
+        miss_local = 11;
+        miss_remote = 38;
+        miss_2party = 42;
+        miss_3party = 63;
+        remote_software = 425;
+        hw_dir_pointers = 5;
+        cache_line_slots = 4096;
+      };
+    svm =
+      {
+        array_translation = 18;
+        pointer_translation = 24;
+        fault_entry = 500;
+        table_lookup = 300;
+        tlb_write = 137;
+        map_lock = 100;
+      };
+    proto =
+      {
+        handler_dispatch = 400;
+        msg_send = 300;
+        intra_msg = 40;
+        dma_per_word = 10;
+        frame_alloc = 2500;
+        twin_alloc = 2900;
+        twin_per_word = 25;
+        diff_per_word = 45;
+        diff_word_out = 20;
+        merge_per_word = 45;
+        copy_per_word = 2;
+        clean_per_line = 12;
+        tlb_inv = 500;
+        server_op = 1000;
+        duq_op = 30;
+      };
+    lan = { latency = 1000; send_occupancy = 200 };
+    sync =
+      {
+        lock_local_acquire = 30;
+        lock_local_release = 20;
+        barrier_local = 60;
+        flat_barrier = 40;
+        flat_lock = 25;
+      };
+  }
+
+let with_lan_latency c d = { c with lan = { c.lan with latency = d } }

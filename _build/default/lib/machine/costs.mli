@@ -1,0 +1,74 @@
+(** Cycle-cost parameters of the simulated DSSMP.
+
+    The hardware group reproduces Alewife's measured shared-memory
+    latencies directly (Table 3, top).  The software groups give the
+    low-level costs (handler dispatch, per-word copies, page cleaning,
+    ...) from which the paper's measured software-protocol latencies
+    (TLB fill, inter-SSMP misses, releases) {e emerge} when the MGS
+    protocol runs; defaults are calibrated so the micro benchmarks land
+    close to Table 3. *)
+
+type hardware = {
+  cache_hit : int;  (** cache hit, incl. load-use *)
+  miss_local : int;  (** 11: fill from local memory *)
+  miss_remote : int;  (** 38: fill from a remote node's memory, clean *)
+  miss_2party : int;  (** 42: requester + dirty home *)
+  miss_3party : int;  (** 63: requester + home + dirty third node *)
+  remote_software : int;  (** 425: LimitLESS software-extended directory *)
+  hw_dir_pointers : int;  (** 5: hardware sharer pointers before overflow *)
+  cache_line_slots : int;  (** direct-mapped cache slots per processor *)
+}
+
+type svm = {
+  array_translation : int;  (** 18: in-line translation, distributed array *)
+  pointer_translation : int;  (** 24: in-line translation, pointer *)
+  fault_entry : int;  (** trap into the TLB fault handler *)
+  table_lookup : int;  (** local page table probe *)
+  tlb_write : int;  (** install a TLB entry *)
+  map_lock : int;  (** acquire+release the per-mapping SSMP lock *)
+}
+
+type proto = {
+  handler_dispatch : int;  (** active-message handler invocation *)
+  msg_send : int;  (** compose and inject a message *)
+  intra_msg : int;  (** extra latency for an intra-SSMP protocol message *)
+  dma_per_word : int;  (** DMA transfer, per word *)
+  frame_alloc : int;  (** allocate and install a physical page frame *)
+  twin_alloc : int;  (** allocate a twin page *)
+  twin_per_word : int;  (** copy one word into the twin *)
+  diff_per_word : int;  (** compare one word when computing a diff *)
+  diff_word_out : int;  (** emit one changed word into a diff *)
+  merge_per_word : int;  (** apply one diff word at the home *)
+  copy_per_word : int;  (** bulk copy one word (1WDATA merge) *)
+  clean_per_line : int;  (** page cleaning: prefetch/store/flush one line *)
+  tlb_inv : int;  (** interrupt a processor and invalidate a TLB entry *)
+  server_op : int;  (** server-side bookkeeping per request *)
+  duq_op : int;  (** delayed-update-queue insert or pop *)
+}
+
+type lan = {
+  latency : int;  (** fixed inter-SSMP message latency (paper: 1000) *)
+  send_occupancy : int;  (** sender-side queue occupancy per message *)
+}
+
+type sync = {
+  lock_local_acquire : int;  (** token present: shared-memory acquire *)
+  lock_local_release : int;
+  barrier_local : int;  (** per-processor cost of the intra-SSMP combine *)
+  flat_barrier : int;  (** per-processor cost of the C = P barrier (P4) *)
+  flat_lock : int;  (** per-op cost of the C = P lock (P4) *)
+}
+
+type t = {
+  hardware : hardware;
+  svm : svm;
+  proto : proto;
+  lan : lan;
+  sync : sync;
+}
+
+val default : t
+(** Calibrated to approximate Table 3 at a 1 KB page size. *)
+
+val with_lan_latency : t -> int -> t
+(** [with_lan_latency c d] is [c] with the inter-SSMP latency set to [d]. *)

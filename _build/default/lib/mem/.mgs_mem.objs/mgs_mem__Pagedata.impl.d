@@ -1,0 +1,1 @@
+lib/mem/pagedata.ml: Array Geom Int64 List

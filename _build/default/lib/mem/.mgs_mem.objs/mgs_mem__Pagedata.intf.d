@@ -1,0 +1,1 @@
+lib/mem/pagedata.mli: Geom

@@ -1,0 +1,39 @@
+(** Shared virtual heap allocator and home assignment.
+
+    Every virtual page has a fixed {e home} processor determined at
+    allocation time (the paper fixes homes by virtual address for all
+    time).  Allocations are rounded up to page boundaries so distinct
+    objects never share a page; false sharing within one allocation —
+    which drives the paper's TSP results — is preserved. *)
+
+type home_policy =
+  | On_proc of int  (** every page of the object homes on one processor *)
+  | Interleaved  (** consecutive pages home on consecutive processors, round robin *)
+  | Blocked
+      (** the object is split into [nprocs] equal chunks of consecutive
+          pages; chunk [i] homes on processor [i] (the "adjacent portions
+          to nearby processors" layout used by Water and Jacobi) *)
+
+type t
+
+val create : Geom.t -> nprocs:int -> t
+(** Fresh empty heap for a machine of [nprocs] processors. *)
+
+val geom : t -> Geom.t
+
+val nprocs : t -> int
+
+val alloc : t -> words:int -> home:home_policy -> int
+(** [alloc h ~words ~home] reserves [words] words (rounded up to whole
+    pages), assigns homes per [home], and returns the base address.
+    @raise Invalid_argument if [words <= 0] or a processor id is out of
+    range. *)
+
+val home_of_vpn : t -> int -> int
+(** Home processor of page [vpn].
+    @raise Not_found for pages never allocated. *)
+
+val pages_allocated : t -> int
+
+val words_allocated : t -> int
+(** Total words reserved, including rounding. *)

@@ -1,0 +1,34 @@
+type page = float array
+
+type diff = (int * float) list
+
+let create (g : Geom.t) = Array.make g.page_words 0.
+
+let copy = Array.copy
+
+let blit ~src ~dst =
+  if Array.length src <> Array.length dst then invalid_arg "Pagedata.blit: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let diff p ~twin =
+  if Array.length p <> Array.length twin then invalid_arg "Pagedata.diff: length mismatch";
+  let acc = ref [] in
+  for i = Array.length p - 1 downto 0 do
+    (* Bitwise comparison: NaN payloads and -0.0 must round-trip. *)
+    if Int64.bits_of_float p.(i) <> Int64.bits_of_float twin.(i) then
+      acc := (i, p.(i)) :: !acc
+  done;
+  !acc
+
+let diff_size = List.length
+
+let apply_diff p d = List.iter (fun (i, v) -> p.(i) <- v) d
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a
+    || (Int64.bits_of_float a.(i) = Int64.bits_of_float b.(i) && go (i + 1))
+  in
+  go 0

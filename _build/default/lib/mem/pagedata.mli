@@ -1,0 +1,34 @@
+(** Page contents and the Munin-style twin/diff/merge machinery.
+
+    A page's data is an array of words.  When an SSMP gains write
+    privilege it {e twins} the page (snapshots it); at release time the
+    modified page is compared word-by-word against its twin to produce a
+    {e diff}, which the home merges into the master copy.  Multiple
+    writers of disjoint words therefore reconcile correctly. *)
+
+type page = float array
+(** Mutable page contents, length [Geom.page_words]. *)
+
+type diff = (int * float) list
+(** Sparse delta: [(word offset, new value)] pairs, offsets strictly
+    increasing. *)
+
+val create : Geom.t -> page
+(** Zero-filled page. *)
+
+val copy : page -> page
+(** [copy p] is an independent twin of [p]. *)
+
+val blit : src:page -> dst:page -> unit
+(** Overwrite [dst] with [src] (lengths must match). *)
+
+val diff : page -> twin:page -> diff
+(** [diff p ~twin] lists the words where [p] differs from [twin]. *)
+
+val diff_size : diff -> int
+(** Number of modified words. *)
+
+val apply_diff : page -> diff -> unit
+(** [apply_diff p d] writes each delta of [d] into [p]. *)
+
+val equal : page -> page -> bool

@@ -1,0 +1,1 @@
+lib/net/lan.ml: Array Hashtbl Mgs_engine Mgs_machine Option

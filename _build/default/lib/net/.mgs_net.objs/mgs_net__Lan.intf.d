@@ -1,0 +1,1 @@
+lib/net/lan.mli: Mgs_engine Mgs_machine

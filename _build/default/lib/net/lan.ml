@@ -1,0 +1,52 @@
+type stats = { mutable messages : int; mutable data_words : int }
+
+type t = {
+  sim : Mgs_engine.Sim.t;
+  costs : Mgs_machine.Costs.t;
+  sender_free : Mgs_engine.Sim.time array; (* per-SSMP sender availability *)
+  last_arrival : (int * int, Mgs_engine.Sim.time) Hashtbl.t; (* FIFO per channel *)
+  stats : stats;
+}
+
+let create sim costs ~nssmps =
+  if nssmps <= 0 then invalid_arg "Lan.create: nssmps";
+  {
+    sim;
+    costs;
+    sender_free = Array.make nssmps 0;
+    last_arrival = Hashtbl.create 64;
+    stats = { messages = 0; data_words = 0 };
+  }
+
+(* Delivery on each (src, dst) channel is FIFO: a short message sent
+   after a bulk one must not overtake it (the emulated LAN queues at the
+   sender and has a fixed latency, so ordering is inherent). *)
+let fifo_arrival lan ~src ~dst raw =
+  let key = (src, dst) in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt lan.last_arrival key) in
+  let arrive = max raw prev in
+  Hashtbl.replace lan.last_arrival key arrive;
+  arrive
+
+let send lan ~src ~dst ~at ~words k =
+  let p = lan.costs.Mgs_machine.Costs.proto in
+  let l = lan.costs.Mgs_machine.Costs.lan in
+  if src = dst then begin
+    (* Intra-SSMP protocol message: fast Alewife messaging, no LAN. *)
+    let arrive = fifo_arrival lan ~src ~dst (at + p.intra_msg + (words * p.dma_per_word)) in
+    Mgs_engine.Sim.at lan.sim arrive (fun () -> k arrive)
+  end
+  else begin
+    let depart = max at lan.sender_free.(src) in
+    lan.sender_free.(src) <- depart + l.send_occupancy;
+    let arrive = fifo_arrival lan ~src ~dst (depart + l.latency + (words * p.dma_per_word)) in
+    lan.stats.messages <- lan.stats.messages + 1;
+    lan.stats.data_words <- lan.stats.data_words + words;
+    Mgs_engine.Sim.at lan.sim arrive (fun () -> k arrive)
+  end
+
+let stats lan = lan.stats
+
+let reset_stats lan =
+  lan.stats.messages <- 0;
+  lan.stats.data_words <- 0

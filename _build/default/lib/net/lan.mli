@@ -1,0 +1,30 @@
+(** External (inter-SSMP) network model.
+
+    The paper emulates a LAN on Alewife by queueing outgoing inter-SSMP
+    messages at the sending processor and delivering them after a fixed
+    latency (section 4.2.2); neither LAN contention nor interface
+    contention is modelled.  We reproduce exactly that: each SSMP has a
+    sender whose occupancy serialises its outgoing messages, and every
+    message is delivered [latency] cycles after it leaves the queue.
+    Bulk data adds DMA time proportional to its size. *)
+
+type t
+
+type stats = {
+  mutable messages : int;  (** inter-SSMP messages delivered *)
+  mutable data_words : int;  (** bulk payload words carried *)
+}
+
+val create : Mgs_engine.Sim.t -> Mgs_machine.Costs.t -> nssmps:int -> t
+
+val send :
+  t -> src:int -> dst:int -> at:Mgs_engine.Sim.time -> words:int -> (Mgs_engine.Sim.time -> unit) -> unit
+(** [send lan ~src ~dst ~at ~words k] transmits a message carrying
+    [words] words of bulk data from SSMP [src] (leaving no earlier than
+    [at]) to SSMP [dst]; [k] runs at the delivery time.  [src = dst] is
+    permitted and models a local protocol message: it bypasses the LAN
+    and costs only the intra-SSMP message latency. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/svm/tlb.ml: Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/svm/translate.ml: Mgs_machine

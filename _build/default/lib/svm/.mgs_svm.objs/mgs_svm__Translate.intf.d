@@ -1,0 +1,1 @@
+lib/svm/translate.mli: Mgs_machine

@@ -1,0 +1,65 @@
+type mode = Ro | Rw
+
+type t = {
+  map : (int, mode) Hashtbl.t;
+  capacity : int option;
+  fifo : int Queue.t; (* insertion order, pruned lazily *)
+  mutable fills : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Tlb.create: capacity"
+  | _ -> ());
+  {
+    map = Hashtbl.create 64;
+    capacity;
+    fifo = Queue.create ();
+    fills = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let lookup t ~vpn = Hashtbl.find_opt t.map vpn
+
+(* FIFO eviction: pop queued candidates until one still resides. *)
+let rec evict_one t =
+  match Queue.take_opt t.fifo with
+  | None -> ()
+  | Some victim ->
+    if Hashtbl.mem t.map victim then begin
+      Hashtbl.remove t.map victim;
+      t.evictions <- t.evictions + 1
+    end
+    else evict_one t
+
+let fill t ~vpn ~mode =
+  t.fills <- t.fills + 1;
+  let fresh = not (Hashtbl.mem t.map vpn) in
+  if fresh then begin
+    (match t.capacity with
+    | Some cap when Hashtbl.length t.map >= cap -> evict_one t
+    | _ -> ());
+    Queue.add vpn t.fifo
+  end;
+  Hashtbl.replace t.map vpn mode
+
+let invalidate t ~vpn =
+  if Hashtbl.mem t.map vpn then begin
+    t.invalidations <- t.invalidations + 1;
+    Hashtbl.remove t.map vpn
+  end
+
+let entries t = Hashtbl.length t.map
+
+let clear t =
+  Hashtbl.reset t.map;
+  Queue.clear t.fifo
+
+let fills t = t.fills
+
+let invalidations t = t.invalidations
+
+let evictions t = t.evictions

@@ -1,0 +1,37 @@
+(** Per-processor software TLB.
+
+    Alewife has no virtual-memory hardware; MGS performs translation in
+    software against a per-processor TLB filled from the SSMP's page
+    table (section 4.2.1).  The TLB maps virtual page numbers to access
+    modes.  By default capacity is unbounded (the paper charges a fixed
+    fill cost per fill rather than modelling capacity); an optional
+    entry limit with FIFO eviction is available for sensitivity
+    studies. *)
+
+type mode = Ro | Rw
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity]: maximum resident entries (FIFO eviction); unbounded when
+    omitted.  @raise Invalid_argument if [capacity <= 0]. *)
+
+val lookup : t -> vpn:int -> mode option
+
+val fill : t -> vpn:int -> mode:mode -> unit
+(** Installs or upgrades the entry for [vpn]. *)
+
+val invalidate : t -> vpn:int -> unit
+(** Drops the entry; no-op if absent (a PINV can race an eviction). *)
+
+val entries : t -> int
+
+val clear : t -> unit
+
+val fills : t -> int
+(** Cumulative number of [fill] calls (statistics). *)
+
+val invalidations : t -> int
+
+val evictions : t -> int
+(** Capacity evictions performed (0 when unbounded). *)

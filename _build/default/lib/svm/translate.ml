@@ -1,0 +1,6 @@
+type kind = Array | Pointer | Unmapped
+
+let cost (c : Mgs_machine.Costs.t) = function
+  | Array -> c.svm.array_translation
+  | Pointer -> c.svm.pointer_translation
+  | Unmapped -> 0

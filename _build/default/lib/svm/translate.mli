@@ -1,0 +1,14 @@
+(** In-line software address translation costs.
+
+    The MGS compiler emits translation code before pointer dereferences
+    and distributed-array accesses; other accesses (stack, locals,
+    instructions) are unmapped and free.  Applications declare which
+    kind each shared access is; the cost difference (18 vs 24 cycles)
+    comes from deciding whether a pointer targets mapped space. *)
+
+type kind =
+  | Array  (** distributed-array element access *)
+  | Pointer  (** general pointer dereference *)
+  | Unmapped  (** private/stack data: no translation *)
+
+val cost : Mgs_machine.Costs.t -> kind -> int

@@ -1,0 +1,1 @@
+lib/sync/barrier.ml: Am Array Cpu Hashtbl Mgs Mgs_engine Sim Topology

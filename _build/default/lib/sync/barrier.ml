@@ -1,0 +1,81 @@
+open Mgs.State
+
+type blocal = { mutable arrived : int; waiters : Mgs_engine.Waitq.t }
+
+type t = {
+  m : Mgs.State.t;
+  locals : blocal array;
+  notices : (int, int) Hashtbl.t; (* HLRC: write notices funneled via the barrier *)
+  mutable global_arrived : int;
+  mutable episodes : int;
+}
+
+let create (m : Mgs.Machine.t) =
+  {
+    m;
+    locals =
+      Array.init m.topo.Topology.nssmps (fun _ ->
+          { arrived = 0; waiters = Mgs_engine.Waitq.create () });
+    notices = Hashtbl.create 64;
+    global_arrived = 0;
+    episodes = 0;
+  }
+
+let master_proc b = Topology.first_proc_of_ssmp b.m.topo 0
+
+let release_ssmp b s =
+  let loc = b.locals.(s) in
+  loc.arrived <- 0;
+  ignore (Mgs_engine.Waitq.wake_all b.m.sim loc.waiters)
+
+let on_combine b =
+  b.global_arrived <- b.global_arrived + 1;
+  if b.global_arrived = b.m.topo.Topology.nssmps then begin
+    b.global_arrived <- 0;
+    b.episodes <- b.episodes + 1;
+    b.m.sync_counters.barrier_episodes <- b.m.sync_counters.barrier_episodes + 1;
+    for s = 0 to b.m.topo.Topology.nssmps - 1 do
+      Am.post b.m.am ~tag:"BAR_RELEASE" ~src:(master_proc b)
+        ~dst:(Topology.first_proc_of_ssmp b.m.topo s)
+        ~words:0 ~cost:b.m.costs.sync.barrier_local (fun _t -> release_ssmp b s)
+    done
+  end
+
+let wait ctx b =
+  let m = b.m in
+  let cpu = (ctx : Mgs.Api.ctx).cpu in
+  let proc = ctx.Mgs.Api.proc in
+  Cpu.sync_busy cpu;
+  if Topology.single_ssmp m.topo then begin
+    (* Flat barrier standing in for P4 on the tightly-coupled machine. *)
+    Cpu.advance cpu Barrier m.costs.sync.flat_barrier;
+    let loc = b.locals.(0) in
+    loc.arrived <- loc.arrived + 1;
+    if loc.arrived = m.topo.Topology.nprocs then begin
+      b.episodes <- b.episodes + 1;
+      m.sync_counters.barrier_episodes <- m.sync_counters.barrier_episodes + 1;
+      release_ssmp b 0
+    end
+    else Mgs_engine.Waitq.park loc.waiters;
+    Cpu.resume_charge cpu Barrier (Sim.now m.sim)
+  end
+  else begin
+    (* Release point: make this SSMP's writes visible first (HLRC also
+       publishes its write notices into the barrier). *)
+    Mgs.Consistency.at_release m ~proc ~notices:b.notices;
+    Cpu.advance cpu Barrier m.costs.sync.barrier_local;
+    let s = Topology.ssmp_of_proc m.topo proc in
+    let loc = b.locals.(s) in
+    loc.arrived <- loc.arrived + 1;
+    if loc.arrived = m.topo.Topology.cluster then begin
+      Cpu.advance cpu Barrier m.costs.proto.msg_send;
+      Am.post m.am ~tag:"BAR_COMBINE" ~src:proc ~dst:(master_proc b) ~words:0
+        ~cost:m.costs.sync.barrier_local (fun _t -> on_combine b)
+    end;
+    Mgs_engine.Waitq.park loc.waiters;
+    Cpu.resume_charge cpu Barrier (Sim.now m.sim);
+    (* everyone's notices are now in the barrier's map: apply them *)
+    Mgs.Consistency.at_acquire m ~proc ~notices:b.notices
+  end
+
+let episodes b = b.episodes

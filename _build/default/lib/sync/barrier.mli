@@ -1,0 +1,22 @@
+(** The MGS tree barrier (paper section 3.2).
+
+    Level one synchronizes the processors of each SSMP through shared
+    memory; level two synchronizes the SSMPs with exactly two inter-SSMP
+    messages per SSMP (one combine to the master, one release back).
+    Arriving at a barrier is a release-consistency point: each SSMP's
+    delayed update queue is flushed before the combine.
+
+    On a single-SSMP machine the barrier degenerates to a flat
+    all-processor barrier standing in for the paper's P4 library. *)
+
+type t
+
+val create : Mgs.Machine.t -> t
+(** A reusable barrier over all processors of [m]. *)
+
+val wait : Mgs.Api.ctx -> t -> unit
+(** Block until every processor has arrived.  DUQ flushing is charged
+    to the MGS bucket; arrival cost and waiting to the Barrier bucket. *)
+
+val episodes : t -> int
+(** Completed barrier episodes. *)

@@ -1,0 +1,51 @@
+(** The MGS token-based distributed lock (paper section 3.2).
+
+    Each lock consists of a local lock on every SSMP plus a single
+    global lock at the lock's home SSMP.  A token circulates among the
+    local locks; acquires succeed without inter-SSMP communication
+    whenever the local lock already owns the token (a {e lock hit},
+    Figure 11), and communication happens only when consecutive acquires
+    come from different SSMPs.
+
+    Release is a release-consistency point: the SSMP's delayed update
+    queue is flushed before the lock is passed on, which is what makes
+    critical sections {e dilate} under software coherence (section
+    5.2.1).
+
+    On a single-SSMP machine (C = P) the lock degenerates to a flat
+    shared-memory lock standing in for the paper's P4 library.
+
+    When a remote SSMP has requested the token, at most
+    [local_grant_bound] further local handoffs are allowed before the
+    token is surrendered, bounding remote starvation while preserving
+    the locality preference; the bound scales with the cluster size, as
+    larger SSMPs have proportionally more local work to satisfy. *)
+
+type t
+
+val local_grant_bound : int -> int
+(** [local_grant_bound cluster] is the handoff budget per recall. *)
+
+val create : Mgs.Machine.t -> ?home:int -> ?grant_bound:int -> unit -> t
+(** [create m ~home ()] makes a lock whose global state lives on SSMP
+    [home] (default 0).  [grant_bound] overrides the default handoff
+    budget ({!local_grant_bound} of the cluster size): 0 surrenders the
+    token at the first recalled release (globally fair), larger values
+    favor locality. *)
+
+val acquire : Mgs.Api.ctx -> t -> unit
+(** Block until the calling processor holds the lock.  Waiting time is
+    charged to the Lock bucket. *)
+
+val release : Mgs.Api.ctx -> t -> unit
+(** Flush the delayed update queue (MGS bucket), then free the lock,
+    preferring local waiters.
+    @raise Failure if the caller's SSMP does not hold the lock. *)
+
+val acquires : t -> int
+
+val hits : t -> int
+(** Acquires that completed without inter-SSMP communication. *)
+
+val hit_ratio : t -> float
+(** [hits / acquires]; 1.0 when never acquired. *)

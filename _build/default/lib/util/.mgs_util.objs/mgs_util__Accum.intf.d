@@ -1,0 +1,1 @@
+lib/util/accum.mli: Format

@@ -1,0 +1,1 @@
+lib/util/tableprint.ml: Array Buffer Float List Printf String

@@ -1,0 +1,50 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; mn = infinity; mx = neg_infinity }
+
+let add a x =
+  a.n <- a.n + 1;
+  let delta = x -. a.mean in
+  a.mean <- a.mean +. (delta /. float_of_int a.n);
+  a.m2 <- a.m2 +. (delta *. (x -. a.mean));
+  if x < a.mn then a.mn <- x;
+  if x > a.mx then a.mx <- x
+
+let count a = a.n
+
+let sum a = a.mean *. float_of_int a.n
+
+let mean a = if a.n = 0 then 0. else a.mean
+
+let variance a = if a.n < 2 then 0. else a.m2 /. float_of_int a.n
+
+let stddev a = sqrt (variance a)
+
+let min_value a = if a.n = 0 then invalid_arg "Accum.min_value: empty" else a.mn
+
+let max_value a = if a.n = 0 then invalid_arg "Accum.max_value: empty" else a.mx
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    { n; mean; m2; mn = Float.min a.mn b.mn; mx = Float.max a.mx b.mx }
+  end
+
+let pp ppf a =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" a.n (mean a) (stddev a)
+    (if a.n = 0 then nan else a.mn)
+    (if a.n = 0 then nan else a.mx)

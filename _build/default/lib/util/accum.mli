@@ -1,0 +1,36 @@
+(** Streaming statistics accumulator.
+
+    Collects count / sum / min / max / mean / variance in one pass
+    (Welford's algorithm) without storing samples.  Used for per-run
+    summaries in the harness and benches. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] is an empty accumulator. *)
+
+val add : t -> float -> unit
+(** [add a x] folds sample [x] in. *)
+
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float
+(** [mean a] is 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to folding both sample
+    streams. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = { words : Bytes.t; cap : int; mutable card : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make ((n + 7) / 8) '\000'; cap = n; card = 0 }
+
+let capacity s = s.cap
+
+let check s i = if i < 0 || i >= s.cap then invalid_arg "Bitset: out of range"
+
+let get_bit s i = Char.code (Bytes.get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit s i b =
+  let byte = Char.code (Bytes.get s.words (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte' = if b then byte lor mask else byte land lnot mask in
+  Bytes.set s.words (i lsr 3) (Char.chr byte')
+
+let mem s i =
+  check s i;
+  get_bit s i
+
+let add s i =
+  check s i;
+  if not (get_bit s i) then begin
+    set_bit s i true;
+    s.card <- s.card + 1
+  end
+
+let remove s i =
+  check s i;
+  if get_bit s i then begin
+    set_bit s i false;
+    s.card <- s.card - 1
+  end
+
+let cardinal s = s.card
+
+let is_empty s = s.card = 0
+
+let clear s =
+  Bytes.fill s.words 0 (Bytes.length s.words) '\000';
+  s.card <- 0
+
+let iter f s =
+  for i = 0 to s.cap - 1 do
+    if get_bit s i then f i
+  done
+
+let elements s =
+  let acc = ref [] in
+  for i = s.cap - 1 downto 0 do
+    if get_bit s i then acc := i :: !acc
+  done;
+  !acc
+
+let copy s = { words = Bytes.copy s.words; cap = s.cap; card = s.card }
+
+let union_into dst src =
+  if dst.cap <> src.cap then invalid_arg "Bitset.union_into: capacity mismatch";
+  iter (fun i -> add dst i) src
+
+let choose s =
+  let rec go i = if i >= s.cap then None else if get_bit s i then Some i else go (i + 1) in
+  go 0
+
+let equal a b =
+  if a.cap <> b.cap then invalid_arg "Bitset.equal: capacity mismatch";
+  a.card = b.card && Bytes.equal a.words b.words
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat ", " (List.map string_of_int (elements s)))

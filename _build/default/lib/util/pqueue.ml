@@ -1,0 +1,54 @@
+type 'a node =
+  | Empty
+  | Node of { prio : int; seq : int; value : 'a; mutable children : 'a node list }
+
+type 'a t = { mutable root : 'a node; mutable size : int }
+
+let create () = { root = Empty; size = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let less a b =
+  match (a, b) with
+  | Node a, Node b -> a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+  | _ -> invalid_arg "Pqueue.less"
+
+let meld a b =
+  match (a, b) with
+  | Empty, n | n, Empty -> n
+  | (Node na as a'), (Node nb as b') ->
+    if less a' b' then begin
+      na.children <- b' :: na.children;
+      a'
+    end
+    else begin
+      nb.children <- a' :: nb.children;
+      b'
+    end
+
+let push q ~prio ~seq value =
+  q.root <- meld q.root (Node { prio; seq; value; children = [] });
+  q.size <- q.size + 1
+
+let min_prio q = match q.root with Empty -> None | Node n -> Some n.prio
+
+(* Two-pass pairing: meld children pairwise left to right, then meld the
+   resulting list right to left. *)
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ n ] -> n
+  | a :: b :: rest -> meld (meld a b) (merge_pairs rest)
+
+let pop q =
+  match q.root with
+  | Empty -> None
+  | Node n ->
+    q.root <- merge_pairs n.children;
+    q.size <- q.size - 1;
+    Some (n.prio, n.seq, n.value)
+
+let clear q =
+  q.root <- Empty;
+  q.size <- 0

@@ -1,0 +1,32 @@
+(** Imperative min-priority queue specialised for discrete-event
+    simulation.
+
+    Keys are [(priority, seq)] pairs ordered lexicographically; the caller
+    supplies a monotonically increasing sequence number to break ties
+    deterministically (events scheduled first fire first).  Implemented as
+    a pairing heap, giving O(1) insert and amortised O(log n) extraction. *)
+
+type 'a t
+(** Mutable priority queue holding elements of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty queue. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [true] iff [q] holds no element. *)
+
+val length : 'a t -> int
+(** [length q] is the number of queued elements. *)
+
+val push : 'a t -> prio:int -> seq:int -> 'a -> unit
+(** [push q ~prio ~seq x] inserts [x] with key [(prio, seq)]. *)
+
+val min_prio : 'a t -> int option
+(** [min_prio q] is the priority of the minimum element, if any. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop q] removes and returns the minimum element as
+    [(prio, seq, value)], or [None] when [q] is empty. *)
+
+val clear : 'a t -> unit
+(** [clear q] removes every element. *)

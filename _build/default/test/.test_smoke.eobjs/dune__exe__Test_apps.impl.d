@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Mgs_apps Mgs_harness

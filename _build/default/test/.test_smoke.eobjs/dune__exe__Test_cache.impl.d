@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Hashtbl List Mgs_cache Mgs_machine Mgs_mem QCheck2 QCheck_alcotest

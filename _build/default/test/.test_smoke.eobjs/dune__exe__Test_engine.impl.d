@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest List Mgs_engine QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Mgs Mgs_harness Mgs_mem Mgs_sync Printf String

@@ -1,0 +1,1 @@
+test/test_hlrc.ml: Alcotest Array List Mgs Mgs_apps Mgs_harness Mgs_mem Mgs_sync Mgs_util Printf QCheck2 QCheck_alcotest Topology

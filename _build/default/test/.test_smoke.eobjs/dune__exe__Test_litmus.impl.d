@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Array List Mgs Mgs_mem Mgs_sync Printf

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Mgs_machine QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array List Mgs_mem Mgs_util QCheck2 QCheck_alcotest

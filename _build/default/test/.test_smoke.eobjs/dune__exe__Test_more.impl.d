@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Buffer List Mgs Mgs_apps Mgs_harness Mgs_machine Mgs_mem Mgs_sync Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Hashtbl List Mgs_am Mgs_engine Mgs_machine Mgs_net Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Bitset Geom Mgs Mgs_machine Mgs_mem Mgs_sync Printf Topology

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Float Lazy List Mgs_apps Mgs_harness Printf

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest List Mgs Mgs_mem Mgs_sync Printf

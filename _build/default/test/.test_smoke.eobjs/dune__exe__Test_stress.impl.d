@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array List Mgs Mgs_mem Mgs_sync Mgs_util Printf QCheck2 QCheck_alcotest

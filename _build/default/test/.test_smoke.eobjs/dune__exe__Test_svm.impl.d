@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Mgs Mgs_machine Mgs_mem Mgs_svm Mgs_sync Printf

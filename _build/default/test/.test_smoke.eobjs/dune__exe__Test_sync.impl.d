@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest List Mgs Mgs_mem Mgs_net Mgs_sync Printf QCheck2 QCheck_alcotest

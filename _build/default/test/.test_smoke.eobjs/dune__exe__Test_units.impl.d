@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Float Hashtbl List Mgs Mgs_apps Mgs_engine Mgs_harness Mgs_mem Mgs_sync Option QCheck2 QCheck_alcotest String

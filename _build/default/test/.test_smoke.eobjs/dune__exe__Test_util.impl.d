@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Int List Mgs_util QCheck2 QCheck_alcotest Set String

@@ -1,0 +1,179 @@
+(* Tests for the discrete-event core: event ordering, clamping, fibers,
+   and wait queues. *)
+
+module Sim = Mgs_engine.Sim
+module Fiber = Mgs_engine.Fiber
+module Waitq = Mgs_engine.Waitq
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 30 (fun () -> log := 30 :: !log);
+  Sim.at sim 10 (fun () -> log := 10 :: !log);
+  Sim.at sim 20 (fun () -> log := 20 :: !log);
+  let n = Sim.run sim () in
+  Alcotest.(check int) "events" 3 n;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Sim.now sim)
+
+let test_tie_break_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Sim.at sim 7 (fun () -> log := i :: !log)
+  done;
+  ignore (Sim.run sim ());
+  Alcotest.(check (list int)) "same-time events run in schedule order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_past_clamped () =
+  let sim = Sim.create () in
+  let fired_at = ref (-1) in
+  Sim.at sim 100 (fun () -> Sim.at sim 50 (fun () -> fired_at := Sim.now sim));
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "past schedule runs now" 100 !fired_at
+
+let test_after_negative () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.after: negative delay")
+    (fun () -> Sim.after sim (-1) (fun () -> ()))
+
+let test_event_limit () =
+  let sim = Sim.create () in
+  let rec forever () = Sim.after sim 1 forever in
+  forever ();
+  Alcotest.check_raises "limit trips"
+    (Failure "Sim.run: event limit exhausted (livelock?)") (fun () ->
+      ignore (Sim.run sim ~limit:100 ()))
+
+let test_fiber_completes () =
+  let sim = Sim.create () in
+  let steps = ref [] in
+  let fb =
+    Fiber.spawn sim ~at:0 ~name:"t" (fun () ->
+        steps := `A :: !steps;
+        Fiber.sleep_until sim 500;
+        steps := `B :: !steps)
+  in
+  ignore (Sim.run sim ());
+  Alcotest.(check bool) "completed" true (Fiber.status fb = Fiber.Completed);
+  Alcotest.(check int) "slept to 500" 500 (Sim.now sim);
+  Alcotest.(check int) "both steps ran" 2 (List.length !steps)
+
+let test_fiber_deadlock_detected () =
+  let sim = Sim.create () in
+  let fb = Fiber.spawn sim ~at:0 ~name:"stuck" (fun () -> Fiber.suspend (fun _resume -> ())) in
+  ignore (Sim.run sim ());
+  Alcotest.(check bool) "still running" true (Fiber.status fb = Fiber.Running);
+  Alcotest.check_raises "check_all_completed reports it"
+    (Failure "fiber \"stuck\" deadlocked (still blocked)") (fun () ->
+      Fiber.check_all_completed [ fb ])
+
+exception Boom
+
+let test_fiber_failure_propagates () =
+  let sim = Sim.create () in
+  let fb = Fiber.spawn sim ~at:0 ~name:"bad" (fun () -> raise Boom) in
+  ignore (Sim.run sim ());
+  (match Fiber.status fb with
+  | Fiber.Failed Boom -> ()
+  | _ -> Alcotest.fail "expected Failed Boom");
+  Alcotest.check_raises "re-raised" Boom (fun () -> Fiber.check_all_completed [ fb ])
+
+let test_suspend_outside_fiber () =
+  Alcotest.check_raises "suspend outside fiber"
+    (Failure "Fiber.suspend: called outside a fiber") (fun () ->
+      Fiber.suspend (fun _resume -> ()))
+
+let test_waitq_fifo () =
+  let sim = Sim.create () in
+  let q = Waitq.create () in
+  let order = ref [] in
+  let spawn name =
+    ignore
+      (Fiber.spawn sim ~at:0 ~name (fun () ->
+           Waitq.park q;
+           order := name :: !order))
+  in
+  spawn "first";
+  spawn "second";
+  spawn "third";
+  Sim.at sim 10 (fun () -> ignore (Waitq.wake_one sim q));
+  Sim.at sim 20 (fun () -> ignore (Waitq.wake_all sim q));
+  ignore (Sim.run sim ());
+  Alcotest.(check (list string)) "FIFO wake order" [ "first"; "second"; "third" ]
+    (List.rev !order)
+
+let test_waitq_counts () =
+  let sim = Sim.create () in
+  let q = Waitq.create () in
+  Alcotest.(check bool) "empty wake_one" false (Waitq.wake_one sim q);
+  Waitq.park_thunk q (fun () -> ());
+  Waitq.park_thunk q (fun () -> ());
+  Alcotest.(check int) "length" 2 (Waitq.length q);
+  Alcotest.(check int) "wake_all count" 2 (Waitq.wake_all sim q);
+  Alcotest.(check bool) "now empty" true (Waitq.is_empty q)
+
+(* Fibers interleave deterministically with plain events. *)
+let test_fiber_event_interleaving () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Fiber.spawn sim ~at:5 ~name:"f" (fun () ->
+         log := "f@5" :: !log;
+         Fiber.sleep_until sim 15;
+         log := "f@15" :: !log));
+  Sim.at sim 10 (fun () -> log := "e@10" :: !log);
+  ignore (Sim.run sim ());
+  Alcotest.(check (list string)) "interleaving" [ "f@5"; "e@10"; "f@15" ] (List.rev !log)
+
+(* Property: the simulator clock never goes backwards, whatever the
+   schedule (including events scheduling into the past). *)
+let prop_clock_monotone =
+  QCheck2.Test.make ~name:"Sim.now is monotone" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 1000) (int_bound 500)))
+    (fun plan ->
+      let sim = Sim.create () in
+      let last = ref (-1) in
+      let ok = ref true in
+      List.iter
+        (fun (t, dt) ->
+          Sim.at sim t (fun () ->
+              if Sim.now sim < !last then ok := false;
+              last := Sim.now sim;
+              (* events may schedule both forward and "backward" *)
+              Sim.at sim (Sim.now sim - dt) (fun () ->
+                  if Sim.now sim < !last then ok := false;
+                  last := Sim.now sim)))
+        plan;
+      ignore (Sim.run sim ());
+      !ok)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_clock_monotone ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "tie-break fifo" `Quick test_tie_break_fifo;
+          Alcotest.test_case "past clamped to now" `Quick test_past_clamped;
+          Alcotest.test_case "negative delay rejected" `Quick test_after_negative;
+          Alcotest.test_case "event limit" `Quick test_event_limit;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "runs to completion" `Quick test_fiber_completes;
+          Alcotest.test_case "deadlock detected" `Quick test_fiber_deadlock_detected;
+          Alcotest.test_case "failure propagates" `Quick test_fiber_failure_propagates;
+          Alcotest.test_case "suspend outside fiber" `Quick test_suspend_outside_fiber;
+          Alcotest.test_case "interleaves with events" `Quick test_fiber_event_interleaving;
+        ] );
+      ( "waitq",
+        [
+          Alcotest.test_case "fifo" `Quick test_waitq_fifo;
+          Alcotest.test_case "counts" `Quick test_waitq_counts;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,36 @@
+(* The examples must build and run cleanly: they are the public face of
+   the API.  Each is executed as a subprocess; exit code 0 and non-empty
+   output are required. *)
+
+let run_example name =
+  (* dune runtest runs in _build/default/test; dune exec from the root *)
+  let candidates =
+    [
+      Filename.concat "../examples" (name ^ ".exe");
+      Filename.concat "_build/default/examples" (name ^ ".exe");
+      Filename.concat "examples" (name ^ ".exe");
+    ]
+  in
+  let path =
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.failf "example binary %s not found" name
+  in
+  let tmp = Filename.temp_file "mgs_example" ".out" in
+  let cmd = Printf.sprintf "%s > %s 2>&1" (Filename.quote path) (Filename.quote tmp) in
+  let code = Sys.command cmd in
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check int) (name ^ " exits 0") 0 code;
+  Alcotest.(check bool) (name ^ " produces output") true (len > 0)
+
+let () =
+  Alcotest.run "examples"
+    [
+      ( "run",
+        List.map
+          (fun n -> Alcotest.test_case n `Slow (fun () -> run_example n))
+          [ "quickstart"; "stencil"; "work_queue"; "protocols" ] );
+    ]

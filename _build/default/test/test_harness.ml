@@ -1,0 +1,154 @@
+(* Tests for the experiment harness: the framework metrics (section 2.4)
+   on synthetic runtime curves, sweep mechanics, and figure rendering. *)
+
+module Sweep = Mgs_harness.Sweep
+module Figures = Mgs_harness.Figures
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_clusters_of () =
+  Alcotest.(check (list int)) "powers of two" [ 1; 2; 4; 8; 16; 32 ] (Sweep.clusters_of 32);
+  Alcotest.(check (list int)) "single" [ 1 ] (Sweep.clusters_of 1)
+
+(* A synthetic curve with known metrics: P=8, T(8)=100, T(4)=400
+   (breakup 300%), T(1)=800 (potential (800-400)/400 = 100%). *)
+let curve_concave = [ (1, 800); (2, 790); (4, 400); (8, 100) ]
+
+let curve_convex = [ (1, 800); (2, 420); (4, 400); (8, 100) ]
+
+let test_metrics_values () =
+  Alcotest.(check (float 1e-9)) "breakup" 3.0 (Sweep.breakup_penalty_rt curve_concave);
+  Alcotest.(check (float 1e-9)) "potential" 1.0 (Sweep.multigrain_potential_rt curve_concave);
+  Alcotest.(check int) "runtime_of" 400 (Sweep.runtime_of_rt curve_concave 4)
+
+let test_curvature_classes () =
+  (* concave: the interior point (C=2) sits above the chord *)
+  Alcotest.(check string) "concave" "concave" (Sweep.curvature_class_rt curve_concave);
+  Alcotest.(check string) "convex" "convex" (Sweep.curvature_class_rt curve_convex);
+  let linear = [ (1, 800); (2, 600); (4, 400); (8, 100) ] in
+  Alcotest.(check string) "linear in log C is flat" "flat" (Sweep.curvature_class_rt linear)
+
+let test_runtime_of_missing () =
+  Alcotest.check_raises "missing cluster" Not_found (fun () ->
+      ignore (Sweep.runtime_of_rt curve_concave 16))
+
+(* A trivial workload for sweep mechanics. *)
+let trivial_workload =
+  let prepare m =
+    let cell = Mgs.Machine.alloc m ~words:4 ~home:Mgs_mem.Allocator.Interleaved in
+    let bar = Mgs_sync.Barrier.create m in
+    let body ctx =
+      let p = Mgs.Api.proc ctx in
+      Mgs.Api.write ctx (cell + p) (float_of_int p);
+      Mgs_sync.Barrier.wait ctx bar
+    in
+    let check m =
+      for p = 0 to 3 do
+        if Mgs.Machine.peek m (cell + p) <> float_of_int p then failwith "bad cell"
+      done
+    in
+    (body, check)
+  in
+  { Sweep.name = "trivial"; prepare }
+
+let test_sweep_mechanics () =
+  let points = Sweep.sweep ~nprocs:4 trivial_workload in
+  Alcotest.(check (list int)) "all cluster sizes" [ 1; 2; 4 ]
+    (List.map (fun p -> p.Sweep.cluster) points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "positive runtime at C=%d" p.Sweep.cluster)
+        true
+        (p.Sweep.report.Mgs.Report.runtime > 0))
+    points
+
+let test_sweep_custom_clusters () =
+  let points = Sweep.sweep ~clusters:[ 2; 4 ] ~nprocs:4 trivial_workload in
+  Alcotest.(check (list int)) "restricted" [ 2; 4 ]
+    (List.map (fun p -> p.Sweep.cluster) points)
+
+let test_figures_render () =
+  let points = Sweep.sweep ~nprocs:4 trivial_workload in
+  let fig = Figures.breakdown_figure ~title:"Trivial" points in
+  Alcotest.(check bool) "title present" true (contains fig "Trivial");
+  Alcotest.(check bool) "metric line present" true (contains fig "breakup penalty");
+  Alcotest.(check bool) "legend present" true (contains fig "legend:");
+  let lockfig = Figures.lock_figure [ ("trivial", points) ] in
+  Alcotest.(check bool) "lock figure has app row" true (contains lockfig "trivial");
+  let t4 =
+    Figures.table4
+      [ { Figures.app = "X"; problem_size = "small"; seq_runtime = 1000; speedup = 3.5 } ]
+  in
+  Alcotest.(check bool) "table4 row" true (contains t4 "3.5");
+  let summary = Figures.metrics_summary [ ("trivial", points) ] in
+  Alcotest.(check bool) "summary header" true (contains summary "Multigrain potential")
+
+let test_csv_and_messages () =
+  let points = Sweep.sweep ~nprocs:4 trivial_workload in
+  let csv = Figures.csv_of_sweep ~name:"trivial" points in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + one line per cluster" 4 (List.length lines);
+  Alcotest.(check bool) "header columns" true
+    (List.hd lines = "app,cluster,runtime,user,lock,barrier,mgs,lan_messages,lan_words,lock_hit_ratio");
+  let mix = Figures.message_mix points in
+  Alcotest.(check bool) "mix mentions a protocol tag" true
+    (let has sub s =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "BAR_COMBINE" mix || has "RREQ" mix)
+
+let test_ablation_run () =
+  let out =
+    Mgs_harness.Ablation.run ~clusters:[ 1; 2; 4 ] ~nprocs:4
+      ~variants:(Mgs_harness.Ablation.protocol_study ())
+      trivial_workload
+  in
+  let has sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "columns for each variant" true
+    (has "MGS (eager RC)" && has "HLRC (lazy RC)" && has "Ivy (SC)");
+  Alcotest.(check bool) "metric rows" true (has "breakup" && has "potential")
+
+let test_micro_structure () =
+  let ms = Mgs_harness.Micro.run_all () in
+  Alcotest.(check int) "twelve Table 3 rows" 12 (List.length ms);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Mgs_harness.Micro.name ^ " measured positive")
+        true
+        (m.Mgs_harness.Micro.measured > 0))
+    ms
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "clusters_of" `Quick test_clusters_of;
+          Alcotest.test_case "breakup/potential" `Quick test_metrics_values;
+          Alcotest.test_case "curvature classes" `Quick test_curvature_classes;
+          Alcotest.test_case "missing point" `Quick test_runtime_of_missing;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "mechanics" `Quick test_sweep_mechanics;
+          Alcotest.test_case "custom clusters" `Quick test_sweep_custom_clusters;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "figures" `Quick test_figures_render;
+          Alcotest.test_case "csv + message mix" `Quick test_csv_and_messages;
+          Alcotest.test_case "ablation table" `Quick test_ablation_run;
+          Alcotest.test_case "micro rows" `Quick test_micro_structure;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Memory-model litmus tests, run under all three protocols.
+
+   Each pattern encodes a happens-before claim of the memory model:
+   - properly synchronized message passing MUST observe the data;
+   - unsynchronized racy reads are allowed to return either value but
+     must never crash the machine or corrupt unrelated state. *)
+
+open Mgs.State
+
+let protocols = [ ("mgs", Protocol_mgs); ("hlrc", Protocol_hlrc); ("ivy", Protocol_ivy) ]
+
+let machine protocol =
+  let cfg =
+    Mgs.Machine.config ~nprocs:4 ~cluster:2 ~lan_latency:600 ~protocol ~shadow:true ()
+  in
+  Mgs.Machine.create cfg
+
+(* MP (message passing) through a lock: w(data); unlock || lock; r(data). *)
+let test_mp_lock protocol () =
+  let m = machine protocol in
+  let data = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 3) in
+  let lock = Mgs_sync.Lock.create m () in
+  let turn = ref 0 in
+  let seen = ref (-1.0) in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         match Mgs.Api.proc ctx with
+         | 0 ->
+           Mgs_sync.Lock.acquire ctx lock;
+           Mgs.Api.write ctx data 42.0;
+           turn := 1;
+           Mgs_sync.Lock.release ctx lock
+         | 2 ->
+           (* spin on host state until the writer's critical section is
+              done, then acquire: the read must see the write *)
+           let rec wait () =
+             if !turn = 0 then begin
+               Mgs.Api.compute ctx 1000;
+               Mgs.Api.idle_until ctx (Mgs.Api.cycles ctx);
+               wait ()
+             end
+           in
+           wait ();
+           Mgs_sync.Lock.acquire ctx lock;
+           seen := Mgs.Api.read ctx data;
+           Mgs_sync.Lock.release ctx lock
+         | _ -> ()));
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check (float 0.)) "MP through lock" 42.0 !seen;
+  Alcotest.(check int) "no shadow divergence" 0 (Mgs.Machine.shadow_mismatches m)
+
+(* MP through a barrier: w(data); barrier || barrier; r(data). *)
+let test_mp_barrier protocol () =
+  let m = machine protocol in
+  let data = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 1) in
+  let bar = Mgs_sync.Barrier.create m in
+  let seen = Array.make 4 (-1.0) in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         if p = 3 then Mgs.Api.write ctx data 7.0;
+         Mgs_sync.Barrier.wait ctx bar;
+         seen.(p) <- Mgs.Api.read ctx data;
+         Mgs_sync.Barrier.wait ctx bar));
+  Array.iteri
+    (fun p v -> Alcotest.(check (float 0.)) (Printf.sprintf "proc %d sees write" p) 7.0 v)
+    seen
+
+(* Transitivity: A writes x, hands lock to B; B writes y, hands lock to
+   C; C must see BOTH writes (causal chains compose). *)
+let test_transitive protocol () =
+  let m = machine protocol in
+  let x = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let y = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 3) in
+  let lock = Mgs_sync.Lock.create m () in
+  let stage = ref 0 in
+  let got = ref (0.0, 0.0) in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let wait_for s =
+           let rec go () =
+             if !stage < s then begin
+               Mgs.Api.compute ctx 500;
+               Mgs.Api.idle_until ctx (Mgs.Api.cycles ctx);
+               go ()
+             end
+           in
+           go ()
+         in
+         match Mgs.Api.proc ctx with
+         | 0 ->
+           Mgs_sync.Lock.acquire ctx lock;
+           Mgs.Api.write ctx x 1.0;
+           stage := 1;
+           Mgs_sync.Lock.release ctx lock
+         | 1 ->
+           wait_for 1;
+           Mgs_sync.Lock.acquire ctx lock;
+           (* B reads x (must see it) and writes y *)
+           Alcotest.(check (float 0.)) "B sees x" 1.0 (Mgs.Api.read ctx x);
+           Mgs.Api.write ctx y 2.0;
+           stage := 2;
+           Mgs_sync.Lock.release ctx lock
+         | 2 ->
+           wait_for 2;
+           Mgs_sync.Lock.acquire ctx lock;
+           got := (Mgs.Api.read ctx x, Mgs.Api.read ctx y);
+           Mgs_sync.Lock.release ctx lock
+         | _ -> ()));
+  let gx, gy = !got in
+  Alcotest.(check (float 0.)) "C sees x transitively" 1.0 gx;
+  Alcotest.(check (float 0.)) "C sees y" 2.0 gy
+
+(* Independent locks do not order each other: two disjoint lock-protected
+   counters end exactly right even under heavy interleaving. *)
+let test_independent_locks protocol () =
+  let m = machine protocol in
+  let a = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let b = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 2) in
+  let la = Mgs_sync.Lock.create m ~home:0 () in
+  let lb = Mgs_sync.Lock.create m ~home:1 () in
+  let bar = Mgs_sync.Barrier.create m in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         for _ = 1 to 10 do
+           Mgs_sync.Lock.acquire ctx la;
+           Mgs.Api.write ctx a (Mgs.Api.read ctx a +. 1.0);
+           Mgs_sync.Lock.release ctx la;
+           Mgs_sync.Lock.acquire ctx lb;
+           Mgs.Api.write ctx b (Mgs.Api.read ctx b +. 1.0);
+           Mgs_sync.Lock.release ctx lb
+         done;
+         Mgs_sync.Barrier.wait ctx bar));
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check (float 0.)) "counter a" 40.0 (Mgs.Machine.peek m a);
+  Alcotest.(check (float 0.)) "counter b" 40.0 (Mgs.Machine.peek m b)
+
+let for_all_protocols name f =
+  List.map
+    (fun (pname, p) -> Alcotest.test_case (Printf.sprintf "%s [%s]" name pname) `Quick (f p))
+    protocols
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ("message passing via lock", for_all_protocols "MP lock" test_mp_lock);
+      ("message passing via barrier", for_all_protocols "MP barrier" test_mp_barrier);
+      ("transitivity", for_all_protocols "A->B->C" test_transitive);
+      ("independence", for_all_protocols "disjoint locks" test_independent_locks);
+    ]

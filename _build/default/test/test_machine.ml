@@ -1,0 +1,166 @@
+(* Tests for the machine model: topology arithmetic, CPU accounting
+   (the bucket/clock contract that the runtime breakdowns rely on), and
+   cost parameters. *)
+
+module Topo = Mgs_machine.Topology
+module Cpu = Mgs_machine.Cpu
+module Costs = Mgs_machine.Costs
+
+(* --- topology --------------------------------------------------------- *)
+
+let test_topology_basic () =
+  let t = Topo.create ~nprocs:16 ~cluster:4 in
+  Alcotest.(check int) "nssmps" 4 t.Topo.nssmps;
+  Alcotest.(check int) "ssmp of 0" 0 (Topo.ssmp_of_proc t 0);
+  Alcotest.(check int) "ssmp of 7" 1 (Topo.ssmp_of_proc t 7);
+  Alcotest.(check int) "first proc of ssmp 2" 8 (Topo.first_proc_of_ssmp t 2);
+  Alcotest.(check (list int)) "procs of ssmp 3" [ 12; 13; 14; 15 ] (Topo.procs_of_ssmp t 3);
+  Alcotest.(check bool) "same ssmp" true (Topo.same_ssmp t 5 6);
+  Alcotest.(check bool) "different ssmp" false (Topo.same_ssmp t 3 4);
+  Alcotest.(check bool) "not single" false (Topo.single_ssmp t);
+  Alcotest.(check bool) "single when C=P" true (Topo.single_ssmp (Topo.create ~nprocs:8 ~cluster:8))
+
+let test_topology_validation () =
+  Alcotest.check_raises "cluster must divide"
+    (Invalid_argument "Topology.create: cluster must divide nprocs") (fun () ->
+      ignore (Topo.create ~nprocs:6 ~cluster:4));
+  Alcotest.check_raises "cluster range" (Invalid_argument "Topology.create: cluster")
+    (fun () -> ignore (Topo.create ~nprocs:4 ~cluster:8));
+  let t = Topo.create ~nprocs:4 ~cluster:2 in
+  Alcotest.check_raises "proc range" (Invalid_argument "Topology.ssmp_of_proc") (fun () ->
+      ignore (Topo.ssmp_of_proc t 4))
+
+let prop_topology_partition =
+  QCheck2.Test.make ~name:"SSMPs partition the processors" ~count:100
+    QCheck2.Gen.(pair (int_range 0 5) (int_range 0 5))
+    (fun (a, b) ->
+      let cluster = 1 lsl a in
+      let nprocs = cluster * (1 lsl b) in
+      let t = Topo.create ~nprocs ~cluster in
+      let all = List.concat_map (Topo.procs_of_ssmp t) (List.init t.Topo.nssmps (fun s -> s)) in
+      all = List.init nprocs (fun p -> p)
+      && List.for_all
+           (fun p -> List.mem p (Topo.procs_of_ssmp t (Topo.ssmp_of_proc t p)))
+           (List.init nprocs (fun p -> p)))
+
+(* --- cpu accounting ---------------------------------------------------- *)
+
+let test_cpu_advance () =
+  let c = Cpu.create 0 in
+  Cpu.advance c Cpu.User 100;
+  Cpu.advance c Cpu.Lock 50;
+  Cpu.advance c Cpu.User 25;
+  Alcotest.(check int) "clock" 175 c.Cpu.clock;
+  Alcotest.(check int) "user bucket" 125 (Cpu.bucket_cycles c Cpu.User);
+  Alcotest.(check int) "lock bucket" 50 (Cpu.bucket_cycles c Cpu.Lock);
+  Alcotest.(check int) "total = clock" c.Cpu.clock (Cpu.total_cycles c)
+
+let test_cpu_catch_up () =
+  let c = Cpu.create 0 in
+  Cpu.advance c Cpu.User 10;
+  Cpu.catch_up_to c Cpu.Barrier 60;
+  Alcotest.(check int) "caught up" 60 c.Cpu.clock;
+  Alcotest.(check int) "gap charged to barrier" 50 (Cpu.bucket_cycles c Cpu.Barrier);
+  Cpu.catch_up_to c Cpu.Barrier 30;
+  Alcotest.(check int) "no rewind" 60 c.Cpu.clock
+
+let test_cpu_occupy_and_sync () =
+  let c = Cpu.create 0 in
+  (* a handler occupies the processor while the fiber is at 0 *)
+  let fin = Cpu.occupy c ~at:20 ~cost:30 in
+  Alcotest.(check int) "completion" 50 fin;
+  Alcotest.(check int) "no bucket charge at occupy" 0 (Cpu.total_cycles c);
+  (* back-to-back handlers queue on busy_until *)
+  let fin2 = Cpu.occupy c ~at:10 ~cost:5 in
+  Alcotest.(check int) "serialized" 55 fin2;
+  (* the fiber then absorbs the stolen cycles into MGS *)
+  Cpu.sync_busy c;
+  Alcotest.(check int) "clock pushed" 55 c.Cpu.clock;
+  Alcotest.(check int) "charged to MGS" 55 (Cpu.bucket_cycles c Cpu.Mgs)
+
+let test_cpu_resume_charge () =
+  let c = Cpu.create 0 in
+  Cpu.advance c Cpu.User 10;
+  ignore (Cpu.occupy c ~at:10 ~cost:20);
+  (* a fiber blocked on a lock resumes at t=100: handler occupancy up to
+     30 goes to MGS, the rest of the wait to Lock *)
+  Cpu.resume_charge c Cpu.Lock 100;
+  Alcotest.(check int) "clock" 100 c.Cpu.clock;
+  Alcotest.(check int) "mgs part" 20 (Cpu.bucket_cycles c Cpu.Mgs);
+  Alcotest.(check int) "lock part" 70 (Cpu.bucket_cycles c Cpu.Lock)
+
+let test_cpu_negative () =
+  let c = Cpu.create 0 in
+  Alcotest.check_raises "negative advance" (Invalid_argument "Cpu.advance: negative cycles")
+    (fun () -> Cpu.advance c Cpu.User (-1));
+  Alcotest.check_raises "negative occupy" (Invalid_argument "Cpu.occupy: negative cost")
+    (fun () -> ignore (Cpu.occupy c ~at:0 ~cost:(-1)))
+
+(* Invariant behind the runtime breakdowns: buckets always sum to the
+   clock, whatever the interleaving of operations. *)
+let prop_cpu_buckets_sum_to_clock =
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map (fun n -> `Advance (n mod 500)) (int_bound 499);
+          map2 (fun a c -> `Occupy (a mod 300, c mod 100)) (int_bound 299) (int_bound 99);
+          return `Sync;
+          map (fun t -> `Resume (t mod 1000)) (int_bound 999);
+        ])
+  in
+  QCheck2.Test.make ~name:"bucket totals equal the clock" ~count:300
+    QCheck2.Gen.(list op_gen)
+    (fun ops ->
+      let c = Cpu.create 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Advance n -> Cpu.advance c Cpu.User n
+          | `Occupy (a, cost) -> ignore (Cpu.occupy c ~at:a ~cost)
+          | `Sync -> Cpu.sync_busy c
+          | `Resume t -> Cpu.resume_charge c Cpu.Barrier t)
+        ops;
+      Cpu.total_cycles c = c.Cpu.clock)
+
+(* --- costs -------------------------------------------------------------- *)
+
+let test_costs_lan_override () =
+  let c = Costs.with_lan_latency Costs.default 0 in
+  Alcotest.(check int) "latency" 0 c.Costs.lan.latency;
+  Alcotest.(check int) "original untouched" 1000 Costs.default.Costs.lan.latency;
+  Alcotest.(check int) "other fields preserved" Costs.default.Costs.proto.msg_send
+    c.Costs.proto.msg_send
+
+let test_costs_tlb_fill_sum () =
+  (* the TLB fill cost of Table 3 is the sum of the svm fault path *)
+  let s = Costs.default.Costs.svm in
+  Alcotest.(check int) "fault path sums to 1037" 1037
+    (s.fault_entry + s.map_lock + s.table_lookup + s.tlb_write)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_topology_partition; prop_cpu_buckets_sum_to_clock ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "basic" `Quick test_topology_basic;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "advance" `Quick test_cpu_advance;
+          Alcotest.test_case "catch up" `Quick test_cpu_catch_up;
+          Alcotest.test_case "occupy + sync_busy" `Quick test_cpu_occupy_and_sync;
+          Alcotest.test_case "resume_charge split" `Quick test_cpu_resume_charge;
+          Alcotest.test_case "negative rejected" `Quick test_cpu_negative;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "lan override" `Quick test_costs_lan_override;
+          Alcotest.test_case "tlb fill decomposition" `Quick test_costs_tlb_fill_sum;
+        ] );
+      ("properties", qsuite);
+    ]

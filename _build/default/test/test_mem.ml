@@ -1,0 +1,170 @@
+(* Tests for the memory substrate: geometry arithmetic, the Munin
+   twin/diff/merge machinery, and the allocator's home policies. *)
+
+module Geom = Mgs_mem.Geom
+module Pd = Mgs_mem.Pagedata
+module Alloc = Mgs_mem.Allocator
+
+let geom = Geom.create ()
+
+let small = Geom.create ~page_words:16 ~line_words:4 ()
+
+(* --- geometry ------------------------------------------------------- *)
+
+let test_geom_defaults () =
+  Alcotest.(check int) "page bytes" 1024 (Geom.page_bytes geom);
+  Alcotest.(check int) "lines per page" 64 (Geom.lines_per_page geom);
+  Alcotest.(check int) "word size" 4 Geom.bytes_per_word
+
+let test_geom_arithmetic () =
+  Alcotest.(check int) "vpn" 2 (Geom.vpn_of_addr small 35);
+  Alcotest.(check int) "offset" 3 (Geom.offset_of_addr small 35);
+  Alcotest.(check int) "addr of vpn" 32 (Geom.addr_of_vpn small 2);
+  Alcotest.(check int) "line" 8 (Geom.line_of_addr small 35);
+  Alcotest.(check int) "line in page" 0 (Geom.line_offset_in_page small 35)
+
+let test_geom_validation () =
+  Alcotest.check_raises "page not power of two"
+    (Invalid_argument "Geom.create: page_words not a power of two") (fun () ->
+      ignore (Geom.create ~page_words:100 ()));
+  Alcotest.check_raises "line larger than page"
+    (Invalid_argument "Geom.create: line larger than page") (fun () ->
+      ignore (Geom.create ~page_words:4 ~line_words:8 ()))
+
+let prop_geom_roundtrip =
+  QCheck2.Test.make ~name:"vpn*page + offset = addr" ~count:500
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun addr ->
+      Geom.addr_of_vpn geom (Geom.vpn_of_addr geom addr) + Geom.offset_of_addr geom addr
+      = addr)
+
+(* --- pagedata: twin / diff / merge ----------------------------------- *)
+
+let random_page rng = Array.init small.Geom.page_words (fun _ -> Mgs_util.Rng.float rng 10.)
+
+let test_diff_empty () =
+  let p = Pd.create small in
+  let twin = Pd.copy p in
+  Alcotest.(check int) "no changes, empty diff" 0 (Pd.diff_size (Pd.diff p ~twin))
+
+let test_diff_captures_changes () =
+  let rng = Mgs_util.Rng.create ~seed:3 in
+  let p = random_page rng in
+  let twin = Pd.copy p in
+  p.(2) <- 42.0;
+  p.(9) <- -1.0;
+  let d = Pd.diff p ~twin in
+  Alcotest.(check int) "two words changed" 2 (Pd.diff_size d);
+  Alcotest.(check (list (pair int (float 0.)))) "diff contents" [ (2, 42.0); (9, -1.0) ] d
+
+let prop_diff_merge_roundtrip =
+  QCheck2.Test.make ~name:"apply_diff twin (diff p twin) = p" ~count:300
+    QCheck2.Gen.(pair int (list (pair (int_bound 15) (float_bound_exclusive 100.))))
+    (fun (seed, writes) ->
+      let rng = Mgs_util.Rng.create ~seed in
+      let p = random_page rng in
+      let twin = Pd.copy p in
+      List.iter (fun (i, v) -> p.(i) <- v) writes;
+      let d = Pd.diff p ~twin in
+      Pd.apply_diff twin d;
+      Pd.equal p twin)
+
+let prop_disjoint_writers_merge =
+  QCheck2.Test.make ~name:"disjoint writers' diffs merge commutatively" ~count:300
+    QCheck2.Gen.(pair int (list (pair (int_bound 15) (float_bound_exclusive 9.))))
+    (fun (seed, writes) ->
+      let rng = Mgs_util.Rng.create ~seed in
+      let master = random_page rng in
+      (* writer A takes even offsets, writer B odd ones *)
+      let a = Pd.copy master and b = Pd.copy master in
+      List.iter
+        (fun (i, v) -> if i mod 2 = 0 then a.(i) <- v +. 100. else b.(i) <- v +. 200.)
+        writes;
+      let da = Pd.diff a ~twin:master and db = Pd.diff b ~twin:master in
+      let m1 = Pd.copy master and m2 = Pd.copy master in
+      Pd.apply_diff m1 da;
+      Pd.apply_diff m1 db;
+      Pd.apply_diff m2 db;
+      Pd.apply_diff m2 da;
+      Pd.equal m1 m2)
+
+let test_diff_bitwise () =
+  (* -0.0 and 0.0 differ bitwise and must be propagated *)
+  let p = Pd.create small in
+  let twin = Pd.copy p in
+  p.(0) <- -0.0;
+  Alcotest.(check int) "negative zero detected" 1 (Pd.diff_size (Pd.diff p ~twin))
+
+let test_blit_mismatch () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Pagedata.blit: length mismatch")
+    (fun () -> Pd.blit ~src:(Pd.create small) ~dst:(Pd.create geom))
+
+(* --- allocator -------------------------------------------------------- *)
+
+let test_alloc_rounds_to_pages () =
+  let h = Alloc.create small ~nprocs:4 in
+  let a = Alloc.alloc h ~words:5 ~home:(Alloc.On_proc 1) in
+  let b = Alloc.alloc h ~words:17 ~home:(Alloc.On_proc 2) in
+  Alcotest.(check int) "first at 0" 0 a;
+  Alcotest.(check int) "second page-aligned" 16 b;
+  Alcotest.(check int) "pages" 3 (Alloc.pages_allocated h);
+  Alcotest.(check int) "words incl. rounding" 48 (Alloc.words_allocated h)
+
+let test_alloc_on_proc () =
+  let h = Alloc.create small ~nprocs:4 in
+  ignore (Alloc.alloc h ~words:32 ~home:(Alloc.On_proc 3));
+  Alcotest.(check int) "home vpn 0" 3 (Alloc.home_of_vpn h 0);
+  Alcotest.(check int) "home vpn 1" 3 (Alloc.home_of_vpn h 1)
+
+let test_alloc_interleaved () =
+  let h = Alloc.create small ~nprocs:3 in
+  ignore (Alloc.alloc h ~words:(16 * 5) ~home:Alloc.Interleaved);
+  Alcotest.(check (list int)) "round robin homes" [ 0; 1; 2; 0; 1 ]
+    (List.init 5 (fun v -> Alloc.home_of_vpn h v))
+
+let test_alloc_blocked () =
+  let h = Alloc.create small ~nprocs:2 in
+  ignore (Alloc.alloc h ~words:(16 * 4) ~home:Alloc.Blocked);
+  Alcotest.(check (list int)) "block homes" [ 0; 0; 1; 1 ]
+    (List.init 4 (fun v -> Alloc.home_of_vpn h v))
+
+let test_alloc_errors () =
+  let h = Alloc.create small ~nprocs:2 in
+  Alcotest.check_raises "zero words" (Invalid_argument "Allocator.alloc: words") (fun () ->
+      ignore (Alloc.alloc h ~words:0 ~home:Alloc.Interleaved));
+  Alcotest.check_raises "bad proc"
+    (Invalid_argument "Allocator.alloc: processor out of range") (fun () ->
+      ignore (Alloc.alloc h ~words:1 ~home:(Alloc.On_proc 2)));
+  Alcotest.check_raises "unallocated page" Not_found (fun () ->
+      ignore (Alloc.home_of_vpn h 99))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_geom_roundtrip; prop_diff_merge_roundtrip; prop_disjoint_writers_merge ]
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "geom",
+        [
+          Alcotest.test_case "defaults" `Quick test_geom_defaults;
+          Alcotest.test_case "arithmetic" `Quick test_geom_arithmetic;
+          Alcotest.test_case "validation" `Quick test_geom_validation;
+        ] );
+      ( "pagedata",
+        [
+          Alcotest.test_case "empty diff" `Quick test_diff_empty;
+          Alcotest.test_case "diff captures changes" `Quick test_diff_captures_changes;
+          Alcotest.test_case "bitwise comparison" `Quick test_diff_bitwise;
+          Alcotest.test_case "blit length check" `Quick test_blit_mismatch;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "page rounding" `Quick test_alloc_rounds_to_pages;
+          Alcotest.test_case "on-proc homes" `Quick test_alloc_on_proc;
+          Alcotest.test_case "interleaved homes" `Quick test_alloc_interleaved;
+          Alcotest.test_case "blocked homes" `Quick test_alloc_blocked;
+          Alcotest.test_case "errors" `Quick test_alloc_errors;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,24 @@
+(* Table 3 calibration: every primitive-operation cost measured on the
+   simulator must land close to the paper's measurement.  Hardware and
+   translation costs are exact by construction; the emergent software
+   protocol costs must be within 10%. *)
+
+let check_tolerance name paper measured tol =
+  let ratio = float_of_int measured /. float_of_int paper in
+  if ratio < 1. -. tol || ratio > 1. +. tol then
+    Alcotest.failf "%s: paper %d, measured %d (ratio %.3f beyond +/-%.0f%%)" name paper
+      measured ratio (100. *. tol)
+
+let test_table3 () =
+  let ms = Mgs_harness.Micro.run_all () in
+  Mgs_harness.Micro.print_table ms;
+  List.iter
+    (fun m ->
+      let open Mgs_harness.Micro in
+      let tol = if m.group = "Software Shared Memory" then 0.10 else 0.001 in
+      check_tolerance m.name m.paper m.measured tol)
+    ms
+
+let () =
+  Alcotest.run "micro"
+    [ ("table3", [ Alcotest.test_case "primitive costs match Table 3" `Quick test_table3 ]) ]

@@ -1,0 +1,176 @@
+(* Tests for the LAN model and the active-message layer: fixed latency,
+   sender occupancy, per-channel FIFO delivery, intra-SSMP fast path,
+   and handler occupancy on the destination processor. *)
+
+module Sim = Mgs_engine.Sim
+module Lan = Mgs_net.Lan
+module Am = Mgs_am.Am
+module Costs = Mgs_machine.Costs
+module Topo = Mgs_machine.Topology
+module Cpu = Mgs_machine.Cpu
+
+let costs = Costs.default
+
+let test_lan_latency () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let arrived = ref (-1) in
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun t -> arrived := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "fixed latency" costs.Costs.lan.latency !arrived
+
+let test_lan_dma () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let arrived = ref (-1) in
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:256 (fun t -> arrived := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "latency + dma"
+    (costs.Costs.lan.latency + (256 * costs.Costs.proto.dma_per_word))
+    !arrived
+
+let test_lan_sender_occupancy () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let t1 = ref 0 and t2 = ref 0 in
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun t -> t1 := t);
+  Lan.send lan ~src:0 ~dst:2 ~at:0 ~words:0 (fun t -> t2 := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "second departs after occupancy" costs.Costs.lan.send_occupancy
+    (!t2 - !t1)
+
+let test_lan_fifo_no_overtake () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let order = ref [] in
+  (* a bulk message followed by a short one on the same channel *)
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:256 (fun _ -> order := `Bulk :: !order);
+  Lan.send lan ~src:0 ~dst:1 ~at:1 ~words:0 (fun _ -> order := `Short :: !order);
+  ignore (Sim.run sim ());
+  Alcotest.(check bool) "bulk delivered first" true (List.rev !order = [ `Bulk; `Short ])
+
+let test_lan_intra_fast_path () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let arrived = ref (-1) in
+  Lan.send lan ~src:2 ~dst:2 ~at:0 ~words:0 (fun t -> arrived := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "intra cost only" costs.Costs.proto.intra_msg !arrived;
+  Alcotest.(check int) "not counted as LAN traffic" 0 (Lan.stats lan).Lan.messages
+
+let test_lan_stats () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:10 (fun _ -> ());
+  Lan.send lan ~src:1 ~dst:0 ~at:0 ~words:20 (fun _ -> ());
+  ignore (Sim.run sim ());
+  let s = Lan.stats lan in
+  Alcotest.(check int) "messages" 2 s.Lan.messages;
+  Alcotest.(check int) "words" 30 s.Lan.data_words;
+  Lan.reset_stats lan;
+  Alcotest.(check int) "reset" 0 (Lan.stats lan).Lan.messages
+
+(* --- active messages -------------------------------------------------- *)
+
+let make_am () =
+  let sim = Sim.create () in
+  let topo = Topo.create ~nprocs:8 ~cluster:4 in
+  let cpus = Array.init 8 Cpu.create in
+  let lan = Lan.create sim costs ~nssmps:2 in
+  let am = Am.create sim costs topo ~lan ~cpus in
+  (sim, am, cpus)
+
+let test_am_handler_occupancy () =
+  let sim, am, cpus = make_am () in
+  let fin = ref (-1) in
+  Am.post am ~tag:"t" ~src:0 ~dst:5 ~words:0 ~cost:100 (fun t -> fin := t);
+  ignore (Sim.run sim ());
+  let expected = costs.Costs.lan.latency + costs.Costs.proto.handler_dispatch + 100 in
+  Alcotest.(check int) "completion time" expected !fin;
+  Alcotest.(check int) "destination occupied" expected cpus.(5).Cpu.busy_until
+
+let test_am_handlers_serialize () =
+  let sim, am, cpus = make_am () in
+  let fins = ref [] in
+  Am.post am ~tag:"a" ~src:0 ~dst:5 ~words:0 ~cost:100 (fun t -> fins := t :: !fins);
+  Am.post am ~tag:"b" ~src:1 ~dst:5 ~words:0 ~cost:100 (fun t -> fins := t :: !fins);
+  ignore (Sim.run sim ());
+  (match List.rev !fins with
+  | [ f1; f2 ] ->
+    Alcotest.(check int) "second handler queued behind first"
+      (costs.Costs.proto.handler_dispatch + 100)
+      (f2 - f1)
+  | _ -> Alcotest.fail "expected two completions");
+  ignore cpus
+
+let test_am_intra_vs_inter () =
+  let sim, am, _ = make_am () in
+  let t_intra = ref 0 and t_inter = ref 0 in
+  Am.post am ~tag:"i" ~src:0 ~dst:1 ~words:0 ~cost:0 (fun t -> t_intra := t);
+  Am.post am ~tag:"x" ~src:0 ~dst:4 ~words:0 ~cost:0 (fun t -> t_inter := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check bool) "intra much faster" true (!t_intra + 500 < !t_inter)
+
+let test_am_counters () =
+  let sim, am, _ = make_am () in
+  Am.post am ~tag:"RREQ" ~src:0 ~dst:4 ~words:0 ~cost:0 (fun _ -> ());
+  Am.post am ~tag:"RREQ" ~src:1 ~dst:4 ~words:0 ~cost:0 (fun _ -> ());
+  Am.post am ~tag:"RACK" ~src:4 ~dst:0 ~words:0 ~cost:0 (fun _ -> ());
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "tag count" 2 (Am.count am "RREQ");
+  Alcotest.(check int) "other tag" 1 (Am.count am "RACK");
+  Alcotest.(check int) "absent tag" 0 (Am.count am "INV");
+  Alcotest.(check int) "total" 3 (Am.total_posted am)
+
+let test_am_run_on () =
+  let sim, am, cpus = make_am () in
+  let fin = ref (-1) in
+  Am.run_on am ~proc:3 ~at:50 ~cost:25 (fun t -> fin := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "occupied from at" 75 !fin;
+  Alcotest.(check int) "busy_until" 75 cpus.(3).Cpu.busy_until
+
+(* Property: per-channel arrival times never regress, whatever the mix
+   of bulk and short messages. *)
+let prop_lan_fifo =
+  QCheck2.Test.make ~name:"per-channel arrivals are monotone" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 3) (int_bound 300)))
+    (fun msgs ->
+      let sim = Sim.create () in
+      let lan = Lan.create sim costs ~nssmps:4 in
+      let last = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun (dst, words) ->
+          Lan.send lan ~src:0 ~dst ~at:0 ~words (fun t ->
+              let prev = Option.value ~default:(-1) (Hashtbl.find_opt last dst) in
+              if t < prev then ok := false;
+              Hashtbl.replace last dst t))
+        msgs;
+      ignore (Sim.run sim ());
+      !ok)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_lan_fifo ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "lan",
+        [
+          Alcotest.test_case "fixed latency" `Quick test_lan_latency;
+          Alcotest.test_case "dma adds latency" `Quick test_lan_dma;
+          Alcotest.test_case "sender occupancy" `Quick test_lan_sender_occupancy;
+          Alcotest.test_case "fifo per channel" `Quick test_lan_fifo_no_overtake;
+          Alcotest.test_case "intra fast path" `Quick test_lan_intra_fast_path;
+          Alcotest.test_case "stats" `Quick test_lan_stats;
+        ] );
+      ( "am",
+        [
+          Alcotest.test_case "handler occupancy" `Quick test_am_handler_occupancy;
+          Alcotest.test_case "handlers serialize" `Quick test_am_handlers_serialize;
+          Alcotest.test_case "intra vs inter" `Quick test_am_intra_vs_inter;
+          Alcotest.test_case "per-tag counters" `Quick test_am_counters;
+          Alcotest.test_case "run_on" `Quick test_am_run_on;
+        ] );
+      ("properties", qsuite);
+    ]

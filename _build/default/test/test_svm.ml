@@ -1,0 +1,110 @@
+(* Tests for the software virtual memory substrate: TLB semantics and
+   translation costs. *)
+
+module Tlb = Mgs_svm.Tlb
+module Tr = Mgs_svm.Translate
+module Costs = Mgs_machine.Costs
+
+let test_tlb_fill_lookup () =
+  let t = Tlb.create () in
+  Alcotest.(check bool) "empty" true (Tlb.lookup t ~vpn:3 = None);
+  Tlb.fill t ~vpn:3 ~mode:Tlb.Ro;
+  Alcotest.(check bool) "ro" true (Tlb.lookup t ~vpn:3 = Some Tlb.Ro);
+  Tlb.fill t ~vpn:3 ~mode:Tlb.Rw;
+  Alcotest.(check bool) "upgraded in place" true (Tlb.lookup t ~vpn:3 = Some Tlb.Rw);
+  Alcotest.(check int) "one entry" 1 (Tlb.entries t)
+
+let test_tlb_invalidate () =
+  let t = Tlb.create () in
+  Tlb.fill t ~vpn:1 ~mode:Tlb.Rw;
+  Tlb.fill t ~vpn:2 ~mode:Tlb.Ro;
+  Tlb.invalidate t ~vpn:1;
+  Alcotest.(check bool) "gone" true (Tlb.lookup t ~vpn:1 = None);
+  Alcotest.(check bool) "other survives" true (Tlb.lookup t ~vpn:2 = Some Tlb.Ro);
+  (* racing a second invalidation is a no-op *)
+  Tlb.invalidate t ~vpn:1;
+  Alcotest.(check int) "invalidation count" 1 (Tlb.invalidations t)
+
+let test_tlb_stats_and_clear () =
+  let t = Tlb.create () in
+  Tlb.fill t ~vpn:1 ~mode:Tlb.Ro;
+  Tlb.fill t ~vpn:2 ~mode:Tlb.Ro;
+  Tlb.fill t ~vpn:1 ~mode:Tlb.Rw;
+  Alcotest.(check int) "fills counted" 3 (Tlb.fills t);
+  Tlb.clear t;
+  Alcotest.(check int) "cleared" 0 (Tlb.entries t)
+
+let test_tlb_capacity_fifo () =
+  let t = Tlb.create ~capacity:2 () in
+  Tlb.fill t ~vpn:1 ~mode:Tlb.Ro;
+  Tlb.fill t ~vpn:2 ~mode:Tlb.Ro;
+  Tlb.fill t ~vpn:3 ~mode:Tlb.Ro;
+  Alcotest.(check int) "bounded" 2 (Tlb.entries t);
+  Alcotest.(check bool) "oldest evicted" true (Tlb.lookup t ~vpn:1 = None);
+  Alcotest.(check bool) "newest resident" true (Tlb.lookup t ~vpn:3 = Some Tlb.Ro);
+  Alcotest.(check int) "eviction counted" 1 (Tlb.evictions t);
+  (* re-filling a resident vpn must not evict *)
+  Tlb.fill t ~vpn:3 ~mode:Tlb.Rw;
+  Alcotest.(check int) "no extra eviction" 1 (Tlb.evictions t);
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Tlb.create: capacity") (fun () ->
+      ignore (Tlb.create ~capacity:0 ()))
+
+let test_tlb_eviction_skips_invalidated () =
+  let t = Tlb.create ~capacity:2 () in
+  Tlb.fill t ~vpn:1 ~mode:Tlb.Ro;
+  Tlb.fill t ~vpn:2 ~mode:Tlb.Ro;
+  Tlb.invalidate t ~vpn:1;
+  (* the lazily-queued victim 1 is already gone; 2 must survive *)
+  Tlb.fill t ~vpn:3 ~mode:Tlb.Ro;
+  Alcotest.(check bool) "2 survives" true (Tlb.lookup t ~vpn:2 = Some Tlb.Ro);
+  Alcotest.(check bool) "3 resident" true (Tlb.lookup t ~vpn:3 = Some Tlb.Ro)
+
+(* End-to-end: a machine with a tiny TLB still computes correctly. *)
+let test_machine_with_tiny_tlb () =
+  let cfg = Mgs.Machine.config ~nprocs:4 ~cluster:2 ~lan_latency:500 ~tlb_entries:2 ~shadow:true () in
+  let m = Mgs.Machine.create cfg in
+  (* ten pages, touched round-robin so the TLB thrashes *)
+  let base = Mgs.Machine.alloc m ~words:(256 * 10) ~home:Mgs_mem.Allocator.Interleaved in
+  let bar = Mgs_sync.Barrier.create m in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         for round = 1 to 3 do
+           for pg = 0 to 9 do
+             let a = base + (256 * pg) + p in
+             Mgs.Api.write ctx a (float_of_int ((round * 100) + p))
+           done;
+           Mgs_sync.Barrier.wait ctx bar
+         done));
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check int) "no shadow mismatches" 0 (Mgs.Machine.shadow_mismatches m);
+  for pg = 0 to 9 do
+    for p = 0 to 3 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "page %d proc %d" pg p)
+        (float_of_int (300 + p))
+        (Mgs.Machine.peek m (base + (256 * pg) + p))
+    done
+  done
+
+let test_translation_costs () =
+  let c = Costs.default in
+  Alcotest.(check int) "array" 18 (Tr.cost c Tr.Array);
+  Alcotest.(check int) "pointer" 24 (Tr.cost c Tr.Pointer);
+  Alcotest.(check int) "unmapped is free" 0 (Tr.cost c Tr.Unmapped)
+
+let () =
+  Alcotest.run "svm"
+    [
+      ( "tlb",
+        [
+          Alcotest.test_case "fill and lookup" `Quick test_tlb_fill_lookup;
+          Alcotest.test_case "invalidate" `Quick test_tlb_invalidate;
+          Alcotest.test_case "stats and clear" `Quick test_tlb_stats_and_clear;
+          Alcotest.test_case "capacity fifo" `Quick test_tlb_capacity_fifo;
+          Alcotest.test_case "eviction skips invalidated" `Quick
+            test_tlb_eviction_skips_invalidated;
+          Alcotest.test_case "machine with tiny tlb" `Quick test_machine_with_tiny_tlb;
+        ] );
+      ("translate", [ Alcotest.test_case "costs" `Quick test_translation_costs ]);
+    ]

@@ -1,0 +1,250 @@
+(* Unit and property tests for mgs_util: priority queue, bitsets, RNG,
+   accumulators, and table rendering. *)
+
+module Pq = Mgs_util.Pqueue
+module Bs = Mgs_util.Bitset
+module Rng = Mgs_util.Rng
+module Accum = Mgs_util.Accum
+module Tp = Mgs_util.Tableprint
+
+(* --- priority queue ------------------------------------------------- *)
+
+let test_pqueue_basic () =
+  let q = Pq.create () in
+  Alcotest.(check bool) "fresh empty" true (Pq.is_empty q);
+  Pq.push q ~prio:5 ~seq:0 "e";
+  Pq.push q ~prio:1 ~seq:1 "a";
+  Pq.push q ~prio:3 ~seq:2 "c";
+  Alcotest.(check int) "length" 3 (Pq.length q);
+  Alcotest.(check (option int)) "min prio" (Some 1) (Pq.min_prio q);
+  let pop () = match Pq.pop q with Some (_, _, v) -> v | None -> "?" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "c" (pop ());
+  Alcotest.(check string) "third" "e" (pop ());
+  Alcotest.(check bool) "drained" true (Pq.pop q = None)
+
+let test_pqueue_fifo_ties () =
+  let q = Pq.create () in
+  List.iteri (fun i v -> Pq.push q ~prio:7 ~seq:i v) [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> match Pq.pop q with Some (_, _, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "ties pop in insertion order" [ "x"; "y"; "z" ] order
+
+let test_pqueue_clear () =
+  let q = Pq.create () in
+  for i = 0 to 9 do
+    Pq.push q ~prio:i ~seq:i i
+  done;
+  Pq.clear q;
+  Alcotest.(check bool) "cleared" true (Pq.is_empty q && Pq.pop q = None)
+
+let prop_pqueue_sorted =
+  QCheck2.Test.make ~name:"pqueue pops sorted by (prio, seq)" ~count:300
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun prios ->
+      let q = Pq.create () in
+      List.iteri (fun i p -> Pq.push q ~prio:p ~seq:i p) prios;
+      let rec drain acc =
+        match Pq.pop q with Some (p, s, _) -> drain ((p, s) :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.length popped = List.length prios
+      && popped = List.sort compare popped)
+
+(* --- bitsets --------------------------------------------------------- *)
+
+let test_bitset_basic () =
+  let s = Bs.create 10 in
+  Bs.add s 3;
+  Bs.add s 7;
+  Bs.add s 3;
+  Alcotest.(check int) "cardinal dedups" 2 (Bs.cardinal s);
+  Alcotest.(check bool) "mem 3" true (Bs.mem s 3);
+  Alcotest.(check bool) "not mem 4" false (Bs.mem s 4);
+  Bs.remove s 3;
+  Alcotest.(check (list int)) "elements" [ 7 ] (Bs.elements s);
+  Bs.remove s 3;
+  Alcotest.(check int) "double remove" 1 (Bs.cardinal s);
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: out of range") (fun () ->
+      Bs.add s 10)
+
+let test_bitset_union_copy () =
+  let a = Bs.create 8 and b = Bs.create 8 in
+  List.iter (Bs.add a) [ 0; 2; 4 ];
+  List.iter (Bs.add b) [ 2; 3 ];
+  let c = Bs.copy a in
+  Bs.union_into c b;
+  Alcotest.(check (list int)) "union" [ 0; 2; 3; 4 ] (Bs.elements c);
+  Alcotest.(check (list int)) "copy is independent" [ 0; 2; 4 ] (Bs.elements a);
+  Alcotest.(check (option int)) "choose least" (Some 0) (Bs.choose c);
+  Bs.clear c;
+  Alcotest.(check bool) "clear empties" true (Bs.is_empty c);
+  Alcotest.(check (option int)) "choose empty" None (Bs.choose c)
+
+module IntSet = Set.Make (Int)
+
+let prop_bitset_model =
+  QCheck2.Test.make ~name:"bitset agrees with Set on random ops" ~count:300
+    QCheck2.Gen.(list (pair bool (int_bound 31)))
+    (fun ops ->
+      let s = Bs.create 32 in
+      let model =
+        List.fold_left
+          (fun model (add, i) ->
+            if add then begin
+              Bs.add s i;
+              IntSet.add i model
+            end
+            else begin
+              Bs.remove s i;
+              IntSet.remove i model
+            end)
+          IntSet.empty ops
+      in
+      Bs.elements s = IntSet.elements model && Bs.cardinal s = IntSet.cardinal model)
+
+(* --- rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let prop_rng_int_range =
+  QCheck2.Test.make ~name:"Rng.int stays in [0, n)" ~count:500
+    QCheck2.Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let g = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int g n in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let prop_rng_float_range =
+  QCheck2.Test.make ~name:"Rng.float stays in [0, x)" ~count:200 QCheck2.Gen.int (fun seed ->
+      let g = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.float g 3.5 in
+        if v < 0.0 || v >= 3.5 then ok := false
+      done;
+      !ok)
+
+let test_rng_shuffle_permutation () =
+  let g = Rng.create ~seed:5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split () =
+  let g = Rng.create ~seed:1 in
+  let g1 = Rng.split g in
+  let g2 = Rng.split g in
+  Alcotest.(check bool) "split streams differ" true (Rng.bits64 g1 <> Rng.bits64 g2)
+
+(* --- accumulator ------------------------------------------------------ *)
+
+let test_accum_stats () =
+  let a = Accum.create () in
+  List.iter (Accum.add a) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Accum.count a);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Accum.mean a);
+  Alcotest.(check (float 1e-9)) "sum" 10.0 (Accum.sum a);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Accum.variance a);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Accum.min_value a);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Accum.max_value a)
+
+let test_accum_empty () =
+  let a = Accum.create () in
+  Alcotest.(check (float 0.)) "mean of empty" 0.0 (Accum.mean a);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Accum.min_value: empty") (fun () ->
+      ignore (Accum.min_value a))
+
+let prop_accum_merge =
+  QCheck2.Test.make ~name:"merge equals folding both streams" ~count:200
+    QCheck2.Gen.(pair (list (float_bound_exclusive 100.)) (list (float_bound_exclusive 100.)))
+    (fun (xs, ys) ->
+      let a = Accum.create () and b = Accum.create () and whole = Accum.create () in
+      List.iter (Accum.add a) xs;
+      List.iter (Accum.add b) ys;
+      List.iter (Accum.add whole) (xs @ ys);
+      let m = Accum.merge a b in
+      let close u v = Float.abs (u -. v) <= 1e-6 *. Float.max 1.0 (Float.abs v) in
+      Accum.count m = Accum.count whole
+      && close (Accum.mean m) (Accum.mean whole)
+      && close (Accum.variance m) (Accum.variance whole))
+
+(* --- table printing ---------------------------------------------------- *)
+
+let test_render_alignment () =
+  let out = Tp.render ~header:[ "a"; "bb" ] ~rows:[ [ "xxx"; "y" ]; [ "z" ] ] in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check int) "rule width matches header" (String.length header)
+      (String.length rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  Alcotest.(check bool) "ragged row padded" true (String.length out > 0)
+
+let test_fmt_cycles () =
+  Alcotest.(check string) "plain" "321" (Tp.fmt_cycles 321.);
+  Alcotest.(check string) "kilo" "4.56K" (Tp.fmt_cycles 4560.);
+  Alcotest.(check string) "mega" "12.30M" (Tp.fmt_cycles 12.3e6);
+  Alcotest.(check string) "giga" "2.50G" (Tp.fmt_cycles 2.5e9)
+
+let test_stacked_bars () =
+  let out =
+    Tp.stacked_bars ~title:"t" ~labels:[ "a"; "b" ] ~series_names:[ "u"; "v" ]
+      ~values:[| [| 1.0; 2.0 |]; [| 3.0; 1.0 |] |]
+      ()
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains legend" true (contains out "legend:");
+  Alcotest.(check bool) "one line per label + legend" true
+    (List.length (String.split_on_char '\n' out) >= 4)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_pqueue_sorted; prop_bitset_model; prop_rng_int_range; prop_rng_float_range;
+    prop_accum_merge ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic order" `Quick test_pqueue_basic;
+          Alcotest.test_case "fifo on ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "union/copy/choose" `Quick test_bitset_union_copy;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+      ( "accum",
+        [
+          Alcotest.test_case "stats" `Quick test_accum_stats;
+          Alcotest.test_case "empty" `Quick test_accum_empty;
+        ] );
+      ( "tableprint",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "fmt_cycles" `Quick test_fmt_cycles;
+          Alcotest.test_case "stacked bars" `Quick test_stacked_bars;
+        ] );
+      ("properties", qsuite);
+    ]
