@@ -356,6 +356,9 @@ let csv () =
 let messages () =
   print_endline "=== Protocol message mix (Water) ===";
   print_string (Figures.message_mix (Lazy.force water));
+  print_newline ();
+  print_endline "=== Protocol operation mix (Water) ===";
+  print_string (Figures.protocol_ops (Lazy.force water));
   print_newline ()
 
 let targets : (string * (unit -> unit)) list =

@@ -62,7 +62,20 @@ let workload ~app ~size ~iters =
     (Mgs_apps.Radix.workload p, Mgs_apps.Radix.problem_size p)
   | _ -> failwith "unknown app"
 
-let run app size iters procs cluster delay page_bytes protocol sweep no_verify trace csv =
+(* In sweep mode each cluster size gets its own trace file:
+   out.json -> out.c1.json, out.c2.json, ... *)
+let trace_file base ~sweep ~cluster =
+  if not sweep then base
+  else
+    let stem, ext =
+      match Filename.extension base with
+      | "" -> (base, ".json")
+      | ext -> (Filename.remove_extension base, ext)
+    in
+    Printf.sprintf "%s.c%d%s" stem cluster ext
+
+let run app size iters procs cluster delay page_bytes protocol sweep no_verify trace hist
+    check csv =
   let w, size_desc = workload ~app ~size ~iters in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
@@ -72,21 +85,42 @@ let run app size iters procs cluster delay page_bytes protocol sweep no_verify t
     | Mgs.State.Protocol_mgs -> "mgs"
     | Mgs.State.Protocol_hlrc -> "hlrc"
     | Mgs.State.Protocol_ivy -> "ivy");
-  let trace_chan = Option.map open_out trace in
+  let violations = ref 0 in
   let run_one cluster =
     let cfg =
       Mgs.Machine.config ~page_words ~lan_latency:delay ~protocol ~nprocs:procs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
-    (match trace_chan with
-    | Some oc -> Mgs.Machine.trace_messages m (fun line -> output_string oc (line ^ "\n"))
-    | None -> ());
-    let body, check = w.Mgs_harness.Sweep.prepare m in
+    if trace <> None || hist then ignore (Mgs.Machine.enable_trace m);
+    let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
+    let body, wcheck = w.Mgs_harness.Sweep.prepare m in
     let report = Mgs.Machine.run m body in
     if verify then begin
       Mgs.Machine.assert_quiescent m;
-      check m
+      wcheck m
     end;
+    (match (trace, Mgs.Machine.trace m) with
+    | Some base, Some tr ->
+      let file = trace_file base ~sweep ~cluster in
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "mgs_run: cannot write trace: %s\n%!" msg;
+          exit 2
+      in
+      Mgs_obs.Trace.write_chrome tr oc;
+      close_out oc;
+      Printf.printf "trace: %d events (%d dropped) -> %s\n%!" (Mgs_obs.Trace.emitted tr)
+        (Mgs_obs.Trace.dropped tr) file
+    | _ -> ());
+    (match Mgs.Machine.trace m with
+    | Some tr when hist -> Format.printf "%a@." Mgs_obs.Trace.pp_summary tr
+    | _ -> ());
+    (match checker with
+    | Some c ->
+      Format.printf "%a@?" Mgs.Invariant.pp c;
+      violations := !violations + Mgs.Invariant.count c
+    | None -> ());
     {
       Mgs_harness.Sweep.cluster;
       report;
@@ -108,8 +142,8 @@ let run app size iters procs cluster delay page_bytes protocol sweep no_verify t
     Format.printf "%a@." Mgs.Report.pp p.Mgs_harness.Sweep.report;
     Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio
   end;
-  Option.iter close_out trace_chan;
-  if verify then print_endline "verification: OK"
+  if verify then print_endline "verification: OK";
+  if !violations > 0 then exit 3
 
 let app_t =
   Arg.(
@@ -164,7 +198,23 @@ let trace_t =
     value
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Dump every protocol message (time tag src dst words) to $(docv).")
+        ~doc:
+          "Write the protocol event trace to $(docv) in Chrome trace_event JSON \
+           (load in chrome://tracing or ui.perfetto.dev).  With --sweep, one file \
+           per cluster size ($(docv) gains a .cN suffix).")
+
+let hist_t =
+  Arg.(
+    value & flag
+    & info [ "hist" ] ~doc:"Print per-event-tag latency histograms after the run.")
+
+let check_t =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Run the online protocol invariant checker; exit with status 3 if any \
+           invariant is violated.")
 
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"With --sweep: print CSV instead of the figure.")
@@ -175,6 +225,6 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ sweep_t $ no_verify_t $ trace_t $ csv_t)
+      $ protocol_t $ sweep_t $ no_verify_t $ trace_t $ hist_t $ check_t $ csv_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,1 +1,1 @@
-lib/am/am.ml: Array Hashtbl List Mgs_engine Mgs_machine Mgs_net Option
+lib/am/am.ml: Array Hashtbl List Mgs_engine Mgs_machine Mgs_net Mgs_obs Option

@@ -1,1 +1,1 @@
-lib/am/am.mli: Mgs_engine Mgs_machine Mgs_net
+lib/am/am.mli: Mgs_engine Mgs_machine Mgs_net Mgs_obs

@@ -10,12 +10,23 @@ type t = {
   counts : (string, int) Hashtbl.t;
   mutable total : int;
   mutable recorder : recorder option;
+  mutable obs : Mgs_obs.Trace.t option;
 }
 
 let create sim costs topo ~lan ~cpus =
   if Array.length cpus <> topo.Mgs_machine.Topology.nprocs then
     invalid_arg "Am.create: cpu count mismatch";
-  { sim; costs; topo; lan; cpus; counts = Hashtbl.create 32; total = 0; recorder = None }
+  {
+    sim;
+    costs;
+    topo;
+    lan;
+    cpus;
+    counts = Hashtbl.create 32;
+    total = 0;
+    recorder = None;
+    obs = None;
+  }
 
 let bump am tag =
   am.total <- am.total + 1;
@@ -30,6 +41,12 @@ let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
   let at = Mgs_engine.Sim.now am.sim in
   let deliver arrive =
     (match am.recorder with Some r -> r arrive ~tag ~src ~dst ~words | None -> ());
+    (match am.obs with
+    | Some tr ->
+      Mgs_obs.Trace.emit tr
+        (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag ~src ~dst
+           ~src_ssmp ~dst_ssmp ~words ~cost ~dur:(arrive - at) ())
+    | None -> ());
     let fin =
       Mgs_machine.Cpu.occupy am.cpus.(dst) ~at:arrive ~cost:(p.handler_dispatch + cost)
     in
@@ -37,11 +54,20 @@ let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
   in
   Mgs_net.Lan.send am.lan ~src:src_ssmp ~dst:dst_ssmp ~at ~words deliver
 
-let run_on am ~proc ~at ~cost k =
+let run_on am ?tag ~proc ~at ~cost k =
   let fin = Mgs_machine.Cpu.occupy am.cpus.(proc) ~at ~cost in
+  (match (am.obs, tag) with
+  | Some tr, Some tag ->
+    let ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo proc in
+    Mgs_obs.Trace.emit tr
+      (Mgs_obs.Event.make ~time:fin ~engine:Mgs_obs.Event.Remote_client ~tag ~src:proc
+         ~dst:proc ~src_ssmp:ssmp ~dst_ssmp:ssmp ~cost ~dur:(fin - at) ())
+  | _ -> ());
   Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
 
 let set_recorder am r = am.recorder <- r
+
+let set_obs am tr = am.obs <- tr
 
 let count am tag = Option.value ~default:0 (Hashtbl.find_opt am.counts tag)
 
@@ -49,3 +75,7 @@ let counts am =
   List.sort compare (Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) am.counts [])
 
 let total_posted am = am.total
+
+let reset_counts am =
+  Hashtbl.reset am.counts;
+  am.total <- 0

@@ -37,16 +37,30 @@ val post :
     when the handler completes, at the completion time.  [tag] labels
     the message for the per-type counters. *)
 
-val run_on : t -> proc:int -> at:Mgs_engine.Sim.time -> cost:int -> (Mgs_engine.Sim.time -> unit) -> unit
+val run_on :
+  t ->
+  ?tag:string ->
+  proc:int ->
+  at:Mgs_engine.Sim.time ->
+  cost:int ->
+  (Mgs_engine.Sim.time -> unit) ->
+  unit
 (** [run_on am ~proc ~at ~cost k] charges [cost] cycles of occupancy on
     [proc] starting no earlier than [at] and runs [k] at completion —
     protocol work not triggered by a message (e.g. a continuation after
-    a lock handoff). *)
+    a lock handoff).  When [tag] is given and an event trace is
+    installed, the occupancy slice is recorded under that tag. *)
 
 val set_recorder :
   t -> (Mgs_engine.Sim.time -> tag:string -> src:int -> dst:int -> words:int -> unit) option -> unit
 (** Install (or remove) a callback invoked at every message delivery —
     the hook behind trace dumps.  The callback must not post messages. *)
+
+val set_obs : t -> Mgs_obs.Trace.t option -> unit
+(** Install (or remove) an event trace: every delivered message emits a
+    structured {!Mgs_obs.Event.t} (tag, endpoints, payload size, handler
+    cost, transport latency) into it.  [None] disables with no residual
+    cost on the delivery path. *)
 
 val count : t -> string -> int
 (** Messages posted so far with the given tag. *)
@@ -55,3 +69,7 @@ val counts : t -> (string * int) list
 (** All (tag, count) pairs, sorted by tag. *)
 
 val total_posted : t -> int
+
+val reset_counts : t -> unit
+(** Zero the per-tag and total message counters (e.g. after a warmup
+    phase, so a measured phase reports only its own traffic). *)

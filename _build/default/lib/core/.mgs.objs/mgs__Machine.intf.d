@@ -1,1 +1,1 @@
-lib/core/machine.mli: Api Mgs_engine Mgs_machine Mgs_mem Report State
+lib/core/machine.mli: Api Invariant Mgs_engine Mgs_machine Mgs_mem Mgs_obs Report State

@@ -1,1 +1,1 @@
-lib/core/state.ml: Array Hashtbl Mgs_am Mgs_cache Mgs_engine Mgs_machine Mgs_mem Mgs_net Mgs_svm Mgs_util Mlock Printf Pstats Queue Sys
+lib/core/state.ml: Array Hashtbl Mgs_am Mgs_cache Mgs_engine Mgs_machine Mgs_mem Mgs_net Mgs_obs Mgs_svm Mgs_util Mlock Printf Pstats Queue Sys

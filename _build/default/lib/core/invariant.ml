@@ -1,0 +1,154 @@
+(* Online protocol invariant checker.
+
+   Subscribes to the structured event trace ({!State.obs_emit}) and
+   validates server/client state after every protocol transition.  The
+   checker is strictly read-only: it never creates client or server
+   entries (only [Hashtbl.find_opt]) and never mutates protocol state,
+   so enabling it cannot perturb an execution.
+
+   Checked invariants (MGS protocol only):
+
+   - [s_count] is never negative, and within an invalidation epoch the
+     outstanding-reply count steps down by exactly one per collected
+     reply (no lost or duplicated ACK/DIFF/1WDATA).
+   - No SSMP appears in both the read and the write directory.
+   - Outside REL_IN_PROG, every directory member has a remote-client
+     processor registered in [s_frame_procs].  (During an epoch the
+     replies retire [s_frame_procs] entries before the directories are
+     rebuilt, so the containment only holds between epochs.)
+   - A page in [P_busy] holds its mapping lock: BUSY is only entered
+     and left under the per-mapping mutex (Table 1 column L).
+   - Release visibility: when an epoch completes with no surviving
+     write copy, the merged master page must agree with the
+     sequentially-consistent shadow image of all logical writes.  (A
+     retained single-writer copy may legitimately run ahead of the
+     master, so the oracle is skipped while one survives.) *)
+
+open State
+
+type violation = {
+  v_time : int;  (** simulated time of the triggering event *)
+  v_vpn : int;
+  v_tag : string;  (** tag of the triggering event *)
+  v_msg : string;
+}
+
+type t = {
+  machine : State.t;
+  mutable total : int;
+  mutable stored : violation list; (* newest first, capped *)
+  expected : (int, int) Hashtbl.t; (* vpn -> expected s_count at next collect *)
+}
+
+let stored_limit = 64
+
+let report c ~vpn ~tag msg =
+  c.total <- c.total + 1;
+  if List.length c.stored < stored_limit then
+    c.stored <-
+      { v_time = Sim.now c.machine.sim; v_vpn = vpn; v_tag = tag; v_msg = msg }
+      :: c.stored
+
+let reportf c ~vpn ~tag fmt = Printf.ksprintf (report c ~vpn ~tag) fmt
+
+(* Directory and lock discipline, valid after any transition. *)
+let check_page c vpn tag =
+  let m = c.machine in
+  match Hashtbl.find_opt m.servers vpn with
+  | None -> ()
+  | Some se ->
+    if se.s_count < 0 then reportf c ~vpn ~tag "s_count negative (%d)" se.s_count;
+    Bitset.iter
+      (fun ssmp ->
+        if Bitset.mem se.s_write_dir ssmp then
+          reportf c ~vpn ~tag "SSMP %d in both read and write directories" ssmp)
+      se.s_read_dir;
+    if se.s_state <> S_rel then begin
+      let member ssmp =
+        if not (Hashtbl.mem se.s_frame_procs ssmp) then
+          reportf c ~vpn ~tag "directory member SSMP %d has no frame processor" ssmp
+      in
+      Bitset.iter member se.s_read_dir;
+      Bitset.iter member se.s_write_dir
+    end;
+    Array.iter
+      (fun cl ->
+        match Hashtbl.find_opt cl.cl_pages vpn with
+        | Some ce when ce.pstate = P_busy && not (Mlock.held ce.mlock) ->
+          reportf c ~vpn ~tag "SSMP %d BUSY without holding the mapping lock" cl.cl_id
+        | _ -> ())
+      m.clients
+
+(* Outstanding-reply accounting across one epoch.  [sv.collect] fires
+   before the decrement, so the observed count must equal the expected
+   value exactly and be positive. *)
+let check_epoch c vpn tag =
+  let m = c.machine in
+  match Hashtbl.find_opt m.servers vpn with
+  | None -> ()
+  | Some se -> (
+    match tag with
+    | "sv.epoch_start" | "sv.epoch_extend" -> Hashtbl.replace c.expected vpn se.s_count
+    | "sv.collect" -> (
+      if se.s_count <= 0 then
+        reportf c ~vpn ~tag "reply collected with s_count=%d" se.s_count;
+      match Hashtbl.find_opt c.expected vpn with
+      | Some e ->
+        if se.s_count <> e then
+          reportf c ~vpn ~tag "s_count %d, expected %d (lost or duplicated reply)"
+            se.s_count e;
+        Hashtbl.replace c.expected vpn (se.s_count - 1)
+      | None ->
+        (* trace enabled mid-epoch: adopt the observed count *)
+        Hashtbl.replace c.expected vpn (se.s_count - 1))
+    | "sv.epoch_end" ->
+      if se.s_count <> 0 then
+        reportf c ~vpn ~tag "epoch completed with s_count=%d" se.s_count;
+      Hashtbl.remove c.expected vpn
+    | _ -> ())
+
+(* Release-visibility oracle: every logical write whose page has no
+   surviving write copy must be visible in the merged master. *)
+let check_oracle c vpn =
+  let m = c.machine in
+  match (m.shadow, Hashtbl.find_opt m.servers vpn) with
+  | Some shadow, Some se when Bitset.is_empty se.s_write_dir ->
+    Hashtbl.iter
+      (fun addr v ->
+        if Geom.vpn_of_addr m.geom addr = vpn then begin
+          let got = se.s_master.(Geom.offset_of_addr m.geom addr) in
+          if Int64.bits_of_float got <> Int64.bits_of_float v then
+            reportf c ~vpn ~tag:"sv.epoch_end"
+              "release not visible: addr %d master=%h shadow=%h" addr got v
+        end)
+      shadow
+  | _ -> ()
+
+let on_event c (e : Mgs_obs.Event.t) =
+  if c.machine.protocol = Protocol_mgs && e.vpn >= 0 then begin
+    check_epoch c e.vpn e.tag;
+    check_page c e.vpn e.tag;
+    if e.tag = "sv.epoch_end" then check_oracle c e.vpn
+  end
+
+let attach m trace =
+  let c = { machine = m; total = 0; stored = []; expected = Hashtbl.create 64 } in
+  Mgs_obs.Trace.subscribe trace (on_event c);
+  c
+
+let count c = c.total
+
+let violations c = List.rev c.stored
+
+let pp ppf c =
+  if c.total = 0 then Format.fprintf ppf "invariants: ok@."
+  else begin
+    Format.fprintf ppf "invariants: %d violation%s@." c.total
+      (if c.total = 1 then "" else "s");
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  [t=%d vpn=%d %s] %s@." v.v_time v.v_vpn v.v_tag v.v_msg)
+      (violations c);
+    if c.total > stored_limit then
+      Format.fprintf ppf "  ... %d more suppressed@." (c.total - stored_limit)
+  end

@@ -1,0 +1,35 @@
+(** Online protocol invariant checker.
+
+    Rides the structured event trace: every protocol transition emitted
+    through the trace triggers a read-only validation of the server and
+    client state it touched.  Checked invariants: non-negative and
+    exactly-decrementing outstanding-reply counts within an epoch,
+    disjoint read/write directories, directory membership backed by
+    [s_frame_procs] outside REL_IN_PROG, the mapping lock held whenever
+    a page is BUSY, and — when the shadow image is enabled — release
+    visibility (the merged master equals the shadow once no write copy
+    survives an epoch).
+
+    Only MGS-protocol machines are checked; attaching to an Ivy or HLRC
+    machine records nothing. *)
+
+type violation = {
+  v_time : int;  (** simulated time of the triggering event *)
+  v_vpn : int;
+  v_tag : string;  (** tag of the triggering event *)
+  v_msg : string;
+}
+
+type t
+
+val attach : State.t -> Mgs_obs.Trace.t -> t
+(** Subscribe a fresh checker to [trace].  The checker never creates or
+    mutates protocol state, so it cannot perturb the execution. *)
+
+val count : t -> int
+(** Total violations detected, including ones beyond the storage cap. *)
+
+val violations : t -> violation list
+(** Detected violations, oldest first (at most the first 64). *)
+
+val pp : Format.formatter -> t -> unit

@@ -78,11 +78,36 @@ let create cfg =
       event_limit = cfg.event_limit;
       shadow = (if cfg.shadow then Some (Hashtbl.create 4096) else None);
       shadow_errors = 0;
+      obs = None;
     }
   in
   m
 
 let sim (m : t) = m.sim
+
+let enable_trace ?capacity (m : t) =
+  match m.obs with
+  | Some tr -> tr
+  | None ->
+    let tr = Mgs_obs.Trace.create ?capacity () in
+    m.obs <- Some tr;
+    Am.set_obs m.am (Some tr);
+    Lan.set_obs m.lan (Some tr);
+    tr
+
+let trace (m : t) = m.obs
+
+let enable_checker ?capacity (m : t) = Invariant.attach m (enable_trace ?capacity m)
+
+let reset_stats (m : t) =
+  Pstats.reset m.pstats;
+  Lan.reset m.lan;
+  Array.iter Coherence.reset_stats m.caches;
+  Am.reset_counts m.am;
+  m.sync_counters.lock_acquires <- 0;
+  m.sync_counters.lock_hits <- 0;
+  m.sync_counters.barrier_episodes <- 0;
+  m.shadow_errors <- 0
 
 let shadow_mismatches (m : t) = m.shadow_errors
 let topo (m : t) = m.topo

@@ -50,6 +50,29 @@ val create : config -> t
 
 val sim : t -> Mgs_engine.Sim.t
 
+val enable_trace : ?capacity:int -> t -> Mgs_obs.Trace.t
+(** Install the structured event trace (bounded ring, default 65536
+    events) and wire it into the message layer, the LAN, and every
+    protocol engine.  Idempotent: a second call returns the existing
+    trace.  Call before [run]; with no trace installed the emission
+    sites cost one branch each. *)
+
+val trace : t -> Mgs_obs.Trace.t option
+(** The installed event trace, if any. *)
+
+val enable_checker : ?capacity:int -> t -> Invariant.t
+(** Install the event trace (if not already on) and attach the online
+    invariant checker to it.  Inspect the returned checker after [run]
+    with {!Invariant.count} / {!Invariant.pp}. *)
+
+val reset_stats : t -> unit
+(** Zero every statistics surface — protocol counters, message counts,
+    LAN state ({!Mgs_net.Lan.reset}, including sender-occupancy
+    horizons), cache-model counters, synchronization counters, and the
+    shadow-mismatch count — so a measured phase that follows a warmup
+    phase reports only its own activity.  The event trace, checker, and
+    all protocol state are untouched. *)
+
 val shadow_mismatches : t -> int
 (** Number of reads that diverged from the shadow mirror (0 unless the
     [shadow] oracle is on and the protocol lost data). *)

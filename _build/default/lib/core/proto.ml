@@ -20,6 +20,8 @@ let send_data m se ~requester ~write =
   trace m se.s_vpn "send_data -> proc %d (ssmp %d) write=%b rd=%s wr=%s" requester ssmp write
     (Format.asprintf "%a" Bitset.pp se.s_read_dir)
     (Format.asprintf "%a" Bitset.pp se.s_write_dir);
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.send_data" ~vpn:se.s_vpn
+    ~src:se.s_home_proc ~dst:requester ~words:m.geom.Geom.page_words ();
   let payload = Pagedata.copy se.s_master in
   let install_cost =
     c.proto.frame_alloc
@@ -47,6 +49,8 @@ let send_data m se ~requester ~write =
    a release). *)
 let server_req m ~vpn ~requester ~write =
   let se = get_sentry m vpn in
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:(if write then "sv.wreq" else "sv.rreq")
+    ~vpn ~src:requester ~dst:se.s_home_proc ();
   match se.s_state with
   | S_rel ->
     if write then se.s_pend_wr <- requester :: se.s_pend_wr
@@ -60,6 +64,7 @@ let server_req m ~vpn ~requester ~write =
 let server_wnotify m ~vpn ~ssmp =
   let se = get_sentry m vpn in
   trace m vpn "WNOTIFY from ssmp %d (state rel=%b)" ssmp (se.s_state = S_rel);
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.wnotify" ~vpn ();
   match se.s_state with
   | S_rel -> ()
   | S_read | S_write ->
@@ -95,6 +100,8 @@ let rec complete_release m se =
     se.s_retained <- -1;
     se.s_count <- 1;
     m.pstats.invals <- m.pstats.invals + 1;
+    obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_extend" ~vpn:se.s_vpn
+      ~src:se.s_home_proc ();
     let dst = Hashtbl.find se.s_frame_procs ssmp in
     Am.post m.am ~tag:"INV" ~src:se.s_home_proc ~dst ~words:0 ~cost:0 (fun _t ->
         client_inv m ~ssmp ~vpn:se.s_vpn ~single:false)
@@ -111,6 +118,10 @@ let rec complete_release m se =
   if se.s_retained >= 0 then Bitset.add se.s_write_dir se.s_retained;
   se.s_retained <- -1;
   se.s_state <- (if Bitset.is_empty se.s_write_dir then S_read else S_write);
+  (* Epoch complete: master merged, directories rebuilt.  The release-
+     visibility oracle compares the master against the shadow here. *)
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_end" ~vpn:se.s_vpn
+    ~src:se.s_home_proc ();
   let racks = se.s_pend_rl and rd = se.s_pend_rd and wr = se.s_pend_wr in
   se.s_pend_rl <- [];
   se.s_pend_rd <- [];
@@ -164,6 +175,8 @@ and start_epoch m se ~releasers =
   se.s_pend_rl <- releasers;
   se.s_pend_rd <- [];
   se.s_pend_wr <- [];
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_start" ~vpn:se.s_vpn
+    ~src:se.s_home_proc ~cost:se.s_count ();
   if targets = [] then complete_release m se
   else
     List.iter
@@ -188,6 +201,8 @@ and server_collect m ~vpn ~ssmp ~payload =
     | `Page _ -> "PAGE"
     | `Clean -> "1WCLEAN")
     se.s_count (se.s_count - 1);
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.collect" ~vpn ~dst:se.s_home_proc
+    ~cost:se.s_count ();
   assert (se.s_state = S_rel);
   (match payload with
   | `Ack ->
@@ -217,6 +232,8 @@ and finish_inv m ~ssmp ~vpn =
   let se = get_sentry m vpn in
   let rc = global_proc m ssmp ce.frame_owner in
   let home = se.s_home_proc in
+  obs_emit m ~engine:Mgs_obs.Event.Remote_client ~tag:"rc.finish_inv" ~vpn ~src:rc ~dst:home
+    ~cost:ce.inv_tt ();
   let dirty = ref 0 in
   (* Page cleaning also scrubs the cache model's metadata so a future
      refetch of this virtual page cannot see stale tags. *)
@@ -256,7 +273,7 @@ and finish_inv m ~ssmp ~vpn =
           server_collect m ~vpn ~ssmp ~payload:`Ack);
       (* the cleaning runs after the ACK, holding only the mapping *)
       let clean = Geom.lines_per_page m.geom * c.proto.clean_per_line in
-      Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
+      Am.run_on m.am ~tag:"rc.clean" ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
           Mlock.release m.sim ce.mlock)
     end
     else begin
@@ -277,7 +294,7 @@ and finish_inv m ~ssmp ~vpn =
     ce.cdata <- None;
     ce.ctwin <- None;
     ce.pstate <- P_inv;
-    Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:diff_cost (fun _t ->
+    Am.run_on m.am ~tag:"rc.diff" ~proc:rc ~at:(Sim.now m.sim) ~cost:diff_cost (fun _t ->
         Mlock.release m.sim ce.mlock;
         Am.post m.am ~tag:"DIFF" ~src:rc ~dst:home ~words:(2 * nd)
           ~cost:(nd * c.proto.merge_per_word) (fun _t ->
@@ -292,7 +309,7 @@ and finish_inv m ~ssmp ~vpn =
     | None -> assert false);
     m.pstats.one_wdata <- m.pstats.one_wdata + 1;
     let retwin_cost = m.geom.Geom.page_words * c.proto.twin_per_word in
-    Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:retwin_cost (fun _t ->
+    Am.run_on m.am ~tag:"rc.retwin" ~proc:rc ~at:(Sim.now m.sim) ~cost:retwin_cost (fun _t ->
         Mlock.release m.sim ce.mlock;
         Am.post m.am ~tag:"1WDATA" ~src:rc ~dst:home ~words:m.geom.Geom.page_words
           ~cost:(m.geom.Geom.page_words * c.proto.copy_per_word) (fun _t ->
@@ -306,6 +323,8 @@ and client_inv m ~ssmp ~vpn ~single =
   let c = m.costs in
   let ce = get_centry m ssmp vpn in
   trace m vpn "client_inv ssmp %d single=%b (lock held=%b)" ssmp single (Mlock.held ce.mlock);
+  obs_emit m ~engine:Mgs_obs.Event.Remote_client ~tag:"rc.inv" ~vpn
+    ~dst:(global_proc m ssmp 0) ~cost:(if single then 1 else 0) ();
   Mlock.acquire_k m.sim ce.mlock (fun () ->
       trace m vpn "client_inv ssmp %d RUNNING pstate=%s" ssmp
         (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
@@ -372,6 +391,8 @@ and client_inv m ~ssmp ~vpn ~single =
    everything is already merged. *)
 and server_sync m ~vpn ~releaser =
   let se = get_sentry m vpn in
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.sync" ~vpn ~src:releaser
+    ~dst:se.s_home_proc ();
   match se.s_state with
   | S_rel -> se.s_pend_rl <- releaser :: se.s_pend_rl
   | S_read | S_write -> send_rack m se releaser
@@ -383,6 +404,8 @@ and server_rel m ~vpn ~releaser =
     (match se.s_state with S_rel -> "REL_IN_PROG" | S_read -> "READ" | S_write -> "WRITE")
     (Format.asprintf "%a" Bitset.pp se.s_read_dir)
     (Format.asprintf "%a" Bitset.pp se.s_write_dir);
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.rel" ~vpn ~src:releaser
+    ~dst:se.s_home_proc ();
   match se.s_state with
   | S_rel ->
     (* Joining the current epoch's RACK list would be unsound: writes
@@ -398,42 +421,8 @@ and server_rel m ~vpn ~releaser =
        an earlier invalidation whose epoch has already completed, so
        the release is already globally visible — acknowledge without
        invalidating anyone. *)
-    Am.post m.am ~tag:"RACK" ~src:se.s_home_proc ~dst:releaser ~words:0 ~cost:0 (fun _t ->
-        match m.rel_resume.(releaser) with
-        | Some resume ->
-          m.rel_resume.(releaser) <- None;
-          resume ()
-        | None -> assert false)
-  | S_read | S_write ->
-    let targets =
-      let u = Bitset.copy se.s_read_dir in
-      Bitset.union_into u se.s_write_dir;
-      Bitset.elements u
-    in
-    let single =
-    m.features.single_writer_opt
-    && se.s_state = S_write
-    && Bitset.cardinal se.s_write_dir = 1
-  in
-    se.s_state <- S_rel;
-    se.s_count <- List.length targets;
-    se.s_retained <- -1;
-    se.s_pend_rl <- [ releaser ];
-    se.s_pend_rd <- [];
-    se.s_pend_wr <- [];
-    if targets = [] then complete_release m se
-    else
-      List.iter
-        (fun ssmp ->
-          let sw = single && Bitset.mem se.s_write_dir ssmp in
-          if sw then m.pstats.one_winvals <- m.pstats.one_winvals + 1
-          else m.pstats.invals <- m.pstats.invals + 1;
-          let dst = Hashtbl.find se.s_frame_procs ssmp in
-          Am.post m.am
-            ~tag:(if sw then "1WINV" else "INV")
-            ~src:se.s_home_proc ~dst ~words:0 ~cost:0
-            (fun _t -> client_inv m ~ssmp ~vpn ~single:sw))
-        targets
+    send_rack m se releaser
+  | S_read | S_write -> start_epoch m se ~releasers:[ releaser ]
 
 (* ------------------------------------------------------------------ *)
 (* Local Client engine: the fiber-side fault path (arcs 1-7).          *)
@@ -462,6 +451,8 @@ let fault m ~proc ~vpn ~write =
   in
   trace m vpn "fault proc %d write=%b pstate=%s" proc write
     (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
+  obs_emit m ~engine:Mgs_obs.Event.Local_client ~tag:"lc.fault" ~vpn ~src:proc
+    ~cost:(if write then 1 else 0) ();
   match (ce.pstate, write) with
   | P_read, false ->
     (* Arc 1: fill from the existing local read copy. *)
@@ -536,6 +527,8 @@ let release_all m ~proc =
     Cpu.sync_busy cpu;
     if not (duq_is_empty duq && Hashtbl.length duq.psync = 0) then begin
       m.pstats.release_ops <- m.pstats.release_ops + 1;
+      obs_emit m ~engine:Mgs_obs.Event.Local_client ~tag:"lc.release" ~src:proc
+        ~cost:(Hashtbl.length duq.duq_set) ();
       let take_sync () =
         let pick = Hashtbl.fold (fun vpn () _ -> Some vpn) duq.psync None in
         match pick with

@@ -67,8 +67,8 @@ let reset t =
 let pp ppf t =
   Format.fprintf ppf
     "tlb_fills=%d rreq=%d wreq=%d upgrades=%d rel=%d rel_ops=%d inv=%d 1winv=%d pinv=%d \
-     diffs=%d diff_words=%d 1wdata=%d acks=%d"
+     diffs=%d diff_words=%d 1wdata=%d 1wclean=%d acks=%d"
     t.tlb_local_fills t.read_fetches t.write_fetches t.upgrades t.releases t.release_ops
-    t.invals t.one_winvals t.pinvs t.diffs t.diff_words t.one_wdata t.acks;
+    t.invals t.one_winvals t.pinvs t.diffs t.diff_words t.one_wdata t.one_wclean t.acks;
   Format.fprintf ppf " syncs=%d sync_wait=%d rel_wait=%d fetch_wait=%d upgrade_wait=%d"
     t.syncs t.sync_wait t.rel_wait t.fetch_wait t.upgrade_wait

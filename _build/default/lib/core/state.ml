@@ -147,6 +147,8 @@ type t = {
       (* sequentially-consistent mirror used to detect protocol data
          loss in data-race-free programs (config flag or MGS_SHADOW=1) *)
   mutable shadow_errors : int;
+  mutable obs : Mgs_obs.Trace.t option;
+      (* structured event trace; None = observability fully disabled *)
 }
 
 let local_idx m proc = proc mod m.topo.Topology.cluster
@@ -238,3 +240,17 @@ let trace m vpn fmt =
   if vpn = trace_vpn then
     Printf.eprintf ("[t=%d vpn=%d] " ^^ fmt ^^ "\n%!") (Sim.now m.sim) vpn
   else Printf.ifprintf stderr fmt
+
+(* Structured event emission: one cheap branch when observability is
+   off, a full {!Mgs_obs.Event.t} into the trace when it is on.  The
+   protocol engines call this at every state transition; the online
+   invariant checker rides the trace's subscriber list. *)
+let obs_emit m ~engine ~tag ?(vpn = -1) ?(src = -1) ?(dst = -1) ?(words = 0) ?(cost = 0)
+    ?(dur = 0) () =
+  match m.obs with
+  | None -> ()
+  | Some tr ->
+    let ssmp_of p = if p < 0 then -1 else Topology.ssmp_of_proc m.topo p in
+    Mgs_obs.Trace.emit tr
+      (Mgs_obs.Event.make ~time:(Sim.now m.sim) ~engine ~tag ~vpn ~src ~dst
+         ~src_ssmp:(ssmp_of src) ~dst_ssmp:(ssmp_of dst) ~words ~cost ~dur ())

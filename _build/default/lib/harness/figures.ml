@@ -99,6 +99,42 @@ let message_mix points =
   in
   Mgs_util.Tableprint.render ~header ~rows
 
+let protocol_ops points =
+  (* one row per protocol counter, one column per cluster size — the
+     operation-mix companion to [message_mix], including the
+     single-writer reply split (1WDATA vs 1WCLEAN) *)
+  let counters =
+    [
+      ("read fetches", fun (s : Mgs.Pstats.t) -> s.Mgs.Pstats.read_fetches);
+      ("write fetches", fun s -> s.Mgs.Pstats.write_fetches);
+      ("upgrades", fun s -> s.Mgs.Pstats.upgrades);
+      ("release ops", fun s -> s.Mgs.Pstats.release_ops);
+      ("RELs", fun s -> s.Mgs.Pstats.releases);
+      ("SYNCs", fun s -> s.Mgs.Pstats.syncs);
+      ("INVs", fun s -> s.Mgs.Pstats.invals);
+      ("1WINVs", fun s -> s.Mgs.Pstats.one_winvals);
+      ("PINVs", fun s -> s.Mgs.Pstats.pinvs);
+      ("ACK replies", fun s -> s.Mgs.Pstats.acks);
+      ("DIFF replies", fun s -> s.Mgs.Pstats.diffs);
+      ("diff words", fun s -> s.Mgs.Pstats.diff_words);
+      ("1WDATA replies", fun s -> s.Mgs.Pstats.one_wdata);
+      ("1WCLEAN replies", fun s -> s.Mgs.Pstats.one_wclean);
+    ]
+  in
+  let header =
+    "operation" :: List.map (fun p -> Printf.sprintf "C=%d" p.Sweep.cluster) points
+  in
+  let rows =
+    List.map
+      (fun (name, get) ->
+        name
+        :: List.map
+             (fun p -> string_of_int (get p.Sweep.report.Mgs.Report.pstats))
+             points)
+      counters
+  in
+  Mgs_util.Tableprint.render ~header ~rows
+
 type table4_row = { app : string; problem_size : string; seq_runtime : int; speedup : float }
 
 let table4 rows =

@@ -28,3 +28,9 @@ val csv_of_sweep : name:string -> Sweep.point list -> string
 
 val message_mix : Sweep.point list -> string
 (** Table of protocol message counts by tag per cluster size. *)
+
+val protocol_ops : Sweep.point list -> string
+(** Table of protocol operation counters per cluster size — fetches,
+    upgrades, releases, invalidation fan-out, and the reply mix
+    (ACK/DIFF/1WDATA/1WCLEAN, so the single-writer optimization's page
+    transfers saved by clean retained copies are visible). *)

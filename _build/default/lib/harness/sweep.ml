@@ -10,20 +10,28 @@ let clusters_of nprocs =
   go 1
 
 let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_latency = 1000)
-    ?(verify = true) ~nprocs ~cluster w =
+    ?(verify = true) ?(check = true) ~nprocs ~cluster w =
   let cfg = Mgs.Machine.config ~page_words ~costs ~lan_latency ~nprocs ~cluster () in
   let m = Mgs.Machine.create cfg in
-  let body, check = w.prepare m in
+  let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
+  let body, wcheck = w.prepare m in
   let report = Mgs.Machine.run m body in
   if verify then begin
     Mgs.Machine.assert_quiescent m;
-    check m
+    wcheck m
   end;
+  (match checker with
+  | Some c when Mgs.Invariant.count c > 0 ->
+    failwith
+      (Format.asprintf "%s C=%d: %a" w.name cluster Mgs.Invariant.pp c)
+  | _ -> ());
   { cluster; report; lock_hit_ratio = Mgs.Report.lock_hit_ratio report }
 
-let sweep ?page_words ?costs ?lan_latency ?verify ?clusters ~nprocs w =
+let sweep ?page_words ?costs ?lan_latency ?verify ?check ?clusters ~nprocs w =
   let clusters = Option.value ~default:(clusters_of nprocs) clusters in
-  List.map (fun cluster -> run_point ?page_words ?costs ?lan_latency ?verify ~nprocs ~cluster w)
+  List.map
+    (fun cluster ->
+      run_point ?page_words ?costs ?lan_latency ?verify ?check ~nprocs ~cluster w)
     clusters
 
 (* Pure versions on (cluster, runtime) pairs — the point-based API

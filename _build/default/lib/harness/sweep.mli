@@ -24,19 +24,24 @@ val run_point :
   ?costs:Mgs_machine.Costs.t ->
   ?lan_latency:int ->
   ?verify:bool ->
+  ?check:bool ->
   nprocs:int ->
   cluster:int ->
   workload ->
   point
 (** One configuration.  Default LAN latency 1000 cycles (section 5.2.1),
     1 KB pages; [verify] (default true) runs the workload's checker and
-    {!Mgs.Machine.assert_quiescent}. *)
+    {!Mgs.Machine.assert_quiescent}; [check] (default true) runs the
+    online protocol invariant checker ({!Mgs.Invariant}) and fails on
+    any violation.
+    @raise Failure on a workload-verifier or invariant failure. *)
 
 val sweep :
   ?page_words:int ->
   ?costs:Mgs_machine.Costs.t ->
   ?lan_latency:int ->
   ?verify:bool ->
+  ?check:bool ->
   ?clusters:int list ->
   nprocs:int ->
   workload ->

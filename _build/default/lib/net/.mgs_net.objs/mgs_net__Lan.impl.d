@@ -1,1 +1,1 @@
-lib/net/lan.ml: Array Hashtbl Mgs_engine Mgs_machine Option
+lib/net/lan.ml: Array Hashtbl Mgs_engine Mgs_machine Mgs_obs Option

@@ -1,1 +1,1 @@
-lib/net/lan.mli: Mgs_engine Mgs_machine
+lib/net/lan.mli: Mgs_engine Mgs_machine Mgs_obs

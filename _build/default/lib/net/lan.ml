@@ -6,6 +6,7 @@ type t = {
   sender_free : Mgs_engine.Sim.time array; (* per-SSMP sender availability *)
   last_arrival : (int * int, Mgs_engine.Sim.time) Hashtbl.t; (* FIFO per channel *)
   stats : stats;
+  mutable obs : Mgs_obs.Trace.t option;
 }
 
 let create sim costs ~nssmps =
@@ -16,6 +17,7 @@ let create sim costs ~nssmps =
     sender_free = Array.make nssmps 0;
     last_arrival = Hashtbl.create 64;
     stats = { messages = 0; data_words = 0 };
+    obs = None;
   }
 
 (* Delivery on each (src, dst) channel is FIFO: a short message sent
@@ -42,11 +44,29 @@ let send lan ~src ~dst ~at ~words k =
     let arrive = fifo_arrival lan ~src ~dst (depart + l.latency + (words * p.dma_per_word)) in
     lan.stats.messages <- lan.stats.messages + 1;
     lan.stats.data_words <- lan.stats.data_words + words;
+    (match lan.obs with
+    | Some tr ->
+      Mgs_obs.Trace.emit tr
+        (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag:"LAN"
+           ~src_ssmp:src ~dst_ssmp:dst ~words ~dur:(arrive - at) ())
+    | None -> ());
     Mgs_engine.Sim.at lan.sim arrive (fun () -> k arrive)
   end
 
 let stats lan = lan.stats
 
+let set_obs lan tr = lan.obs <- tr
+
 let reset_stats lan =
   lan.stats.messages <- 0;
   lan.stats.data_words <- 0
+
+(* Full reset between measured phases: beyond the counters, clear the
+   sender-occupancy horizons and per-channel FIFO watermarks so warmup
+   traffic cannot delay (and thus skew) the first measured messages.
+   Safe mid-run: departures and arrivals are clamped to [at], which is
+   never in the past. *)
+let reset lan =
+  reset_stats lan;
+  Array.fill lan.sender_free 0 (Array.length lan.sender_free) 0;
+  Hashtbl.reset lan.last_arrival

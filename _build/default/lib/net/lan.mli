@@ -27,4 +27,18 @@ val send :
 
 val stats : t -> stats
 
+val set_obs : t -> Mgs_obs.Trace.t option -> unit
+(** Install (or remove) an event trace: every inter-SSMP transfer emits
+    a ["LAN"] event carrying the SSMP endpoints, payload size, and
+    queueing + transfer latency. *)
+
 val reset_stats : t -> unit
+(** Zero the message/word counters only.  The sender-occupancy horizons
+    and per-channel FIFO watermarks survive, so timing is unaffected —
+    use {!reset} when starting a measured phase. *)
+
+val reset : t -> unit
+(** Full reset between measured phases: counters, sender-occupancy
+    horizons, and FIFO watermarks.  After a reset the first message of
+    the next phase departs as if the network were idle, so warmup
+    traffic cannot skew measured occupancy or ordering. *)

@@ -1,0 +1,1 @@
+lib/obs/hist.ml: Array Format List

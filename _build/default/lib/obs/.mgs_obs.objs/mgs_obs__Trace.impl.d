@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Buffer Char Event Format Hashtbl Hist List Printf Ring String

@@ -1,0 +1,30 @@
+type engine = Local_client | Remote_client | Server | Network | Sync
+
+type t = {
+  time : int;
+  engine : engine;
+  tag : string;
+  vpn : int;
+  src : int;
+  dst : int;
+  src_ssmp : int;
+  dst_ssmp : int;
+  words : int;
+  cost : int;
+  dur : int;
+}
+
+let engine_name = function
+  | Local_client -> "local-client"
+  | Remote_client -> "remote-client"
+  | Server -> "server"
+  | Network -> "network"
+  | Sync -> "sync"
+
+let make ~time ~engine ~tag ?(vpn = -1) ?(src = -1) ?(dst = -1) ?(src_ssmp = -1)
+    ?(dst_ssmp = -1) ?(words = 0) ?(cost = 0) ?(dur = 0) () =
+  { time; engine; tag; vpn; src; dst; src_ssmp; dst_ssmp; words; cost; dur }
+
+let pp ppf e =
+  Format.fprintf ppf "[t=%d %s] %s vpn=%d %d(%d)->%d(%d) words=%d cost=%d dur=%d" e.time
+    (engine_name e.engine) e.tag e.vpn e.src e.src_ssmp e.dst e.dst_ssmp e.words e.cost e.dur

@@ -1,0 +1,64 @@
+(* Power-of-two bucketed histogram of nonnegative cycle counts.
+   Bucket 0 holds value 0; bucket b >= 1 holds [2^(b-1), 2^b). *)
+
+let nbuckets = 63
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; sum = 0; vmin = max_int; vmax = min_int }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    min !b (nbuckets - 1)
+  end
+
+let add t v =
+  let v = max 0 v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+
+let sum t = t.sum
+
+let min_value t = if t.n = 0 then 0 else t.vmin
+
+let max_value t = if t.n = 0 then 0 else t.vmax
+
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+(* (lo, hi, count) for each nonempty bucket, ascending; hi inclusive. *)
+let buckets t =
+  let acc = ref [] in
+  for b = nbuckets - 1 downto 0 do
+    if t.counts.(b) > 0 then begin
+      let lo = if b = 0 then 0 else 1 lsl (b - 1) in
+      let hi = if b = 0 then 0 else (1 lsl b) - 1 in
+      acc := (lo, hi, t.counts.(b)) :: !acc
+    end
+  done;
+  !acc
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else begin
+    Format.fprintf ppf "n=%d mean=%.0f min=%d max=%d" t.n (mean t) (min_value t)
+      (max_value t);
+    List.iter (fun (lo, hi, c) -> Format.fprintf ppf " [%d-%d]:%d" lo hi c) (buckets t)
+  end

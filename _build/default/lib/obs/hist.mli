@@ -1,0 +1,30 @@
+(** Bounded-memory latency histogram.
+
+    Values land in power-of-two buckets (0, [1], [2-3], [4-7], ...), so
+    a histogram costs a fixed 63 counters regardless of how many samples
+    it absorbs — safe to keep per message tag for an entire run. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample; negative samples clamp to 0. *)
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val buckets : t -> (int * int * int) list
+(** Nonempty buckets as [(lo, hi, count)], ascending, [hi] inclusive. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* next write position *)
+  mutable length : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity";
+  { buf = Array.make capacity None; head = 0; length = 0; pushed = 0 }
+
+let capacity r = Array.length r.buf
+
+let length r = r.length
+
+let pushed r = r.pushed
+
+let dropped r = r.pushed - r.length
+
+let push r x =
+  let cap = Array.length r.buf in
+  r.buf.(r.head) <- Some x;
+  r.head <- (r.head + 1) mod cap;
+  if r.length < cap then r.length <- r.length + 1;
+  r.pushed <- r.pushed + 1
+
+let clear r =
+  Array.fill r.buf 0 (Array.length r.buf) None;
+  r.head <- 0;
+  r.length <- 0;
+  r.pushed <- 0
+
+(* Oldest-first traversal. *)
+let iter f r =
+  let cap = Array.length r.buf in
+  let start = (r.head - r.length + cap) mod cap in
+  for i = 0 to r.length - 1 do
+    match r.buf.((start + i) mod cap) with Some x -> f x | None -> assert false
+  done
+
+let to_list r =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) r;
+  List.rev !acc

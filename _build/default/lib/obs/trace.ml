@@ -1,0 +1,90 @@
+type t = {
+  ring : Event.t Ring.t;
+  hists : (string, Hist.t) Hashtbl.t;
+  mutable subscribers : (Event.t -> unit) list;
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  { ring = Ring.create ~capacity; hists = Hashtbl.create 32; subscribers = [] }
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let hist_for t tag =
+  match Hashtbl.find_opt t.hists tag with
+  | Some h -> h
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.add t.hists tag h;
+    h
+
+let emit t (e : Event.t) =
+  Ring.push t.ring e;
+  Hist.add (hist_for t e.tag) e.dur;
+  List.iter (fun f -> f e) t.subscribers
+
+let events t = Ring.to_list t.ring
+
+let emitted t = Ring.pushed t.ring
+
+let retained t = Ring.length t.ring
+
+let dropped t = Ring.dropped t.ring
+
+let hist t tag = Hashtbl.find_opt t.hists tag
+
+let histograms t =
+  List.sort compare (Hashtbl.fold (fun tag h acc -> (tag, h) :: acc) t.hists [])
+
+(* --- Chrome trace_event export ------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One Chrome "complete" ('X') slice per event: pid = the SSMP where the
+   work lands, tid = the processor there, ts..ts+dur the transfer or
+   occupancy interval in simulated cycles (1 cycle = 1 "us" on the
+   chrome://tracing timeline). *)
+let chrome_event buf (e : Event.t) =
+  let pid = if e.dst_ssmp >= 0 then e.dst_ssmp else max e.src_ssmp 0 in
+  let tid = if e.dst >= 0 then e.dst else max e.src 0 in
+  let ts = e.time - max e.dur 0 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"vpn\":%d,\"src\":%d,\"dst\":%d,\"words\":%d,\"cost\":%d}}"
+       (json_escape e.tag)
+       (Event.engine_name e.engine)
+       ts (max e.dur 0) pid tid e.vpn e.src e.dst e.words e.cost)
+
+let chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  Ring.iter
+    (fun e ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      chrome_event buf e)
+    t.ring;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome t oc = output_string oc (chrome_json t)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "events: %d emitted, %d retained, %d dropped@." (emitted t) (retained t)
+    (dropped t);
+  List.iter
+    (fun (tag, h) -> Format.fprintf ppf "  %-14s %a@." tag Hist.pp h)
+    (histograms t)

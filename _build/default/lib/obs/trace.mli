@@ -1,0 +1,45 @@
+(** Deterministic, bounded-memory event trace.
+
+    Every emitted {!Event.t} is (1) pushed into a fixed-size ring
+    buffer, (2) folded into a per-tag latency histogram, and (3) handed
+    to each subscriber — the hook the online invariant checker uses.
+    Memory is bounded by the ring capacity plus one histogram per
+    distinct tag; a run of any length cannot grow it further. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 65536 events. *)
+
+val subscribe : t -> (Event.t -> unit) -> unit
+(** Subscribers run synchronously at every emit, in reverse order of
+    subscription.  They must not mutate simulated state. *)
+
+val emit : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val emitted : t -> int
+(** Total events ever emitted. *)
+
+val retained : t -> int
+
+val dropped : t -> int
+
+val hist : t -> string -> Hist.t option
+(** Latency histogram for one tag. *)
+
+val histograms : t -> (string * Hist.t) list
+(** All (tag, histogram) pairs, sorted by tag. *)
+
+val chrome_json : t -> string
+(** The retained events in Chrome [trace_event] JSON (the
+    [chrome://tracing] / Perfetto format): one complete slice per
+    event, [pid] = destination SSMP, [tid] = destination processor,
+    timestamps in simulated cycles. *)
+
+val write_chrome : t -> out_channel -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** Event counts plus the per-tag latency histograms. *)

@@ -144,6 +144,10 @@ let acquire ctx l =
   Cpu.advance cpu Lock (if flat then m.costs.sync.flat_lock else m.costs.sync.lock_local_acquire);
   l.acquires <- l.acquires + 1;
   m.sync_counters.lock_acquires <- m.sync_counters.lock_acquires + 1;
+  obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.lock_acquire" ~src:ctx.Mgs.Api.proc
+    ~dst:(home_proc l)
+    ~cost:(if loc.has_token then 1 else 0)
+    ();
   if loc.has_token then begin
     l.hits <- l.hits + 1;
     m.sync_counters.lock_hits <- m.sync_counters.lock_hits + 1;
@@ -174,6 +178,8 @@ let release ctx l =
   let s = Topology.ssmp_of_proc m.topo ctx.Mgs.Api.proc in
   let loc = l.locals.(s) in
   if not loc.held then failwith "Lock.release: not held by this SSMP";
+  obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.lock_release" ~src:ctx.Mgs.Api.proc
+    ~dst:(home_proc l) ();
   (* Release consistency: propagate this SSMP's writes before anyone
      else can acquire (this is what dilates critical sections).  Under
      HLRC this flushes diffs home and attaches write notices to the

@@ -1,1 +1,1 @@
-test/test_litmus.ml: Alcotest Array List Mgs Mgs_mem Mgs_sync Printf
+test/test_litmus.ml: Alcotest Am Array Format List Mgs Mgs_mem Mgs_obs Mgs_sync Printf

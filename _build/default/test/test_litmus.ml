@@ -9,11 +9,23 @@ open Mgs.State
 
 let protocols = [ ("mgs", Protocol_mgs); ("hlrc", Protocol_hlrc); ("ivy", Protocol_ivy) ]
 
-let machine protocol =
-  let cfg =
-    Mgs.Machine.config ~nprocs:4 ~cluster:2 ~lan_latency:600 ~protocol ~shadow:true ()
-  in
-  Mgs.Machine.create cfg
+(* Every litmus machine runs with the shadow oracle AND the online
+   invariant checker: a pattern that passes its visibility assertion but
+   corrupts protocol state still fails. *)
+let checkers : (Mgs.Machine.t * Mgs.Invariant.t) list ref = ref []
+
+let machine ?(nprocs = 4) ?(lan_latency = 600) protocol =
+  let cfg = Mgs.Machine.config ~nprocs ~cluster:2 ~lan_latency ~protocol ~shadow:true () in
+  let m = Mgs.Machine.create cfg in
+  checkers := (m, Mgs.Machine.enable_checker m) :: !checkers;
+  m
+
+let assert_invariants m =
+  match List.assq_opt m !checkers with
+  | None -> Alcotest.fail "machine has no checker attached"
+  | Some c ->
+    if Mgs.Invariant.count c > 0 then
+      Alcotest.fail (Format.asprintf "%a" Mgs.Invariant.pp c)
 
 (* MP (message passing) through a lock: w(data); unlock || lock; r(data). *)
 let test_mp_lock protocol () =
@@ -46,6 +58,7 @@ let test_mp_lock protocol () =
            Mgs_sync.Lock.release ctx lock
          | _ -> ()));
   Mgs.Machine.assert_quiescent m;
+  assert_invariants m;
   Alcotest.(check (float 0.)) "MP through lock" 42.0 !seen;
   Alcotest.(check int) "no shadow divergence" 0 (Mgs.Machine.shadow_mismatches m)
 
@@ -62,6 +75,7 @@ let test_mp_barrier protocol () =
          Mgs_sync.Barrier.wait ctx bar;
          seen.(p) <- Mgs.Api.read ctx data;
          Mgs_sync.Barrier.wait ctx bar));
+  assert_invariants m;
   Array.iteri
     (fun p v -> Alcotest.(check (float 0.)) (Printf.sprintf "proc %d sees write" p) 7.0 v)
     seen
@@ -107,6 +121,7 @@ let test_transitive protocol () =
            got := (Mgs.Api.read ctx x, Mgs.Api.read ctx y);
            Mgs_sync.Lock.release ctx lock
          | _ -> ()));
+  assert_invariants m;
   let gx, gy = !got in
   Alcotest.(check (float 0.)) "C sees x transitively" 1.0 gx;
   Alcotest.(check (float 0.)) "C sees y" 2.0 gy
@@ -132,8 +147,109 @@ let test_independent_locks protocol () =
          done;
          Mgs_sync.Barrier.wait ctx bar));
   Mgs.Machine.assert_quiescent m;
+  assert_invariants m;
   Alcotest.(check (float 0.)) "counter a" 40.0 (Mgs.Machine.peek m a);
   Alcotest.(check (float 0.)) "counter b" 40.0 (Mgs.Machine.peek m b)
+
+(* --- MGS-only protocol regressions --------------------------------- *)
+
+(* Two processors in the same SSMP write the same page and release
+   concurrently.  The second REL arrives during the first epoch and is
+   deferred; the follow-up epoch finds the retained single-writer copy
+   untouched since its write-back, so the reply is 1WCLEAN — the
+   optimization that skips a redundant page transfer.  Both writes must
+   end up in the master. *)
+let test_deferred_rel_1wclean () =
+  let m = machine Protocol_mgs in
+  let page = Mgs.Machine.alloc m ~words:256 ~home:(Mgs_mem.Allocator.On_proc 2) in
+  let la = Mgs_sync.Lock.create m ~home:1 () in
+  let lb = Mgs_sync.Lock.create m ~home:1 () in
+  let step = 200_000 in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         match Mgs.Api.proc ctx with
+         | 0 ->
+           Mgs_sync.Lock.acquire ctx la;
+           Mgs.Api.write ctx page 1.0;
+           (* both releasers fire at the same instant so the second REL
+              lands inside the first REL's invalidation epoch *)
+           Mgs.Api.idle_until ctx (2 * step);
+           Mgs_sync.Lock.release ctx la
+         | 1 ->
+           Mgs_sync.Lock.acquire ctx lb;
+           Mgs.Api.idle_until ctx step;
+           (* same SSMP as proc 0: a local fill, no second fetch *)
+           Mgs.Api.write ctx (page + 1) 2.0;
+           Mgs.Api.idle_until ctx (2 * step);
+           Mgs_sync.Lock.release ctx lb
+         | _ -> ()));
+  Mgs.Machine.assert_quiescent m;
+  assert_invariants m;
+  Alcotest.(check (float 0.)) "first write released" 1.0 (Mgs.Machine.peek m page);
+  Alcotest.(check (float 0.)) "second write released" 2.0 (Mgs.Machine.peek m (page + 1));
+  Alcotest.(check int) "first epoch writes back the page" 1 (Am.count m.am "1WDATA");
+  Alcotest.(check int) "follow-up epoch finds the copy clean" 1 (Am.count m.am "1WCLEAN");
+  Alcotest.(check int) "pstats counts the clean reply" 1 m.pstats.Mgs.Pstats.one_wclean;
+  Alcotest.(check int) "no shadow divergence" 0 (Mgs.Machine.shadow_mismatches m)
+
+(* An upgrade's WNOTIFY racing a REL: the notification loses the race,
+   the home invalidates the upgrader through the read directory (DIFF),
+   grants the 1WDATA writer a retained copy, and then must RECALL that
+   copy because the merged diff made it stale.  The recall is visible as
+   an epoch extension in the event trace; the upgrader's write must
+   survive into the master and be seen by a later reader. *)
+let test_wnotify_races_rel () =
+  let m = machine ~nprocs:6 Protocol_mgs in
+  let page = Mgs.Machine.alloc m ~words:256 ~home:(Mgs_mem.Allocator.On_proc 4) in
+  let la = Mgs_sync.Lock.create m ~home:2 () in
+  let lb = Mgs_sync.Lock.create m ~home:2 () in
+  let bar = Mgs_sync.Barrier.create m in
+  let step = 200_000 in
+  let reread = ref (-1.0) in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         (match Mgs.Api.proc ctx with
+         | 0 ->
+           (* the single writer: its REL beats the upgrader's WNOTIFY to
+              the home, so the epoch starts with the upgrader still in
+              the read directory *)
+           Mgs_sync.Lock.acquire ctx la;
+           Mgs.Api.write ctx page 1.0;
+           Mgs.Api.idle_until ctx ((3 * step) + 2_000);
+           Mgs_sync.Lock.release ctx la
+         | 2 ->
+           (* the upgrader: read copy first, then a write that upgrades
+              in place; twinning holds the mapping lock long enough for
+              the epoch's INV to queue behind it *)
+           Mgs_sync.Lock.acquire ctx lb;
+           ignore (Mgs.Api.read ctx (page + 1));
+           Mgs.Api.idle_until ctx (3 * step);
+           Mgs.Api.write ctx (page + 1) 2.0;
+           Mgs.Api.idle_until ctx (4 * step);
+           Mgs_sync.Lock.release ctx lb
+         | _ -> ());
+         Mgs_sync.Barrier.wait ctx bar;
+         if Mgs.Api.proc ctx = 0 then reread := Mgs.Api.read ctx (page + 1)));
+  Mgs.Machine.assert_quiescent m;
+  assert_invariants m;
+  Alcotest.(check (float 0.)) "writer's word in master" 1.0 (Mgs.Machine.peek m page);
+  Alcotest.(check (float 0.)) "upgrader's word in master" 2.0
+    (Mgs.Machine.peek m (page + 1));
+  Alcotest.(check (float 0.)) "writer re-reads the upgrader's word" 2.0 !reread;
+  Alcotest.(check int) "writer replied 1WDATA" 1 (Am.count m.am "1WDATA");
+  Alcotest.(check int) "upgrader collected as DIFF" 1 (Am.count m.am "DIFF");
+  Alcotest.(check int) "WNOTIFY was sent" 1 (Am.count m.am "WNOTIFY");
+  let extends =
+    match Mgs.Machine.trace m with
+    | None -> -1
+    | Some tr ->
+      List.length
+        (List.filter
+           (fun (e : Mgs_obs.Event.t) -> e.Mgs_obs.Event.tag = "sv.epoch_extend")
+           (Mgs_obs.Trace.events tr))
+  in
+  Alcotest.(check int) "stale retained copy recalled (epoch extended)" 1 extends;
+  Alcotest.(check int) "no shadow divergence" 0 (Mgs.Machine.shadow_mismatches m)
 
 let for_all_protocols name f =
   List.map
@@ -147,4 +263,9 @@ let () =
       ("message passing via barrier", for_all_protocols "MP barrier" test_mp_barrier);
       ("transitivity", for_all_protocols "A->B->C" test_transitive);
       ("independence", for_all_protocols "disjoint locks" test_independent_locks);
+      ( "protocol regressions",
+        [
+          Alcotest.test_case "deferred REL yields 1WCLEAN" `Quick test_deferred_rel_1wclean;
+          Alcotest.test_case "WNOTIFY races REL (recall)" `Quick test_wnotify_races_rel;
+        ] );
     ]

@@ -70,6 +70,22 @@ let test_lan_stats () =
   Lan.reset_stats lan;
   Alcotest.(check int) "reset" 0 (Lan.stats lan).Lan.messages
 
+let test_lan_full_reset () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  (* two warmup messages leave the sender occupied until 2x occupancy
+     and push the channel's FIFO watermark past one latency *)
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun _ -> ());
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun _ -> ());
+  Lan.reset lan;
+  let arrived = ref (-1) in
+  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun t -> arrived := t);
+  ignore (Sim.run sim ());
+  (* with reset_stats alone the residual occupancy and watermark would
+     push this to latency + occupancy *)
+  Alcotest.(check int) "departs as if idle" costs.Costs.lan.latency !arrived;
+  Alcotest.(check int) "counters zeroed" 1 (Lan.stats lan).Lan.messages
+
 (* --- active messages -------------------------------------------------- *)
 
 let make_am () =
@@ -163,6 +179,7 @@ let () =
           Alcotest.test_case "fifo per channel" `Quick test_lan_fifo_no_overtake;
           Alcotest.test_case "intra fast path" `Quick test_lan_intra_fast_path;
           Alcotest.test_case "stats" `Quick test_lan_stats;
+          Alcotest.test_case "full reset" `Quick test_lan_full_reset;
         ] );
       ( "am",
         [

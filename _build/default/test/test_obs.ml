@@ -1,0 +1,261 @@
+(* Tests for the observability subsystem: the bounded ring, the
+   power-of-two latency histograms, the event trace with its Chrome
+   export, the online invariant checker (including deliberately
+   corrupted state it must flag), and the phase-reset plumbing. *)
+
+module Ring = Mgs_obs.Ring
+module Hist = Mgs_obs.Hist
+module Event = Mgs_obs.Event
+module Trace = Mgs_obs.Trace
+
+(* --- ring ------------------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Ring.capacity r);
+  Alcotest.(check int) "empty" 0 (Ring.length r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] (Ring.to_list r);
+  Alcotest.(check int) "nothing dropped" 0 (Ring.dropped r)
+
+let test_ring_wrap () =
+  let r = Ring.create ~capacity:3 in
+  for i = 1 to 7 do
+    Ring.push r i
+  done;
+  Alcotest.(check (list int)) "keeps the newest" [ 5; 6; 7 ] (Ring.to_list r);
+  Alcotest.(check int) "pushed" 7 (Ring.pushed r);
+  Alcotest.(check int) "length" 3 (Ring.length r);
+  Alcotest.(check int) "dropped" 4 (Ring.dropped r);
+  Ring.clear r;
+  Alcotest.(check int) "clear empties" 0 (Ring.length r);
+  Alcotest.(check int) "clear zeroes pushed" 0 (Ring.pushed r)
+
+let test_ring_invalid () =
+  Alcotest.check_raises "capacity 0 rejected" (Invalid_argument "Ring.create: capacity")
+    (fun () -> ignore (Ring.create ~capacity:0))
+
+(* --- histogram -------------------------------------------------------- *)
+
+let test_hist_buckets () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 0; 1; 5; 5; 1000; -3 ];
+  Alcotest.(check int) "count" 6 (Hist.count h);
+  (* -3 clamps to 0 *)
+  Alcotest.(check int) "sum" (0 + 1 + 5 + 5 + 1000 + 0) (Hist.sum h);
+  Alcotest.(check int) "min" 0 (Hist.min_value h);
+  Alcotest.(check int) "max" 1000 (Hist.max_value h);
+  let buckets = Hist.buckets h in
+  Alcotest.(check (list (triple int int int)))
+    "power-of-two buckets"
+    [ (0, 0, 2); (1, 1, 1); (4, 7, 2); (512, 1023, 1) ]
+    buckets
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check (float 0.)) "mean" 0.0 (Hist.mean h);
+  Alcotest.(check (list (triple int int int))) "no buckets" [] (Hist.buckets h)
+
+(* --- trace ------------------------------------------------------------ *)
+
+let ev ?(tag = "t") ?(dur = 0) time =
+  Event.make ~time ~engine:Event.Network ~tag ~dur ()
+
+let test_trace_bounded () =
+  let tr = Trace.create ~capacity:2 () in
+  Trace.emit tr (ev 1);
+  Trace.emit tr (ev 2);
+  Trace.emit tr (ev 3);
+  Alcotest.(check int) "emitted" 3 (Trace.emitted tr);
+  Alcotest.(check int) "retained" 2 (Trace.retained tr);
+  Alcotest.(check int) "dropped" 1 (Trace.dropped tr);
+  Alcotest.(check (list int)) "newest retained" [ 2; 3 ]
+    (List.map (fun (e : Event.t) -> e.Event.time) (Trace.events tr))
+
+let test_trace_subscribers_and_hist () =
+  let tr = Trace.create () in
+  let seen = ref 0 in
+  Trace.subscribe tr (fun _ -> incr seen);
+  Trace.emit tr (ev ~tag:"a" ~dur:10 1);
+  Trace.emit tr (ev ~tag:"a" ~dur:20 2);
+  Trace.emit tr (ev ~tag:"b" ~dur:5 3);
+  Alcotest.(check int) "subscriber saw every emit" 3 !seen;
+  (match Trace.hist tr "a" with
+  | None -> Alcotest.fail "histogram for tag a missing"
+  | Some h ->
+    Alcotest.(check int) "per-tag count" 2 (Hist.count h);
+    Alcotest.(check int) "per-tag sum of durations" 30 (Hist.sum h));
+  Alcotest.(check int) "two tags" 2 (List.length (Trace.histograms tr))
+
+let test_trace_chrome_json () =
+  let tr = Trace.create () in
+  Trace.emit tr
+    (Event.make ~time:150 ~engine:Event.Server ~tag:"RREQ \"x\"" ~vpn:7 ~src:1 ~dst:2
+       ~src_ssmp:0 ~dst_ssmp:1 ~words:256 ~cost:40 ~dur:50 ());
+  let json = Trace.chrome_json tr in
+  let contains needle =
+    let n = String.length needle and l = String.length json in
+    let rec go i = i + n <= l && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has traceEvents" true (contains "\"traceEvents\"");
+  Alcotest.(check bool) "complete slice" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "slice starts at time - dur" true (contains "\"ts\":100");
+  Alcotest.(check bool) "duration" true (contains "\"dur\":50");
+  Alcotest.(check bool) "pid is destination SSMP" true (contains "\"pid\":1");
+  Alcotest.(check bool) "quotes escaped" true (contains "RREQ \\\"x\\\"");
+  Alcotest.(check bool) "page in args" true (contains "\"vpn\":7")
+
+(* --- machine integration ---------------------------------------------- *)
+
+let small_machine () =
+  let cfg =
+    Mgs.Machine.config ~nprocs:4 ~cluster:2 ~lan_latency:600 ~shadow:true
+      ~protocol:Mgs.State.Protocol_mgs ()
+  in
+  Mgs.Machine.create cfg
+
+let run_mp m =
+  let data = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 3) in
+  let bar = Mgs_sync.Barrier.create m in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         if Mgs.Api.proc ctx = 0 then Mgs.Api.write ctx data 9.0;
+         Mgs_sync.Barrier.wait ctx bar;
+         ignore (Mgs.Api.read ctx data)));
+  data
+
+let test_machine_trace_and_checker () =
+  let m = small_machine () in
+  let tr = Mgs.Machine.enable_trace m in
+  Alcotest.(check bool) "enable_trace is idempotent" true (tr == Mgs.Machine.enable_trace m);
+  let checker = Mgs.Machine.enable_checker m in
+  ignore (run_mp m);
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check int) "no invariant violations" 0 (Mgs.Invariant.count checker);
+  Alcotest.(check bool) "events recorded" true (Trace.emitted tr > 0);
+  Alcotest.(check int) "nothing dropped on a small run" 0 (Trace.dropped tr);
+  (* every posted message was delivered, so the per-tag histogram and
+     the message counter agree *)
+  let open Mgs.State in
+  List.iter
+    (fun tag ->
+      let posted = Am.count m.am tag in
+      let emitted = match Trace.hist tr tag with None -> 0 | Some h -> Hist.count h in
+      Alcotest.(check int) (tag ^ " delivered = posted") posted emitted)
+    [ "WREQ"; "RREQ"; "RDAT"; "BAR_COMBINE"; "BAR_RELEASE" ];
+  (* sync + protocol engines contributed structured events *)
+  let tags = List.map fst (Trace.histograms tr) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " present") true (List.mem t tags))
+    [ "lc.fault"; "sv.send_data"; "sync.barrier_episode" ]
+
+let test_checker_flags_corruption () =
+  let open Mgs.State in
+  let violation_count corrupt =
+    let m = small_machine () in
+    let checker = Mgs.Machine.enable_checker m in
+    let addr = Mgs.Machine.alloc m ~words:256 ~home:(Mgs_mem.Allocator.On_proc 0) in
+    Mgs.Machine.poke m addr 1.0;
+    let vpn = Mgs_mem.Geom.vpn_of_addr (Mgs.Machine.geom m) addr in
+    let tag = corrupt m vpn in
+    obs_emit m ~engine:Mgs_obs.Event.Server ~tag ~vpn ();
+    Mgs.Invariant.count checker
+  in
+  let n =
+    violation_count (fun m vpn ->
+        (get_sentry m vpn).s_count <- -1;
+        "test.corrupt")
+  in
+  Alcotest.(check bool) "negative s_count flagged" true (n > 0);
+  let n =
+    violation_count (fun m vpn ->
+        let se = get_sentry m vpn in
+        Mgs_util.Bitset.add se.s_read_dir 1;
+        Mgs_util.Bitset.add se.s_write_dir 1;
+        Hashtbl.replace se.s_frame_procs 1 2;
+        "test.corrupt")
+  in
+  Alcotest.(check bool) "read/write directory overlap flagged" true (n > 0);
+  let n =
+    violation_count (fun m vpn ->
+        ignore (get_sentry m vpn);
+        (get_centry m 1 vpn).pstate <- P_busy;
+        "test.corrupt")
+  in
+  Alcotest.(check bool) "BUSY without mapping lock flagged" true (n > 0);
+  let n =
+    violation_count (fun m vpn ->
+        (* master now disagrees with the shadow image of the poke *)
+        (get_sentry m vpn).s_master.(0) <- 99.0;
+        "sv.epoch_end")
+  in
+  Alcotest.(check bool) "release-visibility divergence flagged" true (n > 0);
+  (* and a healthy machine stays clean under the same emission *)
+  let n = violation_count (fun _ _ -> "sv.epoch_end") in
+  Alcotest.(check int) "healthy state passes" 0 n
+
+let test_checker_ignores_other_protocols () =
+  let cfg =
+    Mgs.Machine.config ~nprocs:4 ~cluster:2 ~protocol:Mgs.State.Protocol_ivy ~shadow:false
+      ()
+  in
+  let m = Mgs.Machine.create cfg in
+  let checker = Mgs.Machine.enable_checker m in
+  let open Mgs.State in
+  let addr = Mgs.Machine.alloc m ~words:256 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let vpn = Mgs_mem.Geom.vpn_of_addr (Mgs.Machine.geom m) addr in
+  (get_sentry m vpn).s_count <- -1;
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"test.corrupt" ~vpn ();
+  Alcotest.(check int) "ivy machines are not judged by MGS invariants" 0
+    (Mgs.Invariant.count checker)
+
+let test_reset_stats () =
+  let m = small_machine () in
+  ignore (run_mp m);
+  let open Mgs.State in
+  Alcotest.(check bool) "messages counted" true (Am.total_posted m.am > 0);
+  Alcotest.(check bool) "lan traffic counted" true ((Lan.stats m.lan).Lan.messages > 0);
+  Alcotest.(check bool) "fetches counted" true (m.pstats.Mgs.Pstats.write_fetches > 0);
+  Mgs.Machine.reset_stats m;
+  Alcotest.(check int) "message counters zeroed" 0 (Am.total_posted m.am);
+  Alcotest.(check int) "lan counters zeroed" 0 (Lan.stats m.lan).Lan.messages;
+  Alcotest.(check int) "protocol counters zeroed" 0 m.pstats.Mgs.Pstats.write_fetches;
+  Alcotest.(check int) "sync counters zeroed" 0 m.sync_counters.barrier_episodes
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "push and order" `Quick test_ring_basic;
+          Alcotest.test_case "wrap evicts oldest" `Quick test_ring_wrap;
+          Alcotest.test_case "invalid capacity" `Quick test_ring_invalid;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "power-of-two buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "empty histogram" `Quick test_hist_empty;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "bounded memory" `Quick test_trace_bounded;
+          Alcotest.test_case "subscribers and histograms" `Quick
+            test_trace_subscribers_and_hist;
+          Alcotest.test_case "chrome trace_event export" `Quick test_trace_chrome_json;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "trace + checker on a run" `Quick
+            test_machine_trace_and_checker;
+          Alcotest.test_case "checker flags corrupted state" `Quick
+            test_checker_flags_corruption;
+          Alcotest.test_case "checker is MGS-only" `Quick
+            test_checker_ignores_other_protocols;
+          Alcotest.test_case "reset_stats" `Quick test_reset_stats;
+        ] );
+    ]

@@ -1,0 +1,31 @@
+(** Fixed-capacity ring buffer.
+
+    Pushing beyond capacity silently evicts the oldest element; the
+    total number pushed and the number dropped stay queryable, so a
+    bounded trace can report how much history it kept. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently held ([<= capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed. *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: evicted history. *)
+
+val push : 'a t -> 'a -> unit
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
