@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke clean
+.PHONY: all build test check fmt fmt-check smoke perf perf-smoke clean
 
 all: build
 
@@ -22,6 +22,17 @@ smoke: build
 	$(DUNE) exec bin/mgs_run.exe -- --app jacobi --procs 8 --cluster 2 \
 	  --size 32 --iters 2 --check --trace _build/smoke-trace.json
 	@grep -q traceEvents _build/smoke-trace.json
+
+# Perf baseline: full matrix -> BENCH_sim.json (slow; run by hand when
+# chasing a regression), and a seconds-long smoke slice for CI that
+# checks the harness still runs and emits the tracked fields.
+perf: build
+	$(DUNE) exec bench/perf.exe
+
+perf-smoke: build
+	$(DUNE) exec bench/perf.exe -- --quick -o _build/BENCH_smoke.json
+	@grep -q events_per_s _build/BENCH_smoke.json
+	@grep -q allocated_mb _build/BENCH_smoke.json
 
 # Formatting is enforced only where the tool exists: the pinned dev
 # environment has ocamlformat, minimal containers may not.
@@ -39,7 +50,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke fmt-check
+check: build test smoke perf-smoke fmt-check
 	@echo "check: OK"
 
 clean:

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Hashtbl Lazy List Measure Mgs Mgs_apps Mgs_harness Mgs_util Printf Staged String Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/perf.ml: Array Buffer Gc List Mgs Mgs_apps Mgs_harness Mgs_util Printf Sys Unix

@@ -4,7 +4,12 @@
 
      dune exec bench/main.exe            # everything (default)
      dune exec bench/main.exe -- table3 table4 fig6 ... fig12
+     dune exec bench/main.exe -- -j 4 fig9        # sweep points on 4 domains
      dune exec bench/main.exe -- bechamel   # wall-clock benches only
+
+   Every simulation is self-contained, so -j/--jobs N fans sweep and
+   ablation points out over N domains (Mgs_util.Dpool); the printed
+   tables are byte-identical to a sequential run.
 
    Paper targets, for eyeballing:
      Table 3  primitive costs (see printed ratio column)
@@ -20,6 +25,9 @@
 
 let nprocs = 32
 
+(* set by -j/--jobs before any target runs *)
+let jobs = ref 1
+
 module Sweep = Mgs_harness.Sweep
 module Figures = Mgs_harness.Figures
 
@@ -29,7 +37,7 @@ let kernel_params = { Mgs_apps.Water_kernel.default with Mgs_apps.Water_kernel.n
 
 (* Each application's sweep is computed once and shared by every target
    that needs it. *)
-let sweep_of w = lazy (Sweep.sweep ~nprocs w)
+let sweep_of w = lazy (Sweep.sweep ~jobs:!jobs ~nprocs w)
 
 let jacobi = sweep_of (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default)
 
@@ -56,42 +64,48 @@ let seq_runtime w =
 
 let table4 () =
   print_endline "=== Table 4: applications, sequential runtime, speedup on 32 procs ===";
-  let row app size w sweep =
-    let seq = seq_runtime w in
-    let t32 = Sweep.runtime_of (Lazy.force sweep) nprocs in
-    {
-      Figures.app;
-      problem_size = size;
-      seq_runtime = seq;
-      speedup = float_of_int seq /. float_of_int t32;
-    }
-  in
-  let rows =
+  let specs =
     [
-      row "Jacobi"
-        (Mgs_apps.Jacobi.problem_size Mgs_apps.Jacobi.default)
-        (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default)
-        jacobi;
-      row "Matrix Multiply"
-        (Mgs_apps.Matmul.problem_size Mgs_apps.Matmul.default)
-        (Mgs_apps.Matmul.workload Mgs_apps.Matmul.default)
-        matmul;
-      row "TSP"
-        (Mgs_apps.Tsp.problem_size Mgs_apps.Tsp.default)
-        (Mgs_apps.Tsp.workload Mgs_apps.Tsp.default)
-        tsp;
-      row "Water" (Mgs_apps.Water.problem_size water_params)
-        (Mgs_apps.Water.workload water_params)
-        water;
-      row "Barnes-Hut"
-        (Mgs_apps.Barnes.problem_size Mgs_apps.Barnes.default)
-        (Mgs_apps.Barnes.workload Mgs_apps.Barnes.default)
-        barnes;
-      row "Water-kernel"
-        (Mgs_apps.Water_kernel.problem_size kernel_params)
-        (Mgs_apps.Water_kernel.workload kernel_params)
-        wkern;
+      ( "Jacobi",
+        Mgs_apps.Jacobi.problem_size Mgs_apps.Jacobi.default,
+        Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default,
+        jacobi );
+      ( "Matrix Multiply",
+        Mgs_apps.Matmul.problem_size Mgs_apps.Matmul.default,
+        Mgs_apps.Matmul.workload Mgs_apps.Matmul.default,
+        matmul );
+      ( "TSP",
+        Mgs_apps.Tsp.problem_size Mgs_apps.Tsp.default,
+        Mgs_apps.Tsp.workload Mgs_apps.Tsp.default,
+        tsp );
+      ( "Water",
+        Mgs_apps.Water.problem_size water_params,
+        Mgs_apps.Water.workload water_params,
+        water );
+      ( "Barnes-Hut",
+        Mgs_apps.Barnes.problem_size Mgs_apps.Barnes.default,
+        Mgs_apps.Barnes.workload Mgs_apps.Barnes.default,
+        barnes );
+      ( "Water-kernel",
+        Mgs_apps.Water_kernel.problem_size kernel_params,
+        Mgs_apps.Water_kernel.workload kernel_params,
+        wkern );
     ]
+  in
+  (* the sequential runtimes are independent single-point runs: fan them
+     out too (the lazy sweeps are forced on this domain only, below) *)
+  let seqs = Mgs_util.Dpool.map ~jobs:!jobs (fun (_, _, w, _) -> seq_runtime w) specs in
+  let rows =
+    List.map2
+      (fun (app, size, _, sweep) seq ->
+        let t32 = Sweep.runtime_of (Lazy.force sweep) nprocs in
+        {
+          Figures.app;
+          problem_size = size;
+          seq_runtime = seq;
+          speedup = float_of_int seq /. float_of_int t32;
+        })
+      specs seqs
   in
   print_string (Figures.table4 rows);
   print_newline ()
@@ -205,7 +219,7 @@ let bechamel () =
 let ablation study name () =
   Printf.printf "=== Ablation: %s ===\n" name;
   let w = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
-  print_string (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(study ()) w);
+  print_string (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16 ~variants:(study ()) w);
   print_newline ()
 
 let ablation_single_writer =
@@ -223,14 +237,16 @@ let ablation_tlb () =
   Printf.printf "=== Ablation: software TLB capacity (Jacobi) ===\n";
   let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default in
   print_string
-    (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(Mgs_harness.Ablation.tlb_study ()) w);
+    (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
+       ~variants:(Mgs_harness.Ablation.tlb_study ())
+       w);
   print_newline ()
 
 let ablation_pipeline () =
   Printf.printf "=== Ablation: serial vs pipelined release (Jacobi) ===\n";
   let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default in
   print_string
-    (Mgs_harness.Ablation.run ~nprocs:16
+    (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.pipelined_release_study ())
        w);
   print_newline ()
@@ -239,12 +255,14 @@ let ablation_protocol () =
   Printf.printf "=== Ablation: MGS vs Ivy baseline protocol ===\n";
   let tsp = Mgs_apps.Tsp.workload { Mgs_apps.Tsp.default with Mgs_apps.Tsp.ncities = 8 } in
   print_string
-    (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(Mgs_harness.Ablation.protocol_study ())
+    (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
+       ~variants:(Mgs_harness.Ablation.protocol_study ())
        tsp);
   print_newline ();
   let water = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
   print_string
-    (Mgs_harness.Ablation.run ~nprocs:16 ~variants:(Mgs_harness.Ablation.protocol_study ())
+    (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
+       ~variants:(Mgs_harness.Ablation.protocol_study ())
        water);
   print_newline ()
 
@@ -252,7 +270,7 @@ let ablation_protocol () =
    workload over the same framework. *)
 let extra_lu () =
   print_endline "=== Extra: LU decomposition (not in the paper) ===";
-  let points = Sweep.sweep ~nprocs (Mgs_apps.Lu.workload Mgs_apps.Lu.default) in
+  let points = Sweep.sweep ~jobs:!jobs ~nprocs (Mgs_apps.Lu.workload Mgs_apps.Lu.default) in
   print_string (Figures.breakdown_figure ~title:"LU, P = 32" points);
   print_newline ()
 
@@ -263,11 +281,11 @@ let extra_lu () =
 let extra_radix () =
   print_endline "=== Extra: SPLASH-2 RADIX sort (not in the paper) ===";
   let w = Mgs_apps.Radix.workload Mgs_apps.Radix.default in
-  let points = Sweep.sweep ~nprocs w in
+  let points = Sweep.sweep ~jobs:!jobs ~nprocs w in
   print_string (Figures.breakdown_figure ~title:"Radix, P = 32" points);
   print_newline ();
   print_string
-    (Mgs_harness.Ablation.run ~nprocs:16
+    (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.protocol_study ())
        (Mgs_apps.Radix.workload
           { Mgs_apps.Radix.default with Mgs_apps.Radix.nkeys = 1024 }));
@@ -275,7 +293,7 @@ let extra_radix () =
 
 let extra_fft () =
   print_endline "=== Extra: six-step FFT (not in the paper) ===";
-  let points = Sweep.sweep ~nprocs (Mgs_apps.Fft.workload Mgs_apps.Fft.default) in
+  let points = Sweep.sweep ~jobs:!jobs ~nprocs (Mgs_apps.Fft.workload Mgs_apps.Fft.default) in
   print_string (Figures.breakdown_figure ~title:"FFT, P = 32" points);
   print_newline ()
 
@@ -286,7 +304,7 @@ let hlrc_figs () =
   print_endline "=== Extra: Figures 6-10 under HLRC (lazy release consistency) ===";
   let sweep_hlrc w =
     let clusters = Sweep.clusters_of nprocs in
-    List.map
+    Mgs_util.Dpool.map ~jobs:!jobs
       (fun cluster ->
         let cfg =
           Mgs.Machine.config ~lan_latency:1000 ~protocol:Mgs.State.Protocol_hlrc ~nprocs
@@ -318,7 +336,7 @@ let hlrc_figs () =
 let scaling () =
   print_endline "=== Extra: scaling P at fixed C = 8 (Water) ===";
   let rows =
-    List.map
+    Mgs_util.Dpool.map ~jobs:!jobs
       (fun p ->
         let w = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
         let pt = Sweep.run_point ~nprocs:p ~cluster:(min 8 p) w in
@@ -350,7 +368,7 @@ let csv () =
          Figures.csv_of_sweep ~name:"water-kernel" (Lazy.force wkern);
          Figures.csv_of_sweep ~name:"water-kernel-tiled" (Lazy.force wkern_tiled);
          Figures.csv_of_sweep ~name:"radix"
-           (Sweep.sweep ~nprocs (Mgs_apps.Radix.workload Mgs_apps.Radix.default));
+           (Sweep.sweep ~jobs:!jobs ~nprocs (Mgs_apps.Radix.workload Mgs_apps.Radix.default));
        ])
 
 let messages () =
@@ -392,6 +410,39 @@ let targets : (string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* strip -j N / --jobs N (or -jN / --jobs=N) before target dispatch *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "-j/--jobs expects a positive integer, got %S\n" n;
+        exit 2)
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "-j/--jobs expects an argument\n";
+      exit 2
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+      match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "bad jobs count %S\n" arg;
+        exit 2)
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "bad jobs count %S\n" arg;
+        exit 2)
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let args = parse [] args in
   let chosen = if args = [] then List.map fst targets else args in
   List.iter
     (fun name ->

@@ -1,0 +1,122 @@
+(* Tracked perf baseline for the simulator itself: host wall-clock,
+   allocation, and simulator throughput (events/s) over a fixed workload
+   matrix, written as machine-readable JSON for regression tracking.
+
+     dune exec bench/perf.exe                     # full matrix -> BENCH_sim.json
+     dune exec bench/perf.exe -- --quick -o f.json  # seconds, for `make perf-smoke`
+
+   The numbers to watch release-over-release are events_per_s (up is
+   good) and allocated_mb (down is good); sim_events and sim_cycles are
+   simulation-deterministic, so a change there means the simulated
+   machine itself changed, not the host. *)
+
+module Sweep = Mgs_harness.Sweep
+
+type row = {
+  app : string;
+  nprocs : int;
+  cluster : int;
+  wall_s : float;
+  allocated_mb : float;
+  sim_events : int;
+  sim_cycles : int;
+  events_per_s : float;
+}
+
+let measure ~nprocs ~cluster (name, w) =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let pt = Sweep.run_point ~nprocs ~cluster w in
+  let wall = Unix.gettimeofday () -. t0 in
+  let allocated = Gc.allocated_bytes () -. a0 in
+  let r = pt.Sweep.report in
+  {
+    app = name;
+    nprocs;
+    cluster;
+    wall_s = wall;
+    allocated_mb = allocated /. 1048576.;
+    sim_events = r.Mgs.Report.sim_events;
+    sim_cycles = r.Mgs.Report.runtime;
+    events_per_s =
+      (if wall > 0. then float_of_int r.Mgs.Report.sim_events /. wall else 0.);
+  }
+
+let json_of_rows ~quick rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"mgs-perf-1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"app\": %S, \"nprocs\": %d, \"cluster\": %d, \"wall_s\": %.6f, \
+            \"allocated_mb\": %.3f, \"sim_events\": %d, \"sim_cycles\": %d, \
+            \"events_per_s\": %.1f }%s\n"
+           r.app r.nprocs r.cluster r.wall_s r.allocated_mb r.sim_events r.sim_cycles
+           r.events_per_s
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_sim.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | ("-o" | "--out") :: f :: rest ->
+      out := f;
+      parse rest
+    | [ ("-o" | "--out") ] ->
+      prerr_endline "perf: -o/--out expects a file name";
+      exit 2
+    | arg :: _ ->
+      Printf.eprintf "perf: unknown argument %S (known: --quick, -o FILE)\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let apps =
+    if !quick then
+      [
+        ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny);
+        ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny);
+        ("tsp", Mgs_apps.Tsp.workload Mgs_apps.Tsp.tiny);
+      ]
+    else
+      [
+        ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default);
+        ("water", Mgs_apps.Water.workload Mgs_apps.Water.default);
+        ("tsp", Mgs_apps.Tsp.workload Mgs_apps.Tsp.default);
+      ]
+  in
+  let nprocs = if !quick then 8 else 16 in
+  let clusters = if !quick then [ 1; 4 ] else [ 1; 4; 16 ] in
+  let rows =
+    List.concat_map
+      (fun appw -> List.map (fun cluster -> measure ~nprocs ~cluster appw) clusters)
+      apps
+  in
+  Mgs_util.Tableprint.print
+    ~header:[ "app"; "C"; "wall (s)"; "alloc (MB)"; "sim events"; "events/s" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.app;
+             string_of_int r.cluster;
+             Printf.sprintf "%.3f" r.wall_s;
+             Printf.sprintf "%.1f" r.allocated_mb;
+             string_of_int r.sim_events;
+             Printf.sprintf "%.0f" r.events_per_s;
+           ])
+         rows);
+  let oc = open_out !out in
+  output_string oc (json_of_rows ~quick:!quick rows);
+  close_out oc;
+  Printf.printf "wrote %s (%d measurements)\n" !out (List.length rows)

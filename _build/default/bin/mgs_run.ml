@@ -4,6 +4,7 @@
 
      mgs_run --app water --procs 32 --cluster 8
      mgs_run --app tsp --procs 16 --sweep
+     mgs_run --app water --procs 32 --sweep -j 4   # points on 4 domains
      mgs_run --app barnes --size 64 --iters 1 --delay 2000 --sweep *)
 
 open Cmdliner
@@ -74,8 +75,10 @@ let trace_file base ~sweep ~cluster =
     in
     Printf.sprintf "%s.c%d%s" stem cluster ext
 
-let run app size iters procs cluster delay page_bytes protocol sweep no_verify trace hist
-    check csv =
+exception Trace_write_error of string
+
+let run app size iters procs cluster delay page_bytes protocol sweep jobs no_verify trace
+    hist check csv =
   let w, size_desc = workload ~app ~size ~iters in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
@@ -85,8 +88,12 @@ let run app size iters procs cluster delay page_bytes protocol sweep no_verify t
     | Mgs.State.Protocol_mgs -> "mgs"
     | Mgs.State.Protocol_hlrc -> "hlrc"
     | Mgs.State.Protocol_ivy -> "ivy");
-  let violations = ref 0 in
+  (* A point may run on a helper domain (--sweep -j N), so it never
+     prints directly: per-point output is buffered and emitted in
+     cluster order afterwards, making -j N output identical to -j 1. *)
   let run_one cluster =
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
     let cfg =
       Mgs.Machine.config ~page_words ~lan_latency:delay ~protocol ~nprocs:procs ~cluster ()
     in
@@ -103,45 +110,67 @@ let run app size iters procs cluster delay page_bytes protocol sweep no_verify t
     | Some base, Some tr ->
       let file = trace_file base ~sweep ~cluster in
       let oc =
-        try open_out file
-        with Sys_error msg ->
-          Printf.eprintf "mgs_run: cannot write trace: %s\n%!" msg;
-          exit 2
+        try open_out file with Sys_error msg -> raise (Trace_write_error msg)
       in
       Mgs_obs.Trace.write_chrome tr oc;
       close_out oc;
-      Printf.printf "trace: %d events (%d dropped) -> %s\n%!" (Mgs_obs.Trace.emitted tr)
+      Format.fprintf ppf "trace: %d events (%d dropped) -> %s@." (Mgs_obs.Trace.emitted tr)
         (Mgs_obs.Trace.dropped tr) file
     | _ -> ());
     (match Mgs.Machine.trace m with
-    | Some tr when hist -> Format.printf "%a@." Mgs_obs.Trace.pp_summary tr
+    | Some tr when hist ->
+      Format.fprintf ppf "%a@." Mgs_obs.Trace.pp_summary tr;
+      (* only the simulation-deterministic part of the throughput stats:
+         host wall time would break the -j N = -j 1 output guarantee *)
+      Format.fprintf ppf "throughput: events=%d peak_queue=%d@."
+        report.Mgs.Report.sim_events report.Mgs.Report.peak_queue
     | _ -> ());
-    (match checker with
-    | Some c ->
-      Format.printf "%a@?" Mgs.Invariant.pp c;
-      violations := !violations + Mgs.Invariant.count c
-    | None -> ());
-    {
-      Mgs_harness.Sweep.cluster;
-      report;
-      lock_hit_ratio = Mgs.Report.lock_hit_ratio report;
-    }
+    let violations =
+      match checker with
+      | Some c ->
+        Format.fprintf ppf "%a@?" Mgs.Invariant.pp c;
+        Mgs.Invariant.count c
+      | None -> 0
+    in
+    Format.pp_print_flush ppf ();
+    ( {
+        Mgs_harness.Sweep.cluster;
+        report;
+        lock_hit_ratio = Mgs.Report.lock_hit_ratio report;
+      },
+      Buffer.contents buf,
+      violations )
   in
-  if sweep then begin
-    let points = List.map run_one (Mgs_harness.Sweep.clusters_of procs) in
-    if csv then print_string (Mgs_harness.Figures.csv_of_sweep ~name:app points)
-    else
-      print_string
-        (Mgs_harness.Figures.breakdown_figure
-           ~title:(Printf.sprintf "%s, P = %d" app procs)
-           points)
-  end
-  else begin
-    let cluster = Option.value ~default:procs cluster in
-    let p = run_one cluster in
-    Format.printf "%a@." Mgs.Report.pp p.Mgs_harness.Sweep.report;
-    Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio
-  end;
+  let violations = ref 0 in
+  (try
+     if sweep then begin
+       let results =
+         Mgs_util.Dpool.map ~jobs run_one (Mgs_harness.Sweep.clusters_of procs)
+       in
+       List.iter
+         (fun (_, out, v) ->
+           print_string out;
+           violations := !violations + v)
+         results;
+       let points = List.map (fun (p, _, _) -> p) results in
+       if csv then print_string (Mgs_harness.Figures.csv_of_sweep ~name:app points)
+       else
+         print_string
+           (Mgs_harness.Figures.breakdown_figure
+              ~title:(Printf.sprintf "%s, P = %d" app procs)
+              points)
+     end
+     else begin
+       let cluster = Option.value ~default:procs cluster in
+       let p, out, v = run_one cluster in
+       print_string out;
+       violations := v;
+       Format.printf "%a@." Mgs.Report.pp p.Mgs_harness.Sweep.report;
+       Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio
+     end
+   with Trace_write_error msg ->
+     Printf.eprintf "mgs_run: cannot write trace: %s\n%!" msg;
+     exit 2);
   if verify then print_endline "verification: OK";
   if !violations > 0 then exit 3
 
@@ -190,6 +219,14 @@ let protocol_t =
 let sweep_t =
   Arg.(value & flag & info [ "sweep"; "s" ] ~doc:"Sweep cluster sizes 1..P (powers of two).")
 
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run up to $(docv) sweep points concurrently on separate domains.  \
+           Output is identical to a sequential run.")
+
 let no_verify_t =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip output verification.")
 
@@ -225,6 +262,6 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ sweep_t $ no_verify_t $ trace_t $ hist_t $ check_t $ csv_t)
+      $ protocol_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t $ hist_t $ check_t $ csv_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,1 +1,1 @@
-lib/core/api.ml: Allocator Array Coherence Cpu Geom Hashtbl Int64 Mgs_engine Mgs_machine Mgs_svm Option Printf Proto Proto_hlrc Proto_ivy Sim State Tlb Topology
+lib/core/api.ml: Allocator Array Coherence Cpu Geom Hashtbl Int64 Mgs_engine Mgs_machine Mgs_svm Option Pagedata Printf Proto Proto_hlrc Proto_ivy Sim State Tlb Topology

@@ -1,1 +1,1 @@
-lib/core/machine.ml: Allocator Am Api Array Bitset Coherence Costs Cpu Geom Hashtbl Invariant Lan List Mgs_engine Mgs_obs Mlock Printf Pstats Queue Report Sim State Sys Tlb Topology
+lib/core/machine.ml: Allocator Am Api Array Bitset Coherence Costs Cpu Geom Hashtbl Invariant Lan List Mgs_engine Mgs_obs Mlock Printf Pstats Queue Report Sim State Sys Tlb Topology Unix

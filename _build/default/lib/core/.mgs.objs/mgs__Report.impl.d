@@ -1,1 +1,1 @@
-lib/core/report.ml: Am Array Coherence Cpu Format Lan Pstats State Topology
+lib/core/report.ml: Am Array Coherence Cpu Format Lan Pstats Sim State Topology

@@ -72,6 +72,12 @@ let access_multi ctx ~write ~vpn ~addr =
     | Protocol_hlrc -> Proto_hlrc.fault m ~proc:ctx.proc ~vpn ~write));
   let ce = get_centry m s vpn in
   let data = match ce.cdata with Some d -> d | None -> assert false in
+  (* Maintain the twin's dirty-word bitmap on every store, so the diff
+     at release time scans only the touched words. *)
+  (if write then
+     match ce.ctwin with
+     | Some t -> Pagedata.mark t (Geom.offset_of_addr m.geom addr)
+     | None -> ());
   let kind = if write then Coherence.Write else Coherence.Read in
   let lidx = local_idx m ctx.proc in
   let stall = Coherence.access m.caches.(s) ~proc:lidx ~addr ~frame_owner:ce.frame_owner ~kind in

@@ -141,6 +141,7 @@ let peek (m : t) addr =
 
 let run (m : t) body =
   let limit = m.event_limit in
+  let t0 = Unix.gettimeofday () in
   let fibers =
     List.init m.topo.Topology.nprocs (fun p ->
         Mgs_engine.Fiber.spawn m.sim ~at:0 ~name:(Printf.sprintf "proc%d" p) (fun () ->
@@ -151,7 +152,7 @@ let run (m : t) body =
   m.fibers <- fibers;
   ignore (Sim.run m.sim ~limit ());
   Mgs_engine.Fiber.check_all_completed fibers;
-  Report.of_machine m
+  Report.of_machine ~wall_seconds:(Unix.gettimeofday () -. t0) m
 
 let trace_messages (m : t) sink =
   Am.set_recorder m.am

@@ -34,7 +34,7 @@ let send_data m se ~requester ~write =
       assert (ce.pstate = P_busy);
       assert (Mlock.held ce.mlock);
       ce.cdata <- Some payload;
-      ce.ctwin <- (if write then Some (Pagedata.copy payload) else None);
+      ce.ctwin <- (if write then Some (Pagedata.twin_of payload) else None);
       ce.frame_owner <- local_idx m requester;
       ce.pstate <- (if write then P_write else P_read);
       ce.c_dirty <- false;
@@ -197,7 +197,7 @@ and server_collect m ~vpn ~ssmp ~payload =
   trace m vpn "collect from ssmp %d: %s (count %d -> %d)" ssmp
     (match payload with
     | `Ack -> "ACK"
-    | `Diff d -> Printf.sprintf "DIFF(%d)" (List.length d)
+    | `Diff d -> Printf.sprintf "DIFF(%d)" (Pagedata.diff_size d)
     | `Page _ -> "PAGE"
     | `Clean -> "1WCLEAN")
     se.s_count (se.s_count - 1);
@@ -305,7 +305,7 @@ and finish_inv m ~ssmp ~vpn =
     let data = Option.get ce.cdata in
     let snapshot = Pagedata.copy data in
     (match ce.ctwin with
-    | Some t -> Pagedata.blit ~src:data ~dst:t
+    | Some t -> Pagedata.retwin t ~from:data
     | None -> assert false);
     m.pstats.one_wdata <- m.pstats.one_wdata + 1;
     let retwin_cost = m.geom.Geom.page_words * c.proto.twin_per_word in
@@ -472,7 +472,7 @@ let fault m ~proc ~vpn ~write =
     let twin_cost = c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word) in
     Am.post m.am ~tag:"UPGRADE" ~src:proc ~dst:rc ~words:0 ~cost:twin_cost (fun _t ->
         (match ce.cdata with
-        | Some d -> ce.ctwin <- Some (Pagedata.copy d)
+        | Some d -> ce.ctwin <- Some (Pagedata.twin_of d)
         | None -> assert false);
         ce.pstate <- P_write;
         let home = home_proc_of_vpn m vpn in

@@ -31,7 +31,7 @@ let flush_locked m ~proc ~vpn k =
   else begin
     let data = Option.get ce.cdata and twin = Option.get ce.ctwin in
     let d = Pagedata.diff data ~twin in
-    Pagedata.blit ~src:data ~dst:twin;
+    Pagedata.retwin twin ~from:data;
     ce.c_dirty <- false;
     (* re-protect the page (as TreadMarks-family systems do): shoot down
        the local TLB mappings so any further sibling write refaults and
@@ -213,7 +213,7 @@ let fault m ~proc ~vpn ~write =
     (* multiple writers are allowed: twin locally, no server contact *)
     m.pstats.upgrades <- m.pstats.upgrades + 1;
     trace m vpn "upgrade in place by proc %d (c_version=%d)" proc ce.c_version;
-    ce.ctwin <- Some (Pagedata.copy (Option.get ce.cdata));
+    ce.ctwin <- Some (Pagedata.twin_of (Option.get ce.cdata));
     ce.pstate <- P_write;
     Cpu.advance cpu Mgs (c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word));
     fill ~rw:true ~to_duq:true
@@ -242,7 +242,7 @@ let fault m ~proc ~vpn ~write =
           ~src:home ~dst:proc ~words:m.geom.Geom.page_words ~cost:install_cost (fun _t ->
             assert (ce.pstate = P_busy);
             ce.cdata <- Some payload;
-            ce.ctwin <- (if write then Some (Pagedata.copy payload) else None);
+            ce.ctwin <- (if write then Some (Pagedata.twin_of payload) else None);
             ce.frame_owner <- local_idx m proc;
             ce.pstate <- (if write then P_write else P_read);
             ce.c_dirty <- false;

@@ -16,6 +16,9 @@ type t = {
   lock_acquires : int;
   lock_hits : int;
   barrier_episodes : int;
+  sim_events : int;
+  peak_queue : int;
+  wall_seconds : float;
 }
 
 let copy_pstats (p : Pstats.t) : Pstats.t =
@@ -64,7 +67,7 @@ let aggregate_cache m : Coherence.stats =
     m.caches;
   acc
 
-let of_machine m =
+let of_machine ?(wall_seconds = 0.) m =
   let n = m.topo.Topology.nprocs in
   let mean bucket =
     let sum = Array.fold_left (fun acc cpu -> acc + Cpu.bucket_cycles cpu bucket) 0 m.cpus in
@@ -86,6 +89,9 @@ let of_machine m =
     lock_acquires = m.sync_counters.lock_acquires;
     lock_hits = m.sync_counters.lock_hits;
     barrier_episodes = m.sync_counters.barrier_episodes;
+    sim_events = Sim.events_executed m.sim;
+    peak_queue = Sim.peak_pending m.sim;
+    wall_seconds;
   }
 
 let total b = b.user +. b.lock +. b.barrier +. b.mgs
@@ -94,9 +100,20 @@ let lock_hit_ratio r =
   if r.lock_acquires = 0 then 1.0
   else float_of_int r.lock_hits /. float_of_int r.lock_acquires
 
+let events_per_second r =
+  if r.wall_seconds <= 0. then 0.
+  else float_of_int r.sim_events /. r.wall_seconds
+
+let pp_throughput ppf r =
+  Format.fprintf ppf "events=%d peak_queue=%d wall=%.3fs" r.sim_events r.peak_queue
+    r.wall_seconds;
+  if r.wall_seconds > 0. then
+    Format.fprintf ppf " (%.0f events/s)" (events_per_second r)
+
 let pp ppf r =
   Format.fprintf ppf
     "P=%d C=%d runtime=%d cycles | user=%.0f lock=%.0f barrier=%.0f mgs=%.0f | lan=%d msgs \
-     %d words | locks %d/%d hits | %a"
+     %d words | locks %d/%d hits | %a | %a"
     r.nprocs r.cluster r.runtime r.breakdown.user r.breakdown.lock r.breakdown.barrier
     r.breakdown.mgs r.lan_messages r.lan_words r.lock_hits r.lock_acquires Pstats.pp r.pstats
+    pp_throughput r

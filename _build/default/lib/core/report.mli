@@ -22,9 +22,15 @@ type t = {
   lock_acquires : int;
   lock_hits : int;
   barrier_episodes : int;
+  sim_events : int;  (** discrete events executed by the simulator *)
+  peak_queue : int;  (** high-water mark of the event queue *)
+  wall_seconds : float;
+      (** host wall-clock time of {!Machine.run}; 0 when unmeasured.
+          Excluded from figures/CSV so parallel and sequential sweeps
+          render byte-identically. *)
 }
 
-val of_machine : State.t -> t
+val of_machine : ?wall_seconds:float -> State.t -> t
 
 val total : breakdown -> float
 
@@ -32,5 +38,12 @@ val lock_hit_ratio : t -> float
 (** Fraction of lock acquires satisfied without inter-SSMP
     communication; 1.0 when there were no acquires. *)
 
+val events_per_second : t -> float
+(** Simulator throughput; 0 when wall time was not measured. *)
+
+val pp_throughput : Format.formatter -> t -> unit
+(** [events=... peak_queue=... wall=...s (... events/s)] — printed in
+    normal runs so perf regressions are visible without the bench. *)
+
 val pp : Format.formatter -> t -> unit
-(** One-paragraph human-readable summary. *)
+(** One-paragraph human-readable summary (includes throughput). *)

@@ -31,7 +31,8 @@ type centry = {
   c_vpn : int;
   mutable pstate : page_state;
   mutable cdata : Pagedata.page option; (* physical local copy *)
-  mutable ctwin : Pagedata.page option; (* twin, present iff write privilege *)
+  mutable ctwin : Pagedata.twin option;
+      (* twin + dirty-word bitmap, present iff write privilege *)
   mutable frame_owner : int; (* local proc index of first toucher; -1 unset *)
   tlb_dir : Bitset.t; (* local procs holding a TLB mapping *)
   mlock : Mlock.t; (* per-mapping mutual exclusion (Table 1 col. L) *)

@@ -4,16 +4,24 @@ type t = {
   queue : (unit -> unit) Mgs_util.Pqueue.t;
   mutable clock : time;
   mutable seq : int;
+  mutable executed : int;
+  mutable peak : int;
 }
 
-let create () = { queue = Mgs_util.Pqueue.create (); clock = 0; seq = 0 }
+let create () = { queue = Mgs_util.Pqueue.create (); clock = 0; seq = 0; executed = 0; peak = 0 }
 
 let now sim = sim.clock
+
+let events_executed sim = sim.executed
+
+let peak_pending sim = sim.peak
 
 let at sim t f =
   let t = max t sim.clock in
   sim.seq <- sim.seq + 1;
-  Mgs_util.Pqueue.push sim.queue ~prio:t ~seq:sim.seq f
+  Mgs_util.Pqueue.push sim.queue ~prio:t ~seq:sim.seq f;
+  let len = Mgs_util.Pqueue.length sim.queue in
+  if len > sim.peak then sim.peak <- len
 
 let after sim d f =
   if d < 0 then invalid_arg "Sim.after: negative delay";
@@ -26,6 +34,7 @@ let step sim =
   | None -> false
   | Some (t, _, f) ->
     sim.clock <- max sim.clock t;
+    sim.executed <- sim.executed + 1;
     f ();
     true
 

@@ -31,6 +31,12 @@ val after : t -> time -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events not yet executed. *)
 
+val events_executed : t -> int
+(** Total events executed since creation (throughput accounting). *)
+
+val peak_pending : t -> int
+(** High-water mark of the event queue length. *)
+
 val step : t -> bool
 (** [step sim] executes the next event; [false] when none remain. *)
 

@@ -1,1 +1,1 @@
-lib/harness/sweep.ml: Format List Mgs Mgs_machine Option
+lib/harness/sweep.ml: Format List Mgs Mgs_machine Mgs_util Option Printf String

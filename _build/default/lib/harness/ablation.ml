@@ -70,27 +70,40 @@ let latency_study () =
     (fun d -> { baseline with label = Printf.sprintf "latency %d" d; lan_latency = d })
     [ 0; 1000; 4000; 16000 ]
 
-let run ?clusters ~nprocs ~variants w =
+let run ?clusters ?(jobs = 1) ~nprocs ~variants w =
   (* feature toggles are not part of Sweep.run_point's interface, so
      drive the machines directly *)
   let clusters = Option.value ~default:(Sweep.clusters_of nprocs) clusters in
-  let run_variant v =
-    List.map
-      (fun cluster ->
-        let cfg =
-          Mgs.Machine.config ~page_words:v.page_words ~lan_latency:v.lan_latency
-            ~features:v.features ~protocol:v.protocol ?tlb_entries:v.tlb_entries ~nprocs
-            ~cluster ()
-        in
-        let m = Mgs.Machine.create cfg in
-        let body, check = w.Sweep.prepare m in
-        let report = Mgs.Machine.run m body in
-        Mgs.Machine.assert_quiescent m;
-        check m;
-        (cluster, report.Mgs.Report.runtime))
-      clusters
+  let run_cell (v, cluster) =
+    let cfg =
+      Mgs.Machine.config ~page_words:v.page_words ~lan_latency:v.lan_latency
+        ~features:v.features ~protocol:v.protocol ?tlb_entries:v.tlb_entries ~nprocs
+        ~cluster ()
+    in
+    let m = Mgs.Machine.create cfg in
+    let body, check = w.Sweep.prepare m in
+    let report = Mgs.Machine.run m body in
+    Mgs.Machine.assert_quiescent m;
+    check m;
+    (cluster, report.Mgs.Report.runtime)
   in
-  let results = List.map (fun v -> (v, run_variant v)) variants in
+  (* fan the whole variant x cluster grid through the domain pool, then
+     regroup the (order-preserving) flat result list per variant *)
+  let grid = List.concat_map (fun v -> List.map (fun c -> (v, c)) clusters) variants in
+  let flat = ref (Mgs_util.Dpool.map ~jobs run_cell grid) in
+  let per_variant = List.length clusters in
+  let results =
+    List.map
+      (fun v ->
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else match rest with [] -> assert false | x :: tl -> take (n - 1) (x :: acc) tl
+        in
+        let curve, rest = take per_variant [] !flat in
+        flat := rest;
+        (v, curve))
+      variants
+  in
   let header = "C" :: List.map (fun (v, _) -> v.label) results in
   let rows =
     List.map

@@ -19,9 +19,16 @@ val baseline : variant
 (** 1 KB pages, 1000-cycle LAN, paper-default features. *)
 
 val run :
-  ?clusters:int list -> nprocs:int -> variants:variant list -> Sweep.workload -> string
+  ?clusters:int list ->
+  ?jobs:int ->
+  nprocs:int ->
+  variants:variant list ->
+  Sweep.workload ->
+  string
 (** Run the workload under every variant; render a table with one
-    runtime column per variant plus the framework metrics per variant. *)
+    runtime column per variant plus the framework metrics per variant.
+    [jobs] (default 1) fans the variant x cluster grid out over a domain
+    pool; the rendered table is identical for any [jobs]. *)
 
 val protocol_study : unit -> variant list
 (** MGS's eager multiple-writer RC protocol vs home-based lazy release

@@ -27,9 +27,12 @@ let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_lat
   | _ -> ());
   { cluster; report; lock_hit_ratio = Mgs.Report.lock_hit_ratio report }
 
-let sweep ?page_words ?costs ?lan_latency ?verify ?check ?clusters ~nprocs w =
+let sweep ?page_words ?costs ?lan_latency ?verify ?check ?clusters ?(jobs = 1) ~nprocs w =
   let clusters = Option.value ~default:(clusters_of nprocs) clusters in
-  List.map
+  (* Every point is a self-contained machine, so the sweep fans out over
+     a domain pool; Dpool.map returns results in cluster order, making
+     the output independent of [jobs]. *)
+  Mgs_util.Dpool.map ~jobs
     (fun cluster ->
       run_point ?page_words ?costs ?lan_latency ?verify ?check ~nprocs ~cluster w)
     clusters
@@ -38,7 +41,12 @@ let sweep ?page_words ?costs ?lan_latency ?verify ?check ?clusters ~nprocs w =
    below delegates to these; they are exposed for testing. *)
 
 let runtime_of_rt curve c =
-  match List.assoc_opt c curve with Some t -> t | None -> raise Not_found
+  match List.assoc_opt c curve with
+  | Some t -> t
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sweep.runtime_of: no point at cluster size %d (have %s)" c
+         (String.concat ", " (List.map (fun (c, _) -> string_of_int c) curve)))
 
 let max_cluster_rt curve = List.fold_left (fun acc (c, _) -> max acc c) 0 curve
 

@@ -43,15 +43,21 @@ val sweep :
   ?verify:bool ->
   ?check:bool ->
   ?clusters:int list ->
+  ?jobs:int ->
   nprocs:int ->
   workload ->
   point list
-(** All cluster sizes (ascending). *)
+(** All cluster sizes (ascending).  [jobs] (default 1) runs up to that
+    many points concurrently on separate domains ({!Mgs_util.Dpool});
+    results are identical to the sequential sweep regardless of
+    [jobs]. *)
 
 (** Framework metrics over a sweep (which must include C = 1 .. P). *)
 
 val runtime_of : point list -> int -> int
-(** Runtime at a given cluster size.  @raise Not_found if absent. *)
+(** Runtime at a given cluster size.
+    @raise Invalid_argument naming the missing cluster size if the sweep
+    holds no point for it. *)
 
 val breakup_penalty : point list -> float
 (** [(T(P/2) - T(P)) / T(P)] — e.g. 3.22 for Water's 322%. *)

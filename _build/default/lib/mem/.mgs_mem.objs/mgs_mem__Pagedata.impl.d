@@ -1,1 +1,1 @@
-lib/mem/pagedata.ml: Array Geom Int64 List
+lib/mem/pagedata.ml: Array Float Geom Int64 Mgs_util

@@ -1,0 +1,1 @@
+lib/util/dpool.ml: Array Atomic Domain List

@@ -1,1 +1,1 @@
-lib/util/pqueue.ml:
+lib/util/pqueue.ml: List

@@ -42,9 +42,17 @@ let clear s =
   Bytes.fill s.words 0 (Bytes.length s.words) '\000';
   s.card <- 0
 
+(* Byte-at-a-time scan: sparse sets (the common case for dirty-word
+   bitmaps and directories) skip zero bytes without testing each bit. *)
 let iter f s =
-  for i = 0 to s.cap - 1 do
-    if get_bit s i then f i
+  for b = 0 to Bytes.length s.words - 1 do
+    let byte = Char.code (Bytes.unsafe_get s.words b) in
+    if byte <> 0 then begin
+      let base = b lsl 3 in
+      for i = 0 to 7 do
+        if byte land (1 lsl i) <> 0 then f (base + i)
+      done
+    end
   done
 
 let elements s =

@@ -35,11 +35,19 @@ let push q ~prio ~seq value =
 let min_prio q = match q.root with Empty -> None | Node n -> Some n.prio
 
 (* Two-pass pairing: meld children pairwise left to right, then meld the
-   resulting list right to left. *)
-let rec merge_pairs = function
-  | [] -> Empty
-  | [ n ] -> n
-  | a :: b :: rest -> meld (meld a b) (merge_pairs rest)
+   resulting list right to left.  Both passes are tail-recursive — the
+   root of a heavily-pushed queue can have tens of thousands of
+   children, and the naive right fold recursed once per pair.  (The pop
+   order is unaffected: (prio, seq) is a strict total order, so any
+   valid pairing heap extracts the same sequence.) *)
+let merge_pairs children =
+  let rec pair acc = function
+    | [] -> acc
+    | [ n ] -> n :: acc
+    | a :: b :: rest -> pair (meld a b :: acc) rest
+  in
+  (* [pair] reverses, so this left fold melds right to left as required *)
+  List.fold_left meld Empty (pair [] children)
 
 let pop q =
   match q.root with

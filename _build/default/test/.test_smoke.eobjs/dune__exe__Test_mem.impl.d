@@ -1,1 +1,1 @@
-test/test_mem.ml: Alcotest Array List Mgs_mem Mgs_util QCheck2 QCheck_alcotest
+test/test_mem.ml: Alcotest Array Format Int64 List Mgs_mem Mgs_util Printf QCheck2 QCheck_alcotest

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Float Int List Mgs_util QCheck2 QCheck_alcotest Set String
+test/test_util.ml: Alcotest Array Float Int List Mgs_util Printf QCheck2 QCheck_alcotest Set String

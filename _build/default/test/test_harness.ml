@@ -32,8 +32,9 @@ let test_curvature_classes () =
   Alcotest.(check string) "linear in log C is flat" "flat" (Sweep.curvature_class_rt linear)
 
 let test_runtime_of_missing () =
-  Alcotest.check_raises "missing cluster" Not_found (fun () ->
-      ignore (Sweep.runtime_of_rt curve_concave 16))
+  Alcotest.check_raises "missing cluster"
+    (Invalid_argument "Sweep.runtime_of: no point at cluster size 16 (have 1, 2, 4, 8)")
+    (fun () -> ignore (Sweep.runtime_of_rt curve_concave 16))
 
 (* A trivial workload for sweep mechanics. *)
 let trivial_workload =
@@ -70,6 +71,54 @@ let test_sweep_custom_clusters () =
   let points = Sweep.sweep ~clusters:[ 2; 4 ] ~nprocs:4 trivial_workload in
   Alcotest.(check (list int)) "restricted" [ 2; 4 ]
     (List.map (fun p -> p.Sweep.cluster) points)
+
+let test_sweep_throughput_counters () =
+  let points = Sweep.sweep ~nprocs:4 trivial_workload in
+  List.iter
+    (fun p ->
+      let r = p.Sweep.report in
+      Alcotest.(check bool)
+        (Printf.sprintf "events executed at C=%d" p.Sweep.cluster)
+        true
+        (r.Mgs.Report.sim_events > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "peak queue at C=%d" p.Sweep.cluster)
+        true
+        (r.Mgs.Report.peak_queue > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "wall time measured at C=%d" p.Sweep.cluster)
+        true
+        (r.Mgs.Report.wall_seconds >= 0.))
+    points;
+  let r = (List.hd points).Sweep.report in
+  let line = Format.asprintf "%a" Mgs.Report.pp_throughput r in
+  Alcotest.(check bool) "throughput line mentions events" true (contains line "events=");
+  Alcotest.(check bool) "throughput line mentions peak queue" true
+    (contains line "peak_queue=")
+
+(* -j N must be a pure implementation detail: the parallel sweep renders
+   byte-for-byte what the sequential one does (wall_seconds is excluded
+   from figures and CSV) *)
+let test_sweep_jobs_deterministic () =
+  let seq = Sweep.sweep ~jobs:1 ~nprocs:4 trivial_workload in
+  let par = Sweep.sweep ~jobs:4 ~nprocs:4 trivial_workload in
+  Alcotest.(check string) "breakdown figure identical"
+    (Figures.breakdown_figure ~title:"t" seq)
+    (Figures.breakdown_figure ~title:"t" par);
+  Alcotest.(check string) "csv identical"
+    (Figures.csv_of_sweep ~name:"t" seq)
+    (Figures.csv_of_sweep ~name:"t" par);
+  Alcotest.(check string) "lock figure identical"
+    (Figures.lock_figure [ ("t", seq) ])
+    (Figures.lock_figure [ ("t", par) ])
+
+let test_ablation_jobs_deterministic () =
+  let run jobs =
+    Mgs_harness.Ablation.run ~clusters:[ 1; 2; 4 ] ~jobs ~nprocs:4
+      ~variants:(Mgs_harness.Ablation.protocol_study ())
+      trivial_workload
+  in
+  Alcotest.(check string) "ablation table identical" (run 1) (run 4)
 
 let test_figures_render () =
   let points = Sweep.sweep ~nprocs:4 trivial_workload in
@@ -143,6 +192,10 @@ let () =
         [
           Alcotest.test_case "mechanics" `Quick test_sweep_mechanics;
           Alcotest.test_case "custom clusters" `Quick test_sweep_custom_clusters;
+          Alcotest.test_case "throughput counters" `Quick test_sweep_throughput_counters;
+          Alcotest.test_case "-j determinism (sweep)" `Quick test_sweep_jobs_deterministic;
+          Alcotest.test_case "-j determinism (ablation)" `Quick
+            test_ablation_jobs_deterministic;
         ] );
       ( "rendering",
         [

@@ -14,14 +14,20 @@ let prop_diff_sorted =
     QCheck2.Gen.(list (pair (int_bound 31) (float_bound_exclusive 10.)))
     (fun writes ->
       let p = Pd.create small in
-      let twin = Pd.copy p in
-      List.iter (fun (i, v) -> p.(i) <- v +. 1.0) writes;
+      let twin = Pd.twin_of p in
+      List.iter
+        (fun (i, v) ->
+          p.(i) <- v +. 1.0;
+          Pd.mark twin i)
+        writes;
       let d = Pd.diff p ~twin in
+      let offs = ref [] in
+      Pd.iter_diff (fun i _ -> offs := i :: !offs) d;
       let rec sorted = function
-        | (a, _) :: ((b, _) :: _ as rest) -> a < b && sorted rest
+        | a :: (b :: _ as rest) -> a < b && sorted rest
         | _ -> true
       in
-      sorted d)
+      sorted (List.rev !offs))
 
 (* every default cost is positive (a zero or negative cost would break
    the accounting invariants silently) *)

@@ -50,6 +50,58 @@ let prop_pqueue_sorted =
       List.length popped = List.length prios
       && popped = List.sort compare popped)
 
+(* pop order matches a sorted reference over 10k random (prio, seq)
+   pushes — the iterative merge_pairs must preserve the heap order *)
+let prop_pqueue_10k =
+  QCheck2.Test.make ~name:"10k random (prio, seq) pushes pop sorted" ~count:10
+    QCheck2.Gen.(list_size (return 10_000) (pair (int_bound 500) (int_bound 1_000_000)))
+    (fun pairs ->
+      let q = Pq.create () in
+      List.iter (fun (p, s) -> Pq.push q ~prio:p ~seq:s ()) pairs;
+      let rec drain acc =
+        match Pq.pop q with Some (p, s, _) -> drain ((p, s) :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare pairs)
+
+let test_pqueue_deep_merge () =
+  (* n same-priority pushes build a root with n-1 children; the first
+     pop then merges the whole child list in one merge_pairs call, which
+     must not be stack-bound *)
+  let q = Pq.create () in
+  let n = 200_000 in
+  for i = 0 to n - 1 do
+    Pq.push q ~prio:0 ~seq:i i
+  done;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    match Pq.pop q with Some (_, s, _) when s = i -> () | _ -> ok := false
+  done;
+  Alcotest.(check bool) "200k ties drain in seq order" true !ok;
+  Alcotest.(check bool) "drained" true (Pq.is_empty q)
+
+(* --- domain pool ------------------------------------------------------ *)
+
+module Dp = Mgs_util.Dpool
+
+let test_dpool_matches_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "jobs=4 = List.map" (List.map f xs) (Dp.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "jobs=1 = List.map" (List.map f xs) (Dp.map ~jobs:1 f xs);
+  Alcotest.(check (list int))
+    "more jobs than work"
+    (List.map f [ 1; 2 ])
+    (Dp.map ~jobs:8 f [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty input" [] (Dp.map ~jobs:4 f []);
+  Alcotest.(check bool) "default_jobs positive" true (Dp.default_jobs () >= 1)
+
+let test_dpool_exception () =
+  Alcotest.check_raises "lowest failing index re-raised" (Failure "boom 3") (fun () ->
+      ignore
+        (Dp.map ~jobs:4
+           (fun i -> if i >= 3 then failwith (Printf.sprintf "boom %d" i) else i)
+           (List.init 10 (fun i -> i))))
+
 (* --- bitsets --------------------------------------------------------- *)
 
 let test_bitset_basic () =
@@ -212,8 +264,8 @@ let test_stacked_bars () =
     (List.length (String.split_on_char '\n' out) >= 4)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
-  [ prop_pqueue_sorted; prop_bitset_model; prop_rng_int_range; prop_rng_float_range;
-    prop_accum_merge ]
+  [ prop_pqueue_sorted; prop_pqueue_10k; prop_bitset_model; prop_rng_int_range;
+    prop_rng_float_range; prop_accum_merge ]
 
 let () =
   Alcotest.run "util"
@@ -223,6 +275,12 @@ let () =
           Alcotest.test_case "basic order" `Quick test_pqueue_basic;
           Alcotest.test_case "fifo on ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "deep merge_pairs" `Quick test_pqueue_deep_merge;
+        ] );
+      ( "dpool",
+        [
+          Alcotest.test_case "matches List.map" `Quick test_dpool_matches_map;
+          Alcotest.test_case "exception propagation" `Quick test_dpool_exception;
         ] );
       ( "bitset",
         [

@@ -1,6 +1,21 @@
+module Bitset = Mgs_util.Bitset
+
 type page = float array
 
-type diff = (int * float) list
+type twin = { t_data : page; t_dirty : Bitset.t }
+
+type diff = { runs : int array; vals : floatarray }
+
+(* Test hook: when [count_comparisons] is on, every word comparison made
+   by the diff builders bumps [comparisons_made].  Off by default so the
+   hot path pays one predictable branch. *)
+let count_comparisons = ref false
+
+let comparisons_made = ref 0
+
+let reset_comparisons () = comparisons_made := 0
+
+let comparisons () = !comparisons_made
 
 let create (g : Geom.t) = Array.make g.page_words 0.
 
@@ -10,19 +25,87 @@ let blit ~src ~dst =
   if Array.length src <> Array.length dst then invalid_arg "Pagedata.blit: length mismatch";
   Array.blit src 0 dst 0 (Array.length src)
 
+let twin_of p = { t_data = Array.copy p; t_dirty = Bitset.create (Array.length p) }
+
+let twin_page t = t.t_data
+
+let dirty_words t = Bitset.cardinal t.t_dirty
+
+let mark t i = Bitset.add t.t_dirty i
+
+let retwin t ~from =
+  blit ~src:from ~dst:t.t_data;
+  Bitset.clear t.t_dirty
+
+let words_differ a b i =
+  if !count_comparisons then incr comparisons_made;
+  Int64.bits_of_float (Array.unsafe_get a i) <> Int64.bits_of_float (Array.unsafe_get b i)
+
+(* Build a run-length diff from an increasing stream of candidate
+   offsets.  Two passes over the stream: the first sizes the [runs] and
+   [vals] arrays exactly, the second fills them, so nothing but the two
+   result arrays is ever allocated. *)
+let build p base iter_candidates =
+  let nwords = ref 0 and nruns = ref 0 and prev = ref (-2) in
+  iter_candidates (fun i ->
+      if words_differ p base i then begin
+        incr nwords;
+        if i <> !prev + 1 then incr nruns;
+        prev := i
+      end);
+  let runs = Array.make (2 * !nruns) 0 in
+  let vals = Float.Array.create !nwords in
+  let r = ref (-1) and v = ref 0 and prev = ref (-2) in
+  iter_candidates (fun i ->
+      if words_differ p base i then begin
+        if i <> !prev + 1 then begin
+          incr r;
+          runs.(2 * !r) <- i
+        end;
+        runs.((2 * !r) + 1) <- runs.((2 * !r) + 1) + 1;
+        Float.Array.set vals !v (Array.unsafe_get p i);
+        incr v;
+        prev := i
+      end);
+  { runs; vals }
+
 let diff p ~twin =
-  if Array.length p <> Array.length twin then invalid_arg "Pagedata.diff: length mismatch";
-  let acc = ref [] in
-  for i = Array.length p - 1 downto 0 do
-    (* Bitwise comparison: NaN payloads and -0.0 must round-trip. *)
-    if Int64.bits_of_float p.(i) <> Int64.bits_of_float twin.(i) then
-      acc := (i, p.(i)) :: !acc
-  done;
-  !acc
+  if Array.length p <> Array.length twin.t_data then
+    invalid_arg "Pagedata.diff: length mismatch";
+  (* the dirty set over-approximates the words touched since the last
+     twin sync, so only those need comparing *)
+  build p twin.t_data (fun f -> Bitset.iter f twin.t_dirty)
 
-let diff_size = List.length
+let diff_full p ~against =
+  if Array.length p <> Array.length against then invalid_arg "Pagedata.diff_full: length mismatch";
+  build p against (fun f ->
+      for i = 0 to Array.length p - 1 do
+        f i
+      done)
 
-let apply_diff p d = List.iter (fun (i, v) -> p.(i) <- v) d
+let diff_size d = Float.Array.length d.vals
+
+let diff_runs d = Array.length d.runs / 2
+
+let apply_diff p d =
+  let v = ref 0 in
+  for r = 0 to (Array.length d.runs / 2) - 1 do
+    let start = d.runs.(2 * r) and len = d.runs.((2 * r) + 1) in
+    for j = 0 to len - 1 do
+      Array.unsafe_set p (start + j) (Float.Array.get d.vals (!v + j))
+    done;
+    v := !v + len
+  done
+
+let iter_diff f d =
+  let v = ref 0 in
+  for r = 0 to (Array.length d.runs / 2) - 1 do
+    let start = d.runs.(2 * r) and len = d.runs.((2 * r) + 1) in
+    for j = 0 to len - 1 do
+      f (start + j) (Float.Array.get d.vals (!v + j))
+    done;
+    v := !v + len
+  done
 
 let equal a b =
   Array.length a = Array.length b

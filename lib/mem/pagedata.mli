@@ -2,33 +2,92 @@
 
     A page's data is an array of words.  When an SSMP gains write
     privilege it {e twins} the page (snapshots it); at release time the
-    modified page is compared word-by-word against its twin to produce a
-    {e diff}, which the home merges into the master copy.  Multiple
-    writers of disjoint words therefore reconcile correctly. *)
+    modified page is compared against its twin to produce a {e diff},
+    which the home merges into the master copy.  Multiple writers of
+    disjoint words therefore reconcile correctly.
+
+    Two perf-critical refinements over the naive word-list scheme:
+    - a twin carries a per-word dirty bitmap, maintained by the store
+      path, so [diff] compares only the words actually touched since the
+      last twin sync instead of scanning the whole page;
+    - a diff is a run-length struct-of-arrays ([runs] of (start, len)
+      pairs plus a flat [floatarray] of values — Munin's RLE encoding),
+      so merging is a few tight blit loops and carries no per-word boxed
+      cons cells. *)
 
 type page = float array
 (** Mutable page contents, length [Geom.page_words]. *)
 
-type diff = (int * float) list
-(** Sparse delta: [(word offset, new value)] pairs, offsets strictly
-    increasing. *)
+type twin
+(** A snapshot of a page plus the dirty bitmap of words possibly
+    modified since the snapshot (an over-approximation: the diff still
+    compares each dirty word bitwise). *)
+
+type diff = private { runs : int array; vals : floatarray }
+(** Run-length delta: [runs.(2k)] is the start offset of the [k]-th run,
+    [runs.(2k+1)] its length; [vals] holds the new values of every run
+    concatenated.  Run starts strictly increase and runs never touch
+    (adjacent changed words coalesce into one run). *)
 
 val create : Geom.t -> page
 (** Zero-filled page. *)
 
 val copy : page -> page
-(** [copy p] is an independent twin of [p]. *)
+(** [copy p] is an independent snapshot of [p]. *)
 
 val blit : src:page -> dst:page -> unit
 (** Overwrite [dst] with [src] (lengths must match). *)
 
-val diff : page -> twin:page -> diff
-(** [diff p ~twin] lists the words where [p] differs from [twin]. *)
+val twin_of : page -> twin
+(** [twin_of p] snapshots [p] with an empty dirty bitmap. *)
+
+val twin_page : twin -> page
+(** The twin's snapshot data (read-only by convention). *)
+
+val mark : twin -> int -> unit
+(** [mark t off] records that word [off] may have been modified.  The
+    store path calls this on every write to a twinned page. *)
+
+val dirty_words : twin -> int
+(** Number of marked words. *)
+
+val retwin : twin -> from:page -> unit
+(** [retwin t ~from] re-synchronizes the twin with the current page
+    contents and clears the dirty bitmap (single-writer retention and
+    HLRC flushes). *)
+
+val diff : page -> twin:twin -> diff
+(** [diff p ~twin] lists the words where [p] differs bitwise from the
+    twin, comparing only the words marked dirty. *)
+
+val diff_full : page -> against:page -> diff
+(** Full-page scan against an arbitrary base (no dirty information);
+    reference implementation and test oracle for {!diff}. *)
 
 val diff_size : diff -> int
 (** Number of modified words. *)
 
+val diff_runs : diff -> int
+(** Number of runs. *)
+
 val apply_diff : page -> diff -> unit
-(** [apply_diff p d] writes each delta of [d] into [p]. *)
+(** [apply_diff p d] writes each run of [d] into [p]. *)
+
+val iter_diff : (int -> float -> unit) -> diff -> unit
+(** [iter_diff f d] applies [f off value] to each delta in increasing
+    offset order. *)
 
 val equal : page -> page -> bool
+
+(** {2 Test hook}
+
+    When [count_comparisons] is set, every bitwise word comparison made
+    by {!diff}/{!diff_full} increments a counter, letting tests assert
+    that dirty-bitmap-driven diffs do not scan the whole page.  Not
+    synchronized across domains — test use only. *)
+
+val count_comparisons : bool ref
+
+val reset_comparisons : unit -> unit
+
+val comparisons : unit -> int
