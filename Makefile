@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke perf perf-smoke clean
+.PHONY: all build test check fmt fmt-check smoke trace-lint perf perf-smoke clean
 
 all: build
 
@@ -22,6 +22,20 @@ smoke: build
 	$(DUNE) exec bin/mgs_run.exe -- --app jacobi --procs 8 --cluster 2 \
 	  --size 32 --iters 2 --check --trace _build/smoke-trace.json
 	@grep -q traceEvents _build/smoke-trace.json
+
+# Validate every observability export against its own contract: run the
+# CLI with the trace, span, and metrics exporters on, then lint the
+# files (strict JSON, schemas, balanced spans, monotone sample times).
+# The tracked perf baseline is schema-checked along the way.
+trace-lint: build
+	$(DUNE) exec bin/mgs_run.exe -- --app jacobi --procs 8 --cluster 2 \
+	  --size 32 --iters 2 --check --trace _build/lint-trace.json \
+	  --spans _build/lint-spans.json --metrics _build/lint-metrics.json
+	$(DUNE) exec bin/trace_lint.exe -- \
+	  --chrome _build/lint-trace.json \
+	  --spans _build/lint-spans.json \
+	  --metrics _build/lint-metrics.json \
+	  --bench BENCH_sim.json
 
 # Perf baseline: full matrix -> BENCH_sim.json (slow; run by hand when
 # chasing a regression), and a seconds-long smoke slice for CI that
@@ -50,7 +64,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke perf-smoke fmt-check
+check: build test smoke trace-lint perf-smoke fmt-check
 	@echo "check: OK"
 
 clean:

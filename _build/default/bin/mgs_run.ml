@@ -63,7 +63,7 @@ let workload ~app ~size ~iters =
     (Mgs_apps.Radix.workload p, Mgs_apps.Radix.problem_size p)
   | _ -> failwith "unknown app"
 
-(* In sweep mode each cluster size gets its own trace file:
+(* In sweep mode each cluster size gets its own export file:
    out.json -> out.c1.json, out.c2.json, ... *)
 let trace_file base ~sweep ~cluster =
   if not sweep then base
@@ -77,8 +77,12 @@ let trace_file base ~sweep ~cluster =
 
 exception Trace_write_error of string
 
+let with_out file f =
+  let oc = try open_out file with Sys_error msg -> raise (Trace_write_error msg) in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
 let run app size iters procs cluster delay page_bytes protocol sweep jobs no_verify trace
-    hist check csv =
+    spans metrics hist check csv =
   let w, size_desc = workload ~app ~size ~iters in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
@@ -98,7 +102,8 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
       Mgs.Machine.config ~page_words ~lan_latency:delay ~protocol ~nprocs:procs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
-    if trace <> None || hist then ignore (Mgs.Machine.enable_trace m);
+    if trace <> None || hist || spans <> None then ignore (Mgs.Machine.enable_trace m);
+    if metrics <> None then ignore (Mgs.Machine.enable_metrics m);
     let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
     let body, wcheck = w.Mgs_harness.Sweep.prepare m in
     let report = Mgs.Machine.run m body in
@@ -109,13 +114,38 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
     (match (trace, Mgs.Machine.trace m) with
     | Some base, Some tr ->
       let file = trace_file base ~sweep ~cluster in
-      let oc =
-        try open_out file with Sys_error msg -> raise (Trace_write_error msg)
-      in
-      Mgs_obs.Trace.write_chrome tr oc;
-      close_out oc;
+      with_out file (fun oc -> Mgs_obs.Trace.write_chrome tr oc);
       Format.fprintf ppf "trace: %d events (%d dropped) -> %s@." (Mgs_obs.Trace.emitted tr)
         (Mgs_obs.Trace.dropped tr) file
+    | _ -> ());
+    (* A lossy ring makes any downstream decomposition suspect: warn
+       loudly on every traced run, not just under --hist. *)
+    (match Mgs.Machine.trace m with
+    | Some tr -> Format.fprintf ppf "%a" Mgs_obs.Trace.pp_overflow_warning tr
+    | None -> ());
+    let breakdown =
+      match (spans, Mgs.Machine.trace m) with
+      | Some base, Some tr ->
+        let sp = Mgs_obs.Trace.spans tr in
+        let file = trace_file base ~sweep ~cluster in
+        with_out file (fun oc -> Mgs_obs.Span.write_json sp oc);
+        Format.fprintf ppf "spans: %d in %d transactions (%d dropped) -> %s@."
+          (Mgs_obs.Span.count sp) (Mgs_obs.Span.txns sp) (Mgs_obs.Span.dropped sp) file;
+        Some (Mgs_obs.Span.fault_breakdown sp)
+      | _ -> None
+    in
+    (match (metrics, Mgs.Machine.metrics m) with
+    | Some base, Some mt ->
+      let file = trace_file base ~sweep ~cluster in
+      let write_fn =
+        if Filename.extension file = ".csv" then Mgs_obs.Metrics.write_csv
+        else Mgs_obs.Metrics.write_json
+      in
+      with_out file (fun oc -> write_fn mt oc);
+      Format.fprintf ppf "metrics: %d samples x %d series (%d dropped) -> %s@."
+        (Mgs_obs.Metrics.sample_count mt)
+        (List.length (Mgs_obs.Metrics.columns mt))
+        (Mgs_obs.Metrics.dropped mt) file
     | _ -> ());
     (match Mgs.Machine.trace m with
     | Some tr when hist ->
@@ -128,6 +158,7 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
     let violations =
       match checker with
       | Some c ->
+        Mgs.Invariant.finish c;
         Format.fprintf ppf "%a@?" Mgs.Invariant.pp c;
         Mgs.Invariant.count c
       | None -> 0
@@ -139,7 +170,8 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
         lock_hit_ratio = Mgs.Report.lock_hit_ratio report;
       },
       Buffer.contents buf,
-      violations )
+      violations,
+      breakdown )
   in
   let violations = ref 0 in
   (try
@@ -148,25 +180,36 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
          Mgs_util.Dpool.map ~jobs run_one (Mgs_harness.Sweep.clusters_of procs)
        in
        List.iter
-         (fun (_, out, v) ->
+         (fun (_, out, v, _) ->
            print_string out;
            violations := !violations + v)
          results;
-       let points = List.map (fun (p, _, _) -> p) results in
+       let points = List.map (fun (p, _, _, _) -> p) results in
        if csv then print_string (Mgs_harness.Figures.csv_of_sweep ~name:app points)
        else
          print_string
            (Mgs_harness.Figures.breakdown_figure
               ~title:(Printf.sprintf "%s, P = %d" app procs)
-              points)
+              points);
+       let latency_rows =
+         List.filter_map
+           (fun (p, _, _, b) ->
+             Option.map (fun b -> (p.Mgs_harness.Sweep.cluster, b)) b)
+           results
+       in
+       if latency_rows <> [] then
+         print_string (Mgs_harness.Figures.fault_latency latency_rows)
      end
      else begin
        let cluster = Option.value ~default:procs cluster in
-       let p, out, v = run_one cluster in
+       let p, out, v, b = run_one cluster in
        print_string out;
        violations := v;
        Format.printf "%a@." Mgs.Report.pp p.Mgs_harness.Sweep.report;
-       Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio
+       Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio;
+       match b with
+       | Some b -> print_string (Mgs_harness.Figures.fault_latency [ (cluster, b) ])
+       | None -> ()
      end
    with Trace_write_error msg ->
      Printf.eprintf "mgs_run: cannot write trace: %s\n%!" msg;
@@ -240,6 +283,27 @@ let trace_t =
            (load in chrome://tracing or ui.perfetto.dev).  With --sweep, one file \
            per cluster size ($(docv) gains a .cN suffix).")
 
+let spans_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:
+          "Write the causal transaction spans to $(docv) as JSON (schema \
+           mgs-spans-1) and print the span-derived remote-fault latency \
+           breakdown.  With --sweep, one file per cluster size.")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Sample machine metrics (queue depth, DUQ lengths, pages per state, \
+           messages in flight) on the simulated clock and write the time-series \
+           to $(docv): CSV if $(docv) ends in .csv, otherwise JSON (schema \
+           mgs-metrics-1).  With --sweep, one file per cluster size.")
+
 let hist_t =
   Arg.(
     value & flag
@@ -262,6 +326,7 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t $ hist_t $ check_t $ csv_t)
+      $ protocol_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t $ spans_t $ metrics_t
+      $ hist_t $ check_t $ csv_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,270 @@
+(* Lint the observability exports against their own contracts.
+
+   Validates, with the library's strict JSON parser (no external deps):
+
+     trace_lint --chrome FILE    Chrome trace_event export (--trace)
+     trace_lint --spans FILE     span dump, schema mgs-spans-1 (--spans)
+     trace_lint --metrics FILE   metrics series, schema mgs-metrics-1
+     trace_lint --bench FILE     perf baseline, schema mgs-perf-1
+
+   Checks: the file is one well-formed JSON value, schemas match,
+   timestamps are monotone, every span is balanced (t1 >= t0, parents
+   precede children in the same transaction), and Chrome async
+   begin/end and flow start/finish events pair up exactly.  Any
+   violation prints to stderr and the exit status is 1. *)
+
+open Mgs_obs
+
+let errors = ref 0
+
+let errf file fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "trace_lint: %s: %s\n" file msg)
+    fmt
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file file =
+  match Json.parse (read_file file) with
+  | Ok v -> Some v
+  | Error e ->
+    errf file "invalid JSON: %s" e;
+    None
+
+let num file what v =
+  match Json.to_number v with
+  | Some n -> n
+  | None ->
+    errf file "%s is not a number" what;
+    nan
+
+let get file what obj field =
+  match Json.member field obj with
+  | Some v -> v
+  | None ->
+    errf file "%s lacks field %S" what field;
+    Json.Null
+
+let get_num file what obj field = num file (what ^ "." ^ field) (get file what obj field)
+
+let get_str file what obj field =
+  match Json.to_string (get file what obj field) with
+  | Some s -> s
+  | None ->
+    errf file "%s.%s is not a string" what field;
+    ""
+
+let check_schema file v expected =
+  let got = get_str file "top-level object" v "schema" in
+  if got <> expected then errf file "schema is %S, expected %S" got expected
+
+let arr file what v =
+  match Json.to_list v with
+  | Some l -> l
+  | None ->
+    errf file "%s is not an array" what;
+    []
+
+(* --- Chrome trace_event ------------------------------------------- *)
+
+let lint_chrome file =
+  match parse_file file with
+  | None -> ()
+  | Some v ->
+    let events = arr file "traceEvents" (get file "top-level object" v "traceEvents") in
+    (* (cat, id) -> stack of open async 'b' ts; flow id -> start count *)
+    let async : (string * int, float list ref) Hashtbl.t = Hashtbl.create 256 in
+    let flow = Hashtbl.create 256 in
+    let bump tbl key d =
+      Hashtbl.replace tbl key (Option.value ~default:0 (Hashtbl.find_opt tbl key) + d)
+    in
+    (* Stream order is emission order, not timestamp order: a message
+       posted now lands in the future, and wire/DMA spans are recorded
+       retroactively at delivery.  The monotonicity that IS guaranteed
+       is per interval: every slice has nonnegative duration and every
+       async pair ends at or after its begin. *)
+    List.iteri
+      (fun i e ->
+        let what = Printf.sprintf "traceEvents[%d]" i in
+        let ph = get_str file what e "ph" in
+        ignore (get_str file what e "name");
+        let ts = get_num file what e "ts" in
+        if ts < 0. then errf file "%s has negative ts %g" what ts;
+        match ph with
+        | "X" ->
+          let dur = get_num file what e "dur" in
+          if dur < 0. then errf file "%s has negative dur %g" what dur
+        | "b" ->
+          let key = (get_str file what e "cat", int_of_float (get_num file what e "id")) in
+          let stack =
+            match Hashtbl.find_opt async key with
+            | Some s -> s
+            | None ->
+              let s = ref [] in
+              Hashtbl.add async key s;
+              s
+          in
+          stack := ts :: !stack
+        | "e" -> (
+          let cat = get_str file what e "cat" in
+          let id = int_of_float (get_num file what e "id") in
+          match Hashtbl.find_opt async (cat, id) with
+          | Some ({ contents = t0 :: rest } as stack) ->
+            if ts < t0 then
+              errf file "%s async end at %g before its begin at %g (cat=%S id=%d)" what
+                ts t0 cat id;
+            stack := rest
+          | _ -> errf file "%s async end without a begin (cat=%S id=%d)" what cat id)
+        | "s" | "f" ->
+          let id = int_of_float (get_num file what e "id") in
+          bump flow id (if ph = "s" then 1 else -1)
+        | _ -> errf file "%s has unknown phase %S" what ph)
+      events;
+    Hashtbl.iter
+      (fun (cat, id) stack ->
+        let n = List.length !stack in
+        if n <> 0 then
+          errf file "async events cat=%S id=%d unbalanced: %d begin(s) never ended" cat
+            id n)
+      async;
+    Hashtbl.iter
+      (fun id n ->
+        if n <> 0 then errf file "flow id=%d unbalanced: %+d start/finish" id n)
+      flow
+
+(* --- span dump ----------------------------------------------------- *)
+
+let lint_spans file =
+  match parse_file file with
+  | None -> ()
+  | Some v ->
+    check_schema file v "mgs-spans-1";
+    if get_num file "top-level object" v "dropped" < 0. then
+      errf file "negative dropped count";
+    let spans = arr file "spans" (get file "top-level object" v "spans") in
+    (* sid -> txn, for the parent link check; sids are dense *)
+    let txn_of = Hashtbl.create 1024 in
+    let last_sid = ref (-1) in
+    List.iteri
+      (fun i s ->
+        let what = Printf.sprintf "spans[%d]" i in
+        let sid = int_of_float (get_num file what s "sid") in
+        let parent = int_of_float (get_num file what s "parent") in
+        let txn = int_of_float (get_num file what s "txn") in
+        let t0 = int_of_float (get_num file what s "t0") in
+        let t1 = int_of_float (get_num file what s "t1") in
+        ignore (get_str file what s "label");
+        ignore (get_str file what s "engine");
+        if sid <= !last_sid then
+          errf file "%s sid %d not increasing (previous %d)" what sid !last_sid;
+        last_sid := sid;
+        if t1 < 0 then errf file "%s (sid %d) never closed (t1=%d)" what sid t1
+        else if t1 < t0 then errf file "%s (sid %d) ends before it starts: [%d,%d]" what sid t0 t1;
+        if parent < -1 then errf file "%s has parent sid %d" what parent;
+        if parent >= sid then
+          errf file "%s parent %d does not precede child %d" what parent sid;
+        (match Hashtbl.find_opt txn_of parent with
+        | Some ptxn when parent >= 0 && ptxn <> txn ->
+          errf file "%s crosses transactions: parent %d has txn %d, child has %d" what
+            parent ptxn txn
+        | None when parent >= 0 ->
+          errf file "%s references missing parent sid %d" what parent
+        | _ -> ());
+        Hashtbl.replace txn_of sid txn)
+      spans
+
+(* --- metrics series ------------------------------------------------ *)
+
+let lint_metrics file =
+  match parse_file file with
+  | None -> ()
+  | Some v ->
+    check_schema file v "mgs-metrics-1";
+    let series = arr file "series" (get file "top-level object" v "series") in
+    let ncols = List.length series in
+    List.iteri
+      (fun i s ->
+        if Json.to_string s = None then errf file "series[%d] is not a string" i)
+      series;
+    let last_t = ref neg_infinity in
+    List.iteri
+      (fun i row ->
+        let what = Printf.sprintf "samples[%d]" i in
+        match Json.to_list row with
+        | None -> errf file "%s is not an array" what
+        | Some cells ->
+          if List.length cells <> ncols + 1 then
+            errf file "%s has %d cells, expected %d (time + %d series)" what
+              (List.length cells) (ncols + 1) ncols;
+          (match cells with
+          | t :: _ ->
+            let t = num file (what ^ " time") t in
+            if t < !last_t then
+              errf file "%s time %g not monotone (previous %g)" what t !last_t;
+            last_t := t
+          | [] -> errf file "%s is empty" what))
+      (arr file "samples" (get file "top-level object" v "samples"));
+    List.iteri
+      (fun i h ->
+        let what = Printf.sprintf "histograms[%d]" i in
+        ignore (get_str file what h "name");
+        if get_num file what h "count" < 0. then errf file "%s has negative count" what)
+      (arr file "histograms" (get file "top-level object" v "histograms"))
+
+(* --- perf baseline (bench/perf.ml output) --------------------------- *)
+
+let lint_bench file =
+  match parse_file file with
+  | None -> ()
+  | Some v ->
+    check_schema file v "mgs-perf-1";
+    List.iteri
+      (fun i r ->
+        let what = Printf.sprintf "rows[%d]" i in
+        ignore (get_str file what r "app");
+        List.iter
+          (fun field ->
+            let n = get_num file what r field in
+            if n < 0. then errf file "%s.%s is negative" what field)
+          [ "nprocs"; "cluster"; "wall_s"; "sim_events"; "sim_cycles"; "events_per_s" ])
+      (arr file "rows" (get file "top-level object" v "rows"))
+
+let usage () =
+  prerr_endline
+    "usage: trace_lint [--chrome FILE | --spans FILE | --metrics FILE | --bench FILE]...";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then usage ();
+  let nfiles = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | flag :: file :: rest ->
+      incr nfiles;
+      (try
+         (match flag with
+         | "--chrome" -> lint_chrome file
+         | "--spans" -> lint_spans file
+         | "--metrics" -> lint_metrics file
+         | "--bench" -> lint_bench file
+         | _ -> usage ())
+       with Sys_error msg -> errf file "cannot read: %s" msg);
+      go rest
+    | [ _ ] -> usage ()
+  in
+  go args;
+  if !errors > 0 then begin
+    Printf.eprintf "trace_lint: %d error%s in %d file%s\n" !errors
+      (if !errors = 1 then "" else "s")
+      !nfiles
+      (if !nfiles = 1 then "" else "s");
+    exit 1
+  end
+  else Printf.printf "trace_lint: OK (%d file%s)\n" !nfiles (if !nfiles = 1 then "" else "s")

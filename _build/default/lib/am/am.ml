@@ -1,6 +1,8 @@
 type recorder =
   Mgs_engine.Sim.time -> tag:string -> src:int -> dst:int -> words:int -> unit
 
+module Span = Mgs_obs.Span
+
 type t = {
   sim : Mgs_engine.Sim.t;
   costs : Mgs_machine.Costs.t;
@@ -9,6 +11,7 @@ type t = {
   cpus : Mgs_machine.Cpu.t array;
   counts : (string, int) Hashtbl.t;
   mutable total : int;
+  mutable in_flight : int; (* posted but not yet delivered *)
   mutable recorder : recorder option;
   mutable obs : Mgs_obs.Trace.t option;
 }
@@ -24,6 +27,7 @@ let create sim costs topo ~lan ~cpus =
     cpus;
     counts = Hashtbl.create 32;
     total = 0;
+    in_flight = 0;
     recorder = None;
     obs = None;
   }
@@ -33,37 +37,99 @@ let bump am tag =
   let prev = Option.value ~default:0 (Hashtbl.find_opt am.counts tag) in
   Hashtbl.replace am.counts tag (prev + 1)
 
+(* The ambient span context is captured when the message is posted and
+   re-installed around the handler's continuation, so any message the
+   handler posts in turn inherits the originating transaction.  The
+   install/restore happens whenever observability is on — even for a
+   context-free message — so a stale context left by a suspending fiber
+   can never leak into an unrelated handler. *)
 let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
   bump am tag;
+  am.in_flight <- am.in_flight + 1;
   let p = am.costs.Mgs_machine.Costs.proto in
   let src_ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo src in
   let dst_ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo dst in
   let at = Mgs_engine.Sim.now am.sim in
+  let pctx =
+    match am.obs with
+    | None -> Span.none
+    | Some tr -> Span.current (Mgs_obs.Trace.spans tr)
+  in
   let deliver arrive =
+    am.in_flight <- am.in_flight - 1;
     (match am.recorder with Some r -> r arrive ~tag ~src ~dst ~words | None -> ());
-    (match am.obs with
-    | Some tr ->
-      Mgs_obs.Trace.emit tr
-        (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag ~src ~dst
-           ~src_ssmp ~dst_ssmp ~words ~cost ~dur:(arrive - at) ())
-    | None -> ());
     let fin =
       Mgs_machine.Cpu.occupy am.cpus.(dst) ~at:arrive ~cost:(p.handler_dispatch + cost)
     in
-    Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
+    match am.obs with
+    | None -> Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
+    | Some tr ->
+      Mgs_obs.Trace.emit tr
+        (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag ~src ~dst
+           ~src_ssmp ~dst_ssmp ~words ~cost ~dur:(arrive - at) ~txn:pctx.Span.txn ());
+      let sp = Mgs_obs.Trace.spans tr in
+      let hctx =
+        if pctx.Span.txn < 0 then pctx
+        else begin
+          (* transit decomposes into wire time and, for bulk payloads,
+             the trailing DMA burst *)
+          let dma = words * p.dma_per_word in
+          let wire_end = arrive - dma in
+          let w =
+            Span.open_span sp ~parent:pctx ~time:at ~label:"net.wire"
+              ~engine:Mgs_obs.Event.Network ~src ~dst ~src_ssmp ~dst_ssmp ~words ()
+          in
+          Span.close sp w ~time:wire_end;
+          if dma > 0 then begin
+            let d =
+              Span.open_span sp ~parent:pctx ~time:wire_end ~label:"net.dma"
+                ~engine:Mgs_obs.Event.Network ~src ~dst ~src_ssmp ~dst_ssmp ~words ()
+            in
+            Span.close sp d ~time:arrive
+          end;
+          let label = "h." ^ tag in
+          Span.open_span sp ~parent:pctx ~time:arrive ~label
+            ~engine:(Span.engine_of_label label) ~src ~dst ~src_ssmp ~dst_ssmp ~words ()
+        end
+      in
+      Mgs_engine.Sim.at am.sim fin (fun () ->
+          (* close only the span opened above, never an aliased parent *)
+          if hctx.Span.sid <> pctx.Span.sid then Span.close sp hctx ~time:fin;
+          let saved = Span.current sp in
+          Span.set_current sp hctx;
+          k fin;
+          Span.set_current sp saved)
   in
   Mgs_net.Lan.send am.lan ~src:src_ssmp ~dst:dst_ssmp ~at ~words deliver
 
 let run_on am ?tag ~proc ~at ~cost k =
   let fin = Mgs_machine.Cpu.occupy am.cpus.(proc) ~at ~cost in
-  (match (am.obs, tag) with
-  | Some tr, Some tag ->
-    let ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo proc in
-    Mgs_obs.Trace.emit tr
-      (Mgs_obs.Event.make ~time:fin ~engine:Mgs_obs.Event.Remote_client ~tag ~src:proc
-         ~dst:proc ~src_ssmp:ssmp ~dst_ssmp:ssmp ~cost ~dur:(fin - at) ())
-  | _ -> ());
-  Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
+  match am.obs with
+  | None -> Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
+  | Some tr ->
+    let sp = Mgs_obs.Trace.spans tr in
+    let pctx = Span.current sp in
+    let hctx =
+      match tag with
+      | None -> pctx
+      | Some tag ->
+        let ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo proc in
+        Mgs_obs.Trace.emit tr
+          (Mgs_obs.Event.make ~time:fin ~engine:Mgs_obs.Event.Remote_client ~tag
+             ~src:proc ~dst:proc ~src_ssmp:ssmp ~dst_ssmp:ssmp ~cost ~dur:(fin - at)
+             ~txn:pctx.Span.txn ());
+        if pctx.Span.txn < 0 then pctx
+        else
+          Span.open_span sp ~parent:pctx ~time:at ~label:tag
+            ~engine:(Span.engine_of_label tag) ~src:proc ~dst:proc ~src_ssmp:ssmp
+            ~dst_ssmp:ssmp ()
+    in
+    Mgs_engine.Sim.at am.sim fin (fun () ->
+        if hctx.Span.sid <> pctx.Span.sid then Span.close sp hctx ~time:fin;
+        let saved = Span.current sp in
+        Span.set_current sp hctx;
+        k fin;
+        Span.set_current sp saved)
 
 let set_recorder am r = am.recorder <- r
 
@@ -75,6 +141,8 @@ let counts am =
   List.sort compare (Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) am.counts [])
 
 let total_posted am = am.total
+
+let in_flight am = am.in_flight
 
 let reset_counts am =
   Hashtbl.reset am.counts;

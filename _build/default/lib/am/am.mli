@@ -70,6 +70,10 @@ val counts : t -> (string * int) list
 
 val total_posted : t -> int
 
+val in_flight : t -> int
+(** Messages posted whose handler has not yet been dispatched — the
+    network-occupancy gauge the metrics sampler reads. *)
+
 val reset_counts : t -> unit
 (** Zero the per-tag and total message counters (e.g. after a warmup
     phase, so a measured phase reports only its own traffic). *)

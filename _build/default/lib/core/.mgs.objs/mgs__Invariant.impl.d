@@ -1,1 +1,1 @@
-lib/core/invariant.ml: Array Bitset Format Geom Hashtbl Int64 List Mgs_obs Mlock Printf Sim State
+lib/core/invariant.ml: Array Bitset Format Geom Hashtbl Int64 List Mgs_obs Mlock Printf Sim State String

@@ -1,1 +1,1 @@
-lib/core/proto.ml: Am Array Bitset Coherence Cpu Format Geom Hashtbl List Mgs_engine Mgs_obs Mlock Option Pagedata Printf Sim State Tlb Topology
+lib/core/proto.ml: Am Array Bitset Coherence Cpu Format Geom Hashtbl List Mgs_engine Mgs_obs Mlock Option Pagedata Printf Sim Span State Tlb Topology

@@ -1,1 +1,1 @@
-lib/core/proto_hlrc.ml: Am Array Bitset Coherence Cpu Geom Hashtbl List Mgs_engine Mlock Option Pagedata Sim State Tlb Topology
+lib/core/proto_hlrc.ml: Am Array Bitset Coherence Cpu Geom Hashtbl List Mgs_engine Mgs_obs Mlock Option Pagedata Sim Span State Tlb Topology

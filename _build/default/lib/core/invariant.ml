@@ -136,6 +136,28 @@ let attach m trace =
   Mgs_obs.Trace.subscribe trace (on_event c);
   c
 
+(* End-of-run check, valid once the machine is quiescent: every span
+   must be closed.  A still-open span is an orphaned transaction — a
+   fault, release, or sync episode whose completion never came — which
+   no per-event check can see (the absence of an event is invisible to
+   a subscriber). *)
+let finish c =
+  match c.machine.obs with
+  | None -> ()
+  | Some tr ->
+    let sp = Mgs_obs.Trace.spans tr in
+    let n = Mgs_obs.Span.open_count sp in
+    if n > 0 then begin
+      let labels = Mgs_obs.Span.open_labels sp in
+      let shown = List.filteri (fun i _ -> i < 8) labels in
+      let suffix = if n > List.length shown then ", ..." else "" in
+      reportf c ~vpn:(-1) ~tag:"span.orphan"
+        "%d orphaned transaction span%s still open at end of run: %s%s" n
+        (if n = 1 then "" else "s")
+        (String.concat ", " shown)
+        suffix
+    end
+
 let count c = c.total
 
 let violations c = List.rev c.stored

@@ -26,6 +26,12 @@ val attach : State.t -> Mgs_obs.Trace.t -> t
 (** Subscribe a fresh checker to [trace].  The checker never creates or
     mutates protocol state, so it cannot perturb the execution. *)
 
+val finish : t -> unit
+(** End-of-run check (call once the run completes): records a violation
+    if any transaction span is still open — an orphaned fault, release,
+    or synchronization episode whose completion never arrived.  Only
+    the span layer can detect these; no individual event is missing. *)
+
 val count : t -> int
 (** Total violations detected, including ones beyond the storage cap. *)
 

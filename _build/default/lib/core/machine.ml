@@ -79,6 +79,7 @@ let create cfg =
       shadow = (if cfg.shadow then Some (Hashtbl.create 4096) else None);
       shadow_errors = 0;
       obs = None;
+      metrics = None;
     }
   in
   m
@@ -96,6 +97,45 @@ let enable_trace ?capacity (m : t) =
     tr
 
 let trace (m : t) = m.obs
+
+(* The sampler piggybacks on the event trace: every emitted event calls
+   {!Mgs_obs.Metrics.tick}, which snapshots the probes when at least one
+   sampling interval has passed.  (A self-rescheduling simulator event
+   would keep the run alive forever, so the trace is the clock.)  The
+   final partial interval is captured by {!run}. *)
+let enable_metrics ?interval ?max_samples (m : t) =
+  match m.metrics with
+  | Some mt -> mt
+  | None ->
+    let tr = enable_trace m in
+    let mt = Mgs_obs.Metrics.create ?interval ?max_samples () in
+    let fi = float_of_int in
+    Mgs_obs.Metrics.probe mt "sim.queue_depth" (fun () -> fi (Sim.pending m.sim));
+    Mgs_obs.Metrics.probe mt "am.in_flight" (fun () -> fi (Am.in_flight m.am));
+    Mgs_obs.Metrics.probe mt "duq.entries" (fun () ->
+        fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.duq_set) 0 m.duqs));
+    Mgs_obs.Metrics.probe mt "duq.psync" (fun () ->
+        fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.psync) 0 m.duqs));
+    let count_pages st () =
+      fi
+        (Array.fold_left
+           (fun acc cl ->
+             Hashtbl.fold (fun _ ce n -> if ce.pstate = st then n + 1 else n) cl.cl_pages acc)
+           0 m.clients)
+    in
+    Mgs_obs.Metrics.probe mt "pages.inv" (count_pages P_inv);
+    Mgs_obs.Metrics.probe mt "pages.read" (count_pages P_read);
+    Mgs_obs.Metrics.probe mt "pages.write" (count_pages P_write);
+    Mgs_obs.Metrics.probe mt "pages.busy" (count_pages P_busy);
+    Mgs_obs.Metrics.probe mt "servers.rel_in_prog" (fun () ->
+        fi (Hashtbl.fold (fun _ se n -> if se.s_state = S_rel then n + 1 else n) m.servers 0));
+    Mgs_obs.Metrics.probe mt "spans.open" (fun () ->
+        fi (Mgs_obs.Span.open_count (Mgs_obs.Trace.spans tr)));
+    Mgs_obs.Trace.subscribe tr (fun e -> Mgs_obs.Metrics.tick mt ~now:e.Mgs_obs.Event.time);
+    m.metrics <- Some mt;
+    mt
+
+let metrics (m : t) = m.metrics
 
 let enable_checker ?capacity (m : t) = Invariant.attach m (enable_trace ?capacity m)
 
@@ -152,6 +192,10 @@ let run (m : t) body =
   m.fibers <- fibers;
   ignore (Sim.run m.sim ~limit ());
   Mgs_engine.Fiber.check_all_completed fibers;
+  (* capture the final partial sampling interval *)
+  (match m.metrics with
+  | Some mt -> Mgs_obs.Metrics.sample mt ~now:(Sim.now m.sim)
+  | None -> ());
   Report.of_machine ~wall_seconds:(Unix.gettimeofday () -. t0) m
 
 let trace_messages (m : t) sink =

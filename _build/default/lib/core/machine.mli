@@ -60,6 +60,17 @@ val enable_trace : ?capacity:int -> t -> Mgs_obs.Trace.t
 val trace : t -> Mgs_obs.Trace.t option
 (** The installed event trace, if any. *)
 
+val enable_metrics : ?interval:int -> ?max_samples:int -> t -> Mgs_obs.Metrics.t
+(** Install the simulated-clock metrics sampler (implies
+    {!enable_trace}): event-queue depth, messages in flight, DUQ
+    lengths, pages per protocol state, servers in REL_IN_PROG, and open
+    spans are snapshotted every [interval] cycles (default 10000) into
+    a bounded time-series.  Idempotent.  Call before [run]; the run's
+    final partial interval is always captured. *)
+
+val metrics : t -> Mgs_obs.Metrics.t option
+(** The installed metrics sampler, if any. *)
+
 val enable_checker : ?capacity:int -> t -> Invariant.t
 (** Install the event trace (if not already on) and attach the online
     invariant checker to it.  Inspect the returned checker after [run]

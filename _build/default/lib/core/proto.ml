@@ -53,8 +53,16 @@ let server_req m ~vpn ~requester ~write =
     ~vpn ~src:requester ~dst:se.s_home_proc ();
   match se.s_state with
   | S_rel ->
-    if write then se.s_pend_wr <- requester :: se.s_pend_wr
-    else se.s_pend_rd <- requester :: se.s_pend_rd
+    (* Arc 22: the fault waits out the release epoch.  The queueing
+       delay is a span of its own — this is the "queue" component of
+       the latency breakdown — and the stored context keeps the
+       eventual grant attributed to the requester's transaction. *)
+    let q =
+      span_open m ~label:"sv.queue" ~engine:Mgs_obs.Event.Server ~vpn ~src:requester
+        ~dst:se.s_home_proc ()
+    in
+    if write then se.s_pend_wr <- (requester, q) :: se.s_pend_wr
+    else se.s_pend_rd <- (requester, q) :: se.s_pend_rd
   | S_read | S_write -> send_data m se ~requester ~write
 
 (* WNOTIFY arrival (arc 18): an SSMP upgraded its read copy in place.
@@ -126,9 +134,16 @@ let rec complete_release m se =
   se.s_pend_rl <- [];
   se.s_pend_rd <- [];
   se.s_pend_wr <- [];
-  List.iter (send_rack m se) (List.rev racks);
-  List.iter (fun r -> send_data m se ~requester:r ~write:false) (List.rev rd);
-  List.iter (fun r -> send_data m se ~requester:r ~write:true) (List.rev wr);
+  (* Drain the parked work under each waiter's own span context: the
+     RACK / page grant leaves here, inside the last reply's handler, but
+     belongs to the waiter's transaction. *)
+  List.iter (fun (p, ctx) -> span_with m ctx (fun () -> send_rack m se p)) (List.rev racks);
+  let grant ~write (r, qctx) =
+    span_close m qctx;
+    span_with m qctx (fun () -> send_data m se ~requester:r ~write)
+  in
+  List.iter (grant ~write:false) (List.rev rd);
+  List.iter (grant ~write:true) (List.rev wr);
   (* Deferred RELs: all their writes precede this point, so one batched
      follow-up epoch covers every one of them.  Releasers whose SSMP no
      longer holds a copy were fully merged by the epoch that just
@@ -139,12 +154,12 @@ let rec complete_release m se =
     se.s_pend_rel_next <- [];
     let covered, pending =
       List.partition
-        (fun r ->
+        (fun (r, _) ->
           let rs = Topology.ssmp_of_proc m.topo r in
           not (Bitset.mem se.s_read_dir rs || Bitset.mem se.s_write_dir rs))
         rels
     in
-    List.iter (send_rack m se) covered;
+    List.iter (fun (p, ctx) -> span_with m ctx (fun () -> send_rack m se p)) covered;
     if pending <> [] then start_epoch m se ~releasers:(List.rev pending))
   end
 
@@ -325,7 +340,12 @@ and client_inv m ~ssmp ~vpn ~single =
   trace m vpn "client_inv ssmp %d single=%b (lock held=%b)" ssmp single (Mlock.held ce.mlock);
   obs_emit m ~engine:Mgs_obs.Event.Remote_client ~tag:"rc.inv" ~vpn
     ~dst:(global_proc m ssmp 0) ~cost:(if single then 1 else 0) ();
+  (* The continuation may run much later (mapping lock busy); capture
+     the invalidation's context now and reinstall it around the body so
+     the ACK / DIFF it sends stays attributed to this epoch. *)
+  let ictx = span_current m in
   Mlock.acquire_k m.sim ce.mlock (fun () ->
+      span_with m ictx @@ fun () ->
       trace m vpn "client_inv ssmp %d RUNNING pstate=%s" ssmp
         (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
       match ce.pstate with
@@ -358,7 +378,8 @@ and client_inv m ~ssmp ~vpn ~single =
             Geom.lines_per_page m.geom * c.proto.clean_per_line
           else 0
         in
-        Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean_cost (fun _t ->
+        Am.run_on m.am ~tag:"rc.inv_clean" ~proc:rc ~at:(Sim.now m.sim) ~cost:clean_cost
+          (fun _t ->
             let targets = Bitset.elements ce.tlb_dir in
             ce.inv_count <- List.length targets;
             if targets = [] then finish_inv m ~ssmp ~vpn
@@ -394,7 +415,7 @@ and server_sync m ~vpn ~releaser =
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.sync" ~vpn ~src:releaser
     ~dst:se.s_home_proc ();
   match se.s_state with
-  | S_rel -> se.s_pend_rl <- releaser :: se.s_pend_rl
+  | S_rel -> se.s_pend_rl <- (releaser, span_current m) :: se.s_pend_rl
   | S_read | S_write -> send_rack m se releaser
 
 (* REL arrival at the home (arcs 20-22). *)
@@ -412,7 +433,7 @@ and server_rel m ~vpn ~releaser =
        performed after this epoch's snapshots (possible with a retained
        copy) would appear released before they are merged.  Reprocess
        the REL once the epoch completes. *)
-    se.s_pend_rel_next <- releaser :: se.s_pend_rel_next
+    se.s_pend_rel_next <- (releaser, span_current m) :: se.s_pend_rel_next
   | (S_read | S_write)
     when
       (let rs = Topology.ssmp_of_proc m.topo releaser in
@@ -422,7 +443,7 @@ and server_rel m ~vpn ~releaser =
        the release is already globally visible — acknowledge without
        invalidating anyone. *)
     send_rack m se releaser
-  | S_read | S_write -> start_epoch m se ~releasers:[ releaser ]
+  | S_read | S_write -> start_epoch m se ~releasers:[ (releaser, span_current m) ]
 
 (* ------------------------------------------------------------------ *)
 (* Local Client engine: the fiber-side fault path (arcs 1-7).          *)
@@ -438,6 +459,19 @@ let fault m ~proc ~vpn ~write =
   Cpu.advance cpu Mgs c.svm.fault_entry;
   if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
   Cpu.advance cpu Mgs (c.svm.map_lock + c.svm.table_lookup);
+  (* Transaction root: one fault episode, in simulated time.  Opened
+     after the mapping lock is granted so the fiber's run-ahead CPU
+     clock cannot skew the interval; the fiber reinstalls [root] after
+     every suspension and clears it when the fault completes. *)
+  let root =
+    span_open m ~parent:Span.none ~label:"fault" ~engine:Mgs_obs.Event.Local_client ~vpn
+      ~src:proc ()
+  in
+  span_set m root;
+  let finish () =
+    span_close m root;
+    span_set m Span.none
+  in
   let fill ~rw ~to_duq =
     Bitset.add ce.tlb_dir lidx;
     Tlb.fill m.tlbs.(proc) ~vpn ~mode:(if rw then Tlb.Rw else Tlb.Ro);
@@ -457,11 +491,13 @@ let fault m ~proc ~vpn ~write =
   | P_read, false ->
     (* Arc 1: fill from the existing local read copy. *)
     m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
-    fill ~rw:false ~to_duq:false
+    fill ~rw:false ~to_duq:false;
+    finish ()
   | P_write, _ ->
     (* Arcs 1, 3, 4: local copy has write privilege. *)
     m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
-    fill ~rw:write ~to_duq:write
+    fill ~rw:write ~to_duq:write;
+    finish ()
   | P_read, true ->
     (* Arc 2: upgrade through the Remote Client (arc 13), then arc 7. *)
     m.pstats.upgrades <- m.pstats.upgrades + 1;
@@ -487,11 +523,13 @@ let fault m ~proc ~vpn ~write =
     let t0 = cpu.Cpu.clock in
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    span_set m root;
     m.pstats.upgrade_wait <- m.pstats.upgrade_wait + (cpu.Cpu.clock - t0);
     Cpu.advance cpu Mgs c.proto.duq_op;
     duq_add duq vpn;
     ce.c_dirty <- true;
-    Mlock.release m.sim ce.mlock
+    Mlock.release m.sim ce.mlock;
+    finish ()
   | P_inv, _ ->
     (* Arc 5: fetch from the home server; BUSY with the lock held. *)
     if write then m.pstats.write_fetches <- m.pstats.write_fetches + 1
@@ -506,9 +544,11 @@ let fault m ~proc ~vpn ~write =
     let t0 = cpu.Cpu.clock in
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    span_set m root;
     m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
     (* Arc 6/7: the install handler set the page state; finish locally. *)
-    fill ~rw:write ~to_duq:write
+    fill ~rw:write ~to_duq:write;
+    finish ()
   | P_busy, _ ->
     (* The mapping lock is held throughout BUSY, so no second fiber can
        observe it. *)
@@ -529,6 +569,13 @@ let release_all m ~proc =
       m.pstats.release_ops <- m.pstats.release_ops + 1;
       obs_emit m ~engine:Mgs_obs.Event.Local_client ~tag:"lc.release" ~src:proc
         ~cost:(Hashtbl.length duq.duq_set) ();
+      (* Transaction root for the whole DUQ drain; reinstalled after
+         every RACK / SYNC wait so each REL inherits it. *)
+      let root =
+        span_open m ~parent:Span.none ~label:"release"
+          ~engine:Mgs_obs.Event.Local_client ~src:proc ()
+      in
+      span_set m root;
       let take_sync () =
         let pick = Hashtbl.fold (fun vpn () _ -> Some vpn) duq.psync None in
         match pick with
@@ -553,6 +600,7 @@ let release_all m ~proc =
                 assert (m.rel_resume.(proc) = None);
                 m.rel_resume.(proc) <- Some resume);
             Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+            span_set m root;
             m.pstats.sync_wait <- m.pstats.sync_wait + (cpu.Cpu.clock - t0));
           sync ()
         end
@@ -586,6 +634,7 @@ let release_all m ~proc =
           await_rack ()
         done;
         Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+        span_set m root;
         m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
         sync ()
       end
@@ -599,11 +648,14 @@ let release_all m ~proc =
             let t0 = cpu.Cpu.clock in
             await_rack ();
             Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+            span_set m root;
             m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
             flush ()
         in
         flush ()
-      end
+      end;
+      span_close m root;
+      span_set m Span.none
     end
   end
 

@@ -70,6 +70,7 @@ let flush_locked m ~proc ~vpn k =
 let flush_and_wait m ~proc ~vpn =
   let cpu = m.cpus.(proc) in
   let finished = ref false in
+  let ctx = span_current m in
   flush_locked m ~proc ~vpn (fun () ->
       finished := true;
       match m.rel_resume.(proc) with
@@ -81,14 +82,19 @@ let flush_and_wait m ~proc ~vpn =
     Mgs_engine.Fiber.suspend (fun resume ->
         assert (m.rel_resume.(proc) = None);
         m.rel_resume.(proc) <- Some resume);
-    Cpu.resume_charge cpu Mgs (Sim.now m.sim)
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    span_set m ctx
   end
 
 let flush_page_fiber m ~proc ~vpn =
   let ssmp = Topology.ssmp_of_proc m.topo proc in
   let ce = get_centry m ssmp vpn in
   let cpu = m.cpus.(proc) in
-  if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+  let ctx = span_current m in
+  if Mlock.acquire_fiber m.sim ce.mlock then begin
+    Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    span_set m ctx
+  end;
   flush_and_wait m ~proc ~vpn;
   Mlock.release m.sim ce.mlock
 
@@ -101,6 +107,12 @@ let release_all m ~proc =
     Cpu.sync_busy cpu;
     if not (duq_is_empty duq) then begin
       m.pstats.release_ops <- m.pstats.release_ops + 1;
+      (* transaction root for the whole DUQ flush *)
+      let root =
+        span_open m ~parent:Span.none ~label:"release"
+          ~engine:Mgs_obs.Event.Local_client ~src:proc ()
+      in
+      span_set m root;
       let rec drain () =
         match duq_pop duq with
         | None -> ()
@@ -111,7 +123,9 @@ let release_all m ~proc =
           m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
           drain ()
       in
-      drain ()
+      drain ();
+      span_close m root;
+      span_set m Span.none
     end;
     (* a sibling's in-flight flush of a shared page is ordered by the
        mapping lock (held until its ack), so nothing else is needed *)
@@ -150,11 +164,14 @@ let apply_notices m ~proc map =
         | _ -> ())
       map;
     (* lazily invalidate every copy now known to be stale *)
+    let actx = span_current m in
     List.iter
       (fun vpn ->
         let ce = get_centry m ssmp vpn in
-        if Mlock.acquire_fiber m.sim ce.mlock then
+        if Mlock.acquire_fiber m.sim ce.mlock then begin
           Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+          span_set m actx
+        end;
         let known = Option.value ~default:0 (Hashtbl.find_opt cl.k_map vpn) in
         if (ce.pstate = P_read || ce.pstate = P_write) && ce.c_version < known then begin
           (* our own unreleased writes must reach the home first *)
@@ -191,6 +208,12 @@ let fault m ~proc ~vpn ~write =
   Cpu.advance cpu Mgs c.svm.fault_entry;
   if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
   Cpu.advance cpu Mgs (c.svm.map_lock + c.svm.table_lookup);
+  (* Transaction root for this fault episode (see {!Proto.fault}). *)
+  let root =
+    span_open m ~parent:Span.none ~label:"fault" ~engine:Mgs_obs.Event.Local_client ~vpn
+      ~src:proc ()
+  in
+  span_set m root;
   let fill ~rw ~to_duq =
     Bitset.add ce.tlb_dir lidx;
     Tlb.fill m.tlbs.(proc) ~vpn ~mode:(if rw then Tlb.Rw else Tlb.Ro);
@@ -200,7 +223,9 @@ let fault m ~proc ~vpn ~write =
       duq_add duq vpn;
       ce.c_dirty <- true
     end;
-    Mlock.release m.sim ce.mlock
+    Mlock.release m.sim ce.mlock;
+    span_close m root;
+    span_set m Span.none
   in
   match (ce.pstate, write) with
   | P_read, false ->
@@ -256,6 +281,7 @@ let fault m ~proc ~vpn ~write =
     let t0 = cpu.Cpu.clock in
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    span_set m root;
     m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
     fill ~rw:write ~to_duq:write
   | P_busy, _ -> assert false

@@ -42,7 +42,9 @@ let client_inv m ~ssmp ~vpn ~(reply : Pagedata.page option -> unit) =
   let ce = get_centry m ssmp vpn in
   if ce.pstate = P_busy then reply None
   else
+    let ictx = span_current m in
     Mlock.acquire_k m.sim ce.mlock (fun () ->
+        span_with m ictx @@ fun () ->
         match ce.pstate with
         | P_inv | P_busy ->
           Mlock.release m.sim ce.mlock;
@@ -60,14 +62,17 @@ let client_inv m ~ssmp ~vpn ~(reply : Pagedata.page option -> unit) =
               ce.ctwin <- None;
               ce.pstate <- P_inv;
               let clean = Geom.lines_per_page m.geom * m.costs.proto.clean_per_line in
-              Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
+              Am.run_on m.am ~tag:"rc.inv_clean" ~proc:rc ~at:(Sim.now m.sim) ~cost:clean
+                (fun _t ->
                   Mlock.release m.sim ce.mlock;
                   reply payload)))
 
 (* Downgrade the owner to a read copy, returning the page contents. *)
 let client_recall m ~ssmp ~vpn ~(reply : Pagedata.page -> unit) =
   let ce = get_centry m ssmp vpn in
+  let ictx = span_current m in
   Mlock.acquire_k m.sim ce.mlock (fun () ->
+      span_with m ictx @@ fun () ->
       assert (ce.pstate = P_write);
       let rc = global_proc m ssmp ce.frame_owner in
       let dirty = ref 0 in
@@ -77,7 +82,8 @@ let client_recall m ~ssmp ~vpn ~(reply : Pagedata.page -> unit) =
           let payload = Pagedata.copy (Option.get ce.cdata) in
           ce.pstate <- P_read;
           let clean = Geom.lines_per_page m.geom * m.costs.proto.clean_per_line in
-          Am.run_on m.am ~proc:rc ~at:(Sim.now m.sim) ~cost:clean (fun _t ->
+          Am.run_on m.am ~tag:"rc.inv_clean" ~proc:rc ~at:(Sim.now m.sim) ~cost:clean
+            (fun _t ->
               Mlock.release m.sim ce.mlock;
               reply payload)))
 
@@ -119,20 +125,31 @@ let rec do_grant m se ~requester ~write =
       Am.post m.am ~tag:"IVY_GACK" ~src:requester ~dst:se.s_home_proc ~words:0 ~cost:0
         (fun _t ->
           se.s_state <- (if Bitset.is_empty se.s_write_dir then S_read else S_write);
-          (* serve requests that pended during the transition *)
+          (* serve requests that pended during the transition, each
+             under its own transaction's context *)
           let rd = List.rev se.s_pend_rd and wr = List.rev se.s_pend_wr in
           se.s_pend_rd <- [];
           se.s_pend_wr <- [];
-          List.iter (fun r -> server_req m ~vpn ~requester:r ~write:false) rd;
-          List.iter (fun r -> server_req m ~vpn ~requester:r ~write:true) wr))
+          let serve ~write (r, qctx) =
+            span_close m qctx;
+            span_with m qctx (fun () -> server_req m ~vpn ~requester:r ~write)
+          in
+          List.iter (serve ~write:false) rd;
+          List.iter (serve ~write:true) wr))
 
 and server_req m ~vpn ~requester ~write =
   let se = get_sentry m vpn in
   let src_ssmp = Topology.ssmp_of_proc m.topo requester in
   match se.s_state with
   | S_rel ->
-    if write then se.s_pend_wr <- requester :: se.s_pend_wr
-    else se.s_pend_rd <- requester :: se.s_pend_rd
+    (* an ownership transition is in flight: queue, with a span marking
+       the wait (the "queue" component of the latency breakdown) *)
+    let q =
+      span_open m ~label:"sv.queue" ~engine:Mgs_obs.Event.Server ~vpn ~src:requester
+        ~dst:se.s_home_proc ()
+    in
+    if write then se.s_pend_wr <- (requester, q) :: se.s_pend_wr
+    else se.s_pend_rd <- (requester, q) :: se.s_pend_rd
   | S_read | S_write ->
     se.s_state <- S_rel;
     se.s_ivy_grantee <- requester;
@@ -216,11 +233,22 @@ let fault m ~proc ~vpn ~write =
   Cpu.advance cpu Mgs c.svm.fault_entry;
   if Mlock.acquire_fiber m.sim ce.mlock then Cpu.resume_charge cpu Mgs (Sim.now m.sim);
   Cpu.advance cpu Mgs (c.svm.map_lock + c.svm.table_lookup);
+  (* Transaction root for this fault episode (see {!Proto.fault}). *)
+  let root =
+    span_open m ~parent:Span.none ~label:"fault" ~engine:Mgs_obs.Event.Local_client ~vpn
+      ~src:proc ()
+  in
+  span_set m root;
+  let finish () =
+    span_close m root;
+    span_set m Span.none
+  in
   let fill ~rw =
     Bitset.add ce.tlb_dir lidx;
     Tlb.fill m.tlbs.(proc) ~vpn ~mode:(if rw then Tlb.Rw else Tlb.Ro);
     Cpu.advance cpu Mgs c.svm.tlb_write;
-    Mlock.release m.sim ce.mlock
+    Mlock.release m.sim ce.mlock;
+    finish ()
   in
   let fetch () =
     ce.pstate <- P_busy;
@@ -233,6 +261,7 @@ let fault m ~proc ~vpn ~write =
     let t0 = cpu.Cpu.clock in
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
+    span_set m root;
     m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
     fill ~rw:write
   in

@@ -81,10 +81,16 @@ type sentry = {
      clobbered. *)
   mutable s_pending_page : Pagedata.page option;
   mutable s_pending_diffs : Pagedata.diff list;
-  mutable s_pend_rd : int list; (* requester procs queued during REL_IN_PROG *)
-  mutable s_pend_wr : int list;
-  mutable s_pend_rl : int list; (* releaser procs awaiting RACK *)
-  mutable s_pend_rel_next : int list; (* RELs deferred past this epoch *)
+  (* Requests parked during REL_IN_PROG carry the span context of the
+     transaction they serve, so the eventual grant (sent from inside the
+     epoch-completion handler, a different transaction) is still
+     attributed to the requester's fault / release. *)
+  mutable s_pend_rd : (int * Mgs_obs.Span.ctx) list;
+      (* requester procs queued during REL_IN_PROG *)
+  mutable s_pend_wr : (int * Mgs_obs.Span.ctx) list;
+  mutable s_pend_rl : (int * Mgs_obs.Span.ctx) list; (* releasers awaiting RACK *)
+  mutable s_pend_rel_next : (int * Mgs_obs.Span.ctx) list;
+      (* RELs deferred past this epoch *)
   mutable s_ivy_grantee : int; (* Ivy: processor awaiting the pending grant *)
   mutable s_ivy_grant_write : bool;
   mutable s_version : int; (* HLRC: bumped on every merged update *)
@@ -150,6 +156,8 @@ type t = {
   mutable shadow_errors : int;
   mutable obs : Mgs_obs.Trace.t option;
       (* structured event trace; None = observability fully disabled *)
+  mutable metrics : Mgs_obs.Metrics.t option;
+      (* simulated-clock metrics sampler, piggybacking on [obs] *)
 }
 
 let local_idx m proc = proc mod m.topo.Topology.cluster
@@ -242,16 +250,71 @@ let trace m vpn fmt =
     Printf.eprintf ("[t=%d vpn=%d] " ^^ fmt ^^ "\n%!") (Sim.now m.sim) vpn
   else Printf.ifprintf stderr fmt
 
+(* --- causal spans ----------------------------------------------------
+
+   Thin wrappers over {!Mgs_obs.Span} that collapse to a single branch
+   when observability is off.  The ambient context discipline: message
+   handlers run under the context installed by {!Mgs_am.Am}; fibers
+   restore their own root context after every suspension. *)
+
+module Span = Mgs_obs.Span
+
+let span_current m =
+  match m.obs with
+  | None -> Span.none
+  | Some tr -> Span.current (Mgs_obs.Trace.spans tr)
+
+let span_set m ctx =
+  match m.obs with
+  | None -> ()
+  | Some tr -> Span.set_current (Mgs_obs.Trace.spans tr) ctx
+
+(* Open a span as a child of [parent] (default: the ambient context),
+   starting now.  With [parent = Span.none] this mints a fresh
+   transaction — the root of a fault / release / sync episode. *)
+let span_open m ?parent ~label ~engine ?vpn ?src ?dst ?words () =
+  match m.obs with
+  | None -> Span.none
+  | Some tr ->
+    let sp = Mgs_obs.Trace.spans tr in
+    let parent = match parent with Some p -> p | None -> Span.current sp in
+    let ssmp_of p =
+      match p with
+      | Some p when p >= 0 -> Some (Topology.ssmp_of_proc m.topo p)
+      | _ -> None
+    in
+    Span.open_span sp ~parent ~time:(Sim.now m.sim) ~label ~engine ?vpn ?src ?dst
+      ?src_ssmp:(ssmp_of src) ?dst_ssmp:(ssmp_of dst) ?words ()
+
+let span_close m ctx =
+  match m.obs with
+  | None -> ()
+  | Some tr -> Span.close (Mgs_obs.Trace.spans tr) ctx ~time:(Sim.now m.sim)
+
+(* Run [f] with [ctx] as the ambient context, restoring afterwards. *)
+let span_with m ctx f =
+  match m.obs with
+  | None -> f ()
+  | Some tr ->
+    let sp = Mgs_obs.Trace.spans tr in
+    let saved = Span.current sp in
+    Span.set_current sp ctx;
+    f ();
+    Span.set_current sp saved
+
 (* Structured event emission: one cheap branch when observability is
    off, a full {!Mgs_obs.Event.t} into the trace when it is on.  The
    protocol engines call this at every state transition; the online
-   invariant checker rides the trace's subscriber list. *)
+   invariant checker rides the trace's subscriber list.  Every event is
+   stamped with the ambient transaction ID so traces correlate with
+   spans. *)
 let obs_emit m ~engine ~tag ?(vpn = -1) ?(src = -1) ?(dst = -1) ?(words = 0) ?(cost = 0)
     ?(dur = 0) () =
   match m.obs with
   | None -> ()
   | Some tr ->
     let ssmp_of p = if p < 0 then -1 else Topology.ssmp_of_proc m.topo p in
+    let txn = (Span.current (Mgs_obs.Trace.spans tr)).Span.txn in
     Mgs_obs.Trace.emit tr
       (Mgs_obs.Event.make ~time:(Sim.now m.sim) ~engine ~tag ~vpn ~src ~dst
-         ~src_ssmp:(ssmp_of src) ~dst_ssmp:(ssmp_of dst) ~words ~cost ~dur ())
+         ~src_ssmp:(ssmp_of src) ~dst_ssmp:(ssmp_of dst) ~words ~cost ~dur ~txn ())

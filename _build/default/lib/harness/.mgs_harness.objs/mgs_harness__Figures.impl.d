@@ -1,1 +1,1 @@
-lib/harness/figures.ml: Array Buffer List Mgs Mgs_util Option Printf Sweep
+lib/harness/figures.ml: Array Buffer List Mgs Mgs_obs Mgs_util Option Printf Sweep

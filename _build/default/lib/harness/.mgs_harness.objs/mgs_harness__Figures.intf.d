@@ -1,1 +1,1 @@
-lib/harness/figures.mli: Sweep
+lib/harness/figures.mli: Mgs_obs Sweep

@@ -135,6 +135,41 @@ let protocol_ops points =
   in
   Mgs_util.Tableprint.render ~header ~rows
 
+(* Table-4-style remote-fault latency decomposition, rendered purely
+   from the span-derived critical-path breakdown: per-fault averages of
+   each pipeline component plus the uninstrumented residual. *)
+let fault_latency rows =
+  let per b n = if b.Mgs_obs.Span.faults = 0 then "-" else
+      Printf.sprintf "%.0f" (float_of_int n /. float_of_int b.Mgs_obs.Span.faults)
+  in
+  let table_rows =
+    List.map
+      (fun (cluster, b) ->
+        let open Mgs_obs.Span in
+        [
+          string_of_int cluster;
+          string_of_int b.faults;
+          per b b.e2e;
+          per b b.local;
+          per b b.wire;
+          per b b.dma;
+          per b b.server;
+          per b b.remote;
+          per b b.queue;
+          per b b.residual;
+          Printf.sprintf "%.1f%%" (100. *. Mgs_obs.Span.coverage b);
+        ])
+      rows
+  in
+  "Remote page-fault latency breakdown (cycles per fault, span-derived)\n"
+  ^ Mgs_util.Tableprint.render
+      ~header:
+        [
+          "C"; "Faults"; "E2E"; "Local"; "Wire"; "DMA"; "Server"; "Remote"; "Queue";
+          "Resid"; "Coverage";
+        ]
+      ~rows:table_rows
+
 type table4_row = { app : string; problem_size : string; seq_runtime : int; speedup : float }
 
 let table4 rows =

@@ -9,6 +9,13 @@ val breakdown_figure : title:string -> Sweep.point list -> string
 val lock_figure : (string * Sweep.point list) list -> string
 (** Figure 11: lock hit ratio per cluster size for several workloads. *)
 
+val fault_latency : (int * Mgs_obs.Span.breakdown) list -> string
+(** Table-4-style remote-fault latency decomposition, one row per
+    cluster size, rendered purely from the span critical-path
+    breakdown: per-fault averages of local-client, LAN wire, DMA,
+    server-occupancy, remote-client, and queueing components, the
+    uninstrumented residual, and the coverage fraction. *)
+
 type table4_row = {
   app : string;
   problem_size : string;

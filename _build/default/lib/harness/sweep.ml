@@ -21,10 +21,11 @@ let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_lat
     wcheck m
   end;
   (match checker with
-  | Some c when Mgs.Invariant.count c > 0 ->
-    failwith
-      (Format.asprintf "%s C=%d: %a" w.name cluster Mgs.Invariant.pp c)
-  | _ -> ());
+  | Some c ->
+    Mgs.Invariant.finish c;
+    if Mgs.Invariant.count c > 0 then
+      failwith (Format.asprintf "%s C=%d: %a" w.name cluster Mgs.Invariant.pp c)
+  | None -> ());
   { cluster; report; lock_hit_ratio = Mgs.Report.lock_hit_ratio report }
 
 let sweep ?page_words ?costs ?lan_latency ?verify ?check ?clusters ?(jobs = 1) ~nprocs w =

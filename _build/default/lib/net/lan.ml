@@ -46,9 +46,10 @@ let send lan ~src ~dst ~at ~words k =
     lan.stats.data_words <- lan.stats.data_words + words;
     (match lan.obs with
     | Some tr ->
+      let txn = (Mgs_obs.Span.current (Mgs_obs.Trace.spans tr)).Mgs_obs.Span.txn in
       Mgs_obs.Trace.emit tr
         (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag:"LAN"
-           ~src_ssmp:src ~dst_ssmp:dst ~words ~dur:(arrive - at) ())
+           ~src_ssmp:src ~dst_ssmp:dst ~words ~dur:(arrive - at) ~txn ())
     | None -> ());
     Mgs_engine.Sim.at lan.sim arrive (fun () -> k arrive)
   end

@@ -1,0 +1,1 @@
+lib/obs/json.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Buffer Float Hashtbl Hist Json List Printf Ring String

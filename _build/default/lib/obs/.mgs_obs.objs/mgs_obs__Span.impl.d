@@ -1,0 +1,1 @@
+lib/obs/span.ml: Array Buffer Event Hashtbl Json List Option Printf String

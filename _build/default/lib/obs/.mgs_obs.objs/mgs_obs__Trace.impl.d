@@ -1,1 +1,1 @@
-lib/obs/trace.ml: Buffer Char Event Format Hashtbl Hist List Printf Ring String
+lib/obs/trace.ml: Buffer Event Format Hashtbl Hist Json List Printf Ring Span

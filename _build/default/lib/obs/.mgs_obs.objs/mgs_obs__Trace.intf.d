@@ -1,1 +1,1 @@
-lib/obs/trace.mli: Event Format Hist
+lib/obs/trace.mli: Event Format Hist Span

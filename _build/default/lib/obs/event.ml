@@ -12,6 +12,7 @@ type t = {
   words : int;
   cost : int;
   dur : int;
+  txn : int;
 }
 
 let engine_name = function
@@ -22,9 +23,10 @@ let engine_name = function
   | Sync -> "sync"
 
 let make ~time ~engine ~tag ?(vpn = -1) ?(src = -1) ?(dst = -1) ?(src_ssmp = -1)
-    ?(dst_ssmp = -1) ?(words = 0) ?(cost = 0) ?(dur = 0) () =
-  { time; engine; tag; vpn; src; dst; src_ssmp; dst_ssmp; words; cost; dur }
+    ?(dst_ssmp = -1) ?(words = 0) ?(cost = 0) ?(dur = 0) ?(txn = -1) () =
+  { time; engine; tag; vpn; src; dst; src_ssmp; dst_ssmp; words; cost; dur; txn }
 
 let pp ppf e =
-  Format.fprintf ppf "[t=%d %s] %s vpn=%d %d(%d)->%d(%d) words=%d cost=%d dur=%d" e.time
-    (engine_name e.engine) e.tag e.vpn e.src e.src_ssmp e.dst e.dst_ssmp e.words e.cost e.dur
+  Format.fprintf ppf "[t=%d %s] %s vpn=%d %d(%d)->%d(%d) words=%d cost=%d dur=%d txn=%d"
+    e.time (engine_name e.engine) e.tag e.vpn e.src e.src_ssmp e.dst e.dst_ssmp e.words
+    e.cost e.dur e.txn

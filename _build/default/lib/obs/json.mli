@@ -1,0 +1,34 @@
+(** Minimal strict JSON, dependency-free.
+
+    Exists so the test suite and the trace-lint tool can validate this
+    library's own exports (Chrome traces, span dumps, metrics series)
+    without external packages.  The parser is strict: it rejects
+    trailing garbage, raw control characters inside strings, unknown
+    escapes, and malformed numbers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape for embedding in a JSON string literal.  Handles quote,
+    backslash, the shorthand control escapes, and \u-escapes every
+    remaining byte outside printable ASCII, so the result is always
+    pure ASCII (hence valid UTF-8). *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; [Error] carries a byte offset and
+    reason. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects. *)
+
+val to_list : t -> t list option
+
+val to_string : t -> string option
+
+val to_number : t -> float option

@@ -1,0 +1,202 @@
+(* Typed metrics registry + simulated-clock sampler.
+
+   Counters, gauges, and histograms register under a name plus optional
+   labels (SSMP, engine, ...).  A sampler snapshots every registered
+   scalar series — plus caller-supplied probes reading live machine
+   state (queue depth, DUQ lengths, pages per protocol state, messages
+   in flight) — every [interval] simulated cycles into a bounded
+   time-series ring: a run of any length cannot grow memory without
+   bound, and the most recent window is kept.
+
+   The sampler has no event source of its own (a self-rescheduling
+   simulator event would keep the run alive forever); the machine
+   drives [tick] from the event trace's subscriber list and forces a
+   final [sample] when the run ends. *)
+
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type series = { s_name : string; s_read : unit -> float }
+
+type t = {
+  interval : int;
+  mutable series : series list; (* reverse registration order *)
+  mutable sealed : bool; (* set at first sample: columns are frozen *)
+  by_name : (string, unit) Hashtbl.t;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+  samples : (int * float array) Ring.t;
+  mutable last_sample : int;
+}
+
+let default_interval = 10_000
+
+let create ?(interval = default_interval) ?(max_samples = 4096) () =
+  if interval <= 0 then invalid_arg "Metrics.create: interval";
+  {
+    interval;
+    series = [];
+    sealed = false;
+    by_name = Hashtbl.create 32;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    hists = Hashtbl.create 32;
+    samples = Ring.create ~capacity:max_samples;
+    last_sample = min_int;
+  }
+
+let interval t = t.interval
+
+(* "name{k=v,k2=v2}": labels are sorted so the same set always yields
+   the same series name. *)
+let full_name name labels =
+  match labels with
+  | [] -> name
+  | l ->
+    let l = List.sort compare l in
+    name ^ "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l) ^ "}"
+
+let add_series t name read =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Metrics: duplicate series %s" name);
+  if t.sealed then
+    invalid_arg (Printf.sprintf "Metrics: cannot register %s after sampling started" name);
+  Hashtbl.replace t.by_name name ();
+  t.series <- { s_name = name; s_read = read } :: t.series
+
+let counter t ?(labels = []) name =
+  let key = full_name name labels in
+  match Hashtbl.find_opt t.counters key with
+  | Some c -> c
+  | None ->
+    let c = { c = 0 } in
+    add_series t key (fun () -> float_of_int c.c);
+    Hashtbl.replace t.counters key c;
+    c
+
+let incr ?(by = 1) c = c.c <- c.c + by
+
+let counter_value c = c.c
+
+let gauge t ?(labels = []) name =
+  let key = full_name name labels in
+  match Hashtbl.find_opt t.gauges key with
+  | Some g -> g
+  | None ->
+    let g = { g = 0. } in
+    add_series t key (fun () -> g.g);
+    Hashtbl.replace t.gauges key g;
+    g
+
+let set g v = g.g <- v
+
+let gauge_value g = g.g
+
+let histogram t ?(labels = []) name =
+  let key = full_name name labels in
+  match Hashtbl.find_opt t.hists key with
+  | Some h -> h
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.replace t.hists key h;
+    h
+
+let observe h v = Hist.add h v
+
+let probe t ?(labels = []) name read = add_series t (full_name name labels) read
+
+let columns t = List.rev_map (fun s -> s.s_name) t.series
+
+let sample t ~now =
+  t.sealed <- true;
+  t.last_sample <- now;
+  let cols = List.rev t.series in
+  let row = Array.of_list (List.map (fun s -> s.s_read ()) cols) in
+  Ring.push t.samples (now, row)
+
+let tick t ~now = if now - t.last_sample >= t.interval then sample t ~now
+
+let samples t = Ring.to_list t.samples
+
+let sample_count t = Ring.length t.samples
+
+let dropped t = Ring.dropped t.samples
+
+(* --- export ---------------------------------------------------------- *)
+
+(* %.17g round-trips any float but prints integers (the common case:
+   counts) without noise. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time";
+  List.iter
+    (fun name ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf name)
+    (columns t);
+  Buffer.add_char buf '\n';
+  Ring.iter
+    (fun (time, row) ->
+      Buffer.add_string buf (string_of_int time);
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (float_str v))
+        row;
+      Buffer.add_char buf '\n')
+    t.samples;
+  Buffer.contents buf
+
+let json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":\"mgs-metrics-1\",\"interval\":%d,\"dropped\":%d,\"series\":["
+       t.interval (dropped t));
+  let first = ref true in
+  List.iter
+    (fun name ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (Json.escape name);
+      Buffer.add_char buf '"')
+    (columns t);
+  Buffer.add_string buf "],\"samples\":[";
+  let first = ref true in
+  Ring.iter
+    (fun (time, row) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf "\n[";
+      Buffer.add_string buf (string_of_int time);
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (float_str v))
+        row;
+      Buffer.add_char buf ']')
+    t.samples;
+  Buffer.add_string buf "\n],\"histograms\":[";
+  let hists =
+    List.sort compare (Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists [])
+  in
+  let first = ref true in
+  List.iter
+    (fun (name, h) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n{\"name\":\"%s\",\"count\":%d,\"mean\":%s,\"max\":%d}"
+           (Json.escape name) (Hist.count h)
+           (float_str (Hist.mean h))
+           (Hist.max_value h)))
+    hists;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_json t oc = output_string oc (json t)
+
+let write_csv t oc = output_string oc (csv t)

@@ -1,0 +1,75 @@
+(** Typed metrics registry + simulated-clock sampler.
+
+    Counters, gauges, and histograms register under a name plus
+    optional labels (e.g. SSMP, engine).  Scalar series — counters,
+    gauges, and caller-supplied probes reading live machine state —
+    are snapshotted every [interval] simulated cycles into a bounded
+    time-series (a ring: the most recent window survives, older
+    samples are counted as dropped).  Histograms are not sampled; they
+    export as end-of-run summaries.
+
+    The sampler is driven externally ({!tick} from the event trace's
+    subscriber list, a final {!sample} when the run ends) because a
+    self-rescheduling simulator event would keep the run alive. *)
+
+type t
+
+type counter
+
+type gauge
+
+val create : ?interval:int -> ?max_samples:int -> unit -> t
+(** Defaults: sample every 10000 cycles, keep 4096 samples. *)
+
+val interval : t -> int
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** Register (or fetch) a monotone counter.  The full series name is
+    [name{k=v,...}] with labels sorted.
+    @raise Invalid_argument after sampling has started. *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val histogram : t -> ?labels:(string * string) list -> string -> Hist.t
+
+val observe : Hist.t -> int -> unit
+
+val probe : t -> ?labels:(string * string) list -> string -> (unit -> float) -> unit
+(** Register a live-state probe polled at each sample. *)
+
+val columns : t -> string list
+(** Series names in registration order (the CSV/JSON column order). *)
+
+val tick : t -> now:int -> unit
+(** Sample iff at least [interval] cycles passed since the last sample. *)
+
+val sample : t -> now:int -> unit
+(** Unconditionally snapshot every series at simulated time [now].
+    The first sample freezes the column set. *)
+
+val samples : t -> (int * float array) list
+(** Retained samples, oldest first, values in {!columns} order. *)
+
+val sample_count : t -> int
+
+val dropped : t -> int
+(** Samples evicted by the ring bound. *)
+
+val csv : t -> string
+(** [time,series...] header plus one row per sample. *)
+
+val json : t -> string
+(** Schema ["mgs-metrics-1"]: column names, sample rows, and histogram
+    summaries. *)
+
+val write_json : t -> out_channel -> unit
+
+val write_csv : t -> out_channel -> unit

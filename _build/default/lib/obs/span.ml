@@ -1,0 +1,351 @@
+(* Causal span collector.
+
+   A transaction is one protocol operation as the application sees it —
+   a page fault, a release, a lock or barrier episode.  Each transaction
+   gets a deterministic integer ID minted at initiation, and every piece
+   of work done on its behalf (a LAN transfer, a DMA burst, a handler
+   occupancy slice, a server-side queueing delay) is recorded as a span:
+   a [t0, t1] interval with an engine label, linked to its parent span.
+   The scheduler is deterministic, so IDs and spans are reproducible
+   run-to-run and identical under parallel sweeps.
+
+   Storage is bounded: past [capacity] spans new opens are counted as
+   dropped and return a sentinel context whose close is a no-op, so a
+   run of any length cannot grow memory without bound. *)
+
+type ctx = { txn : int; sid : int }
+
+let none = { txn = -1; sid = -1 }
+
+type span = {
+  sid : int;
+  parent : int; (* parent span id; -1 for a transaction root *)
+  txn : int;
+  label : string;
+  engine : Event.engine;
+  t0 : int;
+  mutable t1 : int; (* -1 while open *)
+  vpn : int;
+  src : int;
+  dst : int;
+  src_ssmp : int;
+  dst_ssmp : int;
+  words : int;
+}
+
+type t = {
+  capacity : int;
+  mutable arr : span option array;
+  mutable n : int;
+  mutable next_txn : int;
+  mutable open_spans : int;
+  mutable dropped : int;
+  mutable current : ctx;
+}
+
+let default_capacity = 1 lsl 17
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Span.create: capacity";
+  {
+    capacity;
+    arr = Array.make (min capacity 1024) None;
+    n = 0;
+    next_txn = 0;
+    open_spans = 0;
+    dropped = 0;
+    current = none;
+  }
+
+let mint_txn t =
+  let id = t.next_txn in
+  t.next_txn <- t.next_txn + 1;
+  id
+
+let ensure_room t =
+  if t.n >= Array.length t.arr && t.n < t.capacity then begin
+    let cap = min t.capacity (2 * Array.length t.arr) in
+    let a = Array.make cap None in
+    Array.blit t.arr 0 a 0 t.n;
+    t.arr <- a
+  end
+
+(* Open a span.  [parent = none] starts a fresh transaction (a new ID is
+   minted); otherwise the parent's transaction is inherited.  When the
+   store is full the span is dropped (counted) and the returned context
+   carries a negative [sid], which [close] ignores — the transaction ID
+   still threads through so child spans that do fit stay attributed. *)
+let open_span t ~(parent : ctx) ~time ~label ~engine ?(vpn = -1) ?(src = -1) ?(dst = -1)
+    ?(src_ssmp = -1) ?(dst_ssmp = -1) ?(words = 0) () =
+  let txn = if parent.txn >= 0 then parent.txn else mint_txn t in
+  if t.n >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    { txn; sid = -2 }
+  end
+  else begin
+    ensure_room t;
+    let sid = t.n in
+    let parent_sid = if parent.sid >= 0 then parent.sid else -1 in
+    t.arr.(sid) <-
+      Some
+        {
+          sid;
+          parent = parent_sid;
+          txn;
+          label;
+          engine;
+          t0 = time;
+          t1 = -1;
+          vpn;
+          src;
+          dst;
+          src_ssmp;
+          dst_ssmp;
+          words;
+        };
+    t.n <- t.n + 1;
+    t.open_spans <- t.open_spans + 1;
+    { txn; sid }
+  end
+
+let close t (ctx : ctx) ~time =
+  if ctx.sid >= 0 && ctx.sid < t.n then
+    match t.arr.(ctx.sid) with
+    | Some s when s.t1 < 0 ->
+      s.t1 <- max time s.t0;
+      t.open_spans <- t.open_spans - 1
+    | _ -> ()
+
+let current t = t.current
+
+let set_current t ctx = t.current <- ctx
+
+let count t = t.n
+
+let open_count t = t.open_spans
+
+let dropped t = t.dropped
+
+let txns t = t.next_txn
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    match t.arr.(i) with Some s -> f s | None -> ()
+  done
+
+let open_labels t =
+  let acc = ref [] in
+  iter t (fun s -> if s.t1 < 0 then acc := s.label :: !acc);
+  List.rev !acc
+
+(* --- critical-path analysis ---------------------------------------- *)
+
+(* Table-4 components of a remote page fault.  All totals are summed
+   cycles across the analyzed faults; [residual] is end-to-end time not
+   covered by any instrumented span (ideally ~0). *)
+type breakdown = {
+  faults : int;
+  e2e : int;
+  local : int; (* faulting-side handler + fault-path work *)
+  wire : int; (* LAN transit (queueing + latency) *)
+  dma : int; (* bulk page/diff transfer time *)
+  server : int; (* home-side handler occupancy *)
+  remote : int; (* third-party invalidation / write-back work *)
+  queue : int; (* waiting out a release epoch at the server *)
+  residual : int;
+}
+
+let zero_breakdown =
+  {
+    faults = 0;
+    e2e = 0;
+    local = 0;
+    wire = 0;
+    dma = 0;
+    server = 0;
+    remote = 0;
+    queue = 0;
+    residual = 0;
+  }
+
+let coverage b =
+  if b.e2e = 0 then 1.0 else float_of_int (b.e2e - b.residual) /. float_of_int b.e2e
+
+(* Message tags whose handler runs at the home server on behalf of a
+   fault; their presence is what marks a fault transaction as remote. *)
+let fetch_request_tags =
+  [ "h.RREQ"; "h.WREQ"; "h.HLRC_RREQ"; "h.HLRC_WREQ"; "h.IVY_RREQ"; "h.IVY_WREQ" ]
+
+let server_tags =
+  [
+    "h.RREQ"; "h.WREQ"; "h.HLRC_RREQ"; "h.HLRC_WREQ"; "h.IVY_RREQ"; "h.IVY_WREQ";
+    "h.REL"; "h.SYNC"; "h.WNOTIFY"; "h.HLRC_DIFF"; "h.ACK"; "h.DIFF"; "h.1WDATA";
+    "h.1WCLEAN"; "h.IVY_ACK"; "h.IVY_PAGE"; "h.IVY_GACK";
+  ]
+
+let remote_tags = [ "h.INV"; "h.1WINV"; "h.IVY_INV"; "h.IVY_RECALL"; "h.PINV"; "h.PINV_ACK"; "h.UPGRADE" ]
+
+(* Attribution priority when spans of one transaction overlap in time
+   (e.g. a parallel invalidation fan-out): each instant is charged to
+   exactly one component, the highest-priority one active. *)
+let component_of label =
+  if label = "net.dma" then Some (5, `Dma)
+  else if label = "net.wire" then Some (4, `Wire)
+  else if List.mem label server_tags then Some (3, `Server)
+  else if List.mem label remote_tags || (String.length label >= 3 && String.sub label 0 3 = "rc.")
+  then Some (2, `Remote)
+  else if label = "sv.queue" then Some (1, `Queue)
+  else Some (0, `Local)
+
+(* Engine classification from the label alone, so the active-message
+   layer can open handler spans without protocol knowledge. *)
+let engine_of_label label =
+  if label = "net.wire" || label = "net.dma" then Event.Network
+  else
+    match component_of label with
+    | Some (_, `Server) | Some (_, `Queue) -> Event.Server
+    | Some (_, `Remote) -> Event.Remote_client
+    | _ -> Event.Local_client
+
+(* Charge the union of [ivals] (clipped to [lo, hi]) to components by a
+   boundary sweep: at each elementary segment the highest-priority
+   covering interval wins; uncovered segments are residual. *)
+let attribute ~lo ~hi ivals acc =
+  let ivals =
+    List.filter_map
+      (fun (a, b, pc) ->
+        let a = max a lo and b = min b hi in
+        if b > a then Some (a, b, pc) else None)
+      ivals
+  in
+  let cuts =
+    List.sort_uniq compare (lo :: hi :: List.concat_map (fun (a, b, _) -> [ a; b ]) ivals)
+  in
+  let rec sweep acc = function
+    | a :: (b :: _ as rest) ->
+      let seg = b - a in
+      let best =
+        List.fold_left
+          (fun best (x, y, pc) ->
+            if x <= a && y >= b then
+              match best with
+              | Some (p, _) when p >= fst pc -> best
+              | _ -> Some pc
+            else best)
+          None ivals
+      in
+      let acc =
+        match best with
+        | None -> { acc with residual = acc.residual + seg }
+        | Some (_, `Dma) -> { acc with dma = acc.dma + seg }
+        | Some (_, `Wire) -> { acc with wire = acc.wire + seg }
+        | Some (_, `Server) -> { acc with server = acc.server + seg }
+        | Some (_, `Remote) -> { acc with remote = acc.remote + seg }
+        | Some (_, `Queue) -> { acc with queue = acc.queue + seg }
+        | Some (_, `Local) -> { acc with local = acc.local + seg }
+      in
+      sweep acc rest
+    | _ -> acc
+  in
+  sweep acc cuts
+
+let fault_breakdown t =
+  (* group spans by transaction *)
+  let roots = Hashtbl.create 256 in
+  let children = Hashtbl.create 256 in
+  iter t (fun s ->
+      if s.t1 >= 0 then
+        if s.parent < 0 then Hashtbl.replace roots s.txn s
+        else
+          Hashtbl.replace children s.txn
+            (s :: Option.value ~default:[] (Hashtbl.find_opt children s.txn)));
+  let txn_ids =
+    List.sort compare (Hashtbl.fold (fun txn _ acc -> txn :: acc) roots [])
+  in
+  List.fold_left
+    (fun acc txn ->
+      let root = Hashtbl.find roots txn in
+      let kids = Option.value ~default:[] (Hashtbl.find_opt children txn) in
+      let is_remote_fault =
+        root.label = "fault"
+        && List.exists (fun s -> List.mem s.label fetch_request_tags) kids
+      in
+      if not is_remote_fault then acc
+      else begin
+        let e2e = root.t1 - root.t0 in
+        let ivals =
+          List.filter_map
+            (fun s ->
+              match component_of s.label with
+              | Some pc -> Some (s.t0, s.t1, pc)
+              | None -> None)
+            kids
+        in
+        let acc = { acc with faults = acc.faults + 1; e2e = acc.e2e + e2e } in
+        attribute ~lo:root.t0 ~hi:root.t1 ivals acc
+      end)
+    zero_breakdown txn_ids
+
+(* --- export ---------------------------------------------------------- *)
+
+let json_escape = Json.escape
+
+let span_json buf s =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"sid\":%d,\"parent\":%d,\"txn\":%d,\"label\":\"%s\",\"engine\":\"%s\",\"t0\":%d,\"t1\":%d,\"vpn\":%d,\"src\":%d,\"dst\":%d,\"src_ssmp\":%d,\"dst_ssmp\":%d,\"words\":%d}"
+       s.sid s.parent s.txn (json_escape s.label) (Event.engine_name s.engine) s.t0 s.t1
+       s.vpn s.src s.dst s.src_ssmp s.dst_ssmp s.words)
+
+let json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":\"mgs-spans-1\",\"txns\":%d,\"dropped\":%d,\"spans\":["
+       t.next_txn t.dropped);
+  let first = ref true in
+  iter t (fun s ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      span_json buf s);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_json t oc = output_string oc (json t)
+
+(* Chrome trace_event section: one async begin/end pair per span (the
+   nestable 'b'/'e' phases group by id, so a whole transaction folds
+   into one track) plus a flow arrow from each parent to its child,
+   which Perfetto draws across processors. *)
+let chrome_section buf t ~emit_sep =
+  iter t (fun s ->
+      if s.t1 >= 0 then begin
+        let pid = if s.dst_ssmp >= 0 then s.dst_ssmp else max s.src_ssmp 0 in
+        let tid = if s.dst >= 0 then s.dst else max s.src 0 in
+        emit_sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"b\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"txn\":%d,\"sid\":%d,\"parent\":%d,\"vpn\":%d}}"
+             (json_escape s.label) s.txn s.t0 pid tid s.txn s.sid s.parent s.vpn);
+        emit_sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
+             (json_escape s.label) s.txn s.t1 pid tid);
+        match (if s.parent >= 0 && s.parent < t.n then t.arr.(s.parent) else None) with
+        | Some p ->
+          (* flow arrow: from the parent's location at the moment the
+             child begins, to the child — the causal hand-off *)
+          let ppid = if p.dst_ssmp >= 0 then p.dst_ssmp else max p.src_ssmp 0 in
+          let ptid = if p.dst >= 0 then p.dst else max p.src 0 in
+          emit_sep ();
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
+               s.sid s.t0 ppid ptid);
+          emit_sep ();
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
+               s.sid s.t0 pid tid)
+        | None -> ()
+      end)

@@ -2,14 +2,22 @@ type t = {
   ring : Event.t Ring.t;
   hists : (string, Hist.t) Hashtbl.t;
   mutable subscribers : (Event.t -> unit) list;
+  spans : Span.t;
 }
 
 let default_capacity = 65536
 
-let create ?(capacity = default_capacity) () =
-  { ring = Ring.create ~capacity; hists = Hashtbl.create 32; subscribers = [] }
+let create ?(capacity = default_capacity) ?span_capacity () =
+  {
+    ring = Ring.create ~capacity;
+    hists = Hashtbl.create 32;
+    subscribers = [];
+    spans = Span.create ?capacity:span_capacity ();
+  }
 
 let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let spans t = t.spans
 
 let hist_for t tag =
   match Hashtbl.find_opt t.hists tag with
@@ -39,18 +47,11 @@ let histograms t =
 
 (* --- Chrome trace_event export ------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* All strings flowing into the JSON pass through {!Json.escape}, which
+   handles quotes, backslashes, and control characters, and \u-escapes
+   everything outside printable ASCII — a tag with arbitrary bytes can
+   no longer produce unparseable output. *)
+let json_escape = Json.escape
 
 (* One Chrome "complete" ('X') slice per event: pid = the SSMP where the
    work lands, tid = the processor there, ts..ts+dur the transfer or
@@ -62,29 +63,49 @@ let chrome_event buf (e : Event.t) =
   let ts = e.time - max e.dur 0 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"vpn\":%d,\"src\":%d,\"dst\":%d,\"words\":%d,\"cost\":%d}}"
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"vpn\":%d,\"src\":%d,\"dst\":%d,\"words\":%d,\"cost\":%d,\"txn\":%d}}"
        (json_escape e.tag)
        (Event.engine_name e.engine)
-       ts (max e.dur 0) pid tid e.vpn e.src e.dst e.words e.cost)
+       ts (max e.dur 0) pid tid e.vpn e.src e.dst e.words e.cost e.txn)
 
 let chrome_json t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '\n'
+  in
   Ring.iter
     (fun e ->
-      if !first then first := false else Buffer.add_char buf ',';
-      Buffer.add_char buf '\n';
+      sep ();
       chrome_event buf e)
     t.ring;
+  (* the spans section: async begin/end per span plus parent-to-child
+     flow arrows, in the same traceEvents array *)
+  Span.chrome_section buf t.spans ~emit_sep:sep;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
 let write_chrome t oc = output_string oc (chrome_json t)
 
+let pp_overflow_warning ppf t =
+  if dropped t > 0 then
+    Format.fprintf ppf
+      "WARNING: event ring overflowed: %d of %d events dropped — histograms are \
+       complete, but the retained event window (and any decomposition derived from \
+       it) covers only the last %d events; rerun with a larger trace capacity@."
+      (dropped t) (emitted t) (retained t)
+
 let pp_summary ppf t =
-  Format.fprintf ppf "events: %d emitted, %d retained, %d dropped@." (emitted t) (retained t)
-    (dropped t);
+  Format.fprintf ppf "events: %d emitted, %d retained, %d dropped@." (emitted t)
+    (retained t) (dropped t);
+  pp_overflow_warning ppf t;
+  if Span.dropped t.spans > 0 then
+    Format.fprintf ppf
+      "WARNING: span store full: %d spans dropped — the latency decomposition \
+       undercounts@."
+      (Span.dropped t.spans);
   List.iter
     (fun (tag, h) -> Format.fprintf ppf "  %-14s %a@." tag Hist.pp h)
     (histograms t)

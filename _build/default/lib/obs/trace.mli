@@ -8,12 +8,16 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Ring capacity defaults to 65536 events. *)
+val create : ?capacity:int -> ?span_capacity:int -> unit -> t
+(** Ring capacity defaults to 65536 events; the span store to
+    {!Span.create}'s default. *)
 
 val subscribe : t -> (Event.t -> unit) -> unit
 (** Subscribers run synchronously at every emit, in reverse order of
     subscription.  They must not mutate simulated state. *)
+
+val spans : t -> Span.t
+(** The causal span collector that travels with this trace. *)
 
 val emit : t -> Event.t -> unit
 
@@ -37,9 +41,15 @@ val chrome_json : t -> string
 (** The retained events in Chrome [trace_event] JSON (the
     [chrome://tracing] / Perfetto format): one complete slice per
     event, [pid] = destination SSMP, [tid] = destination processor,
-    timestamps in simulated cycles. *)
+    timestamps in simulated cycles — plus a spans section (async
+    begin/end per finished span and parent-to-child flow arrows). *)
 
 val write_chrome : t -> out_channel -> unit
 
+val pp_overflow_warning : Format.formatter -> t -> unit
+(** A loud warning when the ring overflowed (a decomposition from a
+    lossy trace is suspect); prints nothing otherwise. *)
+
 val pp_summary : Format.formatter -> t -> unit
-(** Event counts plus the per-tag latency histograms. *)
+(** Event counts plus the per-tag latency histograms, preceded by
+    {!pp_overflow_warning} when history was lost. *)

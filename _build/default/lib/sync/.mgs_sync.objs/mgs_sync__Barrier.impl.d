@@ -1,1 +1,1 @@
-lib/sync/barrier.ml: Am Array Cpu Hashtbl Mgs Mgs_engine Mgs_obs Sim Topology
+lib/sync/barrier.ml: Am Array Cpu Hashtbl Mgs Mgs_engine Mgs_obs Sim Span Topology

@@ -1,1 +1,1 @@
-lib/sync/lock.ml: Am Array Cpu Hashtbl Mgs Mgs_engine Mgs_obs Queue Sim Topology
+lib/sync/lock.ml: Am Array Cpu Hashtbl Mgs Mgs_engine Mgs_obs Queue Sim Span Topology

@@ -51,6 +51,11 @@ let wait ctx b =
   if Topology.single_ssmp m.topo then begin
     (* Flat barrier standing in for P4 on the tightly-coupled machine. *)
     Cpu.advance cpu Barrier m.costs.sync.flat_barrier;
+    let root =
+      span_open m ~parent:Span.none ~label:"sync.barrier" ~engine:Mgs_obs.Event.Sync
+        ~src:proc ()
+    in
+    span_set m root;
     let loc = b.locals.(0) in
     loc.arrived <- loc.arrived + 1;
     if loc.arrived = m.topo.Topology.nprocs then begin
@@ -61,12 +66,21 @@ let wait ctx b =
       release_ssmp b 0
     end
     else Mgs_engine.Waitq.park loc.waiters;
-    Cpu.resume_charge cpu Barrier (Sim.now m.sim)
+    Cpu.resume_charge cpu Barrier (Sim.now m.sim);
+    span_close m root;
+    span_set m Span.none
   end
   else begin
     (* Release point: make this SSMP's writes visible first (HLRC also
        publishes its write notices into the barrier). *)
     Mgs.Consistency.at_release m ~proc ~notices:b.notices;
+    (* Transaction root: this processor's barrier episode, from arrival
+       (post-release) to departure. *)
+    let root =
+      span_open m ~parent:Span.none ~label:"sync.barrier" ~engine:Mgs_obs.Event.Sync
+        ~src:proc ~dst:(master_proc b) ()
+    in
+    span_set m root;
     Cpu.advance cpu Barrier m.costs.sync.barrier_local;
     let s = Topology.ssmp_of_proc m.topo proc in
     let loc = b.locals.(s) in
@@ -78,8 +92,11 @@ let wait ctx b =
     end;
     Mgs_engine.Waitq.park loc.waiters;
     Cpu.resume_charge cpu Barrier (Sim.now m.sim);
+    span_set m root;
     (* everyone's notices are now in the barrier's map: apply them *)
-    Mgs.Consistency.at_acquire m ~proc ~notices:b.notices
+    Mgs.Consistency.at_acquire m ~proc ~notices:b.notices;
+    span_close m root;
+    span_set m Span.none
   end
 
 let episodes b = b.episodes

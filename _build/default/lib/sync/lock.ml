@@ -144,6 +144,13 @@ let acquire ctx l =
   Cpu.advance cpu Lock (if flat then m.costs.sync.flat_lock else m.costs.sync.lock_local_acquire);
   l.acquires <- l.acquires + 1;
   m.sync_counters.lock_acquires <- m.sync_counters.lock_acquires + 1;
+  (* Transaction root: one lock-acquire episode.  The LK_* messages it
+     triggers (request, recall, token transfer) all inherit this ID. *)
+  let root =
+    span_open m ~parent:Span.none ~label:"sync.lock" ~engine:Mgs_obs.Event.Sync
+      ~src:ctx.Mgs.Api.proc ~dst:(home_proc l) ()
+  in
+  span_set m root;
   obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.lock_acquire" ~src:ctx.Mgs.Api.proc
     ~dst:(home_proc l)
     ~cost:(if loc.has_token then 1 else 0)
@@ -155,7 +162,8 @@ let acquire ctx l =
     else begin
       (* Parked fibers are woken only by ownership transfer. *)
       Mgs_engine.Waitq.park loc.waiters;
-      Cpu.resume_charge cpu Lock (Sim.now m.sim)
+      Cpu.resume_charge cpu Lock (Sim.now m.sim);
+      span_set m root
     end
   end
   else begin
@@ -166,11 +174,14 @@ let acquire ctx l =
         ~cost:m.costs.sync.lock_local_acquire (fun _t -> on_lockreq l s)
     end;
     Mgs_engine.Waitq.park loc.waiters;
-    Cpu.resume_charge cpu Lock (Sim.now m.sim)
+    Cpu.resume_charge cpu Lock (Sim.now m.sim);
+    span_set m root
   end;
   (* acquire-side consistency action (lazy protocols apply the write
      notices carried by the lock) *)
-  Mgs.Consistency.at_acquire m ~proc:ctx.Mgs.Api.proc ~notices:l.notices
+  Mgs.Consistency.at_acquire m ~proc:ctx.Mgs.Api.proc ~notices:l.notices;
+  span_close m root;
+  span_set m Span.none
 
 let release ctx l =
   let m = l.m in
@@ -178,6 +189,11 @@ let release ctx l =
   let s = Topology.ssmp_of_proc m.topo ctx.Mgs.Api.proc in
   let loc = l.locals.(s) in
   if not loc.held then failwith "Lock.release: not held by this SSMP";
+  let root =
+    span_open m ~parent:Span.none ~label:"sync.unlock" ~engine:Mgs_obs.Event.Sync
+      ~src:ctx.Mgs.Api.proc ~dst:(home_proc l) ()
+  in
+  span_set m root;
   obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.lock_release" ~src:ctx.Mgs.Api.proc
     ~dst:(home_proc l) ();
   (* Release consistency: propagate this SSMP's writes before anyone
@@ -185,6 +201,8 @@ let release ctx l =
      HLRC this flushes diffs home and attaches write notices to the
      lock instead of invalidating anyone. *)
   Mgs.Consistency.at_release m ~proc:ctx.Mgs.Api.proc ~notices:l.notices;
+  (* the DUQ drain mints (and clears) its own transaction *)
+  span_set m root;
   let flat = Topology.single_ssmp m.topo in
   Cpu.advance cpu Lock (if flat then m.costs.sync.flat_lock else m.costs.sync.lock_local_release);
   if Mgs_engine.Waitq.is_empty loc.waiters then begin
@@ -200,7 +218,9 @@ let release ctx l =
     if loc.recall then loc.grants_left <- loc.grants_left - 1;
     (* Direct handoff: [held] stays true, the woken fiber owns it. *)
     ignore (Mgs_engine.Waitq.wake_one m.sim loc.waiters)
-  end
+  end;
+  span_close m root;
+  span_set m Span.none
 
 let acquires l = l.acquires
 

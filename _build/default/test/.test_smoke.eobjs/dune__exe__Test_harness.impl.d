@@ -1,1 +1,1 @@
-test/test_harness.ml: Alcotest Format List Mgs Mgs_harness Mgs_mem Mgs_sync Printf String
+test/test_harness.ml: Alcotest Format List Mgs Mgs_harness Mgs_mem Mgs_obs Mgs_sync Mgs_util Printf String

@@ -1,1 +1,1 @@
-test/test_obs.ml: Alcotest Am Array Hashtbl Lan List Mgs Mgs_mem Mgs_obs Mgs_sync Mgs_util String
+test/test_obs.ml: Alcotest Am Array Char Format Hashtbl Lan List Mgs Mgs_mem Mgs_obs Mgs_sync Mgs_util Option String

@@ -1,0 +1,1 @@
+test/test_spans.ml: Alcotest Format List Mgs Mgs_apps Mgs_harness Mgs_obs Printf

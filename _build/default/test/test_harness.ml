@@ -112,6 +112,55 @@ let test_sweep_jobs_deterministic () =
     (Figures.lock_figure [ ("t", seq) ])
     (Figures.lock_figure [ ("t", par) ])
 
+(* The observability exports must be part of the same guarantee: a
+   sweep point run on a helper domain produces byte-identical span,
+   metrics, and Chrome dumps. *)
+let test_export_jobs_deterministic () =
+  let run_exports cluster =
+    let cfg = Mgs.Machine.config ~nprocs:4 ~cluster () in
+    let m = Mgs.Machine.create cfg in
+    let tr = Mgs.Machine.enable_trace m in
+    let mt = Mgs.Machine.enable_metrics ~interval:1000 m in
+    let body, check = trivial_workload.Sweep.prepare m in
+    ignore (Mgs.Machine.run m body);
+    check m;
+    ( Mgs_obs.Span.json (Mgs_obs.Trace.spans tr),
+      Mgs_obs.Metrics.csv mt,
+      Mgs_obs.Trace.chrome_json tr )
+  in
+  let clusters = [ 1; 2; 4 ] in
+  let seq = Mgs_util.Dpool.map ~jobs:1 run_exports clusters in
+  let par = Mgs_util.Dpool.map ~jobs:4 run_exports clusters in
+  List.iteri
+    (fun i ((s1, m1, c1), (s2, m2, c2)) ->
+      let at what = Printf.sprintf "%s identical at C=%d" what (List.nth clusters i) in
+      Alcotest.(check string) (at "span dump") s1 s2;
+      Alcotest.(check string) (at "metrics csv") m1 m2;
+      Alcotest.(check string) (at "chrome trace") c1 c2)
+    (List.combine seq par)
+
+let test_fault_latency_renders () =
+  let b =
+    {
+      Mgs_obs.Span.faults = 2;
+      e2e = 2000;
+      local = 400;
+      wire = 500;
+      dma = 600;
+      server = 300;
+      remote = 100;
+      queue = 60;
+      residual = 40;
+    }
+  in
+  let fig = Figures.fault_latency [ (1, b); (16, Mgs_obs.Span.zero_breakdown) ] in
+  Alcotest.(check bool) "title" true (contains fig "fault latency breakdown");
+  Alcotest.(check bool) "per-fault e2e" true (contains fig "1000");
+  Alcotest.(check bool) "coverage column" true (contains fig "98.0%");
+  (* a cluster size with no remote faults renders as dashes, full coverage *)
+  Alcotest.(check bool) "empty row dashes" true (contains fig "-");
+  Alcotest.(check bool) "empty row coverage" true (contains fig "100.0%")
+
 let test_ablation_jobs_deterministic () =
   let run jobs =
     Mgs_harness.Ablation.run ~clusters:[ 1; 2; 4 ] ~jobs ~nprocs:4
@@ -194,12 +243,15 @@ let () =
           Alcotest.test_case "custom clusters" `Quick test_sweep_custom_clusters;
           Alcotest.test_case "throughput counters" `Quick test_sweep_throughput_counters;
           Alcotest.test_case "-j determinism (sweep)" `Quick test_sweep_jobs_deterministic;
+          Alcotest.test_case "-j determinism (exports)" `Quick
+            test_export_jobs_deterministic;
           Alcotest.test_case "-j determinism (ablation)" `Quick
             test_ablation_jobs_deterministic;
         ] );
       ( "rendering",
         [
           Alcotest.test_case "figures" `Quick test_figures_render;
+          Alcotest.test_case "fault-latency table" `Quick test_fault_latency_renders;
           Alcotest.test_case "csv + message mix" `Quick test_csv_and_messages;
           Alcotest.test_case "ablation table" `Quick test_ablation_run;
           Alcotest.test_case "micro rows" `Quick test_micro_structure;

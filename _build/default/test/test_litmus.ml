@@ -24,6 +24,8 @@ let assert_invariants m =
   match List.assq_opt m !checkers with
   | None -> Alcotest.fail "machine has no checker attached"
   | Some c ->
+    (* end-of-run pass: any still-open transaction span is an orphan *)
+    Mgs.Invariant.finish c;
     if Mgs.Invariant.count c > 0 then
       Alcotest.fail (Format.asprintf "%a" Mgs.Invariant.pp c)
 

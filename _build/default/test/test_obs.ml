@@ -7,6 +7,14 @@ module Ring = Mgs_obs.Ring
 module Hist = Mgs_obs.Hist
 module Event = Mgs_obs.Event
 module Trace = Mgs_obs.Trace
+module Span = Mgs_obs.Span
+module Metrics = Mgs_obs.Metrics
+module Json = Mgs_obs.Json
+
+let contains haystack needle =
+  let n = String.length needle and l = String.length haystack in
+  let rec go i = i + n <= l && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
 
 (* --- ring ------------------------------------------------------------- *)
 
@@ -109,6 +117,208 @@ let test_trace_chrome_json () =
   Alcotest.(check bool) "quotes escaped" true (contains "RREQ \\\"x\\\"");
   Alcotest.(check bool) "page in args" true (contains "\"vpn\":7")
 
+(* A ring that overflows must say so loudly: a decomposition computed
+   from a lossy window is quietly wrong otherwise. *)
+let test_trace_overflow_warning () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.emit tr (ev i)
+  done;
+  Alcotest.(check int) "dropped" 6 (Trace.dropped tr);
+  let warning = Format.asprintf "%a" Trace.pp_overflow_warning tr in
+  Alcotest.(check bool) "overflow warning present" true (contains warning "WARNING");
+  Alcotest.(check bool) "warning counts the loss" true (contains warning "6 of 10");
+  let summary = Format.asprintf "%a" Trace.pp_summary tr in
+  Alcotest.(check bool) "summary leads with the warning" true (contains summary "WARNING");
+  (* and a clean trace stays quiet *)
+  let quiet = Trace.create ~capacity:64 () in
+  Trace.emit quiet (ev 1);
+  Alcotest.(check string) "no warning without drops" ""
+    (Format.asprintf "%a" Trace.pp_overflow_warning quiet)
+
+(* Regression: tags with quotes, backslashes, control characters, and
+   non-ASCII bytes must still yield JSON the strict parser accepts. *)
+let test_chrome_json_escaping_strict () =
+  let tr = Trace.create () in
+  let nasty =
+    [ "quote\"tag"; "back\\slash"; "new\nline"; "tab\ttag"; "ctl\x01"; "del\x7f"; "hi\xff" ]
+  in
+  List.iteri (fun i tag -> Trace.emit tr (ev ~tag (10 * (i + 1)))) nasty;
+  (* spans with the same hostile labels ride in the chrome export too *)
+  let sp = Trace.spans tr in
+  List.iter
+    (fun label ->
+      let c =
+        Span.open_span sp ~parent:Span.none ~time:0 ~label ~engine:Event.Network ()
+      in
+      Span.close sp c ~time:5)
+    nasty;
+  let json = Trace.chrome_json tr in
+  String.iter
+    (fun ch -> if Char.code ch > 0x7f then Alcotest.fail "non-ASCII byte in export")
+    json;
+  (match Json.parse json with
+  | Error e -> Alcotest.fail ("chrome export rejected by strict parser: " ^ e)
+  | Ok v -> (
+    match Json.member "traceEvents" v with
+    | Some (Json.Arr events) ->
+      (* 7 complete slices + per span one b/e pair (roots have no flows) *)
+      Alcotest.(check int) "all events survived escaping" (7 + (2 * 7))
+        (List.length events)
+    | _ -> Alcotest.fail "traceEvents missing"));
+  match Json.parse (Span.json sp) with
+  | Error e -> Alcotest.fail ("span export rejected by strict parser: " ^ e)
+  | Ok v ->
+    Alcotest.(check (option string)) "span schema" (Some "mgs-spans-1")
+      (Option.bind (Json.member "schema" v) Json.to_string)
+
+(* --- spans ------------------------------------------------------------ *)
+
+let test_span_basic () =
+  let sp = Span.create () in
+  let root =
+    Span.open_span sp ~parent:Span.none ~time:100 ~label:"fault" ~engine:Event.Local_client
+      ~vpn:3 ()
+  in
+  Alcotest.(check int) "root mints txn 0" 0 root.Span.txn;
+  let child =
+    Span.open_span sp ~parent:root ~time:110 ~label:"h.RREQ" ~engine:Event.Server ()
+  in
+  Alcotest.(check int) "child inherits txn" 0 child.Span.txn;
+  Alcotest.(check int) "two open" 2 (Span.open_count sp);
+  Alcotest.(check (list string)) "open labels" [ "fault"; "h.RREQ" ] (Span.open_labels sp);
+  Span.close sp child ~time:150;
+  Span.close sp root ~time:200;
+  Alcotest.(check int) "balanced" 0 (Span.open_count sp);
+  Span.close sp root ~time:999;
+  (* idempotent: t1 keeps its first value *)
+  let t1s = ref [] in
+  Span.iter sp (fun s -> t1s := s.Span.t1 :: !t1s);
+  Alcotest.(check (list int)) "closes kept first time" [ 200; 150 ] (List.rev !t1s);
+  Span.close sp Span.none ~time:1;
+  let second =
+    Span.open_span sp ~parent:Span.none ~time:300 ~label:"release"
+      ~engine:Event.Local_client ()
+  in
+  Alcotest.(check int) "fresh root mints the next txn" 1 second.Span.txn;
+  Span.close sp second ~time:310;
+  Alcotest.(check int) "txns minted" 2 (Span.txns sp)
+
+let test_span_overflow_sentinel () =
+  let sp = Span.create ~capacity:2 () in
+  let a =
+    Span.open_span sp ~parent:Span.none ~time:0 ~label:"fault" ~engine:Event.Local_client ()
+  in
+  let b = Span.open_span sp ~parent:a ~time:1 ~label:"h.RREQ" ~engine:Event.Server () in
+  let c = Span.open_span sp ~parent:a ~time:2 ~label:"net.wire" ~engine:Event.Network () in
+  Alcotest.(check int) "store capped" 2 (Span.count sp);
+  Alcotest.(check int) "overflow counted" 1 (Span.dropped sp);
+  Alcotest.(check bool) "sentinel sid is negative" true (c.Span.sid < 0);
+  Alcotest.(check int) "sentinel keeps threading the txn" a.Span.txn c.Span.txn;
+  Span.close sp c ~time:9;
+  Alcotest.(check int) "sentinel close is a no-op" 2 (Span.open_count sp);
+  (* a child opened under the sentinel stays in the transaction, with
+     the unrecorded parent sanitized to "root" *)
+  let sp2 = Span.create ~capacity:8 () in
+  let d =
+    Span.open_span sp2 ~parent:{ Span.txn = 7; sid = -2 } ~time:0 ~label:"net.dma"
+      ~engine:Event.Network ()
+  in
+  Alcotest.(check int) "txn inherited through sentinel" 7 d.Span.txn;
+  Span.iter sp2 (fun s -> Alcotest.(check int) "parent sanitized" (-1) s.Span.parent);
+  Span.close sp b ~time:3;
+  Span.close sp a ~time:4
+
+(* Synthetic remote fault with overlapping children: every instant must
+   be charged to exactly one component, components + residual = e2e. *)
+let test_span_breakdown_attribution () =
+  let sp = Span.create () in
+  let root =
+    Span.open_span sp ~parent:Span.none ~time:0 ~label:"fault" ~engine:Event.Local_client ()
+  in
+  let kid label t0 t1 =
+    let c =
+      Span.open_span sp ~parent:root ~time:t0 ~label
+        ~engine:(Span.engine_of_label label) ()
+    in
+    Span.close sp c ~time:t1
+  in
+  kid "net.wire" 0 10;
+  kid "h.RREQ" 10 40;
+  kid "sv.queue" 20 50;
+  kid "net.dma" 40 60;
+  kid "rc.inv" 55 70;
+  Span.close sp root ~time:100;
+  (* a sync transaction and a local fault must not enter the breakdown *)
+  let l = Span.open_span sp ~parent:Span.none ~time:0 ~label:"sync.lock" ~engine:Event.Sync () in
+  Span.close sp l ~time:50;
+  let lf =
+    Span.open_span sp ~parent:Span.none ~time:0 ~label:"fault" ~engine:Event.Local_client ()
+  in
+  Span.close sp lf ~time:5;
+  let b = Span.fault_breakdown sp in
+  Alcotest.(check int) "one remote fault" 1 b.Span.faults;
+  Alcotest.(check int) "e2e" 100 b.Span.e2e;
+  Alcotest.(check int) "wire" 10 b.Span.wire;
+  Alcotest.(check int) "server wins over queue" 30 b.Span.server;
+  Alcotest.(check int) "dma wins over queue and remote" 20 b.Span.dma;
+  Alcotest.(check int) "remote" 10 b.Span.remote;
+  Alcotest.(check int) "queue fully shadowed" 0 b.Span.queue;
+  Alcotest.(check int) "local" 0 b.Span.local;
+  Alcotest.(check int) "residual is the uncovered tail" 30 b.Span.residual;
+  Alcotest.(check int) "components + residual = e2e" b.Span.e2e
+    (b.Span.local + b.Span.wire + b.Span.dma + b.Span.server + b.Span.remote + b.Span.queue
+   + b.Span.residual);
+  Alcotest.(check (float 1e-9)) "coverage" 0.7 (Span.coverage b)
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_metrics_registry_and_sampler () =
+  let mt = Metrics.create ~interval:10 () in
+  Alcotest.(check int) "interval" 10 (Metrics.interval mt);
+  let c = Metrics.counter mt "msgs" ~labels:[ ("engine", "server") ] in
+  let g = Metrics.gauge mt "depth" in
+  let live = ref 0.0 in
+  Metrics.probe mt "live" (fun () -> !live);
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Metrics.set g 2.5;
+  live := 7.0;
+  Alcotest.(check int) "counter value" 5 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge value" 2.5 (Metrics.gauge_value g);
+  Metrics.sample mt ~now:0;
+  Metrics.tick mt ~now:5;
+  (* under the interval: no sample *)
+  Metrics.tick mt ~now:15;
+  Alcotest.(check int) "tick honors the interval" 2 (Metrics.sample_count mt);
+  Alcotest.(check (list string)) "columns in registration order"
+    [ "msgs{engine=server}"; "depth"; "live" ] (Metrics.columns mt);
+  (match Metrics.samples mt with
+  | [ (0, row0); (15, _) ] ->
+    Alcotest.(check (float 0.)) "probe polled" 7.0 row0.(2)
+  | _ -> Alcotest.fail "expected samples at t=0 and t=15");
+  Alcotest.check_raises "registration is frozen after first sample"
+    (Invalid_argument "Metrics: cannot register late after sampling started") (fun () ->
+      ignore (Metrics.counter mt "late"));
+  let csv = Metrics.csv mt in
+  Alcotest.(check bool) "csv header" true (contains csv "time,msgs{engine=server},depth,live");
+  match Json.parse (Metrics.json mt) with
+  | Error e -> Alcotest.fail ("metrics export rejected by strict parser: " ^ e)
+  | Ok v ->
+    Alcotest.(check (option string)) "metrics schema" (Some "mgs-metrics-1")
+      (Option.bind (Json.member "schema" v) Json.to_string)
+
+let test_metrics_ring_bound () =
+  let mt = Metrics.create ~interval:1 ~max_samples:2 () in
+  ignore (Metrics.gauge mt "g");
+  for t = 1 to 5 do
+    Metrics.sample mt ~now:t
+  done;
+  Alcotest.(check int) "window bounded" 2 (List.length (Metrics.samples mt));
+  Alcotest.(check int) "evictions counted" 3 (Metrics.dropped mt);
+  Alcotest.(check (list int)) "newest window kept" [ 4; 5 ]
+    (List.map fst (Metrics.samples mt))
+
 (* --- machine integration ---------------------------------------------- *)
 
 let small_machine () =
@@ -153,6 +363,51 @@ let test_machine_trace_and_checker () =
     (fun t ->
       Alcotest.(check bool) (t ^ " present") true (List.mem t tags))
     [ "lc.fault"; "sv.send_data"; "sync.barrier_episode" ]
+
+let test_machine_spans_and_metrics () =
+  let m = small_machine () in
+  let tr = Mgs.Machine.enable_trace m in
+  let mt = Mgs.Machine.enable_metrics ~interval:1000 m in
+  Alcotest.(check bool) "enable_metrics is idempotent" true
+    (mt == Mgs.Machine.enable_metrics m);
+  let checker = Mgs.Machine.enable_checker m in
+  ignore (run_mp m);
+  Mgs.Machine.assert_quiescent m;
+  let sp = Trace.spans tr in
+  Alcotest.(check bool) "spans recorded" true (Span.count sp > 0);
+  Alcotest.(check bool) "transactions minted" true (Span.txns sp > 0);
+  Alcotest.(check int) "every span balanced at quiescence" 0 (Span.open_count sp);
+  Mgs.Invariant.finish checker;
+  Alcotest.(check int) "no orphaned transactions" 0 (Mgs.Invariant.count checker);
+  Alcotest.(check bool) "final partial interval sampled" true
+    (Metrics.sample_count mt > 0);
+  (* every export survives the strict parser *)
+  List.iter
+    (fun (what, out) ->
+      match Json.parse out with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (what ^ ": " ^ e))
+    [
+      ("chrome", Trace.chrome_json tr);
+      ("spans", Span.json sp);
+      ("metrics", Metrics.json mt);
+    ]
+
+(* Only the span layer can see a request whose reply never came: fake
+   one and the end-of-run check must flag it. *)
+let test_orphan_span_detected () =
+  let m = small_machine () in
+  let tr = Mgs.Machine.enable_trace m in
+  let checker = Mgs.Machine.enable_checker m in
+  ignore (run_mp m);
+  ignore
+    (Span.open_span (Trace.spans tr) ~parent:Span.none ~time:0 ~label:"fault"
+       ~engine:Event.Local_client ());
+  Mgs.Invariant.finish checker;
+  Alcotest.(check bool) "orphan flagged" true (Mgs.Invariant.count checker > 0);
+  let out = Format.asprintf "%a" Mgs.Invariant.pp checker in
+  Alcotest.(check bool) "report names the open label" true (contains out "fault");
+  Alcotest.(check bool) "report says orphaned" true (contains out "orphaned")
 
 let test_checker_flags_corruption () =
   let open Mgs.State in
@@ -247,11 +502,29 @@ let () =
           Alcotest.test_case "subscribers and histograms" `Quick
             test_trace_subscribers_and_hist;
           Alcotest.test_case "chrome trace_event export" `Quick test_trace_chrome_json;
+          Alcotest.test_case "overflow warns loudly" `Quick test_trace_overflow_warning;
+          Alcotest.test_case "hostile tags escape cleanly" `Quick
+            test_chrome_json_escaping_strict;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "open/close/txn threading" `Quick test_span_basic;
+          Alcotest.test_case "overflow sentinel" `Quick test_span_overflow_sentinel;
+          Alcotest.test_case "critical-path attribution" `Quick
+            test_span_breakdown_attribution;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry + sampler" `Quick test_metrics_registry_and_sampler;
+          Alcotest.test_case "bounded sample window" `Quick test_metrics_ring_bound;
         ] );
       ( "machine",
         [
           Alcotest.test_case "trace + checker on a run" `Quick
             test_machine_trace_and_checker;
+          Alcotest.test_case "spans + metrics on a run" `Quick
+            test_machine_spans_and_metrics;
+          Alcotest.test_case "orphaned span detected" `Quick test_orphan_span_detected;
           Alcotest.test_case "checker flags corrupted state" `Quick
             test_checker_flags_corruption;
           Alcotest.test_case "checker is MGS-only" `Quick

@@ -24,6 +24,7 @@ type t = {
   words : int;  (** bulk payload words *)
   cost : int;  (** handler occupancy cycles *)
   dur : int;  (** latency from initiation to [time], 0 if instantaneous *)
+  txn : int;  (** transaction this event serves ({!Span}), [-1] if none *)
 }
 
 val engine_name : engine -> string
@@ -40,6 +41,7 @@ val make :
   ?words:int ->
   ?cost:int ->
   ?dur:int ->
+  ?txn:int ->
   unit ->
   t
 

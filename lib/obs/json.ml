@@ -1,0 +1,243 @@
+(* Minimal strict JSON: a validating recursive-descent parser and the
+   string escaper shared by every exporter in this library.
+
+   The parser exists so tests and the trace-lint tool can check our own
+   exports without external dependencies.  It is deliberately strict:
+   no trailing garbage, no raw control characters inside strings, only
+   the escapes JSON defines, numbers per the JSON grammar.  It is not
+   streaming — exports are bounded, so whole-string parsing is fine. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+(* --- escaping -------------------------------------------------------- *)
+
+(* Escape for embedding in a JSON string literal.  Beyond the mandatory
+   quote/backslash/control escapes, every byte outside printable ASCII
+   is \u-escaped (as Latin-1), so the output is always pure ASCII and
+   therefore valid UTF-8 no matter what bytes the input carried. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg = raise (Error (Printf.sprintf "at byte %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %c, found %c" c c')
+  | None -> fail st (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word v =
+  String.iter (fun c -> expect st c) word;
+  v
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "invalid hex digit in \\u escape"
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        advance st;
+        let code = ref 0 in
+        for _ = 1 to 4 do
+          match peek st with
+          | Some c ->
+            code := (!code * 16) + hex_digit st c;
+            advance st
+          | None -> fail st "truncated \\u escape"
+        done;
+        st.pos <- st.pos - 1;
+        (* store code points below 256 as the raw byte; others as UTF-8 *)
+        if !code < 0x80 then Buffer.add_char buf (Char.chr !code)
+        else if !code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xc0 lor (!code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (!code land 0x3f)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xe0 lor (!code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((!code lsr 6) land 0x3f)));
+          Buffer.add_char buf (Char.chr (0x80 lor (!code land 0x3f)))
+        end
+      | _ -> fail st "invalid escape");
+      advance st;
+      go ()
+    | Some c when Char.code c < 0x20 -> fail st "raw control character in string"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while p =
+    let rec go () =
+      match peek st with
+      | Some c when p c ->
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  (match peek st with
+  | Some '0' -> advance st
+  | Some ('1' .. '9') -> consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> fail st "invalid number");
+  (match peek st with
+  | Some '.' ->
+    advance st;
+    (match peek st with
+    | Some ('0' .. '9') -> consume_while (fun c -> c >= '0' && c <= '9')
+    | _ -> fail st "digits required after decimal point")
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    (match peek st with
+    | Some ('0' .. '9') -> consume_while (fun c -> c >= '0' && c <= '9')
+    | _ -> fail st "digits required in exponent")
+  | _ -> ());
+  Num (float_of_string (String.sub st.s start (st.pos - start)))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> fail st "expected , or } in object"
+      in
+      members []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements (v :: acc)
+        | Some ']' ->
+          advance st;
+          Arr (List.rev (v :: acc))
+        | _ -> fail st "expected , or ] in array"
+      in
+      elements []
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Error msg -> Error msg
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+
+let to_number = function Num f -> Some f | _ -> None

@@ -1,0 +1,115 @@
+(* Acceptance tests for the causal span layer on the paper's
+   applications (section 5's workloads, small problem sizes).
+
+   - Every transaction balances: at quiescence no span is open, under
+     any of the three protocols.
+   - The span-derived remote-fault decomposition accounts for the
+     fault's full end-to-end latency: components + residual = e2e
+     exactly, and the residual (uninstrumented time) stays within 5%.
+   - The exports survive the library's own strict JSON parser. *)
+
+module Span = Mgs_obs.Span
+module Trace = Mgs_obs.Trace
+module Json = Mgs_obs.Json
+
+let workloads =
+  [
+    ( "jacobi",
+      fun () -> Mgs_apps.Jacobi.(workload { tiny with n = 24; iters = 2 }) );
+    ("water", fun () -> Mgs_apps.Water.(workload { tiny with nmol = 24; iters = 1 }));
+    ("tsp", fun () -> Mgs_apps.Tsp.(workload tiny));
+  ]
+
+let run_traced ?(protocol = Mgs.State.Protocol_mgs) ~nprocs ~cluster w =
+  let cfg = Mgs.Machine.config ~nprocs ~cluster ~lan_latency:1000 ~protocol () in
+  let m = Mgs.Machine.create cfg in
+  let tr = Mgs.Machine.enable_trace m in
+  let checker = Mgs.Machine.enable_checker m in
+  let body, wcheck = w.Mgs_harness.Sweep.prepare m in
+  ignore (Mgs.Machine.run m body);
+  Mgs.Machine.assert_quiescent m;
+  wcheck m;
+  Mgs.Invariant.finish checker;
+  if Mgs.Invariant.count checker > 0 then
+    Alcotest.fail (Format.asprintf "%a" Mgs.Invariant.pp checker);
+  tr
+
+(* Paper Table-4 claim: the decomposition derived purely from spans
+   matches the end-to-end fault latency to within 5%. *)
+let test_breakdown_accounts_for_e2e name mk cluster () =
+  let tr = run_traced ~nprocs:16 ~cluster (mk ()) in
+  let sp = Trace.spans tr in
+  Alcotest.(check int) "spans balanced" 0 (Span.open_count sp);
+  Alcotest.(check int) "no spans dropped" 0 (Span.dropped sp);
+  let b = Span.fault_breakdown sp in
+  if cluster < 16 then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s C=%d has remote faults" name cluster)
+      true (b.Span.faults > 0);
+  let parts =
+    b.Span.local + b.Span.wire + b.Span.dma + b.Span.server + b.Span.remote
+    + b.Span.queue + b.Span.residual
+  in
+  Alcotest.(check int) "components + residual = e2e exactly" b.Span.e2e parts;
+  Alcotest.(check bool)
+    (Printf.sprintf "residual within 5%% (coverage %.3f)" (Span.coverage b))
+    true
+    (Span.coverage b >= 0.95)
+
+let test_balanced_under_all_protocols () =
+  List.iter
+    (fun (pname, protocol) ->
+      let w = Mgs_apps.Jacobi.(workload { tiny with n = 16; iters = 2 }) in
+      let tr = run_traced ~protocol ~nprocs:8 ~cluster:2 w in
+      let sp = Trace.spans tr in
+      Alcotest.(check bool) (pname ^ " records spans") true (Span.count sp > 0);
+      Alcotest.(check int) (pname ^ " spans balanced") 0 (Span.open_count sp))
+    [
+      ("mgs", Mgs.State.Protocol_mgs);
+      ("hlrc", Mgs.State.Protocol_hlrc);
+      ("ivy", Mgs.State.Protocol_ivy);
+    ]
+
+let test_exports_parse_strict () =
+  let w = Mgs_apps.Jacobi.(workload { tiny with n = 16; iters = 2 }) in
+  let tr = run_traced ~nprocs:8 ~cluster:2 w in
+  List.iter
+    (fun (what, out) ->
+      match Json.parse out with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (what ^ " export rejected: " ^ e))
+    [ ("chrome", Trace.chrome_json tr); ("spans", Span.json (Trace.spans tr)) ]
+
+(* The simulator is deterministic: the span dump is byte-identical
+   across repeated runs of the same configuration. *)
+let test_span_dump_deterministic () =
+  let dump () =
+    let w = Mgs_apps.Jacobi.(workload { tiny with n = 16; iters = 2 }) in
+    Span.json (Trace.spans (run_traced ~nprocs:8 ~cluster:2 w))
+  in
+  Alcotest.(check string) "byte-identical re-run" (dump ()) (dump ())
+
+let () =
+  let breakdown_cases =
+    List.concat_map
+      (fun (name, mk) ->
+        List.map
+          (fun cluster ->
+            Alcotest.test_case
+              (Printf.sprintf "%s C=%d" name cluster)
+              `Quick
+              (test_breakdown_accounts_for_e2e name mk cluster))
+          [ 1; 4; 16 ])
+      workloads
+  in
+  Alcotest.run "spans"
+    [
+      ("fault breakdown vs e2e", breakdown_cases);
+      ( "balance",
+        [ Alcotest.test_case "all protocols" `Quick test_balanced_under_all_protocols ] );
+      ( "exports",
+        [
+          Alcotest.test_case "strict JSON" `Quick test_exports_parse_strict;
+          Alcotest.test_case "deterministic dump" `Quick test_span_dump_deterministic;
+        ] );
+    ]
