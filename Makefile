@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke trace-lint perf perf-smoke clean
+.PHONY: all build test check fmt fmt-check smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -48,6 +48,12 @@ perf-smoke: build
 	@grep -q events_per_s _build/BENCH_smoke.json
 	@grep -q allocated_mb _build/BENCH_smoke.json
 
+# Regression gate against the committed baseline: rerun the full matrix
+# and fail on semantic drift (sim_events / sim_cycles changed) or a >10%
+# allocation regression.  Wall-clock deltas are printed but never gate.
+perf-diff: build
+	$(DUNE) exec bench/perf.exe -- -o _build/BENCH_diff.json --diff BENCH_sim.json
+
 # Formatting is enforced only where the tool exists: the pinned dev
 # environment has ocamlformat, minimal containers may not.
 fmt-check:
@@ -64,7 +70,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke trace-lint perf-smoke fmt-check
+check: build test smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

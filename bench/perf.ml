@@ -62,9 +62,144 @@ let json_of_rows ~quick rows =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
+(* Parse a baseline file in our own output format (one row object per
+   line).  Deliberately line-oriented rather than a JSON library: the
+   writer above is the only producer, and keeping bench dependency-free
+   matters more than tolerating reformatted input. *)
+let rows_of_file path =
+  let field_int line key =
+    let pat = Printf.sprintf "\"%s\": " key in
+    match
+      let rec find i =
+        if i + String.length pat > String.length line then None
+        else if String.sub line i (String.length pat) = pat then
+          Some (i + String.length pat)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> failwith (Printf.sprintf "perf: %s: missing field %S" path key)
+    | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '.' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      String.sub line start (!stop - start)
+  in
+  let field_string line key =
+    let raw = Printf.sprintf "\"%s\": \"" key in
+    let rec find i =
+      if i + String.length raw > String.length line then
+        failwith (Printf.sprintf "perf: %s: missing field %S" path key)
+      else if String.sub line i (String.length raw) = raw then i + String.length raw
+      else find (i + 1)
+    in
+    let start = find 0 in
+    let stop = String.index_from line start '"' in
+    String.sub line start (stop - start)
+  in
+  let contains line sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if contains line "\"app\":" then
+         rows :=
+           {
+             app = field_string line "app";
+             nprocs = int_of_string (field_int line "nprocs");
+             cluster = int_of_string (field_int line "cluster");
+             wall_s = float_of_string (field_int line "wall_s");
+             allocated_mb = float_of_string (field_int line "allocated_mb");
+             sim_events = int_of_string (field_int line "sim_events");
+             sim_cycles = int_of_string (field_int line "sim_cycles");
+             events_per_s = float_of_string (field_int line "events_per_s");
+           }
+           :: !rows
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(* Compare a fresh run against the committed baseline.  sim_events and
+   sim_cycles are simulation-deterministic: any change there is semantic
+   drift, not host noise, and fails the gate outright.  Allocation is
+   host-deterministic too (Gc.allocated_bytes); >10% growth fails.
+   Wall-clock and events/s are reported but never gate — they depend on
+   the host's load. *)
+let diff_against ~base rows =
+  let pct a b = if b = 0.0 then 0.0 else (a -. b) /. b *. 100.0 in
+  let failures = ref [] in
+  let matched = ref 0 in
+  let table =
+    List.filter_map
+      (fun r ->
+        match
+          List.find_opt
+            (fun b -> b.app = r.app && b.nprocs = r.nprocs && b.cluster = r.cluster)
+            base
+        with
+        | None -> None
+        | Some b ->
+          incr matched;
+          let id = Printf.sprintf "%s C=%d" r.app r.cluster in
+          if r.sim_events <> b.sim_events then
+            failures :=
+              Printf.sprintf "%s: sim_events %d -> %d (semantic drift)" id b.sim_events
+                r.sim_events
+              :: !failures;
+          if r.sim_cycles <> b.sim_cycles then
+            failures :=
+              Printf.sprintf "%s: sim_cycles %d -> %d (semantic drift)" id b.sim_cycles
+                r.sim_cycles
+              :: !failures;
+          if r.allocated_mb > b.allocated_mb *. 1.1 then
+            failures :=
+              Printf.sprintf "%s: allocated_mb %.1f -> %.1f (> +10%%)" id b.allocated_mb
+                r.allocated_mb
+              :: !failures;
+          Some
+            [
+              r.app;
+              string_of_int r.cluster;
+              Printf.sprintf "%+.1f%%" (pct r.wall_s b.wall_s);
+              Printf.sprintf "%.1f -> %.1f (%+.1f%%)" b.allocated_mb r.allocated_mb
+                (pct r.allocated_mb b.allocated_mb);
+              (if r.sim_events = b.sim_events && r.sim_cycles = b.sim_cycles then "same"
+               else "CHANGED");
+              Printf.sprintf "%+.1f%%" (pct r.events_per_s b.events_per_s);
+            ])
+      rows
+  in
+  Mgs_util.Tableprint.print
+    ~header:[ "app"; "C"; "wall"; "alloc (MB)"; "sim"; "events/s" ]
+    ~rows:table;
+  if !matched = 0 then begin
+    prerr_endline "perf: --diff: no baseline rows match this run's matrix";
+    exit 2
+  end;
+  match List.rev !failures with
+  | [] -> Printf.printf "perf-diff: OK (%d rows vs baseline)\n" !matched
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "perf-diff FAIL: %s\n" f) fs;
+    exit 1
+
 let () =
   let quick = ref false in
   let out = ref "BENCH_sim.json" in
+  let diff = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -76,8 +211,15 @@ let () =
     | [ ("-o" | "--out") ] ->
       prerr_endline "perf: -o/--out expects a file name";
       exit 2
+    | "--diff" :: f :: rest ->
+      diff := Some f;
+      parse rest
+    | [ "--diff" ] ->
+      prerr_endline "perf: --diff expects a baseline JSON file";
+      exit 2
     | arg :: _ ->
-      Printf.eprintf "perf: unknown argument %S (known: --quick, -o FILE)\n" arg;
+      Printf.eprintf "perf: unknown argument %S (known: --quick, -o FILE, --diff FILE)\n"
+        arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -119,4 +261,5 @@ let () =
   let oc = open_out !out in
   output_string oc (json_of_rows ~quick:!quick rows);
   close_out oc;
-  Printf.printf "wrote %s (%d measurements)\n" !out (List.length rows)
+  Printf.printf "wrote %s (%d measurements)\n" !out (List.length rows);
+  match !diff with None -> () | Some base -> diff_against ~base:(rows_of_file base) rows

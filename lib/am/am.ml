@@ -10,6 +10,7 @@ type t = {
   lan : Mgs_net.Lan.t;
   cpus : Mgs_machine.Cpu.t array;
   counts : (string, int) Hashtbl.t;
+  hlabels : (string, string) Hashtbl.t; (* tag -> "h." ^ tag, interned *)
   mutable total : int;
   mutable in_flight : int; (* posted but not yet delivered *)
   mutable recorder : recorder option;
@@ -26,6 +27,7 @@ let create sim costs topo ~lan ~cpus =
     lan;
     cpus;
     counts = Hashtbl.create 32;
+    hlabels = Hashtbl.create 32;
     total = 0;
     in_flight = 0;
     recorder = None;
@@ -34,8 +36,19 @@ let create sim costs topo ~lan ~cpus =
 
 let bump am tag =
   am.total <- am.total + 1;
-  let prev = Option.value ~default:0 (Hashtbl.find_opt am.counts tag) in
-  Hashtbl.replace am.counts tag (prev + 1)
+  match Hashtbl.find am.counts tag with
+  | prev -> Hashtbl.replace am.counts tag (prev + 1)
+  | exception Not_found -> Hashtbl.add am.counts tag 1
+
+(* The handler-span label for [tag], computed once per distinct tag:
+   the tag set is small and fixed, and a fresh ["h." ^ tag] on every
+   post is a per-message allocation. *)
+let hlabel am tag =
+  try Hashtbl.find am.hlabels tag
+  with Not_found ->
+    let l = "h." ^ tag in
+    Hashtbl.add am.hlabels tag l;
+    l
 
 (* The ambient span context is captured when the message is posted and
    re-installed around the handler's continuation, so any message the
@@ -43,7 +56,7 @@ let bump am tag =
    install/restore happens whenever observability is on — even for a
    context-free message — so a stale context left by a suspending fiber
    can never leak into an unrelated handler. *)
-let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
+let post am ~tag ~src ~dst ~words ~cost k =
   bump am tag;
   am.in_flight <- am.in_flight + 1;
   let p = am.costs.Mgs_machine.Costs.proto in
@@ -65,8 +78,20 @@ let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
     | None -> Mgs_engine.Sim.at am.sim fin (fun () -> k fin)
     | Some tr ->
       Mgs_obs.Trace.emit tr
-        (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag ~src ~dst
-           ~src_ssmp ~dst_ssmp ~words ~cost ~dur:(arrive - at) ~txn:pctx.Span.txn ());
+        {
+          Mgs_obs.Event.time = arrive;
+          engine = Mgs_obs.Event.Network;
+          tag;
+          vpn = -1;
+          src;
+          dst;
+          src_ssmp;
+          dst_ssmp;
+          words;
+          cost;
+          dur = arrive - at;
+          txn = pctx.Span.txn;
+        };
       let sp = Mgs_obs.Trace.spans tr in
       let hctx =
         if pctx.Span.txn < 0 then pctx
@@ -76,20 +101,22 @@ let post am ?(tag = "msg") ~src ~dst ~words ~cost k =
           let dma = words * p.dma_per_word in
           let wire_end = arrive - dma in
           let w =
-            Span.open_span sp ~parent:pctx ~time:at ~label:"net.wire"
-              ~engine:Mgs_obs.Event.Network ~src ~dst ~src_ssmp ~dst_ssmp ~words ()
+            Span.open_span_x sp ~parent:pctx ~time:at ~label:"net.wire"
+              ~engine:Mgs_obs.Event.Network ~vpn:(-1) ~src ~dst ~src_ssmp ~dst_ssmp ~words
           in
           Span.close sp w ~time:wire_end;
           if dma > 0 then begin
             let d =
-              Span.open_span sp ~parent:pctx ~time:wire_end ~label:"net.dma"
-                ~engine:Mgs_obs.Event.Network ~src ~dst ~src_ssmp ~dst_ssmp ~words ()
+              Span.open_span_x sp ~parent:pctx ~time:wire_end ~label:"net.dma"
+                ~engine:Mgs_obs.Event.Network ~vpn:(-1) ~src ~dst ~src_ssmp ~dst_ssmp
+                ~words
             in
             Span.close sp d ~time:arrive
           end;
-          let label = "h." ^ tag in
-          Span.open_span sp ~parent:pctx ~time:arrive ~label
-            ~engine:(Span.engine_of_label label) ~src ~dst ~src_ssmp ~dst_ssmp ~words ()
+          let label = hlabel am tag in
+          Span.open_span_x sp ~parent:pctx ~time:arrive ~label
+            ~engine:(Span.engine_of_label label) ~vpn:(-1) ~src ~dst ~src_ssmp ~dst_ssmp
+            ~words
         end
       in
       Mgs_engine.Sim.at am.sim fin (fun () ->
@@ -115,14 +142,25 @@ let run_on am ?tag ~proc ~at ~cost k =
       | Some tag ->
         let ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo proc in
         Mgs_obs.Trace.emit tr
-          (Mgs_obs.Event.make ~time:fin ~engine:Mgs_obs.Event.Remote_client ~tag
-             ~src:proc ~dst:proc ~src_ssmp:ssmp ~dst_ssmp:ssmp ~cost ~dur:(fin - at)
-             ~txn:pctx.Span.txn ());
+          {
+            Mgs_obs.Event.time = fin;
+            engine = Mgs_obs.Event.Remote_client;
+            tag;
+            vpn = -1;
+            src = proc;
+            dst = proc;
+            src_ssmp = ssmp;
+            dst_ssmp = ssmp;
+            words = 0;
+            cost;
+            dur = fin - at;
+            txn = pctx.Span.txn;
+          };
         if pctx.Span.txn < 0 then pctx
         else
-          Span.open_span sp ~parent:pctx ~time:at ~label:tag
-            ~engine:(Span.engine_of_label tag) ~src:proc ~dst:proc ~src_ssmp:ssmp
-            ~dst_ssmp:ssmp ()
+          Span.open_span_x sp ~parent:pctx ~time:at ~label:tag
+            ~engine:(Span.engine_of_label tag) ~vpn:(-1) ~src:proc ~dst:proc
+            ~src_ssmp:ssmp ~dst_ssmp:ssmp ~words:0
     in
     Mgs_engine.Sim.at am.sim fin (fun () ->
         if hctx.Span.sid <> pctx.Span.sid then Span.close sp hctx ~time:fin;

@@ -24,7 +24,7 @@ val create :
 
 val post :
   t ->
-  ?tag:string ->
+  tag:string ->
   src:int ->
   dst:int ->
   words:int ->

@@ -16,6 +16,19 @@ type ctx = private {
   cpu : Mgs_machine.Cpu.t;
   mutable ops : int;
   yield_mask : int;
+  lidx : int;
+  single : bool;
+  cache : Mgs_cache.Coherence.t;
+  tlb : Mgs_svm.Tlb.t;
+  (* Last-page cache (fast path): resolved state of the most recent
+     access, self-invalidated by generation counters.  See api.ml. *)
+  mutable lp_vpn : int;
+  mutable lp_mgen : int;
+  mutable lp_tgen : int;
+  mutable lp_rw : bool;
+  mutable lp_page : Mgs_mem.Pagedata.page;
+  mutable lp_twin : Mgs_mem.Pagedata.twin option;
+  mutable lp_fowner : int;
 }
 
 val make_ctx : State.t -> proc:int -> ctx
@@ -60,3 +73,9 @@ val idle_until : ctx -> Mgs_engine.Sim.time -> unit
 val release : ctx -> unit
 (** Explicit release operation: flush this SSMP's delayed update queue
     to the homes (what lock releases and barriers do implicitly). *)
+
+val set_fast_path : bool -> unit
+(** Testing only: globally enable/disable the last-page fast path.
+    Simulated results must be bit-identical either way (the fast path is
+    an implementation shortcut, not a semantic change) — the
+    equivalence tests run the same workload both ways and compare. *)

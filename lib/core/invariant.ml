@@ -51,61 +51,72 @@ let report c ~vpn ~tag msg =
 
 let reportf c ~vpn ~tag fmt = Printf.ksprintf (report c ~vpn ~tag) fmt
 
-(* Directory and lock discipline, valid after any transition. *)
+(* Directory and lock discipline, valid after any transition.  This
+   runs on every traced event, so the scan uses plain loops and
+   [Bitset.mem]/[Hashtbl.find] — no iterator closures or option boxes —
+   to keep the checker's own allocation at zero. *)
 let check_page c vpn tag =
   let m = c.machine in
-  match Hashtbl.find_opt m.servers vpn with
-  | None -> ()
-  | Some se ->
+  match Hashtbl.find m.servers vpn with
+  | exception Not_found -> ()
+  | se ->
     if se.s_count < 0 then reportf c ~vpn ~tag "s_count negative (%d)" se.s_count;
-    Bitset.iter
-      (fun ssmp ->
-        if Bitset.mem se.s_write_dir ssmp then
-          reportf c ~vpn ~tag "SSMP %d in both read and write directories" ssmp)
-      se.s_read_dir;
+    let nssmps = m.topo.Topology.nssmps in
+    for ssmp = 0 to nssmps - 1 do
+      if Bitset.mem se.s_read_dir ssmp && Bitset.mem se.s_write_dir ssmp then
+        reportf c ~vpn ~tag "SSMP %d in both read and write directories" ssmp
+    done;
     if se.s_state <> S_rel then begin
-      let member ssmp =
-        if not (Hashtbl.mem se.s_frame_procs ssmp) then
+      (* two passes, read directory then write directory, preserving the
+         order (and multiplicity) of the reported violations *)
+      for ssmp = 0 to nssmps - 1 do
+        if Bitset.mem se.s_read_dir ssmp && not (Hashtbl.mem se.s_frame_procs ssmp) then
           reportf c ~vpn ~tag "directory member SSMP %d has no frame processor" ssmp
-      in
-      Bitset.iter member se.s_read_dir;
-      Bitset.iter member se.s_write_dir
+      done;
+      for ssmp = 0 to nssmps - 1 do
+        if Bitset.mem se.s_write_dir ssmp && not (Hashtbl.mem se.s_frame_procs ssmp) then
+          reportf c ~vpn ~tag "directory member SSMP %d has no frame processor" ssmp
+      done
     end;
-    Array.iter
-      (fun cl ->
-        match Hashtbl.find_opt cl.cl_pages vpn with
-        | Some ce when ce.pstate = P_busy && not (Mlock.held ce.mlock) ->
-          reportf c ~vpn ~tag "SSMP %d BUSY without holding the mapping lock" cl.cl_id
-        | _ -> ())
-      m.clients
+    for s = 0 to Array.length m.clients - 1 do
+      match Hashtbl.find m.clients.(s).cl_pages vpn with
+      | ce ->
+        if ce.pstate = P_busy && not (Mlock.held ce.mlock) then
+          reportf c ~vpn ~tag "SSMP %d BUSY without holding the mapping lock" s
+      | exception Not_found -> ()
+    done
 
 (* Outstanding-reply accounting across one epoch.  [sv.collect] fires
    before the decrement, so the observed count must equal the expected
    value exactly and be positive. *)
 let check_epoch c vpn tag =
-  let m = c.machine in
-  match Hashtbl.find_opt m.servers vpn with
-  | None -> ()
-  | Some se -> (
-    match tag with
-    | "sv.epoch_start" | "sv.epoch_extend" -> Hashtbl.replace c.expected vpn se.s_count
-    | "sv.collect" -> (
-      if se.s_count <= 0 then
-        reportf c ~vpn ~tag "reply collected with s_count=%d" se.s_count;
-      match Hashtbl.find_opt c.expected vpn with
-      | Some e ->
-        if se.s_count <> e then
-          reportf c ~vpn ~tag "s_count %d, expected %d (lost or duplicated reply)"
-            se.s_count e;
-        Hashtbl.replace c.expected vpn (se.s_count - 1)
-      | None ->
-        (* trace enabled mid-epoch: adopt the observed count *)
-        Hashtbl.replace c.expected vpn (se.s_count - 1))
-    | "sv.epoch_end" ->
-      if se.s_count <> 0 then
-        reportf c ~vpn ~tag "epoch completed with s_count=%d" se.s_count;
-      Hashtbl.remove c.expected vpn
-    | _ -> ())
+  (* cheap tag test first: most events are not epoch transitions, and
+     the server lookup should not run (or allocate) for them *)
+  match tag with
+  | "sv.epoch_start" | "sv.epoch_extend" | "sv.collect" | "sv.epoch_end" -> (
+    let m = c.machine in
+    match Hashtbl.find m.servers vpn with
+    | exception Not_found -> ()
+    | se -> (
+      match tag with
+      | "sv.epoch_start" | "sv.epoch_extend" -> Hashtbl.replace c.expected vpn se.s_count
+      | "sv.collect" -> (
+        if se.s_count <= 0 then
+          reportf c ~vpn ~tag "reply collected with s_count=%d" se.s_count;
+        match Hashtbl.find c.expected vpn with
+        | e ->
+          if se.s_count <> e then
+            reportf c ~vpn ~tag "s_count %d, expected %d (lost or duplicated reply)"
+              se.s_count e;
+          Hashtbl.replace c.expected vpn (se.s_count - 1)
+        | exception Not_found ->
+          (* trace enabled mid-epoch: adopt the observed count *)
+          Hashtbl.replace c.expected vpn (se.s_count - 1))
+      | _ ->
+        if se.s_count <> 0 then
+          reportf c ~vpn ~tag "epoch completed with s_count=%d" se.s_count;
+        Hashtbl.remove c.expected vpn))
+  | _ -> ()
 
 (* Release-visibility oracle: every logical write whose page has no
    surviving write copy must be visible in the merged master. *)

@@ -80,6 +80,7 @@ let create cfg =
       shadow_errors = 0;
       obs = None;
       metrics = None;
+      gen = 0;
     }
   in
   m
@@ -140,6 +141,7 @@ let metrics (m : t) = m.metrics
 let enable_checker ?capacity (m : t) = Invariant.attach m (enable_trace ?capacity m)
 
 let reset_stats (m : t) =
+  bump_gen m;
   Pstats.reset m.pstats;
   Lan.reset m.lan;
   Array.iter Coherence.reset_stats m.caches;

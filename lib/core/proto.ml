@@ -17,11 +17,11 @@ let send_data m se ~requester ~write =
   end
   else Bitset.add se.s_read_dir ssmp;
   if not (Hashtbl.mem se.s_frame_procs ssmp) then Hashtbl.replace se.s_frame_procs ssmp requester;
-  trace m se.s_vpn "send_data -> proc %d (ssmp %d) write=%b rd=%s wr=%s" requester ssmp write
+  if tracing then trace m se.s_vpn "send_data -> proc %d (ssmp %d) write=%b rd=%s wr=%s" requester ssmp write
     (Format.asprintf "%a" Bitset.pp se.s_read_dir)
     (Format.asprintf "%a" Bitset.pp se.s_write_dir);
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.send_data" ~vpn:se.s_vpn
-    ~src:se.s_home_proc ~dst:requester ~words:m.geom.Geom.page_words ();
+    ~src:se.s_home_proc ~dst:requester ~words:m.geom.Geom.page_words ~cost:0 ~dur:0;
   let payload = Pagedata.copy se.s_master in
   let install_cost =
     c.proto.frame_alloc
@@ -33,8 +33,9 @@ let send_data m se ~requester ~write =
       let ce = get_centry m ssmp se.s_vpn in
       assert (ce.pstate = P_busy);
       assert (Mlock.held ce.mlock);
+      bump_gen m;
       ce.cdata <- Some payload;
-      ce.ctwin <- (if write then Some (Pagedata.twin_of payload) else None);
+      ce.ctwin <- (if write then Some (take_twin ce ~from:payload) else None);
       ce.frame_owner <- local_idx m requester;
       ce.pstate <- (if write then P_write else P_read);
       ce.c_dirty <- false;
@@ -50,7 +51,7 @@ let send_data m se ~requester ~write =
 let server_req m ~vpn ~requester ~write =
   let se = get_sentry m vpn in
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:(if write then "sv.wreq" else "sv.rreq")
-    ~vpn ~src:requester ~dst:se.s_home_proc ();
+    ~vpn ~src:requester ~dst:se.s_home_proc ~words:0 ~cost:0 ~dur:0;
   match se.s_state with
   | S_rel ->
     (* Arc 22: the fault waits out the release epoch.  The queueing
@@ -71,8 +72,8 @@ let server_req m ~vpn ~requester ~write =
    dropped. *)
 let server_wnotify m ~vpn ~ssmp =
   let se = get_sentry m vpn in
-  trace m vpn "WNOTIFY from ssmp %d (state rel=%b)" ssmp (se.s_state = S_rel);
-  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.wnotify" ~vpn ();
+  if tracing then trace m vpn "WNOTIFY from ssmp %d (state rel=%b)" ssmp (se.s_state = S_rel);
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.wnotify" ~vpn ~src:(-1) ~dst:(-1) ~words:0 ~cost:0 ~dur:0;
   match se.s_state with
   | S_rel -> ()
   | S_read | S_write ->
@@ -87,7 +88,7 @@ let server_wnotify m ~vpn ~ssmp =
 (* ------------------------------------------------------------------ *)
 
 let rec complete_release m se =
-  trace m se.s_vpn "complete_release: retained=%d pending_diffs=%d page=%b"
+  if tracing then trace m se.s_vpn "complete_release: retained=%d pending_diffs=%d page=%b"
     se.s_retained (List.length se.s_pending_diffs) (se.s_pending_page <> None);
   (* Merge buffered write-backs: the retained writer's full page first,
      then every diff (diffs carry exactly the words their writers
@@ -109,7 +110,7 @@ let rec complete_release m se =
     se.s_count <- 1;
     m.pstats.invals <- m.pstats.invals + 1;
     obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_extend" ~vpn:se.s_vpn
-      ~src:se.s_home_proc ();
+      ~src:se.s_home_proc ~dst:(-1) ~words:0 ~cost:0 ~dur:0;
     let dst = Hashtbl.find se.s_frame_procs ssmp in
     Am.post m.am ~tag:"INV" ~src:se.s_home_proc ~dst ~words:0 ~cost:0 (fun _t ->
         client_inv m ~ssmp ~vpn:se.s_vpn ~single:false)
@@ -129,7 +130,7 @@ let rec complete_release m se =
   (* Epoch complete: master merged, directories rebuilt.  The release-
      visibility oracle compares the master against the shadow here. *)
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_end" ~vpn:se.s_vpn
-    ~src:se.s_home_proc ();
+    ~src:se.s_home_proc ~dst:(-1) ~words:0 ~cost:0 ~dur:0;
   let racks = se.s_pend_rl and rd = se.s_pend_rd and wr = se.s_pend_wr in
   se.s_pend_rl <- [];
   se.s_pend_rd <- [];
@@ -191,7 +192,7 @@ and start_epoch m se ~releasers =
   se.s_pend_rd <- [];
   se.s_pend_wr <- [];
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_start" ~vpn:se.s_vpn
-    ~src:se.s_home_proc ~cost:se.s_count ();
+    ~src:se.s_home_proc ~cost:se.s_count ~dst:(-1) ~words:0 ~dur:0;
   if targets = [] then complete_release m se
   else
     List.iter
@@ -209,7 +210,7 @@ and start_epoch m se ~releasers =
 (* ACK / DIFF / 1WDATA arrival at the home (arcs 22-23). *)
 and server_collect m ~vpn ~ssmp ~payload =
   let se = get_sentry m vpn in
-  trace m vpn "collect from ssmp %d: %s (count %d -> %d)" ssmp
+  if tracing then trace m vpn "collect from ssmp %d: %s (count %d -> %d)" ssmp
     (match payload with
     | `Ack -> "ACK"
     | `Diff d -> Printf.sprintf "DIFF(%d)" (Pagedata.diff_size d)
@@ -217,7 +218,7 @@ and server_collect m ~vpn ~ssmp ~payload =
     | `Clean -> "1WCLEAN")
     se.s_count (se.s_count - 1);
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.collect" ~vpn ~dst:se.s_home_proc
-    ~cost:se.s_count ();
+    ~cost:se.s_count ~src:(-1) ~words:0 ~dur:0;
   assert (se.s_state = S_rel);
   (match payload with
   | `Ack ->
@@ -248,8 +249,9 @@ and finish_inv m ~ssmp ~vpn =
   let rc = global_proc m ssmp ce.frame_owner in
   let home = se.s_home_proc in
   obs_emit m ~engine:Mgs_obs.Event.Remote_client ~tag:"rc.finish_inv" ~vpn ~src:rc ~dst:home
-    ~cost:ce.inv_tt ();
+    ~cost:ce.inv_tt ~words:0 ~dur:0;
   let dirty = ref 0 in
+  bump_gen m;
   (* Page cleaning also scrubs the cache model's metadata so a future
      refetch of this virtual page cannot see stale tags. *)
   ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
@@ -262,7 +264,7 @@ and finish_inv m ~ssmp ~vpn =
        last twin sync, so free the page and acknowledge without paying
        for a diff. *)
     ce.cdata <- None;
-    ce.ctwin <- None;
+    retire_twin ce;
     ce.pstate <- P_inv;
     Mlock.release m.sim ce.mlock;
     Am.post m.am ~tag:"ACK" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
@@ -281,7 +283,7 @@ and finish_inv m ~ssmp ~vpn =
        so the cleaning only needs to finish before the frame is reused,
        which the mapping lock guarantees. *)
     ce.cdata <- None;
-    ce.ctwin <- None;
+    retire_twin ce;
     ce.pstate <- P_inv;
     if m.features.early_read_ack then begin
       Am.post m.am ~tag:"ACK" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
@@ -307,7 +309,7 @@ and finish_inv m ~ssmp ~vpn =
       (m.geom.Geom.page_words * c.proto.diff_per_word) + (nd * c.proto.diff_word_out)
     in
     ce.cdata <- None;
-    ce.ctwin <- None;
+    retire_twin ce;
     ce.pstate <- P_inv;
     Am.run_on m.am ~tag:"rc.diff" ~proc:rc ~at:(Sim.now m.sim) ~cost:diff_cost (fun _t ->
         Mlock.release m.sim ce.mlock;
@@ -337,16 +339,16 @@ and finish_inv m ~ssmp ~vpn =
 and client_inv m ~ssmp ~vpn ~single =
   let c = m.costs in
   let ce = get_centry m ssmp vpn in
-  trace m vpn "client_inv ssmp %d single=%b (lock held=%b)" ssmp single (Mlock.held ce.mlock);
+  if tracing then trace m vpn "client_inv ssmp %d single=%b (lock held=%b)" ssmp single (Mlock.held ce.mlock);
   obs_emit m ~engine:Mgs_obs.Event.Remote_client ~tag:"rc.inv" ~vpn
-    ~dst:(global_proc m ssmp 0) ~cost:(if single then 1 else 0) ();
+    ~dst:(global_proc m ssmp 0) ~cost:(if single then 1 else 0) ~src:(-1) ~words:0 ~dur:0;
   (* The continuation may run much later (mapping lock busy); capture
      the invalidation's context now and reinstall it around the body so
      the ACK / DIFF it sends stays attributed to this epoch. *)
   let ictx = span_current m in
   Mlock.acquire_k m.sim ce.mlock (fun () ->
       span_with m ictx @@ fun () ->
-      trace m vpn "client_inv ssmp %d RUNNING pstate=%s" ssmp
+      if tracing then trace m vpn "client_inv ssmp %d RUNNING pstate=%s" ssmp
         (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
       match ce.pstate with
       | P_inv ->
@@ -413,7 +415,7 @@ and client_inv m ~ssmp ~vpn ~single =
 and server_sync m ~vpn ~releaser =
   let se = get_sentry m vpn in
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.sync" ~vpn ~src:releaser
-    ~dst:se.s_home_proc ();
+    ~dst:se.s_home_proc ~words:0 ~cost:0 ~dur:0;
   match se.s_state with
   | S_rel -> se.s_pend_rl <- (releaser, span_current m) :: se.s_pend_rl
   | S_read | S_write -> send_rack m se releaser
@@ -421,12 +423,12 @@ and server_sync m ~vpn ~releaser =
 (* REL arrival at the home (arcs 20-22). *)
 and server_rel m ~vpn ~releaser =
   let se = get_sentry m vpn in
-  trace m vpn "REL from proc %d: state=%s rd=%s wr=%s" releaser
+  if tracing then trace m vpn "REL from proc %d: state=%s rd=%s wr=%s" releaser
     (match se.s_state with S_rel -> "REL_IN_PROG" | S_read -> "READ" | S_write -> "WRITE")
     (Format.asprintf "%a" Bitset.pp se.s_read_dir)
     (Format.asprintf "%a" Bitset.pp se.s_write_dir);
   obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.rel" ~vpn ~src:releaser
-    ~dst:se.s_home_proc ();
+    ~dst:se.s_home_proc ~words:0 ~cost:0 ~dur:0;
   match se.s_state with
   | S_rel ->
     (* Joining the current epoch's RACK list would be unsound: writes
@@ -483,10 +485,10 @@ let fault m ~proc ~vpn ~write =
     end;
     Mlock.release m.sim ce.mlock
   in
-  trace m vpn "fault proc %d write=%b pstate=%s" proc write
+  if tracing then trace m vpn "fault proc %d write=%b pstate=%s" proc write
     (match ce.pstate with P_inv -> "inv" | P_read -> "read" | P_write -> "write" | P_busy -> "busy");
   obs_emit m ~engine:Mgs_obs.Event.Local_client ~tag:"lc.fault" ~vpn ~src:proc
-    ~cost:(if write then 1 else 0) ();
+    ~cost:(if write then 1 else 0) ~dst:(-1) ~words:0 ~dur:0;
   match (ce.pstate, write) with
   | P_read, false ->
     (* Arc 1: fill from the existing local read copy. *)
@@ -507,8 +509,9 @@ let fault m ~proc ~vpn ~write =
     let rc = global_proc m ssmp ce.frame_owner in
     let twin_cost = c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word) in
     Am.post m.am ~tag:"UPGRADE" ~src:proc ~dst:rc ~words:0 ~cost:twin_cost (fun _t ->
+        bump_gen m;
         (match ce.cdata with
-        | Some d -> ce.ctwin <- Some (Pagedata.twin_of d)
+        | Some d -> ce.ctwin <- Some (take_twin ce ~from:d)
         | None -> assert false);
         ce.pstate <- P_write;
         let home = home_proc_of_vpn m vpn in
@@ -568,7 +571,7 @@ let release_all m ~proc =
     if not (duq_is_empty duq && Hashtbl.length duq.psync = 0) then begin
       m.pstats.release_ops <- m.pstats.release_ops + 1;
       obs_emit m ~engine:Mgs_obs.Event.Local_client ~tag:"lc.release" ~src:proc
-        ~cost:(Hashtbl.length duq.duq_set) ();
+        ~cost:(Hashtbl.length duq.duq_set) ~vpn:(-1) ~dst:(-1) ~words:0 ~dur:0;
       (* Transaction root for the whole DUQ drain; reinstalled after
          every RACK / SYNC wait so each REL inherits it. *)
       let root =

@@ -31,6 +31,7 @@ let flush_locked m ~proc ~vpn k =
   else begin
     let data = Option.get ce.cdata and twin = Option.get ce.ctwin in
     let d = Pagedata.diff data ~twin in
+    bump_gen m;
     Pagedata.retwin twin ~from:data;
     ce.c_dirty <- false;
     (* re-protect the page (as TreadMarks-family systems do): shoot down
@@ -49,7 +50,7 @@ let flush_locked m ~proc ~vpn k =
       + c.proto.msg_send);
     m.pstats.releases <- m.pstats.releases + 1;
     let home = home_proc_of_vpn m vpn in
-    trace m vpn "flush by proc %d: %d words" proc nd;
+    if tracing then trace m vpn "flush by proc %d: %d words" proc nd;
     Am.post m.am ~tag:"HLRC_DIFF" ~src:proc ~dst:home ~words:(2 * nd)
       ~cost:(c.proto.server_op + (nd * c.proto.merge_per_word))
       (fun _t ->
@@ -58,7 +59,7 @@ let flush_locked m ~proc ~vpn k =
             (* our copy now reflects version [v] only if it already
                reflected [prev] — a foreign merge in between means our
                copy misses those words and must stay marked stale *)
-            trace m vpn "vack proc %d: prev=%d v=%d c_version=%d" proc prev v ce.c_version;
+            if tracing then trace m vpn "vack proc %d: prev=%d v=%d c_version=%d" proc prev v ce.c_version;
             if ce.c_version = prev then ce.c_version <- v;
             let known = Option.value ~default:0 (Hashtbl.find_opt cl.k_map vpn) in
             if v > known then Hashtbl.replace cl.k_map vpn v;
@@ -178,6 +179,7 @@ let apply_notices m ~proc map =
           flush_and_wait m ~proc ~vpn;
           (* drop the copy: cache scrub + local TLB shoot-down *)
           let dirty = ref 0 in
+          bump_gen m;
           ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
           let mappers = Bitset.elements ce.tlb_dir in
           List.iter (fun l -> Tlb.invalidate m.tlbs.(global_proc m ssmp l) ~vpn) mappers;
@@ -186,10 +188,10 @@ let apply_notices m ~proc map =
             + (Geom.lines_per_page m.geom * m.costs.proto.clean_per_line));
           Bitset.clear ce.tlb_dir;
           ce.cdata <- None;
-          ce.ctwin <- None;
+          retire_twin ce;
           ce.c_dirty <- false;
           ce.pstate <- P_inv;
-          trace m vpn "lazy invalidate at ssmp %d (proc %d, known %d)" ssmp proc known;
+          if tracing then trace m vpn "lazy invalidate at ssmp %d (proc %d, known %d)" ssmp proc known;
           m.pstats.invals <- m.pstats.invals + 1
         end;
         Mlock.release m.sim ce.mlock)
@@ -237,8 +239,9 @@ let fault m ~proc ~vpn ~write =
   | P_read, true ->
     (* multiple writers are allowed: twin locally, no server contact *)
     m.pstats.upgrades <- m.pstats.upgrades + 1;
-    trace m vpn "upgrade in place by proc %d (c_version=%d)" proc ce.c_version;
-    ce.ctwin <- Some (Pagedata.twin_of (Option.get ce.cdata));
+    if tracing then trace m vpn "upgrade in place by proc %d (c_version=%d)" proc ce.c_version;
+    bump_gen m;
+    ce.ctwin <- Some (take_twin ce ~from:(Option.get ce.cdata));
     ce.pstate <- P_write;
     Cpu.advance cpu Mgs (c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word));
     fill ~rw:true ~to_duq:true
@@ -255,7 +258,7 @@ let fault m ~proc ~vpn ~write =
         let se = get_sentry m vpn in
         let payload = Pagedata.copy se.s_master in
         let version = se.s_version in
-        trace m vpn "fetch by proc %d write=%b version=%d" proc write version;
+        if tracing then trace m vpn "fetch by proc %d write=%b version=%d" proc write version;
         let install_cost =
           c.proto.frame_alloc
           +
@@ -266,8 +269,9 @@ let fault m ~proc ~vpn ~write =
           ~tag:(if write then "HLRC_WDAT" else "HLRC_RDAT")
           ~src:home ~dst:proc ~words:m.geom.Geom.page_words ~cost:install_cost (fun _t ->
             assert (ce.pstate = P_busy);
+            bump_gen m;
             ce.cdata <- Some payload;
-            ce.ctwin <- (if write then Some (Pagedata.twin_of payload) else None);
+            ce.ctwin <- (if write then Some (take_twin ce ~from:payload) else None);
             ce.frame_owner <- local_idx m proc;
             ce.pstate <- (if write then P_write else P_read);
             ce.c_dirty <- false;

@@ -53,6 +53,7 @@ let client_inv m ~ssmp ~vpn ~(reply : Pagedata.page option -> unit) =
           let was_owner = ce.pstate = P_write in
           let rc = global_proc m ssmp ce.frame_owner in
           let dirty = ref 0 in
+          bump_gen m;
           ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
           shoot_tlbs m ~ssmp ~vpn ~rc (fun () ->
               let payload =
@@ -76,6 +77,7 @@ let client_recall m ~ssmp ~vpn ~(reply : Pagedata.page -> unit) =
       assert (ce.pstate = P_write);
       let rc = global_proc m ssmp ce.frame_owner in
       let dirty = ref 0 in
+      bump_gen m;
       ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
       (* mapping processors refill read-only afterwards *)
       shoot_tlbs m ~ssmp ~vpn ~rc (fun () ->
@@ -93,6 +95,7 @@ let install m ~requester ~vpn ~write ~payload =
   let ssmp = Topology.ssmp_of_proc m.topo requester in
   let ce = get_centry m ssmp vpn in
   assert (ce.pstate = P_busy);
+  bump_gen m;
   ce.cdata <- Some payload;
   ce.frame_owner <- local_idx m requester;
   ce.pstate <- (if write then P_write else P_read);
@@ -281,6 +284,7 @@ let fault m ~proc ~vpn ~write =
     Cpu.advance cpu Mgs (c.proto.tlb_inv * max 1 (List.length mappers));
     Bitset.clear ce.tlb_dir;
     let dirty = ref 0 in
+    bump_gen m;
     ignore (Coherence.flush_page m.caches.(ssmp) ~vpn ~dirty);
     ce.cdata <- None;
     fetch ()

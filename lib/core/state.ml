@@ -33,6 +33,10 @@ type centry = {
   mutable cdata : Pagedata.page option; (* physical local copy *)
   mutable ctwin : Pagedata.twin option;
       (* twin + dirty-word bitmap, present iff write privilege *)
+  mutable ctwin_free : Pagedata.twin option;
+      (* retired twin buffer kept for reuse: write privilege comes and
+         goes many times per page, and a fresh twin is a page-sized
+         allocation each time *)
   mutable frame_owner : int; (* local proc index of first toucher; -1 unset *)
   tlb_dir : Bitset.t; (* local procs holding a TLB mapping *)
   mlock : Mlock.t; (* per-mapping mutual exclusion (Table 1 col. L) *)
@@ -158,7 +162,19 @@ type t = {
       (* structured event trace; None = observability fully disabled *)
   mutable metrics : Mgs_obs.Metrics.t option;
       (* simulated-clock metrics sampler, piggybacking on [obs] *)
+  mutable gen : int;
+      (* machine-wide mapping generation, bumped by every protocol
+         downcall that can replace or retire a page's local state
+         (install, flush, upgrade, phase reset).  Per-ctx fast-path
+         caches snapshot it and self-invalidate when it moves; see
+         {!Api}. *)
 }
+
+(* Invalidate every per-ctx last-page cache.  Cheap (one increment), so
+   protocol code calls it liberally — correctness only needs it on paths
+   that retire [cdata]/[ctwin]/[frame_owner], staleness merely costs the
+   next access its slow path. *)
+let bump_gen m = m.gen <- m.gen + 1
 
 let local_idx m proc = proc mod m.topo.Topology.cluster
 
@@ -170,15 +186,15 @@ let client m ssmp = m.clients.(ssmp)
 
 let get_centry m ssmp vpn =
   let cl = m.clients.(ssmp) in
-  match Hashtbl.find_opt cl.cl_pages vpn with
-  | Some e -> e
-  | None ->
+  try Hashtbl.find cl.cl_pages vpn
+  with Not_found ->
     let e =
       {
         c_vpn = vpn;
         pstate = P_inv;
         cdata = None;
         ctwin = None;
+        ctwin_free = None;
         frame_owner = -1;
         tlb_dir = Bitset.create m.topo.Topology.cluster;
         mlock = Mlock.create ();
@@ -192,10 +208,25 @@ let get_centry m ssmp vpn =
     Hashtbl.add cl.cl_pages vpn e;
     e
 
+(* Twin buffers cycle through the entry's free slot: [retire_twin]
+   parks the outgoing twin, [take_twin] reuses it via [Pagedata.retwin]
+   (same resulting state as a fresh [twin_of], without the page-sized
+   allocation). *)
+let take_twin ce ~from =
+  match ce.ctwin_free with
+  | Some t ->
+    ce.ctwin_free <- None;
+    Pagedata.retwin t ~from;
+    t
+  | None -> Pagedata.twin_of from
+
+let retire_twin ce =
+  (match ce.ctwin with Some t -> ce.ctwin_free <- Some t | None -> ());
+  ce.ctwin <- None
+
 let get_sentry m vpn =
-  match Hashtbl.find_opt m.servers vpn with
-  | Some e -> e
-  | None ->
+  try Hashtbl.find m.servers vpn
+  with Not_found ->
     let e =
       {
         s_vpn = vpn;
@@ -245,6 +276,12 @@ let duq_is_empty d = Hashtbl.length d.duq_set = 0
 let trace_vpn =
   match Sys.getenv_opt "MGS_TRACE_VPN" with Some s -> int_of_string s | None -> -1
 
+(* Call sites must guard with [if tracing then trace ...]: a bare call
+   evaluates its arguments (often [Format.asprintf]) and spins up the
+   printf machinery even when the output is discarded, which on the
+   protocol's per-operation paths is a real allocation cost. *)
+let tracing = trace_vpn >= 0
+
 let trace m vpn fmt =
   if vpn = trace_vpn then
     Printf.eprintf ("[t=%d vpn=%d] " ^^ fmt ^^ "\n%!") (Sim.now m.sim) vpn
@@ -272,19 +309,17 @@ let span_set m ctx =
 (* Open a span as a child of [parent] (default: the ambient context),
    starting now.  With [parent = Span.none] this mints a fresh
    transaction — the root of a fault / release / sync episode. *)
-let span_open m ?parent ~label ~engine ?vpn ?src ?dst ?words () =
+let span_open m ?parent ~label ~engine ?(vpn = -1) ?(src = -1) ?(dst = -1) ?(words = 0) ()
+    =
   match m.obs with
   | None -> Span.none
   | Some tr ->
     let sp = Mgs_obs.Trace.spans tr in
     let parent = match parent with Some p -> p | None -> Span.current sp in
-    let ssmp_of p =
-      match p with
-      | Some p when p >= 0 -> Some (Topology.ssmp_of_proc m.topo p)
-      | _ -> None
-    in
-    Span.open_span sp ~parent ~time:(Sim.now m.sim) ~label ~engine ?vpn ?src ?dst
-      ?src_ssmp:(ssmp_of src) ?dst_ssmp:(ssmp_of dst) ?words ()
+    let src_ssmp = if src >= 0 then Topology.ssmp_of_proc m.topo src else -1 in
+    let dst_ssmp = if dst >= 0 then Topology.ssmp_of_proc m.topo dst else -1 in
+    Span.open_span_x sp ~parent ~time:(Sim.now m.sim) ~label ~engine ~vpn ~src ~dst
+      ~src_ssmp ~dst_ssmp ~words
 
 let span_close m ctx =
   match m.obs with
@@ -308,13 +343,29 @@ let span_with m ctx f =
    invariant checker rides the trace's subscriber list.  Every event is
    stamped with the ambient transaction ID so traces correlate with
    spans. *)
-let obs_emit m ~engine ~tag ?(vpn = -1) ?(src = -1) ?(dst = -1) ?(words = 0) ?(cost = 0)
-    ?(dur = 0) () =
+(* All arguments are required: optional arguments would box a [Some]
+   per supplied value at every call site, and this runs at every
+   protocol transition.  Absent fields are passed as [-1] / [0]
+   explicitly. *)
+let obs_emit m ~engine ~tag ~vpn ~src ~dst ~words ~cost ~dur =
   match m.obs with
   | None -> ()
   | Some tr ->
-    let ssmp_of p = if p < 0 then -1 else Topology.ssmp_of_proc m.topo p in
-    let txn = (Span.current (Mgs_obs.Trace.spans tr)).Span.txn in
+    (* Build the record literally: routing every field through
+       [Event.make]'s optional arguments boxes each one in a [Some] at
+       the call — ~10 heap blocks per traced event. *)
     Mgs_obs.Trace.emit tr
-      (Mgs_obs.Event.make ~time:(Sim.now m.sim) ~engine ~tag ~vpn ~src ~dst
-         ~src_ssmp:(ssmp_of src) ~dst_ssmp:(ssmp_of dst) ~words ~cost ~dur ~txn ())
+      {
+        Mgs_obs.Event.time = Sim.now m.sim;
+        engine;
+        tag;
+        vpn;
+        src;
+        dst;
+        src_ssmp = (if src < 0 then -1 else Topology.ssmp_of_proc m.topo src);
+        dst_ssmp = (if dst < 0 then -1 else Topology.ssmp_of_proc m.topo dst);
+        words;
+        cost;
+        dur;
+        txn = (Span.current (Mgs_obs.Trace.spans tr)).Span.txn;
+      }

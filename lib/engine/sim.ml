@@ -30,9 +30,10 @@ let after sim d f =
 let pending sim = Mgs_util.Pqueue.length sim.queue
 
 let step sim =
-  match Mgs_util.Pqueue.pop sim.queue with
-  | None -> false
-  | Some (t, _, f) ->
+  match Mgs_util.Pqueue.pop_min sim.queue with
+  | exception Mgs_util.Pqueue.Empty_queue -> false
+  | f ->
+    let t = Mgs_util.Pqueue.popped_prio sim.queue in
     sim.clock <- max sim.clock t;
     sim.executed <- sim.executed + 1;
     f ();

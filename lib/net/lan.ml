@@ -3,8 +3,9 @@ type stats = { mutable messages : int; mutable data_words : int }
 type t = {
   sim : Mgs_engine.Sim.t;
   costs : Mgs_machine.Costs.t;
+  nssmps : int;
   sender_free : Mgs_engine.Sim.time array; (* per-SSMP sender availability *)
-  last_arrival : (int * int, Mgs_engine.Sim.time) Hashtbl.t; (* FIFO per channel *)
+  last_arrival : Mgs_engine.Sim.time array; (* FIFO watermark, src*nssmps+dst *)
   stats : stats;
   mutable obs : Mgs_obs.Trace.t option;
 }
@@ -14,20 +15,22 @@ let create sim costs ~nssmps =
   {
     sim;
     costs;
+    nssmps;
     sender_free = Array.make nssmps 0;
-    last_arrival = Hashtbl.create 64;
+    last_arrival = Array.make (nssmps * nssmps) 0;
     stats = { messages = 0; data_words = 0 };
     obs = None;
   }
 
 (* Delivery on each (src, dst) channel is FIFO: a short message sent
    after a bulk one must not overtake it (the emulated LAN queues at the
-   sender and has a fixed latency, so ordering is inherent). *)
+   sender and has a fixed latency, so ordering is inherent).  The
+   watermarks live in a flat nssmps x nssmps matrix — this runs per
+   message and must not allocate a key tuple. *)
 let fifo_arrival lan ~src ~dst raw =
-  let key = (src, dst) in
-  let prev = Option.value ~default:0 (Hashtbl.find_opt lan.last_arrival key) in
-  let arrive = max raw prev in
-  Hashtbl.replace lan.last_arrival key arrive;
+  let key = (src * lan.nssmps) + dst in
+  let arrive = max raw lan.last_arrival.(key) in
+  lan.last_arrival.(key) <- arrive;
   arrive
 
 let send lan ~src ~dst ~at ~words k =
@@ -46,10 +49,23 @@ let send lan ~src ~dst ~at ~words k =
     lan.stats.data_words <- lan.stats.data_words + words;
     (match lan.obs with
     | Some tr ->
-      let txn = (Mgs_obs.Span.current (Mgs_obs.Trace.spans tr)).Mgs_obs.Span.txn in
+      (* record literal rather than Event.make: each supplied optional
+         argument would box a Some per message *)
       Mgs_obs.Trace.emit tr
-        (Mgs_obs.Event.make ~time:arrive ~engine:Mgs_obs.Event.Network ~tag:"LAN"
-           ~src_ssmp:src ~dst_ssmp:dst ~words ~dur:(arrive - at) ~txn ())
+        {
+          Mgs_obs.Event.time = arrive;
+          engine = Mgs_obs.Event.Network;
+          tag = "LAN";
+          vpn = -1;
+          src = -1;
+          dst = -1;
+          src_ssmp = src;
+          dst_ssmp = dst;
+          words;
+          cost = 0;
+          dur = arrive - at;
+          txn = (Mgs_obs.Span.current (Mgs_obs.Trace.spans tr)).Mgs_obs.Span.txn;
+        }
     | None -> ());
     Mgs_engine.Sim.at lan.sim arrive (fun () -> k arrive)
   end
@@ -70,4 +86,4 @@ let reset_stats lan =
 let reset lan =
   reset_stats lan;
   Array.fill lan.sender_free 0 (Array.length lan.sender_free) 0;
-  Hashtbl.reset lan.last_arrival
+  Array.fill lan.last_arrival 0 (Array.length lan.last_arrival) 0

@@ -15,19 +15,13 @@ let create () =
   { counts = Array.make nbuckets 0; n = 0; sum = 0; vmin = max_int; vmax = min_int }
 
 let bucket_of v =
-  if v <= 0 then 0
-  else begin
-    let b = ref 0 and x = ref v in
-    while !x > 0 do
-      incr b;
-      x := !x lsr 1
-    done;
-    min !b (nbuckets - 1)
-  end
+  let rec go b x = if x = 0 then b else go (b + 1) (x lsr 1) in
+  if v <= 0 then 0 else min (go 0 v) (nbuckets - 1)
 
 let add t v =
   let v = max 0 v in
-  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
   t.n <- t.n + 1;
   t.sum <- t.sum + v;
   if v < t.vmin then t.vmin <- v;

@@ -1,5 +1,6 @@
 type 'a t = {
-  buf : 'a option array;
+  cap : int;
+  mutable buf : 'a array; (* empty until first push, then length [cap] *)
   mutable head : int; (* next write position *)
   mutable length : int;
   mutable pushed : int;
@@ -7,9 +8,9 @@ type 'a t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity";
-  { buf = Array.make capacity None; head = 0; length = 0; pushed = 0 }
+  { cap = capacity; buf = [||]; head = 0; length = 0; pushed = 0 }
 
-let capacity r = Array.length r.buf
+let capacity r = r.cap
 
 let length r = r.length
 
@@ -17,25 +18,29 @@ let pushed r = r.pushed
 
 let dropped r = r.pushed - r.length
 
+(* The buffer is an ['a array], not an ['a option array]: wrapping every
+   stored element in [Some] costs a box per push, and the trace ring
+   takes a push per traced event.  The backing array is made on the
+   first push (using that element as the fill); slots past [length] are
+   never read. *)
 let push r x =
-  let cap = Array.length r.buf in
-  r.buf.(r.head) <- Some x;
-  r.head <- (r.head + 1) mod cap;
-  if r.length < cap then r.length <- r.length + 1;
+  if Array.length r.buf = 0 then r.buf <- Array.make r.cap x;
+  r.buf.(r.head) <- x;
+  r.head <- (r.head + 1) mod r.cap;
+  if r.length < r.cap then r.length <- r.length + 1;
   r.pushed <- r.pushed + 1
 
 let clear r =
-  Array.fill r.buf 0 (Array.length r.buf) None;
+  r.buf <- [||];
   r.head <- 0;
   r.length <- 0;
   r.pushed <- 0
 
 (* Oldest-first traversal. *)
 let iter f r =
-  let cap = Array.length r.buf in
-  let start = (r.head - r.length + cap) mod cap in
+  let start = (r.head - r.length + r.cap) mod r.cap in
   for i = 0 to r.length - 1 do
-    match r.buf.((start + i) mod cap) with Some x -> f x | None -> assert false
+    f r.buf.((start + i) mod r.cap)
   done
 
 let to_list r =

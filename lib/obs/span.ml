@@ -33,9 +33,40 @@ type span = {
   words : int;
 }
 
+(* Storage is struct-of-arrays: the integer fields of span [sid] live at
+   [ints.(sid * stride) ..], the label and engine in parallel arrays.
+   Opening a span writes array slots and allocates only the returned
+   2-field [ctx] — a per-message record-plus-[Some] here was one of the
+   largest allocation sources in a traced run.  The [span] record above
+   survives as the read-side view: [iter] and [get] materialize
+   snapshots for the (cold) analysis and export paths. *)
+let stride = 10
+
+let f_parent = 0
+
+let f_txn = 1
+
+let f_t0 = 2
+
+let f_t1 = 3
+
+let f_vpn = 4
+
+let f_src = 5
+
+let f_dst = 6
+
+let f_src_ssmp = 7
+
+let f_dst_ssmp = 8
+
+let f_words = 9
+
 type t = {
   capacity : int;
-  mutable arr : span option array;
+  mutable ints : int array; (* stride slots per span *)
+  mutable labels : string array;
+  mutable engines : Event.engine array;
   mutable n : int;
   mutable next_txn : int;
   mutable open_spans : int;
@@ -47,9 +78,12 @@ let default_capacity = 1 lsl 17
 
 let create ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Span.create: capacity";
+  let room = min capacity 1024 in
   {
     capacity;
-    arr = Array.make (min capacity 1024) None;
+    ints = Array.make (room * stride) 0;
+    labels = Array.make room "";
+    engines = Array.make room Event.Local_client;
     n = 0;
     next_txn = 0;
     open_spans = 0;
@@ -63,20 +97,44 @@ let mint_txn t =
   id
 
 let ensure_room t =
-  if t.n >= Array.length t.arr && t.n < t.capacity then begin
-    let cap = min t.capacity (2 * Array.length t.arr) in
-    let a = Array.make cap None in
-    Array.blit t.arr 0 a 0 t.n;
-    t.arr <- a
+  if t.n >= Array.length t.labels && t.n < t.capacity then begin
+    let cap = min t.capacity (2 * Array.length t.labels) in
+    let ints = Array.make (cap * stride) 0 in
+    Array.blit t.ints 0 ints 0 (t.n * stride);
+    t.ints <- ints;
+    let labels = Array.make cap "" in
+    Array.blit t.labels 0 labels 0 t.n;
+    t.labels <- labels;
+    let engines = Array.make cap Event.Local_client in
+    Array.blit t.engines 0 engines 0 t.n;
+    t.engines <- engines
   end
+
+let get t sid =
+  let b = sid * stride in
+  {
+    sid;
+    parent = t.ints.(b + f_parent);
+    txn = t.ints.(b + f_txn);
+    label = t.labels.(sid);
+    engine = t.engines.(sid);
+    t0 = t.ints.(b + f_t0);
+    t1 = t.ints.(b + f_t1);
+    vpn = t.ints.(b + f_vpn);
+    src = t.ints.(b + f_src);
+    dst = t.ints.(b + f_dst);
+    src_ssmp = t.ints.(b + f_src_ssmp);
+    dst_ssmp = t.ints.(b + f_dst_ssmp);
+    words = t.ints.(b + f_words);
+  }
 
 (* Open a span.  [parent = none] starts a fresh transaction (a new ID is
    minted); otherwise the parent's transaction is inherited.  When the
    store is full the span is dropped (counted) and the returned context
    carries a negative [sid], which [close] ignores — the transaction ID
    still threads through so child spans that do fit stay attributed. *)
-let open_span t ~(parent : ctx) ~time ~label ~engine ?(vpn = -1) ?(src = -1) ?(dst = -1)
-    ?(src_ssmp = -1) ?(dst_ssmp = -1) ?(words = 0) () =
+let open_span_x t ~(parent : ctx) ~time ~label ~engine ~vpn ~src ~dst ~src_ssmp ~dst_ssmp
+    ~words =
   let txn = if parent.txn >= 0 then parent.txn else mint_txn t in
   if t.n >= t.capacity then begin
     t.dropped <- t.dropped + 1;
@@ -85,36 +143,39 @@ let open_span t ~(parent : ctx) ~time ~label ~engine ?(vpn = -1) ?(src = -1) ?(d
   else begin
     ensure_room t;
     let sid = t.n in
-    let parent_sid = if parent.sid >= 0 then parent.sid else -1 in
-    t.arr.(sid) <-
-      Some
-        {
-          sid;
-          parent = parent_sid;
-          txn;
-          label;
-          engine;
-          t0 = time;
-          t1 = -1;
-          vpn;
-          src;
-          dst;
-          src_ssmp;
-          dst_ssmp;
-          words;
-        };
+    let b = sid * stride in
+    t.ints.(b + f_parent) <- (if parent.sid >= 0 then parent.sid else -1);
+    t.ints.(b + f_txn) <- txn;
+    t.ints.(b + f_t0) <- time;
+    t.ints.(b + f_t1) <- -1;
+    t.ints.(b + f_vpn) <- vpn;
+    t.ints.(b + f_src) <- src;
+    t.ints.(b + f_dst) <- dst;
+    t.ints.(b + f_src_ssmp) <- src_ssmp;
+    t.ints.(b + f_dst_ssmp) <- dst_ssmp;
+    t.ints.(b + f_words) <- words;
+    t.labels.(sid) <- label;
+    t.engines.(sid) <- engine;
     t.n <- t.n + 1;
     t.open_spans <- t.open_spans + 1;
     { txn; sid }
   end
 
+(* Optional-argument convenience wrapper.  Hot paths call [open_span_x]
+   directly: supplying an optional argument boxes it in a [Some] at
+   every call site, which the per-message span opens can't afford. *)
+let open_span t ~(parent : ctx) ~time ~label ~engine ?(vpn = -1) ?(src = -1) ?(dst = -1)
+    ?(src_ssmp = -1) ?(dst_ssmp = -1) ?(words = 0) () =
+  open_span_x t ~parent ~time ~label ~engine ~vpn ~src ~dst ~src_ssmp ~dst_ssmp ~words
+
 let close t (ctx : ctx) ~time =
-  if ctx.sid >= 0 && ctx.sid < t.n then
-    match t.arr.(ctx.sid) with
-    | Some s when s.t1 < 0 ->
-      s.t1 <- max time s.t0;
+  if ctx.sid >= 0 && ctx.sid < t.n then begin
+    let b = ctx.sid * stride in
+    if t.ints.(b + f_t1) < 0 then begin
+      t.ints.(b + f_t1) <- max time t.ints.(b + f_t0);
       t.open_spans <- t.open_spans - 1
-    | _ -> ()
+    end
+  end
 
 let current t = t.current
 
@@ -130,12 +191,14 @@ let txns t = t.next_txn
 
 let iter t f =
   for i = 0 to t.n - 1 do
-    match t.arr.(i) with Some s -> f s | None -> ()
+    f (get t i)
   done
 
 let open_labels t =
   let acc = ref [] in
-  iter t (fun s -> if s.t1 < 0 then acc := s.label :: !acc);
+  for i = 0 to t.n - 1 do
+    if t.ints.((i * stride) + f_t1) < 0 then acc := t.labels.(i) :: !acc
+  done;
   List.rev !acc
 
 (* --- critical-path analysis ---------------------------------------- *)
@@ -331,7 +394,7 @@ let chrome_section buf t ~emit_sep =
           (Printf.sprintf
              "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
              (json_escape s.label) s.txn s.t1 pid tid);
-        match (if s.parent >= 0 && s.parent < t.n then t.arr.(s.parent) else None) with
+        match (if s.parent >= 0 && s.parent < t.n then Some (get t s.parent) else None) with
         | Some p ->
           (* flow arrow: from the parent's location at the moment the
              child begins, to the child — the causal hand-off *)

@@ -59,6 +59,23 @@ val open_span :
     transaction is minted and the span becomes its root; otherwise the
     parent's transaction is inherited. *)
 
+val open_span_x :
+  t ->
+  parent:ctx ->
+  time:int ->
+  label:string ->
+  engine:Event.engine ->
+  vpn:int ->
+  src:int ->
+  dst:int ->
+  src_ssmp:int ->
+  dst_ssmp:int ->
+  words:int ->
+  ctx
+(** [open_span] with every field spelled out.  Supplying an optional
+    argument allocates a [Some] box at the call site, so per-message
+    paths use this allocation-free variant ([-1] / [0] mark n/a). *)
+
 val close : t -> ctx -> time:int -> unit
 (** End the span.  Idempotent; a no-op on [none] or dropped contexts. *)
 

@@ -20,9 +20,8 @@ let subscribe t f = t.subscribers <- f :: t.subscribers
 let spans t = t.spans
 
 let hist_for t tag =
-  match Hashtbl.find_opt t.hists tag with
-  | Some h -> h
-  | None ->
+  try Hashtbl.find t.hists tag
+  with Not_found ->
     let h = Hist.create () in
     Hashtbl.add t.hists tag h;
     h

@@ -1,12 +1,29 @@
 type mode = Ro | Rw
 
+(* Flat direct-mapped table: entry for [vpn] lives at slot
+   [vpn land mask].  The table doubles (and rehashes) whenever two
+   resident vpns collide, so it behaves as an exact map — no spurious
+   evictions — while lookup/fill/invalidate touch only flat arrays and
+   allocate nothing.  Shared-heap vpns are small dense integers, so the
+   table converges to the first power of two above the largest vpn. *)
 type t = {
-  map : (int, mode) Hashtbl.t;
+  mutable tags : int array; (* slot -> resident vpn, or -1 *)
+  mutable rws : bool array; (* slot -> true iff mode is Rw *)
+  mutable mask : int; (* Array.length tags - 1 (power of two) *)
+  mutable resident : int;
   capacity : int option;
-  fifo : int Queue.t; (* insertion order, pruned lazily *)
+  (* FIFO eviction ring (allocated only when [capacity] is set): vpns in
+     fill order, pruned lazily — invalidated entries stay queued and are
+     skipped at eviction time, exactly like the historical Hashtbl+Queue
+     implementation (a re-filled vpn is queued again and evicts at its
+     {e oldest} position). *)
+  mutable ring : int array;
+  mutable ring_head : int;
+  mutable ring_n : int;
   mutable fills : int;
   mutable invalidations : int;
   mutable evictions : int;
+  mutable gen : int;
 }
 
 let create ?capacity () =
@@ -14,52 +31,139 @@ let create ?capacity () =
   | Some c when c <= 0 -> invalid_arg "Tlb.create: capacity"
   | _ -> ());
   {
-    map = Hashtbl.create 64;
+    tags = Array.make 64 (-1);
+    rws = Array.make 64 false;
+    mask = 63;
+    resident = 0;
     capacity;
-    fifo = Queue.create ();
+    ring = (match capacity with Some _ -> Array.make 16 0 | None -> [||]);
+    ring_head = 0;
+    ring_n = 0;
     fills = 0;
     invalidations = 0;
     evictions = 0;
+    gen = 0;
   }
 
-let lookup t ~vpn = Hashtbl.find_opt t.map vpn
+let lookup t ~vpn =
+  let slot = vpn land t.mask in
+  if t.tags.(slot) = vpn then Some (if t.rws.(slot) then Rw else Ro) else None
+
+let grants t ~vpn ~write =
+  let slot = vpn land t.mask in
+  t.tags.(slot) = vpn && ((not write) || t.rws.(slot))
+
+(* Grow until every resident vpn lands in its own slot. *)
+let rec rehash t size =
+  let mask = size - 1 in
+  let tags = Array.make size (-1) and rws = Array.make size false in
+  let clean = ref true in
+  let old = t.tags in
+  for i = 0 to Array.length old - 1 do
+    let v = old.(i) in
+    if v >= 0 then begin
+      let s = v land mask in
+      if tags.(s) >= 0 then clean := false
+      else begin
+        tags.(s) <- v;
+        rws.(s) <- t.rws.(i)
+      end
+    end
+  done;
+  if !clean then begin
+    t.tags <- tags;
+    t.rws <- rws;
+    t.mask <- mask
+  end
+  else rehash t (size * 2)
+
+let rec insert t vpn rw =
+  let slot = vpn land t.mask in
+  if t.tags.(slot) < 0 then begin
+    t.tags.(slot) <- vpn;
+    t.rws.(slot) <- rw;
+    t.resident <- t.resident + 1
+  end
+  else begin
+    rehash t (2 * (t.mask + 1));
+    insert t vpn rw
+  end
+
+let ring_push t vpn =
+  if t.capacity <> None then begin
+    let len = Array.length t.ring in
+    if t.ring_n = len then begin
+      (* grow, unrolling the wrap so order is preserved *)
+      let bigger = Array.make (2 * len) 0 in
+      for i = 0 to t.ring_n - 1 do
+        bigger.(i) <- t.ring.((t.ring_head + i) land (len - 1))
+      done;
+      t.ring <- bigger;
+      t.ring_head <- 0
+    end;
+    let len = Array.length t.ring in
+    t.ring.((t.ring_head + t.ring_n) land (len - 1)) <- vpn;
+    t.ring_n <- t.ring_n + 1
+  end
 
 (* FIFO eviction: pop queued candidates until one still resides. *)
 let rec evict_one t =
-  match Queue.take_opt t.fifo with
-  | None -> ()
-  | Some victim ->
-    if Hashtbl.mem t.map victim then begin
-      Hashtbl.remove t.map victim;
-      t.evictions <- t.evictions + 1
+  if t.ring_n > 0 then begin
+    let victim = t.ring.(t.ring_head) in
+    t.ring_head <- (t.ring_head + 1) land (Array.length t.ring - 1);
+    t.ring_n <- t.ring_n - 1;
+    let slot = victim land t.mask in
+    if t.tags.(slot) = victim then begin
+      t.tags.(slot) <- -1;
+      t.resident <- t.resident - 1;
+      t.evictions <- t.evictions + 1;
+      t.gen <- t.gen + 1
     end
     else evict_one t
-
-let fill t ~vpn ~mode =
-  t.fills <- t.fills + 1;
-  let fresh = not (Hashtbl.mem t.map vpn) in
-  if fresh then begin
-    (match t.capacity with
-    | Some cap when Hashtbl.length t.map >= cap -> evict_one t
-    | _ -> ());
-    Queue.add vpn t.fifo
-  end;
-  Hashtbl.replace t.map vpn mode
-
-let invalidate t ~vpn =
-  if Hashtbl.mem t.map vpn then begin
-    t.invalidations <- t.invalidations + 1;
-    Hashtbl.remove t.map vpn
   end
 
-let entries t = Hashtbl.length t.map
+let fill t ~vpn ~mode =
+  if vpn < 0 then invalid_arg "Tlb.fill: vpn";
+  t.fills <- t.fills + 1;
+  let rw = mode = Rw in
+  let slot = vpn land t.mask in
+  if t.tags.(slot) = vpn then begin
+    (* resident: update the mode in place *)
+    if t.rws.(slot) <> rw then begin
+      t.rws.(slot) <- rw;
+      t.gen <- t.gen + 1
+    end
+  end
+  else begin
+    (match t.capacity with Some cap when t.resident >= cap -> evict_one t | _ -> ());
+    ring_push t vpn;
+    insert t vpn rw
+  end
+
+let invalidate t ~vpn =
+  if vpn >= 0 then begin
+    let slot = vpn land t.mask in
+    if t.tags.(slot) = vpn then begin
+      t.tags.(slot) <- -1;
+      t.resident <- t.resident - 1;
+      t.invalidations <- t.invalidations + 1;
+      t.gen <- t.gen + 1
+    end
+  end
+
+let entries t = t.resident
 
 let clear t =
-  Hashtbl.reset t.map;
-  Queue.clear t.fifo
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.resident <- 0;
+  t.ring_head <- 0;
+  t.ring_n <- 0;
+  t.gen <- t.gen + 1
 
 let fills t = t.fills
 
 let invalidations t = t.invalidations
 
 let evictions t = t.evictions
+
+let generation t = t.gen

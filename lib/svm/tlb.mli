@@ -6,7 +6,13 @@
     modes.  By default capacity is unbounded (the paper charges a fixed
     fill cost per fill rather than modelling capacity); an optional
     entry limit with FIFO eviction is available for sensitivity
-    studies. *)
+    studies.
+
+    The implementation is a flat direct-mapped array (slot
+    [vpn land mask], grown and rehashed on collision so it stays an
+    exact map) with an O(1) FIFO ring for capacity eviction: the
+    per-reference operations [grants], [fill] and [invalidate] touch
+    only flat arrays and allocate nothing. *)
 
 type mode = Ro | Rw
 
@@ -17,6 +23,11 @@ val create : ?capacity:int -> unit -> t
     omitted.  @raise Invalid_argument if [capacity <= 0]. *)
 
 val lookup : t -> vpn:int -> mode option
+
+val grants : t -> vpn:int -> write:bool -> bool
+(** [grants t ~vpn ~write] is true iff an access of that kind hits: the
+    entry is resident and, for a write, mapped [Rw].  Allocation-free
+    equivalent of matching on [lookup]. *)
 
 val fill : t -> vpn:int -> mode:mode -> unit
 (** Installs or upgrades the entry for [vpn]. *)
@@ -35,3 +46,10 @@ val invalidations : t -> int
 
 val evictions : t -> int
 (** Capacity evictions performed (0 when unbounded). *)
+
+val generation : t -> int
+(** Monotone counter bumped whenever a mapping this TLB holds could have
+    shrunk: invalidation, capacity eviction, [clear], or an in-place
+    mode change.  Fast-path caches (see {!Mgs.Api}) snapshot it at fill
+    time and self-invalidate when it moves — no callback registration
+    needed. *)

@@ -35,7 +35,7 @@ let on_combine b =
     b.episodes <- b.episodes + 1;
     b.m.sync_counters.barrier_episodes <- b.m.sync_counters.barrier_episodes + 1;
     obs_emit b.m ~engine:Mgs_obs.Event.Sync ~tag:"sync.barrier_episode"
-      ~src:(master_proc b) ~cost:b.episodes ();
+      ~src:(master_proc b) ~cost:b.episodes ~vpn:(-1) ~dst:(-1) ~words:0 ~dur:0;
     for s = 0 to b.m.topo.Topology.nssmps - 1 do
       Am.post b.m.am ~tag:"BAR_RELEASE" ~src:(master_proc b)
         ~dst:(Topology.first_proc_of_ssmp b.m.topo s)
@@ -62,7 +62,7 @@ let wait ctx b =
       b.episodes <- b.episodes + 1;
       m.sync_counters.barrier_episodes <- m.sync_counters.barrier_episodes + 1;
       obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.barrier_episode" ~src:proc
-        ~cost:b.episodes ();
+        ~cost:b.episodes ~vpn:(-1) ~dst:(-1) ~words:0 ~dur:0;
       release_ssmp b 0
     end
     else Mgs_engine.Waitq.park loc.waiters;

@@ -153,8 +153,7 @@ let acquire ctx l =
   span_set m root;
   obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.lock_acquire" ~src:ctx.Mgs.Api.proc
     ~dst:(home_proc l)
-    ~cost:(if loc.has_token then 1 else 0)
-    ();
+    ~cost:(if loc.has_token then 1 else 0) ~vpn:(-1) ~words:0 ~dur:0;
   if loc.has_token then begin
     l.hits <- l.hits + 1;
     m.sync_counters.lock_hits <- m.sync_counters.lock_hits + 1;
@@ -195,7 +194,7 @@ let release ctx l =
   in
   span_set m root;
   obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.lock_release" ~src:ctx.Mgs.Api.proc
-    ~dst:(home_proc l) ();
+    ~dst:(home_proc l) ~vpn:(-1) ~words:0 ~cost:0 ~dur:0;
   (* Release consistency: propagate this SSMP's writes before anyone
      else can acquire (this is what dilates critical sections).  Under
      HLRC this flushes diffs home and attaches write notices to the

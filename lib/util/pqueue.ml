@@ -2,9 +2,11 @@ type 'a node =
   | Empty
   | Node of { prio : int; seq : int; value : 'a; mutable children : 'a node list }
 
-type 'a t = { mutable root : 'a node; mutable size : int }
+type 'a t = { mutable root : 'a node; mutable size : int; mutable popped_prio : int }
 
-let create () = { root = Empty; size = 0 }
+exception Empty_queue
+
+let create () = { root = Empty; size = 0; popped_prio = 0 }
 
 let is_empty q = q.size = 0
 
@@ -56,6 +58,21 @@ let pop q =
     q.root <- merge_pairs n.children;
     q.size <- q.size - 1;
     Some (n.prio, n.seq, n.value)
+
+(* Allocation-free extraction for the simulator's event loop: [pop]
+   boxes a [Some] and a tuple per event, which at millions of events per
+   run is a measurable share of the heap.  The popped priority is parked
+   on the queue (valid until the next pop) instead of returned. *)
+let pop_min q =
+  match q.root with
+  | Empty -> raise Empty_queue
+  | Node n ->
+    q.root <- merge_pairs n.children;
+    q.size <- q.size - 1;
+    q.popped_prio <- n.prio;
+    n.value
+
+let popped_prio q = q.popped_prio
 
 let clear q =
   q.root <- Empty;

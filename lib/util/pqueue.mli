@@ -30,3 +30,16 @@ val pop : 'a t -> (int * int * 'a) option
 
 val clear : 'a t -> unit
 (** [clear q] removes every element. *)
+
+exception Empty_queue
+(** Raised by {!pop_min} on an empty queue. *)
+
+val pop_min : 'a t -> 'a
+(** [pop_min q] removes and returns the minimum element's value without
+    allocating (unlike {!pop}, which boxes an option and a tuple).  The
+    element's priority is readable via {!popped_prio} until the next
+    pop.  @raise Empty_queue when [q] is empty. *)
+
+val popped_prio : 'a t -> int
+(** [popped_prio q] is the priority of the element most recently removed
+    by {!pop_min}; [0] before any pop. *)

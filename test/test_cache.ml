@@ -109,6 +109,38 @@ let test_stats_classes () =
   Co.reset_stats c;
   Alcotest.(check int) "reset" 0 (Co.stats c).Co.hits
 
+(* Regression: miss classes are decided by the party/ownership case, not
+   by matching the returned stall against the cost table.  With degenerate
+   costs where miss_local = miss_remote and miss_2party = miss_3party, a
+   cost-based classifier cannot tell the classes apart — the counters
+   must still land in the right buckets. *)
+let test_stats_degenerate_costs () =
+  let degenerate =
+    { costs with
+      Mgs_machine.Costs.hardware =
+        { hw with Mgs_machine.Costs.miss_local = 11; miss_remote = 11;
+          miss_2party = 42; miss_3party = 42 } }
+  in
+  let c = Co.create degenerate geom ~cluster:8 in
+  (* clean fill from remote memory: proc 1 <> frame owner 0 *)
+  ignore (rd c ~proc:1 ~addr:0 ~fo:0);
+  (* clean fill from local memory: proc 2 = frame owner 2 *)
+  ignore (rd c ~proc:2 ~addr:64 ~fo:2);
+  (* dirty at the frame owner, read by a third proc: 2-party *)
+  ignore (wr c ~proc:0 ~addr:128 ~fo:0);
+  ignore (rd c ~proc:3 ~addr:128 ~fo:0);
+  (* dirty at a non-owner third party: 3-party *)
+  ignore (wr c ~proc:1 ~addr:192 ~fo:0);
+  ignore (rd c ~proc:2 ~addr:192 ~fo:0);
+  let s = Co.stats c in
+  (* remote: proc 1's clean read of addr 0, plus proc 1's clean write of
+     addr 192 (no prior owner, proc <> frame owner).  local: proc 2's
+     read of addr 64 and proc 0's write of addr 128. *)
+  Alcotest.(check int) "remote misses" 2 s.Co.remote_misses;
+  Alcotest.(check int) "local misses" 2 s.Co.local_misses;
+  Alcotest.(check int) "2-party" 1 s.Co.misses_2party;
+  Alcotest.(check int) "3-party" 1 s.Co.misses_3party
+
 (* Property: a random access sequence never leaves a line with both an
    owner and stale sharers that could produce a hit after an
    invalidating write by someone else. *)
@@ -199,6 +231,8 @@ let () =
           Alcotest.test_case "eviction conflicts" `Quick test_eviction_conflict;
           Alcotest.test_case "page cleaning" `Quick test_flush_page;
           Alcotest.test_case "stats classes" `Quick test_stats_classes;
+          Alcotest.test_case "stats under degenerate costs" `Quick
+            test_stats_degenerate_costs;
         ] );
       ("properties", qsuite);
     ]

@@ -1,0 +1,98 @@
+(* The per-reference fast path — Api's last-page cache plus the flat
+   TLB/directory — is a pure optimization: with [Api.set_fast_path
+   false] every access resolves through the full slow path (TLB grant
+   check, page table, directory), and the simulated results must be
+   bit-identical.  These tests run the same workload both ways, across
+   all three protocols, and compare runtime, event count, and memory. *)
+
+module Sweep = Mgs_harness.Sweep
+
+let protocols =
+  [
+    ("mgs", Mgs.State.Protocol_mgs);
+    ("ivy", Mgs.State.Protocol_ivy);
+    ("hlrc", Mgs.State.Protocol_hlrc);
+  ]
+
+(* Run [w] on a fresh machine and summarize everything observable:
+   runtime, executed events, and a fingerprint of the shared heap. *)
+let run ~fast ~protocol ~nprocs ~cluster (w : Sweep.workload) =
+  Mgs.Api.set_fast_path fast;
+  Fun.protect ~finally:(fun () -> Mgs.Api.set_fast_path true) @@ fun () ->
+  let cfg = Mgs.Machine.config ~nprocs ~cluster ~protocol () in
+  let m = Mgs.Machine.create cfg in
+  let body, wcheck = w.Sweep.prepare m in
+  let r = Mgs.Machine.run m body in
+  Mgs.Machine.assert_quiescent m;
+  wcheck m;
+  let heap = ref 0 in
+  let words = Mgs_mem.Allocator.words_allocated m.Mgs.State.heap in
+  for a = 0 to min 1023 (words - 1) do
+    heap := (!heap * 31) + Hashtbl.hash (Mgs.Machine.peek m a)
+  done;
+  (r.Mgs.Report.runtime, r.Mgs.Report.sim_events, !heap)
+
+let check_equal name slow fast =
+  let (rt_s, ev_s, h_s) = slow and (rt_f, ev_f, h_f) = fast in
+  Alcotest.(check int) (name ^ ": runtime") rt_s rt_f;
+  Alcotest.(check int) (name ^ ": sim events") ev_s ev_f;
+  Alcotest.(check int) (name ^ ": heap fingerprint") h_s h_f
+
+let test_jacobi_all_protocols () =
+  let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny in
+  List.iter
+    (fun (pname, protocol) ->
+      List.iter
+        (fun cluster ->
+          let name = Printf.sprintf "%s C=%d" pname cluster in
+          check_equal name
+            (run ~fast:false ~protocol ~nprocs:4 ~cluster w)
+            (run ~fast:true ~protocol ~nprocs:4 ~cluster w))
+        [ 1; 2; 4 ])
+    protocols
+
+(* Property: for a random shared access pattern (including write
+   sharing, TLB-thrashing strides, and re-references that the last-page
+   cache serves), slow and fast paths agree exactly.  Ops are (proc,
+   page, offset, write) tuples; each fiber replays its own slice. *)
+let synth_workload ops =
+  {
+    Sweep.name = "synth";
+    prepare =
+      (fun m ->
+        let base = Mgs.Machine.alloc m ~words:(256 * 8) ~home:Mgs_mem.Allocator.Interleaved in
+        let body ctx =
+          let p = Mgs.Api.proc ctx in
+          List.iteri
+            (fun i (who, pg, off, wr) ->
+              if who land 3 = p then begin
+                let a = base + (256 * (pg land 7)) + (off land 255) in
+                if wr then Mgs.Api.write ctx a (float_of_int ((i * 7) + p))
+                else ignore (Mgs.Api.read ctx a)
+              end)
+            ops;
+          (* drain the delayed update queues so the machine quiesces *)
+          Mgs.Api.release ctx
+        in
+        (body, fun _ -> ()))
+  }
+
+let prop_slow_fast_equivalent =
+  QCheck2.Test.make ~name:"slow path and fast path simulate identically" ~count:30
+    QCheck2.Gen.(list_size (int_range 1 60) (tup4 (int_bound 3) (int_bound 7) (int_bound 255) bool))
+    (fun ops ->
+      let w = synth_workload ops in
+      List.for_all
+        (fun (_, protocol) ->
+          run ~fast:false ~protocol ~nprocs:4 ~cluster:2 w
+          = run ~fast:true ~protocol ~nprocs:4 ~cluster:2 w)
+        protocols)
+
+let () =
+  Alcotest.run "fastpath"
+    [
+      ( "equivalence",
+        Alcotest.test_case "jacobi, all protocols and clusters" `Quick
+          test_jacobi_all_protocols
+        :: List.map QCheck_alcotest.to_alcotest [ prop_slow_fast_equivalent ] );
+    ]

@@ -418,7 +418,7 @@ let test_checker_flags_corruption () =
     Mgs.Machine.poke m addr 1.0;
     let vpn = Mgs_mem.Geom.vpn_of_addr (Mgs.Machine.geom m) addr in
     let tag = corrupt m vpn in
-    obs_emit m ~engine:Mgs_obs.Event.Server ~tag ~vpn ();
+    obs_emit m ~engine:Mgs_obs.Event.Server ~tag ~vpn ~src:(-1) ~dst:(-1) ~words:0 ~cost:0 ~dur:0;
     Mgs.Invariant.count checker
   in
   let n =
@@ -465,7 +465,7 @@ let test_checker_ignores_other_protocols () =
   let addr = Mgs.Machine.alloc m ~words:256 ~home:(Mgs_mem.Allocator.On_proc 0) in
   let vpn = Mgs_mem.Geom.vpn_of_addr (Mgs.Machine.geom m) addr in
   (get_sentry m vpn).s_count <- -1;
-  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"test.corrupt" ~vpn ();
+  obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"test.corrupt" ~vpn ~src:(-1) ~dst:(-1) ~words:0 ~cost:0 ~dur:0;
   Alcotest.(check int) "ivy machines are not judged by MGS invariants" 0
     (Mgs.Invariant.count checker)
 

@@ -87,6 +87,117 @@ let test_machine_with_tiny_tlb () =
     done
   done
 
+(* Reference model for the TLB: the historical Hashtbl + Queue
+   implementation this library's flat direct-mapped table replaced.
+   Every observable — lookup, entry count, the three stat counters, and
+   in particular the {e lazy} FIFO eviction order (invalidated entries
+   stay queued and are skipped; a re-filled vpn is queued again and
+   evicts at its oldest position) — must agree after every operation. *)
+module Ref_tlb = struct
+  type t = {
+    map : (int, Tlb.mode) Hashtbl.t;
+    capacity : int option;
+    fifo : int Queue.t;
+    mutable fills : int;
+    mutable invalidations : int;
+    mutable evictions : int;
+  }
+
+  let create ?capacity () =
+    { map = Hashtbl.create 64; capacity; fifo = Queue.create (); fills = 0;
+      invalidations = 0; evictions = 0 }
+
+  let lookup t ~vpn = Hashtbl.find_opt t.map vpn
+
+  let rec evict_one t =
+    match Queue.take_opt t.fifo with
+    | None -> ()
+    | Some victim ->
+      if Hashtbl.mem t.map victim then begin
+        Hashtbl.remove t.map victim;
+        t.evictions <- t.evictions + 1
+      end
+      else evict_one t
+
+  let fill t ~vpn ~mode =
+    t.fills <- t.fills + 1;
+    let fresh = not (Hashtbl.mem t.map vpn) in
+    if fresh then begin
+      (match t.capacity with
+      | Some cap when Hashtbl.length t.map >= cap -> evict_one t
+      | _ -> ());
+      Queue.add vpn t.fifo
+    end;
+    Hashtbl.replace t.map vpn mode
+
+  let invalidate t ~vpn =
+    if Hashtbl.mem t.map vpn then begin
+      t.invalidations <- t.invalidations + 1;
+      Hashtbl.remove t.map vpn
+    end
+end
+
+type tlb_op = Fill of int * Tlb.mode | Invalidate of int | Clear
+
+let tlb_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map2 (fun v rw -> Fill (v, if rw then Tlb.Rw else Tlb.Ro)) (int_bound 24) bool);
+        (3, map (fun v -> Invalidate v) (int_bound 24));
+        (1, return Clear);
+      ])
+
+let agree t r =
+  Tlb.entries t = Hashtbl.length r.Ref_tlb.map
+  && Tlb.fills t = r.Ref_tlb.fills
+  && Tlb.invalidations t = r.Ref_tlb.invalidations
+  && Tlb.evictions t = r.Ref_tlb.evictions
+  &&
+  let ok = ref true in
+  for vpn = 0 to 24 do
+    if Tlb.lookup t ~vpn <> Ref_tlb.lookup r ~vpn then ok := false
+  done;
+  !ok
+
+let tlb_matches_reference ~capacity ops =
+  let t = Tlb.create ?capacity () in
+  let r = Ref_tlb.create ?capacity () in
+  List.for_all
+    (fun op ->
+      (match op with
+      | Fill (vpn, mode) ->
+        Tlb.fill t ~vpn ~mode;
+        Ref_tlb.fill r ~vpn ~mode
+      | Invalidate vpn ->
+        Tlb.invalidate t ~vpn;
+        Ref_tlb.invalidate r ~vpn
+      | Clear ->
+        (* [clear] resets residency but, like the reference, keeps the
+           lifetime stat counters; the reference also drops its queue,
+           matching the flat ring reset. *)
+        Tlb.clear t;
+        Hashtbl.reset r.Ref_tlb.map;
+        Queue.clear r.Ref_tlb.fifo);
+      agree t r)
+    ops
+
+let prop_tlb_unbounded_matches_reference =
+  QCheck2.Test.make ~name:"flat TLB matches Hashtbl reference (unbounded)" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 80) tlb_op_gen)
+    (tlb_matches_reference ~capacity:None)
+
+let prop_tlb_bounded_matches_reference =
+  QCheck2.Test.make ~name:"flat TLB matches Hashtbl reference (capacity 4, FIFO order)"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 80) tlb_op_gen)
+    (tlb_matches_reference ~capacity:(Some 4))
+
+let prop_tlb_tiny_capacity =
+  QCheck2.Test.make ~name:"flat TLB matches Hashtbl reference (capacity 1)" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) tlb_op_gen)
+    (tlb_matches_reference ~capacity:(Some 1))
+
 let test_translation_costs () =
   let c = Costs.default in
   Alcotest.(check int) "array" 18 (Tr.cost c Tr.Array);
@@ -106,5 +217,12 @@ let () =
             test_tlb_eviction_skips_invalidated;
           Alcotest.test_case "machine with tiny tlb" `Quick test_machine_with_tiny_tlb;
         ] );
+      ( "tlb model",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_tlb_unbounded_matches_reference;
+            prop_tlb_bounded_matches_reference;
+            prop_tlb_tiny_capacity;
+          ] );
       ("translate", [ Alcotest.test_case "costs" `Quick test_translation_costs ]);
     ]
