@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke trace-lint perf perf-smoke perf-diff clean
+.PHONY: all build test check fmt fmt-check smoke chaos-smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -22,6 +22,18 @@ smoke: build
 	$(DUNE) exec bin/mgs_run.exe -- --app jacobi --procs 8 --cluster 2 \
 	  --size 32 --iters 2 --check --trace _build/smoke-trace.json
 	@grep -q traceEvents _build/smoke-trace.json
+
+# Chaos: the same app under a seeded lossy LAN must still terminate,
+# verify, and report its retransmission work.  A fixed seed makes the
+# run (and therefore this gate) deterministic.
+chaos-smoke: build
+	$(DUNE) exec bin/mgs_run.exe -- --app jacobi --procs 8 --cluster 2 \
+	  --size 32 --iters 2 --check --seed 42 \
+	  --faults drop=0.05,dup=0.05,delay=0.1:2000,reorder=0.05 \
+	  > _build/chaos-smoke.out
+	@cat _build/chaos-smoke.out
+	@grep -q "net: retries=" _build/chaos-smoke.out
+	@grep -q "verification: OK" _build/chaos-smoke.out
 
 # Validate every observability export against its own contract: run the
 # CLI with the trace, span, and metrics exporters on, then lint the
@@ -70,7 +82,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke trace-lint perf-smoke perf-diff fmt-check
+check: build test smoke chaos-smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

@@ -307,8 +307,8 @@ let hlrc_figs () =
     Mgs_util.Dpool.map ~jobs:!jobs
       (fun cluster ->
         let cfg =
-          Mgs.Machine.config ~lan_latency:1000 ~protocol:Mgs.State.Protocol_hlrc ~nprocs
-            ~cluster ()
+          Mgs.Machine.config ~lan_latency:1000
+            ~protocol:(Mgs.Protocol.proto_of_name "hlrc") ~nprocs ~cluster ()
         in
         let m = Mgs.Machine.create cfg in
         let body, check = w.Sweep.prepare m in

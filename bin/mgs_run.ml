@@ -81,17 +81,22 @@ let with_out file f =
   let oc = try open_out file with Sys_error msg -> raise (Trace_write_error msg) in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let run app size iters procs cluster delay page_bytes protocol sweep jobs no_verify trace
-    spans metrics hist check csv =
+let run app size iters procs cluster delay page_bytes protocol faults seed sweep jobs
+    no_verify trace spans metrics hist check csv =
   let w, size_desc = workload ~app ~size ~iters in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
+  let fault_spec =
+    match faults with
+    | Some spec when not (Mgs_net.Fault.is_zero spec) -> Some spec
+    | _ -> None
+  in
   Printf.printf "app=%s (%s)  P=%d  delay=%d cycles  page=%dB  protocol=%s\n%!" app size_desc
-    procs delay page_bytes
-    (match protocol with
-    | Mgs.State.Protocol_mgs -> "mgs"
-    | Mgs.State.Protocol_hlrc -> "hlrc"
-    | Mgs.State.Protocol_ivy -> "ivy");
+    procs delay page_bytes protocol;
+  (match fault_spec with
+  | Some spec ->
+    Printf.printf "faults: %s  seed=%d\n%!" (Mgs_net.Fault.to_string spec) seed
+  | None -> ());
   (* A point may run on a helper domain (--sweep -j N), so it never
      prints directly: per-point output is buffered and emitted in
      cluster order afterwards, making -j N output identical to -j 1. *)
@@ -99,18 +104,29 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
     let buf = Buffer.create 256 in
     let ppf = Format.formatter_of_buffer buf in
     let cfg =
-      Mgs.Machine.config ~page_words ~lan_latency:delay ~protocol ~nprocs:procs ~cluster ()
+      Mgs.Machine.config ~page_words ~lan_latency:delay
+        ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs:procs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
     if trace <> None || hist || spans <> None then ignore (Mgs.Machine.enable_trace m);
     if metrics <> None then ignore (Mgs.Machine.enable_metrics m);
     let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
+    (match fault_spec with
+    | Some spec -> Mgs.Machine.set_faults m ~seed spec
+    | None -> ());
     let body, wcheck = w.Mgs_harness.Sweep.prepare m in
     let report = Mgs.Machine.run m body in
-    if verify then begin
+    if verify && Mgs.Report.completed report then begin
       Mgs.Machine.assert_quiescent m;
       wcheck m
     end;
+    (match fault_spec with
+    | Some _ ->
+      let s = Mgs_net.Lan.stats m.Mgs.State.lan in
+      Format.fprintf ppf "net: retries=%d dups=%d timeouts=%d acks=%d@."
+        s.Mgs_net.Lan.retransmits s.Mgs_net.Lan.dup_drops s.Mgs_net.Lan.timeouts
+        s.Mgs_net.Lan.acks
+    | None -> ());
     (match (trace, Mgs.Machine.trace m) with
     | Some base, Some tr ->
       let file = trace_file base ~sweep ~cluster in
@@ -174,6 +190,10 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
       breakdown )
   in
   let violations = ref 0 in
+  let partitioned = ref false in
+  let note_outcome p =
+    if not (Mgs.Report.completed p.Mgs_harness.Sweep.report) then partitioned := true
+  in
   (try
      if sweep then begin
        let results =
@@ -185,6 +205,7 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
            violations := !violations + v)
          results;
        let points = List.map (fun (p, _, _, _) -> p) results in
+       List.iter note_outcome points;
        if csv then print_string (Mgs_harness.Figures.csv_of_sweep ~name:app points)
        else
          print_string
@@ -205,6 +226,7 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
        let p, out, v, b = run_one cluster in
        print_string out;
        violations := v;
+       note_outcome p;
        Format.printf "%a@." Mgs.Report.pp p.Mgs_harness.Sweep.report;
        Format.printf "lock hit ratio: %.3f@." p.Mgs_harness.Sweep.lock_hit_ratio;
        match b with
@@ -214,8 +236,9 @@ let run app size iters procs cluster delay page_bytes protocol sweep jobs no_ver
    with Trace_write_error msg ->
      Printf.eprintf "mgs_run: cannot write trace: %s\n%!" msg;
      exit 2);
-  if verify then print_endline "verification: OK";
-  if !violations > 0 then exit 3
+  if verify && not !partitioned then print_endline "verification: OK";
+  if !violations > 0 then exit 3;
+  if !partitioned then exit 4
 
 let app_t =
   Arg.(
@@ -247,17 +270,42 @@ let page_t =
   Arg.(value & opt int 1024 & info [ "page-bytes" ] ~docv:"B" ~doc:"Page size in bytes.")
 
 let protocol_t =
+  let names = Mgs.Protocol.names () in
   Arg.(
     value
-    & opt
-        (enum
-           [
-             ("mgs", Mgs.State.Protocol_mgs);
-             ("hlrc", Mgs.State.Protocol_hlrc);
-             ("ivy", Mgs.State.Protocol_ivy);
-           ])
-        Mgs.State.Protocol_mgs
-    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Inter-SSMP protocol: mgs, hlrc, or ivy.")
+    & opt (enum (List.map (fun n -> (n, n)) names)) "mgs"
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:(Printf.sprintf "Inter-SSMP protocol: %s." (String.concat ", " names)))
+
+let faults_t =
+  let spec_conv =
+    let parse s =
+      match Mgs_net.Fault.of_string s with
+      | spec -> Ok spec
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    let print ppf spec = Format.pp_print_string ppf (Mgs_net.Fault.to_string spec) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some spec_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic network faults on the inter-SSMP LAN.  $(docv) is a \
+           comma-separated list, e.g. \
+           $(b,drop=0.05,dup=0.05,delay=0.1:2000,reorder=0.05,slow=1:2.0,retries=10); \
+           $(b,none) disables injection.  Handlers remain exactly-once: the reliable \
+           transport retries lost messages and a run that exhausts retries reports a \
+           PARTITIONED outcome (exit status 4).")
+
+let seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Fault-injection RNG seed (with $(b,--faults)).  Runs with the same seed and \
+           spec are fully deterministic.")
 
 let sweep_t =
   Arg.(value & flag & info [ "sweep"; "s" ] ~doc:"Sweep cluster sizes 1..P (powers of two).")
@@ -326,7 +374,7 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t $ spans_t $ metrics_t
-      $ hist_t $ check_t $ csv_t)
+      $ protocol_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t
+      $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t)
 
 let () = exit (Cmd.eval cmd)

@@ -14,7 +14,10 @@ let rounds = 30
 
 let () =
   let run protocol ~cluster =
-    let cfg = Mgs.Machine.config ~nprocs:8 ~cluster ~lan_latency:1000 ~protocol () in
+    let cfg =
+      Mgs.Machine.config ~nprocs:8 ~cluster ~lan_latency:1000
+        ~protocol:(Mgs.Protocol.proto_of_name protocol) ()
+    in
     let m = Mgs.Machine.create cfg in
     let cell = Mgs.Machine.alloc m ~words:4 ~home:(Mgs_mem.Allocator.On_proc 0) in
     let lock = Mgs_sync.Lock.create m () in
@@ -31,10 +34,13 @@ let () =
     assert (Mgs.Machine.peek m cell = float_of_int (8 * rounds));
     (report.Mgs.Report.runtime, report.Mgs.Report.lan_messages)
   in
-  let name = function
-    | Mgs.State.Protocol_mgs -> "MGS (eager RC)"
-    | Mgs.State.Protocol_hlrc -> "HLRC (lazy RC)"
-    | Mgs.State.Protocol_ivy -> "Ivy (SC)"
+  (* protocols are picked by registry name: the same strings mgs_run
+     --protocol and Sweep.run_point ~protocol accept *)
+  let label = function
+    | "mgs" -> "MGS (eager RC)"
+    | "hlrc" -> "HLRC (lazy RC)"
+    | "ivy" -> "Ivy (SC)"
+    | n -> n
   in
   Printf.printf "migratory counter, P = 8, %d lock rounds per processor:\n\n" rounds;
   Printf.printf "%-16s %14s %10s %14s %10s\n" "protocol" "C=2 runtime" "msgs" "C=8 runtime" "msgs";
@@ -42,8 +48,8 @@ let () =
     (fun p ->
       let t2, m2 = run p ~cluster:2 in
       let t8, m8 = run p ~cluster:8 in
-      Printf.printf "%-16s %14d %10d %14d %10d\n" (name p) t2 m2 t8 m8)
-    [ Mgs.State.Protocol_mgs; Mgs.State.Protocol_hlrc; Mgs.State.Protocol_ivy ];
+      Printf.printf "%-16s %14d %10d %14d %10d\n" (label p) t2 m2 t8 m8)
+    (Mgs.Protocol.names ());
   print_newline ();
   print_endline
     "All three produce identical results; they differ in where the coherence work goes."

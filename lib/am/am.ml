@@ -1,5 +1,4 @@
-type recorder =
-  Mgs_engine.Sim.time -> tag:string -> src:int -> dst:int -> words:int -> unit
+type recorder = Mgs_engine.Sim.time -> Mgs_net.Envelope.t -> unit
 
 module Span = Mgs_obs.Span
 
@@ -68,9 +67,10 @@ let post am ~tag ~src ~dst ~words ~cost k =
     | None -> Span.none
     | Some tr -> Span.current (Mgs_obs.Trace.spans tr)
   in
+  let env = { Mgs_net.Envelope.tag; src; dst; src_ssmp; dst_ssmp; words; cost } in
   let deliver arrive =
     am.in_flight <- am.in_flight - 1;
-    (match am.recorder with Some r -> r arrive ~tag ~src ~dst ~words | None -> ());
+    (match am.recorder with Some r -> r arrive env | None -> ());
     let fin =
       Mgs_machine.Cpu.occupy am.cpus.(dst) ~at:arrive ~cost:(p.handler_dispatch + cost)
     in
@@ -127,7 +127,7 @@ let post am ~tag ~src ~dst ~words ~cost k =
           k fin;
           Span.set_current sp saved)
   in
-  Mgs_net.Lan.send am.lan ~src:src_ssmp ~dst:dst_ssmp ~at ~words deliver
+  Mgs_net.Lan.send am.lan env ~at deliver
 
 let run_on am ?tag ~proc ~at ~cost k =
   let fin = Mgs_machine.Cpu.occupy am.cpus.(proc) ~at ~cost in

@@ -51,10 +51,10 @@ val run_on :
     a lock handoff).  When [tag] is given and an event trace is
     installed, the occupancy slice is recorded under that tag. *)
 
-val set_recorder :
-  t -> (Mgs_engine.Sim.time -> tag:string -> src:int -> dst:int -> words:int -> unit) option -> unit
-(** Install (or remove) a callback invoked at every message delivery —
-    the hook behind trace dumps.  The callback must not post messages. *)
+val set_recorder : t -> (Mgs_engine.Sim.time -> Mgs_net.Envelope.t -> unit) option -> unit
+(** Install (or remove) a callback invoked at every message delivery
+    with the delivered {!Mgs_net.Envelope.t} — the hook behind trace
+    dumps.  The callback must not post messages. *)
 
 val set_obs : t -> Mgs_obs.Trace.t option -> unit
 (** Install (or remove) an event trace: every delivered message emits a

@@ -1,14 +1,13 @@
 open State
 
+(* Both hooks dispatch through the protocol registry: engines without a
+   hook registered a no-op, so there is nothing to match on here. *)
+
 let at_release m ~proc ~notices =
-  match m.protocol with
-  | Protocol_mgs -> Proto.release_all m ~proc
-  | Protocol_hlrc ->
-    Proto_hlrc.release_all m ~proc;
-    Proto_hlrc.publish m ~proc ~into:notices
-  | Protocol_ivy -> ()
+  let (module P : Protocol.PROTOCOL) = Protocol.impl_of m.protocol in
+  P.release_all m ~proc;
+  P.publish m ~proc ~into:notices
 
 let at_acquire m ~proc ~notices =
-  match m.protocol with
-  | Protocol_hlrc -> Proto_hlrc.apply_notices m ~proc notices
-  | Protocol_mgs | Protocol_ivy -> ()
+  let (module P : Protocol.PROTOCOL) = Protocol.impl_of m.protocol in
+  P.apply_notices m ~proc notices

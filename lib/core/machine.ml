@@ -138,6 +138,25 @@ let enable_metrics ?interval ?max_samples (m : t) =
 
 let metrics (m : t) = m.metrics
 
+let set_faults (m : t) ?(seed = 42) spec =
+  if Mgs_net.Fault.is_zero spec then Lan.set_fault_plan m.lan None
+  else begin
+    let plan = Mgs_net.Fault.make spec ~seed ~nssmps:m.topo.Topology.nssmps in
+    Lan.set_fault_plan m.lan (Some plan);
+    (* transport gauges, registered once faults exist and metrics are on *)
+    match m.metrics with
+    | Some mt ->
+      let fi = float_of_int in
+      Mgs_obs.Metrics.probe mt "net.retransmits" (fun () -> fi (Lan.stats m.lan).Lan.retransmits);
+      Mgs_obs.Metrics.probe mt "net.dup_drops" (fun () -> fi (Lan.stats m.lan).Lan.dup_drops);
+      Mgs_obs.Metrics.probe mt "net.unacked" (fun () -> fi (Lan.unacked m.lan))
+    | None -> ()
+  end
+
+let clear_faults (m : t) = Lan.set_fault_plan m.lan None
+
+let fault_plan (m : t) = Lan.fault_plan m.lan
+
 let enable_checker ?capacity (m : t) = Invariant.attach m (enable_trace ?capacity m)
 
 let reset_stats (m : t) =
@@ -192,19 +211,33 @@ let run (m : t) body =
             Cpu.finish m.cpus.(p)))
   in
   m.fibers <- fibers;
-  ignore (Sim.run m.sim ~limit ());
-  Mgs_engine.Fiber.check_all_completed fibers;
+  let outcome =
+    match Sim.run m.sim ~limit () with
+    | _ ->
+      Mgs_engine.Fiber.check_all_completed fibers;
+      Report.Completed
+    | exception Lan.Net_partition p ->
+      (* a typed outcome, not a hang: fibers are abandoned where they
+         stand and the report covers progress up to the partition *)
+      Report.Partitioned
+        {
+          src_ssmp = p.Lan.part_src_ssmp;
+          dst_ssmp = p.Lan.part_dst_ssmp;
+          tag = p.Lan.part_tag;
+          retries = p.Lan.part_retries;
+        }
+  in
   (* capture the final partial sampling interval *)
   (match m.metrics with
   | Some mt -> Mgs_obs.Metrics.sample mt ~now:(Sim.now m.sim)
   | None -> ());
-  Report.of_machine ~wall_seconds:(Unix.gettimeofday () -. t0) m
+  Report.of_machine ~wall_seconds:(Unix.gettimeofday () -. t0) ~outcome m
 
 let trace_messages (m : t) sink =
   Am.set_recorder m.am
     (Some
-       (fun time ~tag ~src ~dst ~words ->
-         sink (Printf.sprintf "%d %s %d %d %d" time tag src dst words)))
+       (fun time (env : Mgs_net.Envelope.t) ->
+         sink (Printf.sprintf "%d %s %d %d %d" time env.tag env.src env.dst env.words)))
 
 let assert_quiescent (m : t) =
   Array.iteri

@@ -71,6 +71,21 @@ val enable_metrics : ?interval:int -> ?max_samples:int -> t -> Mgs_obs.Metrics.t
 val metrics : t -> Mgs_obs.Metrics.t option
 (** The installed metrics sampler, if any. *)
 
+val set_faults : t -> ?seed:int -> Mgs_net.Fault.spec -> unit
+(** Install a deterministic fault plan on the LAN (seed default 42):
+    the reliable transport activates and the wire misbehaves per the
+    spec, but protocol handlers still see exactly-once in-order
+    delivery.  A spec with all rates zero uninstalls instead, so
+    sweeping intensity through 0 degrades to the byte-identical
+    faults-free machine.  If metrics are enabled (before this call),
+    transport gauges ([net.retransmits], [net.dup_drops],
+    [net.unacked]) are registered.  Call before [run]. *)
+
+val clear_faults : t -> unit
+(** Remove the fault plan; subsequent traffic uses the perfect wire. *)
+
+val fault_plan : t -> Mgs_net.Fault.plan option
+
 val enable_checker : ?capacity:int -> t -> Invariant.t
 (** Install the event trace (if not already on) and attach the online
     invariant checker to it.  Inspect the returned checker after [run]
@@ -106,7 +121,9 @@ val peek : t -> int -> float
 
 val run : t -> (Api.ctx -> unit) -> Report.t
 (** Spawn one fiber per processor executing the SPMD body, run the
-    simulation to completion, and summarize.
+    simulation to completion, and summarize.  Under a fault plan, a
+    message that exhausts its retries ends the run early with
+    [outcome = Partitioned _] in the report instead of hanging.
     @raise Failure if any fiber deadlocks or the event limit trips. *)
 
 val trace_messages : t -> (string -> unit) -> unit

@@ -1,0 +1,113 @@
+(* One face for the three coherence engines.
+
+   The engines (MGS, HLRC, Ivy) export different hook sets — Ivy has no
+   release-time work, only HLRC publishes and applies write notices.
+   Packaging each behind the same module type with explicit no-ops lets
+   every dispatch site ([Api], [Consistency], the harness, the CLIs)
+   treat protocols uniformly and lets the harness select them by name,
+   so adding a fourth engine means one [register] call, not a variant
+   case in a dozen matches. *)
+
+module type PROTOCOL = sig
+  val name : string
+  (** Registry key; what [--protocol] and sweep specs say. *)
+
+  val proto : State.protocol
+  (** The [State] tag a machine running this engine carries. *)
+
+  val fault : State.t -> proc:int -> vpn:int -> write:bool -> unit
+  (** Resolve an access fault on [vpn]; fiber context. *)
+
+  val release_all : State.t -> proc:int -> unit
+  (** Release-side flush (delayed updates / diffs); fiber context. *)
+
+  val publish : State.t -> proc:int -> into:(int, int) Hashtbl.t -> unit
+  (** Deposit write notices into a synchronization object at release. *)
+
+  val apply_notices : State.t -> proc:int -> (int, int) Hashtbl.t -> unit
+  (** Consume write notices at acquire (lazy invalidation). *)
+end
+
+let nop_publish _ ~proc:_ ~into:_ = ()
+
+let nop_apply _ ~proc:_ _ = ()
+
+module Mgs_protocol : PROTOCOL = struct
+  let name = "mgs"
+
+  let proto = State.Protocol_mgs
+
+  let fault = Proto.fault
+
+  let release_all = Proto.release_all
+
+  let publish = nop_publish
+
+  let apply_notices = nop_apply
+end
+
+module Hlrc_protocol : PROTOCOL = struct
+  let name = "hlrc"
+
+  let proto = State.Protocol_hlrc
+
+  let fault = Proto_hlrc.fault
+
+  let release_all = Proto_hlrc.release_all
+
+  let publish = Proto_hlrc.publish
+
+  let apply_notices = Proto_hlrc.apply_notices
+end
+
+module Ivy_protocol : PROTOCOL = struct
+  let name = "ivy"
+
+  let proto = State.Protocol_ivy
+
+  let fault = Proto_ivy.fault
+
+  let release_all _ ~proc:_ = ()
+
+  let publish = nop_publish
+
+  let apply_notices = nop_apply
+end
+
+let registry : (string, (module PROTOCOL)) Hashtbl.t = Hashtbl.create 8
+
+let register ((module P : PROTOCOL) as impl) =
+  if Hashtbl.mem registry P.name then
+    invalid_arg (Printf.sprintf "Protocol.register: %S already registered" P.name);
+  Hashtbl.add registry P.name impl
+
+let () = List.iter register [ (module Mgs_protocol); (module Hlrc_protocol); (module Ivy_protocol) ]
+
+let find name = Hashtbl.find_opt registry name
+
+let names () = List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) registry [])
+
+let of_name name =
+  match find name with
+  | Some impl -> impl
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown protocol %S (known: %s)" name
+         (String.concat ", " (names ())))
+
+let proto_of_name name =
+  let (module P) = of_name name in
+  P.proto
+
+(* Dispatch for machines built directly with a [State.protocol] tag:
+   a direct match, so the fault path pays no table lookup.  Only the
+   three built-ins carry tags; dynamically registered engines are
+   reached by name. *)
+let impl_of = function
+  | State.Protocol_mgs -> (module Mgs_protocol : PROTOCOL)
+  | State.Protocol_hlrc -> (module Hlrc_protocol : PROTOCOL)
+  | State.Protocol_ivy -> (module Ivy_protocol : PROTOCOL)
+
+let name_of proto =
+  let (module P) = impl_of proto in
+  P.name

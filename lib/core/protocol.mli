@@ -1,0 +1,49 @@
+(** One face for the three coherence engines.
+
+    Each engine is packaged behind {!PROTOCOL} (with explicit no-ops
+    where an engine lacks a hook) and registered by name, so dispatch
+    sites treat protocols uniformly and harnesses select them with a
+    string — adding an engine is one {!register} call, not a variant
+    case in a dozen matches. *)
+
+module type PROTOCOL = sig
+  val name : string
+  (** Registry key; what [--protocol] and sweep specs say. *)
+
+  val proto : State.protocol
+  (** The [State] tag a machine running this engine carries. *)
+
+  val fault : State.t -> proc:int -> vpn:int -> write:bool -> unit
+  (** Resolve an access fault on [vpn]; fiber context. *)
+
+  val release_all : State.t -> proc:int -> unit
+  (** Release-side flush (delayed updates / diffs); fiber context. *)
+
+  val publish : State.t -> proc:int -> into:(int, int) Hashtbl.t -> unit
+  (** Deposit write notices into a synchronization object at release. *)
+
+  val apply_notices : State.t -> proc:int -> (int, int) Hashtbl.t -> unit
+  (** Consume write notices at acquire (lazy invalidation). *)
+end
+
+val register : (module PROTOCOL) -> unit
+(** @raise Invalid_argument if the name is taken. *)
+
+val find : string -> (module PROTOCOL) option
+
+val of_name : string -> (module PROTOCOL)
+(** @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val proto_of_name : string -> State.protocol
+(** The [State] tag for a registered name.
+    @raise Invalid_argument on an unknown name. *)
+
+val name_of : State.protocol -> string
+(** Inverse of {!proto_of_name} for the built-in engines. *)
+
+val names : unit -> string list
+(** Registered protocol names, sorted. *)
+
+val impl_of : State.protocol -> (module PROTOCOL)
+(** The engine behind a [State] tag — a direct match, no table lookup,
+    so fault-path dispatch stays cheap. *)

@@ -18,6 +18,10 @@ type t = {
   mutable rel_wait : int; (* cycles releasers spent awaiting RACKs *)
   mutable fetch_wait : int; (* cycles faulting fibers spent awaiting page data *)
   mutable upgrade_wait : int; (* cycles spent awaiting UP_ACK *)
+  (* reliable-transport counters, nonzero only under a fault plan *)
+  mutable net_retries : int; (* LAN retransmission attempts *)
+  mutable net_dups : int; (* received copies discarded by dedup *)
+  mutable net_timeouts : int; (* retransmission timer expiries *)
 }
 
 let create () =
@@ -41,6 +45,9 @@ let create () =
     rel_wait = 0;
     fetch_wait = 0;
     upgrade_wait = 0;
+    net_retries = 0;
+    net_dups = 0;
+    net_timeouts = 0;
   }
 
 let reset t =
@@ -62,7 +69,10 @@ let reset t =
   t.sync_wait <- 0;
   t.rel_wait <- 0;
   t.fetch_wait <- 0;
-  t.upgrade_wait <- 0
+  t.upgrade_wait <- 0;
+  t.net_retries <- 0;
+  t.net_dups <- 0;
+  t.net_timeouts <- 0
 
 let pp ppf t =
   Format.fprintf ppf
@@ -71,4 +81,8 @@ let pp ppf t =
     t.tlb_local_fills t.read_fetches t.write_fetches t.upgrades t.releases t.release_ops
     t.invals t.one_winvals t.pinvs t.diffs t.diff_words t.one_wdata t.one_wclean t.acks;
   Format.fprintf ppf " syncs=%d sync_wait=%d rel_wait=%d fetch_wait=%d upgrade_wait=%d"
-    t.syncs t.sync_wait t.rel_wait t.fetch_wait t.upgrade_wait
+    t.syncs t.sync_wait t.rel_wait t.fetch_wait t.upgrade_wait;
+  (* a perfect wire prints exactly as before faults existed *)
+  if t.net_retries <> 0 || t.net_dups <> 0 || t.net_timeouts <> 0 then
+    Format.fprintf ppf " net_retries=%d net_dups=%d net_timeouts=%d" t.net_retries t.net_dups
+      t.net_timeouts

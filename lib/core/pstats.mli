@@ -23,6 +23,9 @@ type t = {
   mutable rel_wait : int;  (** cycles releasers spent awaiting RACKs *)
   mutable fetch_wait : int;  (** cycles faulting fibers spent awaiting page data *)
   mutable upgrade_wait : int;  (** cycles spent awaiting UP_ACK *)
+  mutable net_retries : int;  (** LAN retransmission attempts (fault plans only) *)
+  mutable net_dups : int;  (** received copies discarded by transport dedup *)
+  mutable net_timeouts : int;  (** retransmission timer expiries *)
 }
 
 val create : unit -> t

@@ -2,7 +2,17 @@ open State
 
 type breakdown = { user : float; lock : float; barrier : float; mgs : float }
 
+type outcome =
+  | Completed
+  | Partitioned of {
+      src_ssmp : int;
+      dst_ssmp : int;
+      tag : string;
+      retries : int;
+    }
+
 type t = {
+  outcome : outcome;
   nprocs : int;
   cluster : int;
   runtime : int;
@@ -42,6 +52,9 @@ let copy_pstats (p : Pstats.t) : Pstats.t =
     rel_wait = p.rel_wait;
     fetch_wait = p.fetch_wait;
     upgrade_wait = p.upgrade_wait;
+    net_retries = p.net_retries;
+    net_dups = p.net_dups;
+    net_timeouts = p.net_timeouts;
   }
 
 let aggregate_cache m : Coherence.stats =
@@ -67,21 +80,28 @@ let aggregate_cache m : Coherence.stats =
     m.caches;
   acc
 
-let of_machine ?(wall_seconds = 0.) m =
+let of_machine ?(wall_seconds = 0.) ?(outcome = Completed) m =
   let n = m.topo.Topology.nprocs in
   let mean bucket =
     let sum = Array.fold_left (fun acc cpu -> acc + Cpu.bucket_cycles cpu bucket) 0 m.cpus in
     float_of_int sum /. float_of_int n
   in
   let lan_stats = Lan.stats m.lan in
+  (* transport counters live with the protocol counters: they are part
+     of the same "what did the coherence traffic cost" story *)
+  let pstats = copy_pstats m.pstats in
+  pstats.Pstats.net_retries <- lan_stats.Lan.retransmits;
+  pstats.Pstats.net_dups <- lan_stats.Lan.dup_drops;
+  pstats.Pstats.net_timeouts <- lan_stats.Lan.timeouts;
   {
+    outcome;
     nprocs = n;
     cluster = m.topo.Topology.cluster;
     runtime = Array.fold_left (fun acc cpu -> max acc cpu.Cpu.finished_at) 0 m.cpus;
     breakdown =
       { user = mean Cpu.User; lock = mean Cpu.Lock; barrier = mean Cpu.Barrier; mgs = mean Cpu.Mgs };
     per_proc_total = Array.map Cpu.total_cycles m.cpus;
-    pstats = copy_pstats m.pstats;
+    pstats;
     cache = aggregate_cache m;
     lan_messages = lan_stats.Lan.messages;
     lan_words = lan_stats.Lan.data_words;
@@ -110,10 +130,21 @@ let pp_throughput ppf r =
   if r.wall_seconds > 0. then
     Format.fprintf ppf " (%.0f events/s)" (events_per_second r)
 
+let completed r = r.outcome = Completed
+
+let pp_outcome ppf = function
+  | Completed -> Format.fprintf ppf "completed"
+  | Partitioned { src_ssmp; dst_ssmp; tag; retries } ->
+    Format.fprintf ppf "PARTITIONED (ssmp %d->%d, %s after %d retries)" src_ssmp dst_ssmp tag
+      retries
+
 let pp ppf r =
   Format.fprintf ppf
     "P=%d C=%d runtime=%d cycles | user=%.0f lock=%.0f barrier=%.0f mgs=%.0f | lan=%d msgs \
      %d words | locks %d/%d hits | %a | %a"
     r.nprocs r.cluster r.runtime r.breakdown.user r.breakdown.lock r.breakdown.barrier
     r.breakdown.mgs r.lan_messages r.lan_words r.lock_hits r.lock_acquires Pstats.pp r.pstats
-    pp_throughput r
+    pp_throughput r;
+  match r.outcome with
+  | Completed -> ()
+  | Partitioned _ as o -> Format.fprintf ppf " | %a" pp_outcome o

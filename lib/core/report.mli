@@ -8,7 +8,20 @@ type breakdown = {
   mgs : float;  (** software coherence: fault service, releases, handler occupancy *)
 }
 
+type outcome =
+  | Completed
+  | Partitioned of {
+      src_ssmp : int;
+      dst_ssmp : int;
+      tag : string;
+      retries : int;
+    }
+      (** A message exhausted its retransmission budget under a fault
+          plan; the run was abandoned at that point and every counter
+          below reflects progress up to it. *)
+
 type t = {
+  outcome : outcome;
   nprocs : int;
   cluster : int;
   runtime : int;  (** parallel execution time: max processor finish time *)
@@ -30,7 +43,11 @@ type t = {
           render byte-identically. *)
 }
 
-val of_machine : ?wall_seconds:float -> State.t -> t
+val of_machine : ?wall_seconds:float -> ?outcome:outcome -> State.t -> t
+
+val completed : t -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit
 
 val total : breakdown -> float
 

@@ -3,7 +3,7 @@ type variant = {
   page_words : int;
   lan_latency : int;
   features : Mgs.State.features;
-  protocol : Mgs.State.protocol;
+  protocol : string;  (* a Mgs.Protocol registry name *)
   tlb_entries : int option;
 }
 
@@ -13,15 +13,15 @@ let baseline =
     page_words = 256;
     lan_latency = 1000;
     features = Mgs.State.default_features;
-    protocol = Mgs.State.Protocol_mgs;
+    protocol = "mgs";
     tlb_entries = None;
   }
 
 let protocol_study () =
   [
     { baseline with label = "MGS (eager RC)" };
-    { baseline with label = "HLRC (lazy RC)"; protocol = Mgs.State.Protocol_hlrc };
-    { baseline with label = "Ivy (SC)"; protocol = Mgs.State.Protocol_ivy };
+    { baseline with label = "HLRC (lazy RC)"; protocol = "hlrc" };
+    { baseline with label = "Ivy (SC)"; protocol = "ivy" };
   ]
 
 let pipelined_release_study () =
@@ -77,8 +77,9 @@ let run ?clusters ?(jobs = 1) ~nprocs ~variants w =
   let run_cell (v, cluster) =
     let cfg =
       Mgs.Machine.config ~page_words:v.page_words ~lan_latency:v.lan_latency
-        ~features:v.features ~protocol:v.protocol ?tlb_entries:v.tlb_entries ~nprocs
-        ~cluster ()
+        ~features:v.features
+        ~protocol:(Mgs.Protocol.proto_of_name v.protocol)
+        ?tlb_entries:v.tlb_entries ~nprocs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
     let body, check = w.Sweep.prepare m in

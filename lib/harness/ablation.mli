@@ -11,7 +11,7 @@ type variant = {
   page_words : int;
   lan_latency : int;
   features : Mgs.State.features;
-  protocol : Mgs.State.protocol;
+  protocol : string;  (** a {!Mgs.Protocol} registry name, e.g. ["mgs"] *)
   tlb_entries : int option;
 }
 

@@ -10,13 +10,22 @@ let clusters_of nprocs =
   go 1
 
 let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_latency = 1000)
-    ?(verify = true) ?(check = true) ~nprocs ~cluster w =
-  let cfg = Mgs.Machine.config ~page_words ~costs ~lan_latency ~nprocs ~cluster () in
+    ?(protocol = "mgs") ?faults ?(fault_seed = 42) ?(verify = true) ?(check = true) ~nprocs
+    ~cluster w =
+  let cfg =
+    Mgs.Machine.config ~page_words ~costs ~lan_latency
+      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs ~cluster ()
+  in
   let m = Mgs.Machine.create cfg in
   let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
+  (match faults with
+  | Some spec -> Mgs.Machine.set_faults m ~seed:fault_seed spec
+  | None -> ());
   let body, wcheck = w.prepare m in
   let report = Mgs.Machine.run m body in
-  if verify then begin
+  (* a partitioned run is a legitimate outcome under faults: the caller
+     inspects [report.outcome]; only completed runs can be verified *)
+  if verify && Mgs.Report.completed report then begin
     Mgs.Machine.assert_quiescent m;
     wcheck m
   end;
@@ -28,15 +37,65 @@ let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_lat
   | None -> ());
   { cluster; report; lock_hit_ratio = Mgs.Report.lock_hit_ratio report }
 
-let sweep ?page_words ?costs ?lan_latency ?verify ?check ?clusters ?(jobs = 1) ~nprocs w =
+let sweep ?page_words ?costs ?lan_latency ?protocol ?verify ?check ?clusters ?(jobs = 1)
+    ~nprocs w =
   let clusters = Option.value ~default:(clusters_of nprocs) clusters in
   (* Every point is a self-contained machine, so the sweep fans out over
      a domain pool; Dpool.map returns results in cluster order, making
      the output independent of [jobs]. *)
   Mgs_util.Dpool.map ~jobs
     (fun cluster ->
-      run_point ?page_words ?costs ?lan_latency ?verify ?check ~nprocs ~cluster w)
+      run_point ?page_words ?costs ?lan_latency ?protocol ?verify ?check ~nprocs ~cluster w)
     clusters
+
+(* --- chaos sweeps ---------------------------------------------------- *)
+
+type chaos_point = { intensity : float; spec : Mgs_net.Fault.spec; point : point }
+
+(* The chaos contract has two halves, both asserted here rather than
+   left to callers: (1) every point terminates — either completed (then
+   verified like any sweep point) or as a typed partition, never a
+   hang; (2) a fixed seed fully determines the run, shown by executing
+   every point twice and comparing the simulated results exactly. *)
+let chaos ?(intensities = [ 0.0; 0.25; 0.5; 1.0 ]) ?(spec = Mgs_net.Fault.default_chaos)
+    ?protocol ?page_words ?costs ?lan_latency ?(check = false) ~seed ~nprocs ~cluster w =
+  List.mapi
+    (fun i intensity ->
+      let fspec = Mgs_net.Fault.scale spec ~intensity in
+      let faults = if Mgs_net.Fault.is_zero fspec then None else Some fspec in
+      let fault_seed = seed + (7919 * i) in
+      let go () =
+        run_point ?page_words ?costs ?lan_latency ?protocol ?faults ~fault_seed ~check
+          ~nprocs ~cluster w
+      in
+      let p1 = go () in
+      let p2 = go () in
+      let r1 = p1.report and r2 = p2.report in
+      if
+        r1.Mgs.Report.runtime <> r2.Mgs.Report.runtime
+        || r1.Mgs.Report.sim_events <> r2.Mgs.Report.sim_events
+        || r1.Mgs.Report.outcome <> r2.Mgs.Report.outcome
+        || r1.Mgs.Report.pstats.Mgs.Pstats.net_retries
+           <> r2.Mgs.Report.pstats.Mgs.Pstats.net_retries
+        || r1.Mgs.Report.pstats.Mgs.Pstats.net_dups <> r2.Mgs.Report.pstats.Mgs.Pstats.net_dups
+      then
+        failwith
+          (Printf.sprintf "%s: chaos point intensity=%g seed=%d is not deterministic" w.name
+             intensity fault_seed);
+      { intensity; spec = fspec; point = p1 })
+    intensities
+
+let pp_chaos_table ppf points =
+  Format.fprintf ppf "%-10s %-12s %-10s %-8s %-8s %-8s %s@." "intensity" "runtime" "events"
+    "retries" "dups" "timeouts" "outcome";
+  List.iter
+    (fun cp ->
+      let r = cp.point.report in
+      Format.fprintf ppf "%-10g %-12d %-10d %-8d %-8d %-8d %a@." cp.intensity
+        r.Mgs.Report.runtime r.Mgs.Report.sim_events r.Mgs.Report.pstats.Mgs.Pstats.net_retries
+        r.Mgs.Report.pstats.Mgs.Pstats.net_dups r.Mgs.Report.pstats.Mgs.Pstats.net_timeouts
+        Mgs.Report.pp_outcome r.Mgs.Report.outcome)
+    points
 
 (* Pure versions on (cluster, runtime) pairs — the point-based API
    below delegates to these; they are exposed for testing. *)

@@ -23,6 +23,9 @@ val run_point :
   ?page_words:int ->
   ?costs:Mgs_machine.Costs.t ->
   ?lan_latency:int ->
+  ?protocol:string ->
+  ?faults:Mgs_net.Fault.spec ->
+  ?fault_seed:int ->
   ?verify:bool ->
   ?check:bool ->
   nprocs:int ->
@@ -30,16 +33,22 @@ val run_point :
   workload ->
   point
 (** One configuration.  Default LAN latency 1000 cycles (section 5.2.1),
-    1 KB pages; [verify] (default true) runs the workload's checker and
-    {!Mgs.Machine.assert_quiescent}; [check] (default true) runs the
-    online protocol invariant checker ({!Mgs.Invariant}) and fails on
-    any violation.
-    @raise Failure on a workload-verifier or invariant failure. *)
+    1 KB pages; [protocol] (default ["mgs"]) selects a coherence engine
+    from the {!Mgs.Protocol} registry by name; [faults] installs a
+    deterministic fault plan (seeded by [fault_seed], default 42) on the
+    LAN; [verify] (default true) runs the workload's checker and
+    {!Mgs.Machine.assert_quiescent} — skipped when the run ended in a
+    partition, which the caller observes via [report.outcome]; [check]
+    (default true) runs the online protocol invariant checker
+    ({!Mgs.Invariant}) and fails on any violation.
+    @raise Failure on a workload-verifier or invariant failure.
+    @raise Invalid_argument on an unknown protocol name. *)
 
 val sweep :
   ?page_words:int ->
   ?costs:Mgs_machine.Costs.t ->
   ?lan_latency:int ->
+  ?protocol:string ->
   ?verify:bool ->
   ?check:bool ->
   ?clusters:int list ->
@@ -51,6 +60,47 @@ val sweep :
     many points concurrently on separate domains ({!Mgs_util.Dpool});
     results are identical to the sequential sweep regardless of
     [jobs]. *)
+
+(** {1 Chaos sweeps}
+
+    Fault-intensity sweeps at a fixed configuration: the fault spec's
+    probabilities are scaled through a list of intensities and the
+    workload re-run under each resulting plan. *)
+
+type chaos_point = {
+  intensity : float;  (** the multiplier applied to [spec]'s rates *)
+  spec : Mgs_net.Fault.spec;  (** the scaled spec this point ran under *)
+  point : point;
+}
+
+val chaos :
+  ?intensities:float list ->
+  ?spec:Mgs_net.Fault.spec ->
+  ?protocol:string ->
+  ?page_words:int ->
+  ?costs:Mgs_machine.Costs.t ->
+  ?lan_latency:int ->
+  ?check:bool ->
+  seed:int ->
+  nprocs:int ->
+  cluster:int ->
+  workload ->
+  chaos_point list
+(** Run the workload once per intensity (default [0, 0.25, 0.5, 1.0])
+    under [spec] (default {!Mgs_net.Fault.default_chaos}) scaled by that
+    intensity; intensity 0 runs the plain faults-free machine.  Each
+    point is executed {e twice} and the simulated results compared — the
+    fixed-seed determinism contract — and completed runs are verified
+    like ordinary sweep points (partitions skip verification and are
+    reported in the point's [report.outcome]).  [check] defaults to
+    false: a partitioned run legitimately abandons protocol state
+    mid-flight, which the invariant checker would flag.
+    @raise Failure if a point's two executions disagree, or on a
+    workload-verifier failure in a completed run. *)
+
+val pp_chaos_table : Format.formatter -> chaos_point list -> unit
+(** One row per intensity: runtime, events, transport counters,
+    outcome. *)
 
 (** Framework metrics over a sweep (which must include C = 1 .. P). *)
 

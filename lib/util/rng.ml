@@ -17,6 +17,14 @@ let split g =
   let s = bits64 g in
   { state = mix s }
 
+(* Keyed split: the child depends only on the parent's current state and
+   [key], and the parent does not advance — so a family of streams (one
+   per network channel, say) is determined by the seed alone, however
+   many and in whatever order the children are created. *)
+let split_key g ~key =
+  let s = Int64.add g.state (Int64.mul golden_gamma (Int64.of_int ((2 * key) + 1))) in
+  { state = mix (mix s) }
+
 let int g n =
   if n <= 0 then invalid_arg "Rng.int";
   (* Mask to 62 bits so the value stays nonnegative in OCaml's 63-bit

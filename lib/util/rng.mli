@@ -14,6 +14,13 @@ val create : seed:int -> t
 val split : t -> t
 (** [split g] derives an independent generator; [g] advances. *)
 
+val split_key : t -> key:int -> t
+(** [split_key g ~key] derives an independent generator from [g]'s
+    current state and [key] {e without advancing [g]}: the whole family
+    of children is a function of the parent's state alone, regardless of
+    creation order.  Distinct keys give decorrelated streams (see the
+    independence smoke test in [test_util]). *)
+
 val bits64 : t -> int64
 (** [bits64 g] is the next raw 64-bit output. *)
 

@@ -216,6 +216,38 @@ let test_ablation_run () =
     (has "MGS (eager RC)" && has "HLRC (lazy RC)" && has "Ivy (SC)");
   Alcotest.(check bool) "metric rows" true (has "breakup" && has "potential")
 
+(* Chaos sweep: every point must terminate deterministically (chaos
+   itself re-runs each point and failwiths on divergence), intensity 0
+   must be the faults-off machine exactly, and a hot enough fault plan
+   must actually exercise the retry/dedup machinery. *)
+let test_chaos_sweep () =
+  let points =
+    Sweep.chaos ~intensities:[ 0.0; 4.0 ] ~check:true ~seed:11 ~nprocs:4 ~cluster:2
+      trivial_workload
+  in
+  Alcotest.(check int) "one point per intensity" 2 (List.length points);
+  List.iter
+    (fun (cp : Sweep.chaos_point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "completed at intensity %.2f" cp.Sweep.intensity)
+        true
+        (Mgs.Report.completed cp.Sweep.point.Sweep.report))
+    points;
+  let quiet = List.hd points and hot = List.nth points 1 in
+  let stats (cp : Sweep.chaos_point) =
+    let ps = cp.Sweep.point.Sweep.report.Mgs.Report.pstats in
+    (ps.Mgs.Pstats.net_retries, ps.Mgs.Pstats.net_dups, ps.Mgs.Pstats.net_timeouts)
+  in
+  Alcotest.(check (triple int int int)) "intensity 0 is the perfect wire" (0, 0, 0) (stats quiet);
+  let retries, dups, _ = stats hot in
+  Alcotest.(check bool) "hot plan retransmits" true (retries > 0);
+  Alcotest.(check bool) "hot plan drops duplicates" true (dups > 0);
+  let table = Format.asprintf "%a" Sweep.pp_chaos_table points in
+  Alcotest.(check bool) "table has header and outcomes" true
+    (contains table "intensity" && contains table "completed");
+  Alcotest.(check int) "one table row per point" 3
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' table)))
+
 let test_micro_structure () =
   let ms = Mgs_harness.Micro.run_all () in
   Alcotest.(check int) "twelve Table 3 rows" 12 (List.length ms);
@@ -247,6 +279,7 @@ let () =
             test_export_jobs_deterministic;
           Alcotest.test_case "-j determinism (ablation)" `Quick
             test_ablation_jobs_deterministic;
+          Alcotest.test_case "chaos sweep" `Quick test_chaos_sweep;
         ] );
       ( "rendering",
         [

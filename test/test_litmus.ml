@@ -14,10 +14,11 @@ let protocols = [ ("mgs", Protocol_mgs); ("hlrc", Protocol_hlrc); ("ivy", Protoc
    corrupts protocol state still fails. *)
 let checkers : (Mgs.Machine.t * Mgs.Invariant.t) list ref = ref []
 
-let machine ?(nprocs = 4) ?(lan_latency = 600) protocol =
+let machine ?(nprocs = 4) ?(lan_latency = 600) ?faults protocol =
   let cfg = Mgs.Machine.config ~nprocs ~cluster:2 ~lan_latency ~protocol ~shadow:true () in
   let m = Mgs.Machine.create cfg in
   checkers := (m, Mgs.Machine.enable_checker m) :: !checkers;
+  (match faults with Some spec -> Mgs.Machine.set_faults m ~seed:1234 spec | None -> ());
   m
 
 let assert_invariants m =
@@ -30,8 +31,8 @@ let assert_invariants m =
       Alcotest.fail (Format.asprintf "%a" Mgs.Invariant.pp c)
 
 (* MP (message passing) through a lock: w(data); unlock || lock; r(data). *)
-let test_mp_lock protocol () =
-  let m = machine protocol in
+let test_mp_lock ?faults protocol () =
+  let m = machine ?faults protocol in
   let data = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 3) in
   let lock = Mgs_sync.Lock.create m () in
   let turn = ref 0 in
@@ -65,8 +66,8 @@ let test_mp_lock protocol () =
   Alcotest.(check int) "no shadow divergence" 0 (Mgs.Machine.shadow_mismatches m)
 
 (* MP through a barrier: w(data); barrier || barrier; r(data). *)
-let test_mp_barrier protocol () =
-  let m = machine protocol in
+let test_mp_barrier ?faults protocol () =
+  let m = machine ?faults protocol in
   let data = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 1) in
   let bar = Mgs_sync.Barrier.create m in
   let seen = Array.make 4 (-1.0) in
@@ -84,8 +85,8 @@ let test_mp_barrier protocol () =
 
 (* Transitivity: A writes x, hands lock to B; B writes y, hands lock to
    C; C must see BOTH writes (causal chains compose). *)
-let test_transitive protocol () =
-  let m = machine protocol in
+let test_transitive ?faults protocol () =
+  let m = machine ?faults protocol in
   let x = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
   let y = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 3) in
   let lock = Mgs_sync.Lock.create m () in
@@ -130,8 +131,8 @@ let test_transitive protocol () =
 
 (* Independent locks do not order each other: two disjoint lock-protected
    counters end exactly right even under heavy interleaving. *)
-let test_independent_locks protocol () =
-  let m = machine protocol in
+let test_independent_locks ?faults protocol () =
+  let m = machine ?faults protocol in
   let a = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
   let b = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 2) in
   let la = Mgs_sync.Lock.create m ~home:0 () in
@@ -258,6 +259,18 @@ let for_all_protocols name f =
     (fun (pname, p) -> Alcotest.test_case (Printf.sprintf "%s [%s]" name pname) `Quick (f p))
     protocols
 
+(* The same happens-before claims must hold verbatim on a lossy LAN:
+   the reliable transport makes drops/dups/reorderings invisible to the
+   protocol layer (exactly-once handlers), so every assertion — shadow
+   oracle and invariant checker included — is unchanged. *)
+let lossy = Mgs_net.Fault.scale Mgs_net.Fault.default_chaos ~intensity:0.5
+
+let for_all_protocols_lossy name (f : ?faults:Mgs_net.Fault.spec -> protocol -> unit -> unit) =
+  List.map
+    (fun (pname, p) ->
+      Alcotest.test_case (Printf.sprintf "%s [%s, lossy]" name pname) `Quick (f ~faults:lossy p))
+    protocols
+
 let () =
   Alcotest.run "litmus"
     [
@@ -265,6 +278,11 @@ let () =
       ("message passing via barrier", for_all_protocols "MP barrier" test_mp_barrier);
       ("transitivity", for_all_protocols "A->B->C" test_transitive);
       ("independence", for_all_protocols "disjoint locks" test_independent_locks);
+      ( "lossy LAN",
+        for_all_protocols_lossy "MP lock" test_mp_lock
+        @ for_all_protocols_lossy "MP barrier" test_mp_barrier
+        @ for_all_protocols_lossy "A->B->C" test_transitive
+        @ for_all_protocols_lossy "disjoint locks" test_independent_locks );
       ( "protocol regressions",
         [
           Alcotest.test_case "deferred REL yields 1WCLEAN" `Quick test_deferred_rel_1wclean;

@@ -1,9 +1,13 @@
 (* Tests for the LAN model and the active-message layer: fixed latency,
    sender occupancy, per-channel FIFO delivery, intra-SSMP fast path,
-   and handler occupancy on the destination processor. *)
+   handler occupancy on the destination processor — and the reliable
+   transport that keeps delivery exactly-once and in order when a fault
+   plan makes the wire lossy. *)
 
 module Sim = Mgs_engine.Sim
 module Lan = Mgs_net.Lan
+module Fault = Mgs_net.Fault
+module Envelope = Mgs_net.Envelope
 module Am = Mgs_am.Am
 module Costs = Mgs_machine.Costs
 module Topo = Mgs_machine.Topology
@@ -11,11 +15,13 @@ module Cpu = Mgs_machine.Cpu
 
 let costs = Costs.default
 
+let env ~src ~dst ~words = Envelope.make ~src_ssmp:src ~dst_ssmp:dst ~words ()
+
 let test_lan_latency () =
   let sim = Sim.create () in
   let lan = Lan.create sim costs ~nssmps:4 in
   let arrived = ref (-1) in
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun t -> arrived := t);
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun t -> arrived := t);
   ignore (Sim.run sim ());
   Alcotest.(check int) "fixed latency" costs.Costs.lan.latency !arrived
 
@@ -23,7 +29,7 @@ let test_lan_dma () =
   let sim = Sim.create () in
   let lan = Lan.create sim costs ~nssmps:4 in
   let arrived = ref (-1) in
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:256 (fun t -> arrived := t);
+  Lan.send lan (env ~src:0 ~dst:1 ~words:256) ~at:0 (fun t -> arrived := t);
   ignore (Sim.run sim ());
   Alcotest.(check int) "latency + dma"
     (costs.Costs.lan.latency + (256 * costs.Costs.proto.dma_per_word))
@@ -33,8 +39,8 @@ let test_lan_sender_occupancy () =
   let sim = Sim.create () in
   let lan = Lan.create sim costs ~nssmps:4 in
   let t1 = ref 0 and t2 = ref 0 in
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun t -> t1 := t);
-  Lan.send lan ~src:0 ~dst:2 ~at:0 ~words:0 (fun t -> t2 := t);
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun t -> t1 := t);
+  Lan.send lan (env ~src:0 ~dst:2 ~words:0) ~at:0 (fun t -> t2 := t);
   ignore (Sim.run sim ());
   Alcotest.(check int) "second departs after occupancy" costs.Costs.lan.send_occupancy
     (!t2 - !t1)
@@ -44,8 +50,8 @@ let test_lan_fifo_no_overtake () =
   let lan = Lan.create sim costs ~nssmps:4 in
   let order = ref [] in
   (* a bulk message followed by a short one on the same channel *)
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:256 (fun _ -> order := `Bulk :: !order);
-  Lan.send lan ~src:0 ~dst:1 ~at:1 ~words:0 (fun _ -> order := `Short :: !order);
+  Lan.send lan (env ~src:0 ~dst:1 ~words:256) ~at:0 (fun _ -> order := `Bulk :: !order);
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:1 (fun _ -> order := `Short :: !order);
   ignore (Sim.run sim ());
   Alcotest.(check bool) "bulk delivered first" true (List.rev !order = [ `Bulk; `Short ])
 
@@ -53,7 +59,7 @@ let test_lan_intra_fast_path () =
   let sim = Sim.create () in
   let lan = Lan.create sim costs ~nssmps:4 in
   let arrived = ref (-1) in
-  Lan.send lan ~src:2 ~dst:2 ~at:0 ~words:0 (fun t -> arrived := t);
+  Lan.send lan (env ~src:2 ~dst:2 ~words:0) ~at:0 (fun t -> arrived := t);
   ignore (Sim.run sim ());
   Alcotest.(check int) "intra cost only" costs.Costs.proto.intra_msg !arrived;
   Alcotest.(check int) "not counted as LAN traffic" 0 (Lan.stats lan).Lan.messages
@@ -61,8 +67,8 @@ let test_lan_intra_fast_path () =
 let test_lan_stats () =
   let sim = Sim.create () in
   let lan = Lan.create sim costs ~nssmps:4 in
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:10 (fun _ -> ());
-  Lan.send lan ~src:1 ~dst:0 ~at:0 ~words:20 (fun _ -> ());
+  Lan.send lan (env ~src:0 ~dst:1 ~words:10) ~at:0 (fun _ -> ());
+  Lan.send lan (env ~src:1 ~dst:0 ~words:20) ~at:0 (fun _ -> ());
   ignore (Sim.run sim ());
   let s = Lan.stats lan in
   Alcotest.(check int) "messages" 2 s.Lan.messages;
@@ -75,16 +81,156 @@ let test_lan_full_reset () =
   let lan = Lan.create sim costs ~nssmps:4 in
   (* two warmup messages leave the sender occupied until 2x occupancy
      and push the channel's FIFO watermark past one latency *)
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun _ -> ());
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun _ -> ());
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun _ -> ());
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun _ -> ());
   Lan.reset lan;
   let arrived = ref (-1) in
-  Lan.send lan ~src:0 ~dst:1 ~at:0 ~words:0 (fun t -> arrived := t);
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun t -> arrived := t);
   ignore (Sim.run sim ());
   (* with reset_stats alone the residual occupancy and watermark would
      push this to latency + occupancy *)
   Alcotest.(check int) "departs as if idle" costs.Costs.lan.latency !arrived;
   Alcotest.(check int) "counters zeroed" 1 (Lan.stats lan).Lan.messages
+
+(* --- fault specs ------------------------------------------------------ *)
+
+let test_fault_spec_parse () =
+  let s = Fault.of_string "drop=0.1,dup=0.05,delay=0.2:2000,reorder=0.1,slow=1:2.0,rto=8000,retries=6" in
+  Alcotest.(check (float 1e-9)) "drop" 0.1 s.Fault.drop;
+  Alcotest.(check (float 1e-9)) "dup" 0.05 s.Fault.dup;
+  Alcotest.(check (float 1e-9)) "delay_p" 0.2 s.Fault.delay_p;
+  Alcotest.(check int) "delay_max" 2000 s.Fault.delay_max;
+  Alcotest.(check (float 1e-9)) "reorder" 0.1 s.Fault.reorder;
+  Alcotest.(check bool) "slow" true (s.Fault.slow = [ (1, 2.0) ]);
+  Alcotest.(check int) "rto" 8000 s.Fault.rto;
+  Alcotest.(check int) "retries" 6 s.Fault.max_retries;
+  (* to_string round-trips *)
+  Alcotest.(check bool) "roundtrip" true (Fault.of_string (Fault.to_string s) = s);
+  Alcotest.(check bool) "none" true (Fault.is_zero (Fault.of_string "none"));
+  (match Fault.of_string "frob=1" with
+  | _ -> Alcotest.fail "unknown key accepted"
+  | exception Invalid_argument _ -> ());
+  match Fault.of_string "drop=2.0" with
+  | _ -> Alcotest.fail "out-of-range probability accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_fault_scale () =
+  let s = Fault.scale Fault.default_chaos ~intensity:0.5 in
+  Alcotest.(check (float 1e-9)) "scaled drop" 0.025 s.Fault.drop;
+  Alcotest.(check int) "delay bound kept" Fault.default_chaos.Fault.delay_max s.Fault.delay_max;
+  Alcotest.(check bool) "zero intensity is zero" true
+    (Fault.is_zero (Fault.scale Fault.default_chaos ~intensity:0.0))
+
+(* A plan whose rates are all zero must not change timing: the reliable
+   transport adds sequencing and acks, but the payload's delivery time
+   is exactly the perfect-wire one. *)
+let test_zero_rate_plan_timing () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  Lan.set_fault_plan lan (Some (Fault.make Fault.none ~seed:7 ~nssmps:4));
+  let arrived = ref (-1) in
+  Lan.send lan (env ~src:0 ~dst:1 ~words:256) ~at:0 (fun t -> arrived := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "same delivery time as perfect wire"
+    (costs.Costs.lan.latency + (256 * costs.Costs.proto.dma_per_word))
+    !arrived;
+  Alcotest.(check int) "no retransmits" 0 (Lan.stats lan).Lan.retransmits;
+  Alcotest.(check int) "one ack" 1 (Lan.stats lan).Lan.acks;
+  Alcotest.(check int) "nothing unacked at quiescence" 0 (Lan.unacked lan)
+
+let test_slowdown_scales_latency () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let spec = { Fault.none with Fault.slow = [ (1, 2.0) ] } in
+  Lan.set_fault_plan lan (Some (Fault.make spec ~seed:7 ~nssmps:4));
+  let to_slow = ref (-1) and to_healthy = ref (-1) in
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun t -> to_slow := t);
+  ignore (Sim.run sim ());
+  (* second send after the first completes, so occupancy does not couple them *)
+  Lan.send lan (env ~src:2 ~dst:3 ~words:0) ~at:!to_slow (fun t -> to_healthy := t);
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "degraded SSMP pays doubled latency"
+    (2 * costs.Costs.lan.latency) !to_slow;
+  Alcotest.(check int) "healthy channel unaffected" costs.Costs.lan.latency
+    (!to_healthy - !to_slow)
+
+(* drop=1.0: no transmission or ack ever gets through, so the sender
+   retries up to the cap and then declares the channel partitioned. *)
+let test_partition_on_retry_exhaustion () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let spec = { Fault.none with Fault.drop = 1.0; rto = 5000; max_retries = 2 } in
+  Lan.set_fault_plan lan (Some (Fault.make spec ~seed:7 ~nssmps:4));
+  Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun _ ->
+      Alcotest.fail "dropped message must not deliver");
+  (match Sim.run sim () with
+  | _ -> Alcotest.fail "expected Net_partition"
+  | exception Lan.Net_partition p ->
+    Alcotest.(check int) "src" 0 p.Lan.part_src_ssmp;
+    Alcotest.(check int) "dst" 1 p.Lan.part_dst_ssmp;
+    Alcotest.(check int) "retries exhausted" 2 p.Lan.part_retries);
+  Alcotest.(check int) "two retransmissions" 2 (Lan.stats lan).Lan.retransmits;
+  Alcotest.(check int) "three timer expiries" 3 (Lan.stats lan).Lan.timeouts
+
+let test_lossy_delivers_exactly_once () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let spec =
+    { Fault.none with Fault.drop = 0.4; dup = 0.3; delay_p = 0.3; delay_max = 1500;
+      reorder = 0.2; max_retries = 30 }
+  in
+  Lan.set_fault_plan lan (Some (Fault.make spec ~seed:11 ~nssmps:4));
+  let n = 60 in
+  let delivered = Array.make n 0 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    Lan.send lan (env ~src:0 ~dst:1 ~words:(8 * (i mod 5))) ~at:0 (fun _ ->
+        delivered.(i) <- delivered.(i) + 1;
+        order := i :: !order)
+  done;
+  ignore (Sim.run sim ());
+  Array.iteri
+    (fun i c -> if c <> 1 then Alcotest.failf "message %d delivered %d times" i c)
+    delivered;
+  Alcotest.(check (list int)) "in posting order" (List.init n Fun.id) (List.rev !order);
+  Alcotest.(check int) "nothing unacked at quiescence" 0 (Lan.unacked lan);
+  Alcotest.(check bool) "faults actually fired" true
+    ((Lan.stats lan).Lan.retransmits > 0 && (Lan.stats lan).Lan.dup_drops > 0)
+
+let test_reset_clears_transport_state () =
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  let spec = { Fault.none with Fault.drop = 0.4; max_retries = 30 } in
+  Lan.set_fault_plan lan (Some (Fault.make spec ~seed:3 ~nssmps:4));
+  for _ = 1 to 20 do
+    Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun _ -> ())
+  done;
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "quiescent before reset" 0 (Lan.unacked lan);
+  Lan.reset lan;
+  let s = Lan.stats lan in
+  Alcotest.(check int) "retransmits zeroed" 0 s.Lan.retransmits;
+  Alcotest.(check int) "acks zeroed" 0 s.Lan.acks;
+  (* after the reset the fault schedule replays from the seed: the same
+     traffic sees the same faults as a fresh machine (phase 2 starts at
+     the current simulated time, so compare base-relative arrivals) *)
+  let base = Sim.now sim in
+  let arrivals = ref [] in
+  for _ = 1 to 20 do
+    Lan.send lan (env ~src:0 ~dst:1 ~words:0) ~at:base (fun t ->
+        arrivals := (t - base) :: !arrivals)
+  done;
+  ignore (Sim.run sim ());
+  let sim2 = Sim.create () in
+  let lan2 = Lan.create sim2 costs ~nssmps:4 in
+  Lan.set_fault_plan lan2 (Some (Fault.make spec ~seed:3 ~nssmps:4));
+  let arrivals2 = ref [] in
+  for _ = 1 to 20 do
+    Lan.send lan2 (env ~src:0 ~dst:1 ~words:0) ~at:0 (fun t -> arrivals2 := t :: !arrivals2)
+  done;
+  ignore (Sim.run sim2 ());
+  Alcotest.(check (list int)) "post-reset run replays like a fresh machine" !arrivals2
+    !arrivals
 
 (* --- active messages -------------------------------------------------- *)
 
@@ -138,6 +284,21 @@ let test_am_counters () =
   Alcotest.(check int) "absent tag" 0 (Am.count am "INV");
   Alcotest.(check int) "total" 3 (Am.total_posted am)
 
+let test_am_recorder_envelope () =
+  let sim, am, _ = make_am () in
+  let seen = ref [] in
+  Am.set_recorder am
+    (Some (fun t (e : Envelope.t) -> seen := (t, e.tag, e.src, e.dst, e.words) :: !seen));
+  Am.post am ~tag:"RREQ" ~src:1 ~dst:5 ~words:8 ~cost:0 (fun _ -> ());
+  ignore (Sim.run sim ());
+  match !seen with
+  | [ (_, tag, src, dst, words) ] ->
+    Alcotest.(check string) "tag" "RREQ" tag;
+    Alcotest.(check int) "src" 1 src;
+    Alcotest.(check int) "dst" 5 dst;
+    Alcotest.(check int) "words" 8 words
+  | l -> Alcotest.failf "expected one recorded delivery, got %d" (List.length l)
+
 let test_am_run_on () =
   let sim, am, cpus = make_am () in
   let fin = ref (-1) in
@@ -158,7 +319,7 @@ let prop_lan_fifo =
       let ok = ref true in
       List.iter
         (fun (dst, words) ->
-          Lan.send lan ~src:0 ~dst ~at:0 ~words (fun t ->
+          Lan.send lan (env ~src:0 ~dst ~words) ~at:0 (fun t ->
               let prev = Option.value ~default:(-1) (Hashtbl.find_opt last dst) in
               if t < prev then ok := false;
               Hashtbl.replace last dst t))
@@ -166,7 +327,76 @@ let prop_lan_fifo =
       ignore (Sim.run sim ());
       !ok)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_lan_fifo ]
+(* Random fault schedules and traffic mixes on a 4-SSMP wire.  Whatever
+   drops, duplicates, delays, and reorders the plan injects, every
+   message must reach its handler exactly once, per-channel delivery
+   must follow posting order, and quiescence must leave nothing
+   unacked. *)
+let gen_chaos =
+  QCheck2.Gen.(
+    let* drop = float_bound_inclusive 0.5 in
+    let* dup = float_bound_inclusive 0.5 in
+    let* delay_p = float_bound_inclusive 0.5 in
+    let* delay_max = int_bound 3000 in
+    let* reorder = float_bound_inclusive 0.3 in
+    let* seed = int_bound 10_000 in
+    let* msgs = list_size (int_bound 80) (pair (pair (int_bound 3) (int_bound 3)) (int_bound 300)) in
+    return (drop, dup, delay_p, delay_max, reorder, seed, msgs))
+
+let run_chaos (drop, dup, delay_p, delay_max, reorder, seed, msgs) =
+  let spec =
+    { Fault.none with Fault.drop; dup; delay_p; delay_max; reorder; max_retries = 40 }
+  in
+  let sim = Sim.create () in
+  let lan = Lan.create sim costs ~nssmps:4 in
+  Lan.set_fault_plan lan (Some (Fault.make spec ~seed ~nssmps:4));
+  let deliveries = Hashtbl.create 64 in
+  let chan_order = Hashtbl.create 16 in
+  List.iteri
+    (fun i ((src, dst), words) ->
+      Lan.send lan (env ~src ~dst ~words) ~at:0 (fun t ->
+          Hashtbl.replace deliveries i (1 + Option.value ~default:0 (Hashtbl.find_opt deliveries i));
+          let key = (src, dst) in
+          Hashtbl.replace chan_order key
+            ((i, t) :: Option.value ~default:[] (Hashtbl.find_opt chan_order key))))
+    msgs;
+  ignore (Sim.run sim ());
+  (lan, deliveries, chan_order, List.length msgs)
+
+let prop_exactly_once =
+  QCheck2.Test.make ~name:"lossy wire delivers exactly once, in channel order" ~count:60
+    gen_chaos (fun input ->
+      let lan, deliveries, chan_order, n = run_chaos input in
+      let ok = ref (Lan.unacked lan = 0) in
+      for i = 0 to n - 1 do
+        if Option.value ~default:0 (Hashtbl.find_opt deliveries i) <> 1 then ok := false
+      done;
+      Hashtbl.iter
+        (fun _ order ->
+          (* recorded newest-first: indices must strictly decrease *)
+          let rec mono = function
+            | (i1, _) :: ((i2, _) :: _ as rest) -> i1 > i2 && mono rest
+            | _ -> true
+          in
+          if not (mono order) then ok := false)
+        chan_order;
+      !ok)
+
+let prop_chaos_deterministic =
+  QCheck2.Test.make ~name:"same seed, same chaos" ~count:30 gen_chaos (fun input ->
+      let lan1, _, order1, _ = run_chaos input in
+      let lan2, _, order2, _ = run_chaos input in
+      let s1 = Lan.stats lan1 and s2 = Lan.stats lan2 in
+      let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+      s1.Lan.retransmits = s2.Lan.retransmits
+      && s1.Lan.dup_drops = s2.Lan.dup_drops
+      && s1.Lan.timeouts = s2.Lan.timeouts
+      && s1.Lan.acks = s2.Lan.acks
+      && sorted order1 = sorted order2)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_lan_fifo; prop_exactly_once; prop_chaos_deterministic ]
 
 let () =
   Alcotest.run "net"
@@ -181,12 +411,25 @@ let () =
           Alcotest.test_case "stats" `Quick test_lan_stats;
           Alcotest.test_case "full reset" `Quick test_lan_full_reset;
         ] );
+      ( "faults",
+        [
+          Alcotest.test_case "spec parse/print" `Quick test_fault_spec_parse;
+          Alcotest.test_case "spec scaling" `Quick test_fault_scale;
+          Alcotest.test_case "zero-rate plan timing" `Quick test_zero_rate_plan_timing;
+          Alcotest.test_case "degraded-SSMP slowdown" `Quick test_slowdown_scales_latency;
+          Alcotest.test_case "partition on retry exhaustion" `Quick
+            test_partition_on_retry_exhaustion;
+          Alcotest.test_case "lossy exactly-once" `Quick test_lossy_delivers_exactly_once;
+          Alcotest.test_case "reset clears transport state" `Quick
+            test_reset_clears_transport_state;
+        ] );
       ( "am",
         [
           Alcotest.test_case "handler occupancy" `Quick test_am_handler_occupancy;
           Alcotest.test_case "handlers serialize" `Quick test_am_handlers_serialize;
           Alcotest.test_case "intra vs inter" `Quick test_am_intra_vs_inter;
           Alcotest.test_case "per-tag counters" `Quick test_am_counters;
+          Alcotest.test_case "recorder sees the envelope" `Quick test_am_recorder_envelope;
           Alcotest.test_case "run_on" `Quick test_am_run_on;
         ] );
       ("properties", qsuite);

@@ -198,6 +198,32 @@ let test_rng_split () =
   let g2 = Rng.split g in
   Alcotest.(check bool) "split streams differ" true (Rng.bits64 g1 <> Rng.bits64 g2)
 
+let test_rng_split_key () =
+  (* split_key must not advance the parent... *)
+  let g = Rng.create ~seed:9 in
+  let c0 = Rng.split_key g ~key:0 in
+  let c1 = Rng.split_key g ~key:1 in
+  let c0' = Rng.split_key g ~key:0 in
+  Alcotest.(check bool) "same key reproduces the child" true (Rng.bits64 c0 = Rng.bits64 c0');
+  (* ...and distinct keys must give statistically independent streams:
+     over 64 x 1024 bits, two children agree bit-for-bit about half the
+     time.  10% tolerance is ~26 sigma, so this never flakes. *)
+  let a = Rng.split_key g ~key:1 and b = Rng.split_key g ~key:2 in
+  Alcotest.(check bool) "children differ" true (Rng.bits64 c1 <> Rng.bits64 (Rng.split_key g ~key:2));
+  let agree = ref 0 in
+  let total = 64 * 1024 in
+  for _ = 1 to 1024 do
+    let x = Int64.logxor (Rng.bits64 a) (Rng.bits64 b) in
+    (* popcount of the agreement mask *)
+    let rec pop acc v = if v = 0L then acc else pop (acc + 1) Int64.(logand v (sub v 1L)) in
+    agree := !agree + (64 - pop 0 x)
+  done;
+  let frac = float_of_int !agree /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "bit agreement %.3f near 0.5" frac)
+    true
+    (frac > 0.45 && frac < 0.55)
+
 (* --- accumulator ------------------------------------------------------ *)
 
 let test_accum_stats () =
@@ -292,6 +318,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "split_key" `Quick test_rng_split_key;
         ] );
       ( "accum",
         [
