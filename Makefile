@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke chaos-smoke trace-lint perf perf-smoke perf-diff clean
+.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -34,6 +34,14 @@ chaos-smoke: build
 	@cat _build/chaos-smoke.out
 	@grep -q "net: retries=" _build/chaos-smoke.out
 	@grep -q "verification: OK" _build/chaos-smoke.out
+
+# Every registered lock under every coherence protocol, tiny: each
+# point verifies its lock-protected counter and machine quiescence, so
+# a pass means every algorithm still provides mutual exclusion.
+lock-smoke: build
+	$(DUNE) exec bench/main.exe -- lock-smoke > _build/lock-smoke.out
+	@cat _build/lock-smoke.out
+	@grep -q "lock-smoke: OK" _build/lock-smoke.out
 
 # Validate every observability export against its own contract: run the
 # CLI with the trace, span, and metrics exporters on, then lint the
@@ -82,7 +90,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke chaos-smoke trace-lint perf-smoke perf-diff fmt-check
+check: build test smoke chaos-smoke lock-smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

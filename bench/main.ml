@@ -146,6 +146,35 @@ let fig12 () =
        (Lazy.force wkern_tiled));
   print_newline ()
 
+let locktable () =
+  print_endline "=== Lock scalability: handoff latency, hit ratio, fairness ===";
+  Printf.printf "-- every lock x protocol at C in {1,4,16}, 16 contending fibers --\n";
+  print_string
+    (Figures.pp_lock_table
+       (Mgs_harness.Micro.lock_family ~jobs:!jobs
+          (Mgs_harness.Micro.lock_cluster_specs ())));
+  print_newline ();
+  Printf.printf "-- contention scaling: 1..64 fibers, C=4, mgs --\n";
+  print_string
+    (Figures.pp_lock_table
+       (Mgs_harness.Micro.lock_family ~jobs:!jobs
+          (Mgs_harness.Micro.lock_contention_specs ())));
+  print_newline ()
+
+(* tiny sweep of every lock under every protocol — the CI smoke test
+   (make lock-smoke); each point verifies its protected counter and
+   machine quiescence, so a pass means every algorithm still excludes *)
+let lock_smoke () =
+  let specs =
+    List.concat_map
+      (fun lock ->
+        List.map (fun protocol -> (lock, protocol, 2, 4)) [ "mgs"; "hlrc"; "ivy" ])
+      (Mgs_sync.Locks.names ())
+  in
+  let points = Mgs_harness.Micro.lock_family ~iters:2 ~jobs:!jobs specs in
+  Printf.printf "lock-smoke: OK (%d points: %s)\n" (List.length points)
+    (String.concat ", " (Mgs_sync.Locks.names ()))
+
 let summary () =
   print_endline "=== Framework metrics summary (paper section 2.4) ===";
   print_string
@@ -391,6 +420,8 @@ let targets : (string * (unit -> unit)) list =
     ("fig11", fig11);
     ("fig12", fig12);
     ("summary", summary);
+    ("locktable", locktable);
+    ("lock-smoke", lock_smoke);
     ("ablation-singlewriter", ablation_single_writer);
     ("ablation-earlyack", ablation_early_ack);
     ("ablation-pagesize", ablation_page_size);

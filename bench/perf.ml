@@ -42,6 +42,27 @@ let measure ~nprocs ~cluster (name, w) =
       (if wall > 0. then float_of_int r.Mgs.Report.sim_events /. wall else 0.);
   }
 
+(* Contended-lock microbenchmark rows: one per registered lock, under
+   the same byte-identity gate as the app rows — a sim_events/sim_cycles
+   drift here means a lock algorithm's message flow changed. *)
+let measure_lock ~cluster ~fibers lock =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let pt = Mgs_harness.Micro.lock_point ~lock ~protocol:"mgs" ~cluster ~fibers () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let allocated = Gc.allocated_bytes () -. a0 in
+  {
+    app = "lock-" ^ lock;
+    nprocs = max fibers cluster;
+    cluster;
+    wall_s = wall;
+    allocated_mb = allocated /. 1048576.;
+    sim_events = pt.Mgs_harness.Micro.lk_sim_events;
+    sim_cycles = pt.Mgs_harness.Micro.lk_runtime;
+    events_per_s =
+      (if wall > 0. then float_of_int pt.Mgs_harness.Micro.lk_sim_events /. wall else 0.);
+  }
+
 let json_of_rows ~quick rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -244,6 +265,13 @@ let () =
       (fun appw -> List.map (fun cluster -> measure ~nprocs ~cluster appw) clusters)
       apps
   in
+  let lock_rows =
+    let fibers = if !quick then 8 else 16 in
+    List.concat_map
+      (fun lock -> List.map (fun cluster -> measure_lock ~cluster ~fibers lock) clusters)
+      (Mgs_sync.Locks.names ())
+  in
+  let rows = rows @ lock_rows in
   Mgs_util.Tableprint.print
     ~header:[ "app"; "C"; "wall (s)"; "alloc (MB)"; "sim events"; "events/s" ]
     ~rows:

@@ -15,7 +15,7 @@ let apps =
     "fft"; "radix";
   ]
 
-let workload ~app ~size ~iters =
+let workload ~app ~size ~iters ~lock =
   let d v = Option.value ~default:v in
   match app with
   | "jacobi" ->
@@ -29,16 +29,16 @@ let workload ~app ~size ~iters =
     (Mgs_apps.Matmul.workload p, Mgs_apps.Matmul.problem_size p)
   | "tsp" ->
     let p = Mgs_apps.Tsp.default in
-    let p = { p with Mgs_apps.Tsp.ncities = d p.Mgs_apps.Tsp.ncities size } in
+    let p = { p with Mgs_apps.Tsp.ncities = d p.Mgs_apps.Tsp.ncities size; lock } in
     (Mgs_apps.Tsp.workload p, Mgs_apps.Tsp.problem_size p)
   | "water" ->
     let p = Mgs_apps.Water.default in
-    let p = { p with Mgs_apps.Water.nmol = d p.Mgs_apps.Water.nmol size } in
+    let p = { p with Mgs_apps.Water.nmol = d p.Mgs_apps.Water.nmol size; lock } in
     let p = { p with Mgs_apps.Water.iters = d p.Mgs_apps.Water.iters iters } in
     (Mgs_apps.Water.workload p, Mgs_apps.Water.problem_size p)
   | "barnes" ->
     let p = Mgs_apps.Barnes.default in
-    let p = { p with Mgs_apps.Barnes.nbodies = d p.Mgs_apps.Barnes.nbodies size } in
+    let p = { p with Mgs_apps.Barnes.nbodies = d p.Mgs_apps.Barnes.nbodies size; lock } in
     let p = { p with Mgs_apps.Barnes.iters = d p.Mgs_apps.Barnes.iters iters } in
     (Mgs_apps.Barnes.workload p, Mgs_apps.Barnes.problem_size p)
   | "water-kernel" ->
@@ -81,9 +81,9 @@ let with_out file f =
   let oc = try open_out file with Sys_error msg -> raise (Trace_write_error msg) in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let run app size iters procs cluster delay page_bytes protocol faults seed sweep jobs
+let run app size iters procs cluster delay page_bytes protocol lock faults seed sweep jobs
     no_verify trace spans metrics hist check csv =
-  let w, size_desc = workload ~app ~size ~iters in
+  let w, size_desc = workload ~app ~size ~iters ~lock in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
   let fault_spec =
@@ -91,8 +91,9 @@ let run app size iters procs cluster delay page_bytes protocol faults seed sweep
     | Some spec when not (Mgs_net.Fault.is_zero spec) -> Some spec
     | _ -> None
   in
-  Printf.printf "app=%s (%s)  P=%d  delay=%d cycles  page=%dB  protocol=%s\n%!" app size_desc
-    procs delay page_bytes protocol;
+  Printf.printf "app=%s (%s)  P=%d  delay=%d cycles  page=%dB  protocol=%s%s\n%!" app
+    size_desc procs delay page_bytes protocol
+    (if lock = "token" then "" else Printf.sprintf "  lock=%s" lock);
   (match fault_spec with
   | Some spec ->
     Printf.printf "faults: %s  seed=%d\n%!" (Mgs_net.Fault.to_string spec) seed
@@ -277,6 +278,18 @@ let protocol_t =
     & info [ "protocol" ] ~docv:"PROTO"
         ~doc:(Printf.sprintf "Inter-SSMP protocol: %s." (String.concat ", " names)))
 
+let lock_t =
+  let names = Mgs_sync.Locks.names () in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) names)) "token"
+    & info [ "lock" ] ~docv:"LOCK"
+        ~doc:
+          (Printf.sprintf
+             "Lock algorithm for the applications with a lock knob (tsp, water, \
+              barnes): %s."
+             (String.concat ", " names)))
+
 let faults_t =
   let spec_conv =
     let parse s =
@@ -374,7 +387,7 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t
+      $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t
       $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t)
 
 let () = exit (Cmd.eval cmd)

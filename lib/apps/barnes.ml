@@ -1,11 +1,21 @@
-type params = { nbodies : int; iters : int; theta : float; force_cycles : int; seed : int }
+type params = {
+  nbodies : int;
+  iters : int;
+  theta : float;
+  force_cycles : int;
+  seed : int;
+  lock : string;
+}
 
-let default = { nbodies = 128; iters = 2; theta = 0.6; force_cycles = 400; seed = 17 }
+let default =
+  { nbodies = 128; iters = 2; theta = 0.6; force_cycles = 400; seed = 17; lock = "token" }
 
-let tiny = { nbodies = 24; iters = 2; theta = 0.6; force_cycles = 400; seed = 5 }
+let tiny =
+  { nbodies = 24; iters = 2; theta = 0.6; force_cycles = 400; seed = 5; lock = "token" }
 
 (* the paper's full problem size *)
-let paper = { nbodies = 2048; iters = 3; theta = 0.6; force_cycles = 400; seed = 17 }
+let paper =
+  { nbodies = 2048; iters = 3; theta = 0.6; force_cycles = 400; seed = 17; lock = "token" }
 
 let problem_size p = Printf.sprintf "%d bodies, %d iterations" p.nbodies p.iters
 
@@ -207,7 +217,7 @@ let workload p =
           (* home a cell's lock with the SSMP of the processor whose
              pool chunk holds the cell *)
           let owner = min (nprocs - 1) (i / max 1 chunk0) in
-          Mgs_sync.Lock.create m ~home:(Mgs_machine.Topology.ssmp_of_proc topo owner) ())
+          Mgs_sync.Locks.make m ~home:(Mgs_machine.Topology.ssmp_of_proc topo owner) p.lock)
     in
     let bar = Mgs_sync.Barrier.create m in
     let cell_base idx = pool + (idx * cell_stride) in
@@ -240,18 +250,18 @@ let workload p =
         let inserted = ref false in
         while not !inserted do
           let base = cell_base !cur in
-          Mgs_sync.Lock.acquire ctx cell_lock.(!cur);
+          Mgs_sync.Locks.acquire ctx cell_lock.(!cur);
           let cx = rd (base + 8) and cy = rd (base + 9) and cz = rd (base + 10) in
           let half = rd (base + 11) in
           let oct = octant x y z cx cy cz in
           let ch = int_of_float (rd (base + oct)) in
           if ch = 0 then begin
             wr (base + oct) (float_of_int (-(b + 1)));
-            Mgs_sync.Lock.release ctx cell_lock.(!cur);
+            Mgs_sync.Locks.release ctx cell_lock.(!cur);
             inserted := true
           end
           else if ch > 0 then begin
-            Mgs_sync.Lock.release ctx cell_lock.(!cur);
+            Mgs_sync.Locks.release ctx cell_lock.(!cur);
             cur := ch - 1
           end
           else begin
@@ -263,7 +273,7 @@ let workload p =
             let oct2 = octant x2 y2 z2 scx scy scz in
             wr (cell_base nc + oct2) (float_of_int (-(b2 + 1)));
             wr (base + oct) (float_of_int (nc + 1));
-            Mgs_sync.Lock.release ctx cell_lock.(!cur);
+            Mgs_sync.Locks.release ctx cell_lock.(!cur);
             cur := nc
           end
         done

@@ -1,8 +1,8 @@
-type params = { ncities : int; seed : int; eval_cycles : int }
+type params = { ncities : int; seed : int; eval_cycles : int; lock : string }
 
-let default = { ncities = 10; seed = 42; eval_cycles = 2000 }
+let default = { ncities = 10; seed = 42; eval_cycles = 2000; lock = "token" }
 
-let tiny = { ncities = 6; seed = 7; eval_cycles = 200 }
+let tiny = { ncities = 6; seed = 7; eval_cycles = 200; lock = "token" }
 
 (* the paper's problem size is already the default (10 cities) *)
 let paper = default
@@ -75,7 +75,7 @@ let workload p =
     Mgs.Machine.poke m (pool + 0) 1.0;
     Mgs.Machine.poke m (pool + 1) 0.0;
     Mgs.Machine.poke m (pool + 2) 0.0;
-    let qlock = Mgs_sync.Lock.create m () in
+    let qlock = Mgs_sync.Locks.make m p.lock in
     let bar = Mgs_sync.Barrier.create m in
     let body ctx =
       let open Mgs.Api in
@@ -83,7 +83,7 @@ let workload p =
       let cities = Array.make n 0 in
       let running = ref true in
       while !running do
-        Mgs_sync.Lock.acquire ctx qlock;
+        Mgs_sync.Locks.acquire ctx qlock;
         let top = read_int ctx (ctl + 0) in
         if top > 0 then begin
           (* pop the newest path (depth-first) and mark us expanding *)
@@ -96,7 +96,7 @@ let workload p =
             cities.(i) <- read_int ctx ~kind:Pointer (slot + 2 + i)
           done;
           let bound = read_int ctx (ctl + 1) in
-          Mgs_sync.Lock.release ctx qlock;
+          Mgs_sync.Locks.release ctx qlock;
           (* expand outside the lock *)
           let last = cities.(len - 1) in
           let in_path c =
@@ -115,7 +115,7 @@ let workload p =
               else if ncost < bound then begin
                 (* push the child path (one short critical section per
                    child, as in the paper's centralized work queue) *)
-                Mgs_sync.Lock.acquire ctx qlock;
+                Mgs_sync.Locks.acquire ctx qlock;
                 let t = read_int ctx (ctl + 0) in
                 if t >= capacity then failwith "tsp: work queue overflow";
                 let s = pool + (t * path_words) in
@@ -126,19 +126,19 @@ let workload p =
                 done;
                 write_int ctx ~kind:Pointer (s + 2 + len) c;
                 write_int ctx (ctl + 0) (t + 1);
-                Mgs_sync.Lock.release ctx qlock
+                Mgs_sync.Locks.release ctx qlock
               end
             end
           done;
           (* fold a completed tour into the global bound, leave expanding *)
-          Mgs_sync.Lock.acquire ctx qlock;
+          Mgs_sync.Locks.acquire ctx qlock;
           if !completed < read_int ctx (ctl + 1) then write_int ctx (ctl + 1) !completed;
           write_int ctx (ctl + 2) (read_int ctx (ctl + 2) - 1);
-          Mgs_sync.Lock.release ctx qlock
+          Mgs_sync.Locks.release ctx qlock
         end
         else begin
           let expanding = read_int ctx (ctl + 2) in
-          Mgs_sync.Lock.release ctx qlock;
+          Mgs_sync.Locks.release ctx qlock;
           if expanding = 0 then running := false else compute ctx 400
         end
       done;

@@ -12,6 +12,7 @@ type params = {
   ncities : int;
   seed : int;  (** distance matrix generator seed *)
   eval_cycles : int;  (** modelled cost of evaluating one tour extension *)
+  lock : string;  (** work-queue lock algorithm, a [Mgs_sync.Locks] name *)
 }
 
 val default : params

@@ -1,11 +1,17 @@
-type params = { nmol : int; iters : int; force_cycles : int; seed : int }
+type params = {
+  nmol : int;
+  iters : int;
+  force_cycles : int;
+  seed : int;
+  lock : string;
+}
 
-let default = { nmol = 128; iters = 2; force_cycles = 15000; seed = 11 }
+let default = { nmol = 128; iters = 2; force_cycles = 15000; seed = 11; lock = "token" }
 
-let tiny = { nmol = 12; iters = 2; force_cycles = 15000; seed = 3 }
+let tiny = { nmol = 12; iters = 2; force_cycles = 15000; seed = 3; lock = "token" }
 
 (* closest even count to the paper's 343 molecules *)
-let paper = { nmol = 344; iters = 2; force_cycles = 15000; seed = 11 }
+let paper = { nmol = 344; iters = 2; force_cycles = 15000; seed = 11; lock = "token" }
 
 let problem_size p = Printf.sprintf "%d molecules, %d iterations" p.nmol p.iters
 
@@ -83,11 +89,11 @@ let workload p =
     (* per-molecule locks homed with the molecule owner's SSMP *)
     let mol_lock =
       Array.init n (fun i ->
-          Mgs_sync.Lock.create m
+          Mgs_sync.Locks.make m
             ~home:(Mgs_machine.Topology.ssmp_of_proc topo (owner i))
-            ())
+            p.lock)
     in
-    let stats_lock = Mgs_sync.Lock.create m () in
+    let stats_lock = Mgs_sync.Locks.make m p.lock in
     let bar = Mgs_sync.Barrier.create m in
     let body ctx =
       let open Mgs.Api in
@@ -115,16 +121,16 @@ let workload p =
               let zj = read ctx (pos + (3 * j) + 2) in
               compute ctx p.force_cycles;
               let fx, fy, fz = pair_force xi yi zi xj yj zj in
-              Mgs_sync.Lock.acquire ctx mol_lock.(i);
+              Mgs_sync.Locks.acquire ctx mol_lock.(i);
               write ctx (force + (3 * i)) (read ctx (force + (3 * i)) +. fx);
               write ctx (force + (3 * i) + 1) (read ctx (force + (3 * i) + 1) +. fy);
               write ctx (force + (3 * i) + 2) (read ctx (force + (3 * i) + 2) +. fz);
-              Mgs_sync.Lock.release ctx mol_lock.(i);
-              Mgs_sync.Lock.acquire ctx mol_lock.(j);
+              Mgs_sync.Locks.release ctx mol_lock.(i);
+              Mgs_sync.Locks.acquire ctx mol_lock.(j);
               write ctx (force + (3 * j)) (read ctx (force + (3 * j)) -. fx);
               write ctx (force + (3 * j) + 1) (read ctx (force + (3 * j) + 1) -. fy);
               write ctx (force + (3 * j) + 2) (read ctx (force + (3 * j) + 2) -. fz);
-              Mgs_sync.Lock.release ctx mol_lock.(j))
+              Mgs_sync.Locks.release ctx mol_lock.(j))
             (pairs_of p i)
         done;
         Mgs_sync.Barrier.wait ctx bar;
@@ -139,9 +145,9 @@ let workload p =
             kinetic := !kinetic +. (0.5 *. v *. v)
           done
         done;
-        Mgs_sync.Lock.acquire ctx stats_lock;
+        Mgs_sync.Locks.acquire ctx stats_lock;
         write ctx stats (read ctx stats +. !kinetic);
-        Mgs_sync.Lock.release ctx stats_lock;
+        Mgs_sync.Locks.release ctx stats_lock;
         Mgs_sync.Barrier.wait ctx bar
       done
     in

@@ -61,7 +61,7 @@ let alloc_shared p m =
 let workload p =
   let n = p.nmol in
   if n mod 2 <> 0 then invalid_arg "Water_kernel: nmol must be even";
-  let wp = { Water.nmol = n; iters = 1; force_cycles = p.force_cycles; seed = p.seed } in
+  let wp = { Water.default with Water.nmol = n; iters = 1; force_cycles = p.force_cycles; seed = p.seed } in
   let prepare m =
     let pos, force = alloc_shared p m in
     let topo = Mgs.Machine.topo m in

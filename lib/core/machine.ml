@@ -73,6 +73,7 @@ let create cfg =
       tlbs = Array.init cfg.nprocs (fun _ -> Tlb.create ?capacity:cfg.tlb_entries ());
       pstats = Pstats.create ();
       sync_counters = { lock_acquires = 0; lock_hits = 0; barrier_episodes = 0 };
+      sync_hooks = [];
       rel_resume = Array.make cfg.nprocs None;
       fibers = [];
       event_limit = cfg.event_limit;
@@ -117,6 +118,15 @@ let enable_metrics ?interval ?max_samples (m : t) =
         fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.duq_set) 0 m.duqs));
     Mgs_obs.Metrics.probe mt "duq.psync" (fun () ->
         fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.psync) 0 m.duqs));
+    Mgs_obs.Metrics.probe mt "sync.lock_acquires" (fun () ->
+        fi m.sync_counters.lock_acquires);
+    Mgs_obs.Metrics.probe mt "sync.lock_hits" (fun () -> fi m.sync_counters.lock_hits);
+    Mgs_obs.Metrics.probe mt "sync.barrier_episodes" (fun () ->
+        fi m.sync_counters.barrier_episodes);
+    (* waiters parked in registered synchronization objects; the hook
+       list grows as locks are created, so the probe re-reads it *)
+    Mgs_obs.Metrics.probe mt "sync.lock_waiters" (fun () ->
+        fi (List.fold_left (fun acc h -> acc + h.sh_waiters ()) 0 m.sync_hooks));
     let count_pages st () =
       fi
         (Array.fold_left
@@ -168,6 +178,11 @@ let reset_stats (m : t) =
   m.sync_counters.lock_acquires <- 0;
   m.sync_counters.lock_hits <- 0;
   m.sync_counters.barrier_episodes <- 0;
+  (* registered synchronization objects (registry locks, condvars):
+     their per-instance stats and any dead queued waiters go too, so a
+     measured phase cannot inherit the warmup's handoff history or a
+     parked fiber from an abandoned run *)
+  List.iter (fun h -> h.sh_reset ()) m.sync_hooks;
   m.shadow_errors <- 0
 
 let shadow_mismatches (m : t) = m.shadow_errors
@@ -268,4 +283,10 @@ let assert_quiescent (m : t) =
             failwith
               (Printf.sprintf "page %d: SSMP %d in a directory without a copy" vpn ssmp))
         se.s_read_dir)
-    m.servers
+    m.servers;
+  List.iter
+    (fun h ->
+      let n = h.sh_waiters () in
+      if n <> 0 then
+        failwith (Printf.sprintf "lock %s: %d waiter(s) still queued" h.sh_name n))
+    m.sync_hooks

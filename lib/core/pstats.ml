@@ -22,6 +22,10 @@ type t = {
   mutable net_retries : int; (* LAN retransmission attempts *)
   mutable net_dups : int; (* received copies discarded by dedup *)
   mutable net_timeouts : int; (* retransmission timer expiries *)
+  (* synchronization counters, nonzero only when registry locks run *)
+  mutable lock_msgs : int; (* lock-protocol messages (LK_*, MCS_*, ...) *)
+  mutable lock_handoffs : int; (* ownership transfers between holders *)
+  mutable lock_wait : int; (* cycles fibers spent blocked in acquire *)
 }
 
 let create () =
@@ -48,6 +52,9 @@ let create () =
     net_retries = 0;
     net_dups = 0;
     net_timeouts = 0;
+    lock_msgs = 0;
+    lock_handoffs = 0;
+    lock_wait = 0;
   }
 
 let reset t =
@@ -72,7 +79,10 @@ let reset t =
   t.upgrade_wait <- 0;
   t.net_retries <- 0;
   t.net_dups <- 0;
-  t.net_timeouts <- 0
+  t.net_timeouts <- 0;
+  t.lock_msgs <- 0;
+  t.lock_handoffs <- 0;
+  t.lock_wait <- 0
 
 let pp ppf t =
   Format.fprintf ppf
@@ -85,4 +95,8 @@ let pp ppf t =
   (* a perfect wire prints exactly as before faults existed *)
   if t.net_retries <> 0 || t.net_dups <> 0 || t.net_timeouts <> 0 then
     Format.fprintf ppf " net_retries=%d net_dups=%d net_timeouts=%d" t.net_retries t.net_dups
-      t.net_timeouts
+      t.net_timeouts;
+  (* a run without registry locks prints exactly as before they existed *)
+  if t.lock_msgs <> 0 || t.lock_handoffs <> 0 || t.lock_wait <> 0 then
+    Format.fprintf ppf " lock_msgs=%d lock_handoffs=%d lock_wait=%d" t.lock_msgs
+      t.lock_handoffs t.lock_wait

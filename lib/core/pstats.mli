@@ -26,6 +26,9 @@ type t = {
   mutable net_retries : int;  (** LAN retransmission attempts (fault plans only) *)
   mutable net_dups : int;  (** received copies discarded by transport dedup *)
   mutable net_timeouts : int;  (** retransmission timer expiries *)
+  mutable lock_msgs : int;  (** lock-protocol messages (registry locks only) *)
+  mutable lock_handoffs : int;  (** lock ownership transfers between holders *)
+  mutable lock_wait : int;  (** cycles fibers spent blocked acquiring a lock *)
 }
 
 val create : unit -> t

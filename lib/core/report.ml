@@ -55,6 +55,9 @@ let copy_pstats (p : Pstats.t) : Pstats.t =
     net_retries = p.net_retries;
     net_dups = p.net_dups;
     net_timeouts = p.net_timeouts;
+    lock_msgs = p.lock_msgs;
+    lock_handoffs = p.lock_handoffs;
+    lock_wait = p.lock_wait;
   }
 
 let aggregate_cache m : Coherence.stats =

@@ -107,6 +107,17 @@ type sync_counters = {
   mutable barrier_episodes : int;
 }
 
+(* Hooks registered by synchronization objects (the [Mgs_sync] lock
+   registry) so the machine can reset and inspect them without a
+   reverse library dependency: [Machine.reset_stats] runs every
+   [sh_reset], [assert_quiescent] demands every [sh_waiters] be zero,
+   and the metrics sampler sums [sh_waiters] into a gauge. *)
+type sync_hook = {
+  sh_name : string;
+  sh_reset : unit -> unit; (* zero stats + drop dead queued waiters *)
+  sh_waiters : unit -> int; (* fibers currently parked in the object *)
+}
+
 (* Protocol feature toggles (ablation studies; see bench targets). *)
 type features = {
   single_writer_opt : bool;  (* paper section 3.1.1: 1WINV/1WDATA path *)
@@ -151,6 +162,7 @@ type t = {
   tlbs : Tlb.t array;
   pstats : Pstats.t;
   sync_counters : sync_counters;
+  mutable sync_hooks : sync_hook list;
   rel_resume : (unit -> unit) option array; (* per proc: fiber awaiting RACK *)
   mutable fibers : Mgs_engine.Fiber.t list;
   mutable event_limit : int; (* livelock guard for Machine.run *)

@@ -61,6 +61,40 @@ let lock_figure named_sweeps =
   in
   Mgs_util.Tableprint.render ~header ~rows
 
+(* Figure-11 companion: the contended-lock microbenchmark family.
+   One row per (lock, protocol, C, fibers) point — handoff latency
+   (mean/max gap from a release to the next cross-processor acquire),
+   hit ratio, and fairness as the gap's coefficient of variation. *)
+let pp_lock_table points =
+  let rows =
+    List.map
+      (fun (p : Micro.lock_point) ->
+        let g = p.Micro.lk_gap in
+        [
+          p.Micro.lk_lock;
+          p.Micro.lk_protocol;
+          string_of_int p.Micro.lk_cluster;
+          string_of_int p.Micro.lk_fibers;
+          string_of_int p.Micro.lk_acquires;
+          Printf.sprintf "%.3f" p.Micro.lk_hit_ratio;
+          string_of_int p.Micro.lk_handoffs;
+          (if g.Mgs_sync.Locks.n = 0 then "-"
+           else Printf.sprintf "%.0f" g.Mgs_sync.Locks.mean);
+          (if g.Mgs_sync.Locks.n = 0 then "-" else string_of_int g.Mgs_sync.Locks.max);
+          (if g.Mgs_sync.Locks.n = 0 then "-"
+           else Printf.sprintf "%.2f" g.Mgs_sync.Locks.cv);
+          string_of_int p.Micro.lk_runtime;
+        ])
+      points
+  in
+  Mgs_util.Tableprint.render
+    ~header:
+      [
+        "Lock"; "Proto"; "C"; "Fibers"; "Acquires"; "Hit"; "Handoffs"; "Gap mean";
+        "Gap max"; "Gap cv"; "Runtime";
+      ]
+    ~rows
+
 let csv_of_sweep ~name points =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "app,cluster,runtime,user,lock,barrier,mgs,lan_messages,lan_words,lock_hit_ratio\n";

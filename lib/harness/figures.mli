@@ -9,6 +9,11 @@ val breakdown_figure : title:string -> Sweep.point list -> string
 val lock_figure : (string * Sweep.point list) list -> string
 (** Figure 11: lock hit ratio per cluster size for several workloads. *)
 
+val pp_lock_table : Micro.lock_point list -> string
+(** Figure-11 companion: one row per contended-lock microbenchmark
+    point — acquires, hit ratio, handoffs, handoff-gap mean/max and
+    coefficient of variation (the fairness figure), and runtime. *)
+
 val fault_latency : (int * Mgs_obs.Span.breakdown) list -> string
 (** Table-4-style remote-fault latency decomposition, one row per
     cluster size, rendered purely from the span critical-path

@@ -179,6 +179,106 @@ let run_all ?(costs = Mgs_machine.Costs.default) () =
     (fun (name, group, paper) -> { name; group; paper; measured = find name })
     paper_values
 
+(* --- contended-lock microbenchmarks (Figure 11 companion) ------------ *)
+
+(* One contended-lock run: [fibers] processors hammer a single lock,
+   each critical section reading and incrementing a lock-protected
+   shared counter (so coherence work rides the lock exactly as in the
+   apps), with think time between iterations.  The counter doubles as
+   the correctness oracle: every increment must survive whichever lock
+   algorithm and coherence protocol ran. *)
+
+type lock_point = {
+  lk_lock : string;
+  lk_protocol : string;
+  lk_cluster : int;
+  lk_fibers : int;  (** contending fibers (one per processor) *)
+  lk_acquires : int;
+  lk_hit_ratio : float;
+  lk_handoffs : int;
+  lk_gap : Mgs_sync.Locks.gap_stats;  (** handoff latency + fairness *)
+  lk_runtime : int;
+  lk_sim_events : int;
+}
+
+let lock_point ?(iters = 16) ?(crit = 200) ?(think = 1500) ~lock ~protocol ~cluster
+    ~fibers () =
+  (* enough processors for the contenders, rounded up so C divides P *)
+  let nprocs = (max fibers cluster + cluster - 1) / cluster * cluster in
+  let cfg =
+    Mgs.Machine.config ~lan_latency:1000
+      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs ~cluster ()
+  in
+  let m = Mgs.Machine.create cfg in
+  let counter =
+    Mgs.Machine.alloc m
+      ~words:(Mgs.Machine.geom m).Mgs_mem.Geom.page_words
+      ~home:(Mgs_mem.Allocator.On_proc 0)
+  in
+  Mgs.Machine.poke m counter 0.0;
+  let l = Mgs_sync.Locks.make m lock in
+  let report =
+    Mgs.Machine.run m (fun ctx ->
+        let p = Mgs.Api.proc ctx in
+        if p < fibers then begin
+          (* stagger arrivals so the queues see varied interleavings *)
+          Mgs.Api.compute ctx (1 + (p * 613));
+          for _ = 1 to iters do
+            Mgs_sync.Locks.acquire ctx l;
+            let v = Mgs.Api.read ctx counter in
+            Mgs.Api.compute ctx crit;
+            Mgs.Api.write ctx counter (v +. 1.);
+            Mgs_sync.Locks.release ctx l;
+            Mgs.Api.compute ctx think
+          done
+        end)
+  in
+  Mgs.Machine.assert_quiescent m;
+  let expect = float_of_int (fibers * iters) in
+  let got = Mgs.Machine.peek m counter in
+  if got <> expect then
+    failwith
+      (Printf.sprintf "lock bench %s/%s C=%d n=%d: counter %.0f, expected %.0f" lock
+         protocol cluster fibers got expect);
+  {
+    lk_lock = lock;
+    lk_protocol = protocol;
+    lk_cluster = cluster;
+    lk_fibers = fibers;
+    lk_acquires = Mgs_sync.Locks.acquires l;
+    lk_hit_ratio = Mgs_sync.Locks.hit_ratio l;
+    lk_handoffs = Mgs_sync.Locks.handoffs l;
+    lk_gap = Mgs_sync.Locks.gap_stats l;
+    lk_runtime = report.Mgs.Report.runtime;
+    lk_sim_events = report.Mgs.Report.sim_events;
+  }
+
+(* The full family, in deterministic order; [jobs] fans points out over
+   domains with byte-identical results.  [specs] rows are
+   (lock, protocol, cluster, fibers). *)
+let lock_family ?iters ?crit ?think ?(jobs = 1) specs =
+  Mgs_util.Dpool.map ~jobs
+    (fun (lock, protocol, cluster, fibers) ->
+      lock_point ?iters ?crit ?think ~lock ~protocol ~cluster ~fibers ())
+    specs
+
+(* lock scalability: every registered lock at C in {1,4,16} under every
+   protocol, at a fixed contention level *)
+let lock_cluster_specs ?(fibers = 16) () =
+  List.concat_map
+    (fun lock ->
+      List.concat_map
+        (fun protocol ->
+          List.map (fun cluster -> (lock, protocol, cluster, fibers)) [ 1; 4; 16 ])
+        [ "mgs"; "hlrc"; "ivy" ])
+    (Mgs_sync.Locks.names ())
+
+(* contention scaling: 1..64 contending fibers at a fixed cluster *)
+let lock_contention_specs ?(cluster = 4) ?(protocol = "mgs") () =
+  List.concat_map
+    (fun lock -> List.map (fun fibers -> (lock, protocol, cluster, fibers)) [ 1; 4; 16; 64 ])
+    (Mgs_sync.Locks.names ())
+
 let print_table ms =
   let rows =
     List.map

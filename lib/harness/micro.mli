@@ -15,3 +15,60 @@ val run_all : ?costs:Mgs_machine.Costs.t -> unit -> measurement list
 
 val print_table : measurement list -> unit
 (** Render the Table 3 comparison (paper vs measured vs ratio). *)
+
+(** {1 Contended-lock microbenchmarks}
+
+    The Figure 11 companion for the {!Mgs_sync.Locks} registry: a
+    family of single-lock contention runs measuring handoff latency,
+    hit ratio, and fairness per lock algorithm, cluster size, and
+    coherence protocol.  Every critical section increments a
+    lock-protected shared counter, which is verified after the run —
+    mutual exclusion and coherence are checked, not assumed. *)
+
+type lock_point = {
+  lk_lock : string;
+  lk_protocol : string;
+  lk_cluster : int;
+  lk_fibers : int;  (** contending fibers (one per processor) *)
+  lk_acquires : int;
+  lk_hit_ratio : float;
+  lk_handoffs : int;
+  lk_gap : Mgs_sync.Locks.gap_stats;  (** handoff latency + fairness *)
+  lk_runtime : int;
+  lk_sim_events : int;
+}
+
+val lock_point :
+  ?iters:int ->
+  ?crit:int ->
+  ?think:int ->
+  lock:string ->
+  protocol:string ->
+  cluster:int ->
+  fibers:int ->
+  unit ->
+  lock_point
+(** One run: [fibers] contenders (default 16 iterations each, 200-cycle
+    critical sections, 1500-cycle think time) on a machine with
+    [max fibers cluster] processors (rounded up so C divides P).
+    @raise Failure if the protected counter lost an increment or the
+    machine fails {!Mgs.Machine.assert_quiescent}. *)
+
+val lock_family :
+  ?iters:int ->
+  ?crit:int ->
+  ?think:int ->
+  ?jobs:int ->
+  (string * string * int * int) list ->
+  lock_point list
+(** Run (lock, protocol, cluster, fibers) specs in order; [jobs]
+    (default 1) fans points over domains with byte-identical results. *)
+
+val lock_cluster_specs : ?fibers:int -> unit -> (string * string * int * int) list
+(** Every registered lock at C in [{1,4,16}] under every protocol, at a
+    fixed contention level (default 16 fibers). *)
+
+val lock_contention_specs :
+  ?cluster:int -> ?protocol:string -> unit -> (string * string * int * int) list
+(** Every registered lock at 1, 4, 16, and 64 contending fibers, at a
+    fixed cluster size (default 4) and protocol (default mgs). *)

@@ -102,6 +102,19 @@ let emit_delivery lan (env : Envelope.t) ~post_at ~arrive =
 
 (* --- reliable transport (fault plan installed) ---------------------- *)
 
+(* Retransmission backoff doubles per retry, clamped so high retry
+   budgets cannot overflow: unclamped, [rto * 2^retries] wraps negative
+   after ~60 doublings, and a negative timeout fires "in the past" —
+   the simulator clamps it to now, collapsing the backoff into a
+   retransmission storm that burns the whole retry budget in one
+   instant.  The cap (2^40 cycles, ~12 simulated days at 1 GHz) is far
+   beyond any plausible round trip yet leaves fifteen more doublings of
+   headroom before the integer edge, so the schedule stays monotone
+   non-decreasing for any retry count. *)
+let rto_cap = 1 lsl 40
+
+let next_rto cur = if cur >= rto_cap / 2 then rto_cap else cur * 2
+
 (* Degraded SSMPs slow both their sender and their receiver side; a
    transfer pays the worse of the two endpoints' factors. *)
 let scaled factor c = if factor = 1.0 then c else int_of_float (ceil (float_of_int c *. factor))
@@ -252,7 +265,7 @@ and on_timeout lan rel pend now =
            })
     else begin
       pend.retries <- pend.retries + 1;
-      pend.cur_rto <- pend.cur_rto * 2;
+      pend.cur_rto <- next_rto pend.cur_rto;
       lan.stats.retransmits <- lan.stats.retransmits + 1;
       emit_retry lan pend now;
       transmit lan rel pend ~at:now
@@ -274,7 +287,7 @@ let send_reliable lan rel (env : Envelope.t) ~at k =
     { penv = env; pk = k; pseq = seq; pchan = chan; post_at = at; pctx; retries = 0; cur_rto = 0 }
   in
   let spec = Fault.spec_of rel.plan in
-  pend.cur_rto <- (if spec.rto > 0 then spec.rto else auto_rto lan rel env);
+  pend.cur_rto <- min rto_cap (if spec.rto > 0 then spec.rto else auto_rto lan rel env);
   Hashtbl.replace rel.unacked.(chan) seq pend;
   transmit lan rel pend ~at
 

@@ -42,6 +42,15 @@ exception Net_partition of partition
 
 val create : Mgs_engine.Sim.t -> Mgs_machine.Costs.t -> nssmps:int -> t
 
+val rto_cap : int
+(** Ceiling on the retransmission timeout.  Unbounded doubling would
+    overflow [int] after ~60 unacknowledged retries, turning the RTO
+    negative and collapsing the backoff into a retransmission storm. *)
+
+val next_rto : int -> int
+(** [next_rto cur] is the backed-off timeout after another expiry:
+    [cur * 2], saturating at {!rto_cap}. *)
+
 val send : t -> Envelope.t -> at:Mgs_engine.Sim.time -> (Mgs_engine.Sim.time -> unit) -> unit
 (** [send lan env ~at k] transmits [env] from its source SSMP (leaving
     no earlier than [at]) to its destination; [k] runs at the delivery

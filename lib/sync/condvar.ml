@@ -1,0 +1,73 @@
+open Mgs.State
+
+(* Mesa-style condition variables over any registered lock.  [wait]
+   releases the lock, parks, and reacquires on wake-up; because the
+   reacquire races other contenders, a woken waiter must always
+   re-check its predicate.  The wait queue itself is host state — the
+   simulated cost of a wait is the release, the park (charged to the
+   Lock bucket on resume), and the reacquire; signalling costs one
+   local sync operation. *)
+
+type t = {
+  m : Mgs.State.t;
+  lock : Locks.t;
+  q : Mgs_engine.Waitq.t;
+  mutable waits : int;
+  mutable signals : int;
+  mutable wakeups : int;
+}
+
+let create (m : Mgs.Machine.t) lock =
+  let t = { m; lock; q = Mgs_engine.Waitq.create (); waits = 0; signals = 0; wakeups = 0 } in
+  m.sync_hooks <-
+    {
+      sh_name = Printf.sprintf "condvar:%s" (Locks.name lock);
+      sh_reset =
+        (fun () ->
+          ignore (Mgs_engine.Waitq.clear t.q);
+          t.waits <- 0;
+          t.signals <- 0;
+          t.wakeups <- 0);
+      sh_waiters = (fun () -> Mgs_engine.Waitq.length t.q);
+    }
+    :: m.sync_hooks;
+  t
+
+let wait (ctx : Mgs.Api.ctx) t =
+  let m = t.m in
+  let cpu = ctx.cpu in
+  Cpu.sync_busy cpu;
+  t.waits <- t.waits + 1;
+  obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.cv_wait" ~src:ctx.Mgs.Api.proc ~dst:(-1)
+    ~vpn:(-1) ~words:0 ~cost:0 ~dur:0;
+  Locks.release ctx t.lock;
+  Mgs_engine.Waitq.park t.q;
+  Cpu.resume_charge cpu Lock (Sim.now m.sim);
+  t.wakeups <- t.wakeups + 1;
+  Locks.acquire ctx t.lock
+
+let signal (ctx : Mgs.Api.ctx) t =
+  let m = t.m in
+  let cpu = ctx.cpu in
+  Cpu.sync_busy cpu;
+  Cpu.advance cpu Lock m.costs.sync.lock_local_release;
+  t.signals <- t.signals + 1;
+  obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.cv_signal" ~src:ctx.Mgs.Api.proc ~dst:(-1)
+    ~vpn:(-1) ~words:0 ~cost:0 ~dur:0;
+  Mgs_engine.Waitq.wake_one m.sim t.q
+
+let broadcast (ctx : Mgs.Api.ctx) t =
+  let m = t.m in
+  let cpu = ctx.cpu in
+  Cpu.sync_busy cpu;
+  Cpu.advance cpu Lock m.costs.sync.lock_local_release;
+  t.signals <- t.signals + 1;
+  obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.cv_broadcast" ~src:ctx.Mgs.Api.proc
+    ~dst:(-1) ~vpn:(-1) ~words:0 ~cost:0 ~dur:0;
+  Mgs_engine.Waitq.wake_all m.sim t.q
+
+let waiters t = Mgs_engine.Waitq.length t.q
+
+let waits t = t.waits
+
+let wakeups t = t.wakeups

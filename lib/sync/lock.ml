@@ -221,6 +221,26 @@ let release ctx l =
   span_close m root;
   span_set m Span.none
 
+let waiters l =
+  Array.fold_left (fun acc loc -> acc + Mgs_engine.Waitq.length loc.waiters) 0 l.locals
+
+let reset l =
+  Array.iteri
+    (fun s loc ->
+      ignore (Mgs_engine.Waitq.clear loc.waiters);
+      loc.has_token <- s = l.home_ssmp;
+      loc.held <- false;
+      loc.requested <- false;
+      loc.recall <- false;
+      loc.grants_left <- l.grant_bound)
+    l.locals;
+  l.token_at <- l.home_ssmp;
+  l.transfer <- false;
+  Queue.clear l.pending;
+  Hashtbl.reset l.notices;
+  l.acquires <- 0;
+  l.hits <- 0
+
 let acquires l = l.acquires
 
 let hits l = l.hits

@@ -42,6 +42,19 @@ val release : Mgs.Api.ctx -> t -> unit
     preferring local waiters.
     @raise Failure if the caller's SSMP does not hold the lock. *)
 
+val waiters : t -> int
+(** Fibers currently parked in the lock's local wait queues. *)
+
+val reset : t -> unit
+(** Restore the lock to its just-created state: token parked at the
+    home, no holder, queues empty, HLRC notices and hit counters
+    cleared.  Parked waiters are {e dropped}, not woken — only call
+    between phases, when any parked fiber belongs to an abandoned run
+    (e.g. after {!Mgs_net.Lan.Net_partition} ended it).  Without this,
+    a waiter stranded by a partition leaves [requested] latched and the
+    next acquirer deadlocks waiting for a token grant that never
+    comes. *)
+
 val acquires : t -> int
 
 val hits : t -> int

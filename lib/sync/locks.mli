@@ -1,0 +1,106 @@
+(** Pluggable lock algorithms (ROADMAP item 5).
+
+    A registry of lock implementations behind one face, mirroring the
+    {!Mgs.Protocol} registry: the harness, the benchmark driver, and
+    [mgs_run --lock] select an algorithm by name, and adding one means
+    a single {!register} call.  Five algorithms ship built in:
+
+    - ["token"] — the paper's token lock ({!Lock}), unchanged: local
+      lock per SSMP, circulating token, locality-first with a bounded
+      grant budget.  The baseline every comparison is against.
+    - ["tas"] — test-and-set at the home processor with capped
+      exponential backoff between attempts.  No queue, no fairness.
+    - ["ticket"] — centralised FIFO: the home assigns tickets and
+      notifies the next holder on release (two hops per handoff).
+    - ["mcs"] — MCS queue lock over active messages: SWAP at the home
+      appends to the queue, the home LINKs the requester to its
+      predecessor, and releases hand off directly to the successor
+      (one hop per handoff).  A releaser caught in the swap/link
+      window parks until the link lands.
+    - ["clh"] — CLH queue lock: SWAP returns the predecessor's node,
+      the requester WATCHes it where it lives, and release grants the
+      watcher directly.  Release never blocks or messages unless a
+      watcher is present.
+
+    Every algorithm pays the same active-message occupancy and LAN
+    costs as the coherence engines, flushes release consistency before
+    ownership moves, and applies write notices at acquire — so HLRC
+    runs correctly whichever lock a workload selects.
+
+    The wrapper returned by {!make} adds host-only instrumentation:
+    handoff counts, the gap (in cycles) from each release to the next
+    cross-processor acquire, retroactive [lock.handoff] spans when a
+    trace is installed, and the [lock_wait]/[lock_handoffs] Pstats
+    counters (non-baseline locks only, so token-lock runs stay
+    byte-identical with earlier revisions).  It also registers a
+    {!Mgs.State.sync_hook}, so [Machine.reset_stats] restores the lock
+    between phases and [assert_quiescent] fails on leaked waiters. *)
+
+type raw = {
+  r_acquire : Mgs.Api.ctx -> unit;
+  r_release : Mgs.Api.ctx -> unit;
+  r_acquires : unit -> int;
+  r_hits : unit -> int;  (** acquires that never left the home SSMP nor waited *)
+  r_waiters : unit -> int;  (** fibers currently blocked inside the algorithm *)
+  r_reset : unit -> unit;  (** back to the just-created state; drops dead waiters *)
+}
+(** What an algorithm must provide: one lock instance as closures. *)
+
+type maker = Mgs.Machine.t -> home:int -> raw
+
+val register : string -> maker -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val names : unit -> string list
+(** Registered lock names, sorted. *)
+
+val mem : string -> bool
+
+type t
+(** An instrumented lock instance. *)
+
+val make : Mgs.Machine.t -> ?home:int -> string -> t
+(** [make m ~home name] instantiates registered algorithm [name] with
+    its arbitration state on SSMP [home] (default 0) and registers a
+    sync hook on [m] for phase resets and quiescence checks.
+    @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val acquire : Mgs.Api.ctx -> t -> unit
+(** Block until the calling fiber holds the lock; waiting time is
+    charged to the Lock bucket. *)
+
+val release : Mgs.Api.ctx -> t -> unit
+(** Flush release consistency, then pass the lock on.
+    @raise Failure if the lock is not held. *)
+
+val name : t -> string
+
+val acquires : t -> int
+
+val hits : t -> int
+
+val hit_ratio : t -> float
+(** [hits / acquires]; 1.0 when never acquired. *)
+
+val waiters : t -> int
+(** Fibers currently blocked inside the lock. *)
+
+val reset : t -> unit
+(** Restore the just-created state and zero the instrumentation.
+    Parked waiters are dropped, not woken — only call between phases
+    when any parked fiber belongs to an abandoned run. *)
+
+val handoffs : t -> int
+(** Acquires whose previous holder was a different processor. *)
+
+val gaps : t -> int array
+(** Handoff gaps in completion order: cycles from a release to the
+    next cross-processor acquire's completion. *)
+
+type gap_stats = { n : int; mean : float; max : int; cv : float }
+(** [cv] is the coefficient of variation (stddev / mean) — the
+    fairness figure: FIFO queue locks hand off at a steady cadence
+    (low cv), the token lock alternates cheap local grants with
+    expensive token recalls (high cv). *)
+
+val gap_stats : t -> gap_stats

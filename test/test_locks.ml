@@ -1,0 +1,329 @@
+(* Tests for the pluggable lock registry: every registered algorithm
+   must provide mutual exclusion and eventual acquisition (under clean
+   and faulty networks), the queue locks must grant in FIFO order, the
+   condition variables must not lose wakeups, phase resets must restore
+   every per-lock counter and queue, and a partitioned acquire must not
+   poison the next phase.  The microbenchmark family must be
+   byte-identical under -j N. *)
+
+module Locks = Mgs_sync.Locks
+module Condvar = Mgs_sync.Condvar
+module Micro = Mgs_harness.Micro
+module Figures = Mgs_harness.Figures
+
+let make ?(nprocs = 8) ?(cluster = 2) ?(lan = 500) () =
+  let cfg = Mgs.Machine.config ~nprocs ~cluster ~lan_latency:lan () in
+  Mgs.Machine.create cfg
+
+(* ------------------------------------------------------------------ *)
+(* Mutual exclusion + eventual acquisition, as one checked run.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Fibers only interleave at suspension points, so a host-side
+   occupancy flag around the critical section is an exact mutual
+   exclusion oracle: the read/write/compute calls inside suspend, and a
+   second holder would be observed.  Completion of [Machine.run] itself
+   is the eventual-acquisition check — a lost wakeup leaves a fiber
+   parked and [run] fails on incomplete fibers. *)
+let run_mutex ?faults ?(seed = 42) ?(iters = 6) ?(nprocs = 8) ?(cluster = 2) name =
+  let m = make ~nprocs ~cluster () in
+  (match faults with
+  | Some spec -> Mgs.Machine.set_faults m ~seed spec
+  | None -> ());
+  let cell = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let lock = Locks.make m name in
+  let inside = ref 0 in
+  let violations = ref 0 in
+  let rng = Mgs_util.Rng.create ~seed in
+  let thinks = Array.init nprocs (fun _ -> 200 + Mgs_util.Rng.int rng 3000) in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         Mgs.Api.compute ctx thinks.(p);
+         for _ = 1 to iters do
+           Locks.acquire ctx lock;
+           incr inside;
+           if !inside <> 1 then incr violations;
+           Mgs.Api.write ctx cell (Mgs.Api.read ctx cell +. 1.0);
+           Mgs.Api.compute ctx (100 + (thinks.(p) mod 500));
+           decr inside;
+           Locks.release ctx lock;
+           Mgs.Api.compute ctx thinks.(p)
+         done));
+  Mgs.Machine.assert_quiescent m;
+  if !violations > 0 then
+    QCheck.Test.fail_reportf "%s: %d mutual-exclusion violations" name !violations;
+  let got = int_of_float (Mgs.Machine.peek m cell) in
+  if got <> nprocs * iters then
+    QCheck.Test.fail_reportf "%s: lost updates: counter %d, want %d" name got
+      (nprocs * iters);
+  if Locks.acquires lock <> nprocs * iters then
+    QCheck.Test.fail_reportf "%s: %d acquires recorded, want %d" name
+      (Locks.acquires lock) (nprocs * iters);
+  true
+
+let chaos = "drop=0.05,dup=0.05,delay=0.1:2000,reorder=0.05,retries=25"
+
+let prop_mutex =
+  QCheck.Test.make ~count:6 ~name:"every lock: mutual exclusion, random think times"
+    QCheck.(pair small_nat (oneofl (Locks.names ())))
+    (fun (seed, name) -> run_mutex ~seed ~nprocs:8 ~cluster:4 name)
+
+let prop_mutex_faulty =
+  QCheck.Test.make ~count:6 ~name:"every lock: mutual exclusion under a lossy LAN"
+    QCheck.(pair small_nat (oneofl (Locks.names ())))
+    (fun (seed, name) ->
+      run_mutex ~faults:(Mgs_net.Fault.of_string chaos) ~seed ~nprocs:8 ~cluster:4 name)
+
+(* ------------------------------------------------------------------ *)
+(* FIFO grant order for the queue locks.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Proc 0 takes the lock immediately and holds it while procs 1..P-1
+   arrive well separated (100k cycles apart, dwarfing every message
+   latency, retransmission timeout, and backoff in the system), so the
+   queue locks must grant in exact arrival order.  The token lock
+   batches grants per SSMP and tas is a backoff race, so only
+   mcs/clh/ticket promise this. *)
+let run_fifo ?faults ?(seed = 42) name =
+  let nprocs = 8 in
+  let m = make ~nprocs ~cluster:2 ~lan:1000 () in
+  (match faults with
+  | Some spec -> Mgs.Machine.set_faults m ~seed spec
+  | None -> ());
+  let lock = Locks.make m name in
+  let order = ref [] in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         if p = 0 then begin
+           Locks.acquire ctx lock;
+           Mgs.Api.compute ctx 3_000_000;
+           Locks.release ctx lock
+         end
+         else begin
+           Mgs.Api.idle_until ctx (p * 100_000);
+           Locks.acquire ctx lock;
+           order := p :: !order;
+           Mgs.Api.compute ctx 500;
+           Locks.release ctx lock
+         end));
+  Mgs.Machine.assert_quiescent m;
+  let got = List.rev !order in
+  let want = List.init (nprocs - 1) (fun i -> i + 1) in
+  if got <> want then
+    QCheck.Test.fail_reportf "%s: grant order %s, want FIFO %s" name
+      (String.concat "," (List.map string_of_int got))
+      (String.concat "," (List.map string_of_int want));
+  true
+
+let fifo_locks = [ "mcs"; "clh"; "ticket" ]
+
+let prop_fifo =
+  QCheck.Test.make ~count:3 ~name:"queue locks grant in FIFO order"
+    QCheck.(oneofl fifo_locks)
+    (fun name -> run_fifo name)
+
+let prop_fifo_faulty =
+  QCheck.Test.make ~count:6 ~name:"queue locks stay FIFO under a lossy LAN"
+    QCheck.(pair small_nat (oneofl fifo_locks))
+    (fun (seed, name) -> run_fifo ~faults:(Mgs_net.Fault.of_string chaos) ~seed name)
+
+(* ------------------------------------------------------------------ *)
+(* Condition variables.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Four consumers wait for items, four producers each publish one and
+   signal.  The Mesa while-loop absorbs any signal/wait race; the run
+   can only complete if no wakeup is lost. *)
+let test_condvar_signal () =
+  let m = make ~nprocs:8 ~cluster:2 () in
+  let lock = Locks.make m "mcs" in
+  let cv = Condvar.create m lock in
+  let ready = ref 0 in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         if p < 4 then begin
+           Locks.acquire ctx lock;
+           while !ready = 0 do
+             Condvar.wait ctx cv
+           done;
+           decr ready;
+           Locks.release ctx lock
+         end
+         else begin
+           Mgs.Api.compute ctx 50_000;
+           Locks.acquire ctx lock;
+           incr ready;
+           ignore (Condvar.signal ctx cv);
+           Locks.release ctx lock
+         end));
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check int) "all items consumed" 0 !ready;
+  Alcotest.(check int) "no parked waiters" 0 (Condvar.waiters cv)
+
+let test_condvar_broadcast () =
+  let m = make ~nprocs:8 ~cluster:2 () in
+  let lock = Locks.make m "ticket" in
+  let cv = Condvar.create m lock in
+  let go = ref false in
+  let woken = ref 0 in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         if p = 0 then begin
+           (* park everyone first: waiters release the lock inside
+              [wait], so the whole group is asleep long before this
+              ([idle_until] suspends in simulated time; a [compute]
+              would only advance this fiber's virtual clock) *)
+           Mgs.Api.idle_until ctx 500_000;
+           Locks.acquire ctx lock;
+           go := true;
+           woken := Condvar.broadcast ctx cv;
+           Locks.release ctx lock
+         end
+         else begin
+           Locks.acquire ctx lock;
+           while not !go do
+             Condvar.wait ctx cv
+           done;
+           Locks.release ctx lock
+         end));
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check int) "broadcast woke the whole group" 7 !woken;
+  Alcotest.(check int) "waits recorded" 7 (Condvar.waits cv);
+  Alcotest.(check int) "wakeups recorded" 7 (Condvar.wakeups cv);
+  Alcotest.(check int) "no parked waiters" 0 (Condvar.waiters cv)
+
+(* ------------------------------------------------------------------ *)
+(* Phase-reset parity for registry locks.                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_reset_parity () =
+  let m = make ~nprocs:8 ~cluster:2 () in
+  let cell = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let lock = Locks.make m "clh" in
+  let phase () =
+    ignore
+      (Mgs.Machine.run m (fun ctx ->
+           for _ = 1 to 4 do
+             Locks.acquire ctx lock;
+             Mgs.Api.write ctx cell (Mgs.Api.read ctx cell +. 1.0);
+             Locks.release ctx lock
+           done));
+    Mgs.Machine.assert_quiescent m
+  in
+  phase ();
+  let open Mgs.State in
+  Alcotest.(check bool) "warmup recorded acquires" true (Locks.acquires lock > 0);
+  Alcotest.(check bool) "warmup recorded handoffs" true (Locks.handoffs lock > 0);
+  Alcotest.(check bool) "warmup recorded lock messages" true
+    (m.pstats.Mgs.Pstats.lock_msgs > 0);
+  Alcotest.(check bool) "warmup recorded lock wait" true
+    (m.pstats.Mgs.Pstats.lock_wait > 0);
+  Mgs.Machine.reset_stats m;
+  Alcotest.(check int) "acquires reset" 0 (Locks.acquires lock);
+  Alcotest.(check int) "hits reset" 0 (Locks.hits lock);
+  Alcotest.(check int) "handoffs reset" 0 (Locks.handoffs lock);
+  Alcotest.(check int) "gap history reset" 0 (Locks.gap_stats lock).Locks.n;
+  Alcotest.(check int) "no queued waiters" 0 (Locks.waiters lock);
+  Alcotest.(check int) "pstats lock_msgs reset" 0 m.pstats.Mgs.Pstats.lock_msgs;
+  Alcotest.(check int) "pstats lock_handoffs reset" 0 m.pstats.Mgs.Pstats.lock_handoffs;
+  Alcotest.(check int) "pstats lock_wait reset" 0 m.pstats.Mgs.Pstats.lock_wait;
+  Alcotest.(check int) "machine lock counter reset" 0 m.sync_counters.lock_acquires;
+  (* the lock must be fully usable in the next measured phase *)
+  phase ();
+  Alcotest.(check int) "second phase acquires" (8 * 4) (Locks.acquires lock);
+  Alcotest.(check (float 0.)) "second phase counter" (float_of_int (2 * 8 * 4))
+    (Mgs.Machine.peek m cell)
+
+(* ------------------------------------------------------------------ *)
+(* Partition during an acquire must not poison the next phase.         *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_recovery () =
+  let m = make ~nprocs:4 ~cluster:2 () in
+  let cell = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let lock = Locks.make m ~home:0 "token" in
+  (* total loss: the cross-SSMP token request exhausts its retries *)
+  Mgs.Machine.set_faults m ~seed:7 (Mgs_net.Fault.of_string "drop=1.0,retries=3");
+  let r1 =
+    Mgs.Machine.run m (fun ctx ->
+        if Mgs.Api.proc ctx = 2 then begin
+          Locks.acquire ctx lock;
+          Locks.release ctx lock
+        end)
+  in
+  (match r1.Mgs.Report.outcome with
+  | Mgs.Report.Partitioned _ -> ()
+  | _ -> Alcotest.fail "expected a partitioned outcome");
+  Alcotest.(check bool) "waiter abandoned mid-acquire" true (Locks.waiters lock > 0);
+  (* reset while the plan is installed (clears the transport's pending
+     retransmissions), then lift the faults for the next phase *)
+  Mgs.Machine.reset_stats m;
+  Mgs.Machine.clear_faults m;
+  Alcotest.(check int) "reset dropped the dead waiter" 0 (Locks.waiters lock);
+  let r2 =
+    Mgs.Machine.run m (fun ctx ->
+        Locks.acquire ctx lock;
+        Mgs.Api.write ctx cell (Mgs.Api.read ctx cell +. 1.0);
+        Locks.release ctx lock)
+  in
+  Alcotest.(check bool) "second phase completes" true (Mgs.Report.completed r2);
+  Mgs.Machine.assert_quiescent m;
+  Alcotest.(check (float 0.)) "every proc acquired" 4.0 (Mgs.Machine.peek m cell)
+
+(* ------------------------------------------------------------------ *)
+(* -j N byte identity of the microbenchmark family.                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_family_jobs_identical () =
+  let specs =
+    List.concat_map
+      (fun lock -> List.map (fun fibers -> (lock, "mgs", 4, fibers)) [ 4; 8 ])
+      (Locks.names ())
+  in
+  let seq = Micro.lock_family ~iters:4 ~jobs:1 specs in
+  let par = Micro.lock_family ~iters:4 ~jobs:3 specs in
+  Alcotest.(check string) "-j 3 output identical to -j 1"
+    (Figures.pp_lock_table seq) (Figures.pp_lock_table par)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_mutex; prop_mutex_faulty; prop_fifo; prop_fifo_faulty ]
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "all five algorithms registered" `Quick (fun () ->
+              List.iter
+                (fun n ->
+                  Alcotest.(check bool) n true (Locks.mem n))
+                [ "token"; "tas"; "ticket"; "mcs"; "clh" ];
+              Alcotest.(check bool) "unknown name rejected" true
+                (try
+                   ignore (Locks.make (make ()) "bogus");
+                   false
+                 with Invalid_argument _ -> true));
+        ] );
+      ( "condvar",
+        [
+          Alcotest.test_case "signal wakes one" `Quick test_condvar_signal;
+          Alcotest.test_case "broadcast wakes all" `Quick test_condvar_broadcast;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "reset parity" `Quick test_reset_parity;
+          Alcotest.test_case "partition recovery" `Quick test_partition_recovery;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "-j N byte identity" `Quick test_lock_family_jobs_identical;
+        ] );
+      ("properties", qsuite);
+    ]

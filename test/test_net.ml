@@ -394,6 +394,28 @@ let prop_chaos_deterministic =
       && s1.Lan.acks = s2.Lan.acks
       && sorted order1 = sorted order2)
 
+(* Regression: exponential retransmit backoff must clamp instead of
+   doubling forever.  Unbounded doubling overflows int after ~60
+   unacknowledged retries, turning the RTO negative and collapsing the
+   backoff into a zero-delay retransmission storm. *)
+let test_rto_backoff_clamped () =
+  let rto = ref 2000 in
+  for step = 1 to 100 do
+    let next = Lan.next_rto !rto in
+    if next <= 0 then
+      Alcotest.failf "rto went non-positive (%d) after %d doublings" next step;
+    if next < !rto then
+      Alcotest.failf "rto not monotone: %d -> %d at step %d" !rto next step;
+    if next > Lan.rto_cap then
+      Alcotest.failf "rto exceeds cap: %d > %d at step %d" next Lan.rto_cap step;
+    rto := next
+  done;
+  Alcotest.(check int) "converges to the cap" Lan.rto_cap !rto;
+  Alcotest.(check int) "cap is a fixed point" Lan.rto_cap (Lan.next_rto Lan.rto_cap);
+  (* near-cap values jump straight to the cap rather than overflowing *)
+  Alcotest.(check int) "no overflow past the cap" Lan.rto_cap
+    (Lan.next_rto (Lan.rto_cap - 1))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_lan_fifo; prop_exactly_once; prop_chaos_deterministic ]
@@ -422,6 +444,8 @@ let () =
           Alcotest.test_case "lossy exactly-once" `Quick test_lossy_delivers_exactly_once;
           Alcotest.test_case "reset clears transport state" `Quick
             test_reset_clears_transport_state;
+          Alcotest.test_case "retransmit backoff clamped" `Quick
+            test_rto_backoff_clamped;
         ] );
       ( "am",
         [
