@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke trace-lint perf perf-smoke perf-diff clean
+.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -42,6 +42,14 @@ lock-smoke: build
 	$(DUNE) exec bench/main.exe -- lock-smoke > _build/lock-smoke.out
 	@cat _build/lock-smoke.out
 	@grep -q "lock-smoke: OK" _build/lock-smoke.out
+
+# Sharded event engine vs the sequential oracle: a protocol x app
+# sample must produce byte-identical reports at several job counts,
+# with the windowed multi-domain path really exercised.
+par-smoke: build
+	$(DUNE) exec bench/main.exe -- par-smoke > _build/par-smoke.out
+	@cat _build/par-smoke.out
+	@grep -q "par-smoke: OK" _build/par-smoke.out
 
 # Validate every observability export against its own contract: run the
 # CLI with the trace, span, and metrics exporters on, then lint the
@@ -90,7 +98,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke chaos-smoke lock-smoke trace-lint perf-smoke perf-diff fmt-check
+check: build test smoke chaos-smoke lock-smoke par-smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

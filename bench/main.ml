@@ -175,6 +175,44 @@ let lock_smoke () =
   Printf.printf "lock-smoke: OK (%d points: %s)\n" (List.length points)
     (String.concat ", " (Mgs_sync.Locks.names ()))
 
+(* Sharded-engine identity gate for `make check`: small machines run on
+   the sequential engine and on the sharded engine at several job
+   counts must produce identical reports.  Wall-clock and peak queue
+   depth are host/engine artifacts and are not part of the contract, so
+   the identity string below omits them. *)
+let par_smoke () =
+  let ident (r : Mgs.Report.t) =
+    Format.asprintf "%d/%d/%d/%d/%d/%d/%a" r.Mgs.Report.runtime r.Mgs.Report.sim_events
+      r.Mgs.Report.lan_messages r.Mgs.Report.lan_words r.Mgs.Report.lock_acquires
+      r.Mgs.Report.barrier_episodes Mgs.Pstats.pp r.Mgs.Report.pstats
+  in
+  let cells =
+    [
+      ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny, "mgs");
+      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "hlrc");
+      ("tsp", Mgs_apps.Tsp.workload Mgs_apps.Tsp.tiny, "ivy");
+    ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (name, w, protocol) ->
+      let run par =
+        (Sweep.run_point ~check:false ~protocol ~par ~nprocs:8 ~cluster:2 w).Sweep.report
+        |> ident
+      in
+      let oracle = run 0 in
+      List.iter
+        (fun par ->
+          incr checked;
+          if run par <> oracle then
+            failwith
+              (Printf.sprintf "par-smoke: %s/%s diverges from the sequential engine at par=%d"
+                 name protocol par))
+        [ 1; 4 ])
+    cells;
+  Printf.printf "par-smoke: OK (%d sharded runs identical to the sequential engine)\n"
+    !checked
+
 let summary () =
   print_endline "=== Framework metrics summary (paper section 2.4) ===";
   print_string
@@ -422,6 +460,7 @@ let targets : (string * (unit -> unit)) list =
     ("summary", summary);
     ("locktable", locktable);
     ("lock-smoke", lock_smoke);
+    ("par-smoke", par_smoke);
     ("ablation-singlewriter", ablation_single_writer);
     ("ablation-earlyack", ablation_early_ack);
     ("ablation-pagesize", ablation_page_size);

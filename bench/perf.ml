@@ -23,10 +23,10 @@ type row = {
   events_per_s : float;
 }
 
-let measure ~nprocs ~cluster (name, w) =
+let measure ?(par = 0) ?(check = true) ~nprocs ~cluster (name, w) =
   let a0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
-  let pt = Sweep.run_point ~nprocs ~cluster w in
+  let pt = Sweep.run_point ~check ~par ~nprocs ~cluster w in
   let wall = Unix.gettimeofday () -. t0 in
   let allocated = Gc.allocated_bytes () -. a0 in
   let r = pt.Sweep.report in
@@ -62,6 +62,35 @@ let measure_lock ~cluster ~fibers lock =
     events_per_s =
       (if wall > 0. then float_of_int pt.Mgs_harness.Micro.lk_sim_events /. wall else 0.);
   }
+
+(* Large-P rows on the sharded event engine: P = 64..1024 processors at
+   C = 16 and 64, jacobi sized so every processor owns one grid row and
+   water capped at 256 molecules (beyond that the pairwise force phase,
+   not the engine, dominates).  The engine check is off so the runs
+   really shard across domains; sim_events/sim_cycles still gate the
+   diff because the sharded engine is byte-identical to the sequential
+   one. *)
+let large_rows () =
+  List.concat_map
+    (fun (nprocs, cluster) ->
+      let jacobi =
+        ( "jacobi",
+          Mgs_apps.Jacobi.workload
+            { Mgs_apps.Jacobi.default with Mgs_apps.Jacobi.n = nprocs + 2; iters = 2 } )
+      in
+      let water =
+        ( "water",
+          Mgs_apps.Water.workload
+            {
+              Mgs_apps.Water.default with
+              Mgs_apps.Water.nmol = min nprocs 256;
+              iters = 1;
+            } )
+      in
+      List.map
+        (fun appw -> measure ~par:4 ~check:false ~nprocs ~cluster appw)
+        [ jacobi; water ])
+    [ (64, 16); (64, 64); (256, 16); (256, 64); (1024, 16); (1024, 64) ]
 
 let json_of_rows ~quick rows =
   let buf = Buffer.create 1024 in
@@ -164,15 +193,26 @@ let diff_against ~base rows =
   let pct a b = if b = 0.0 then 0.0 else (a -. b) /. b *. 100.0 in
   let failures = ref [] in
   let matched = ref 0 in
+  let fresh = ref 0 in
   let table =
-    List.filter_map
+    List.map
       (fun r ->
         match
           List.find_opt
             (fun b -> b.app = r.app && b.nprocs = r.nprocs && b.cluster = r.cluster)
             base
         with
-        | None -> None
+        | None ->
+          (* a row the baseline predates: report it, never gate on it *)
+          incr fresh;
+          [
+            r.app;
+            string_of_int r.cluster;
+            "-";
+            Printf.sprintf "%.1f" r.allocated_mb;
+            "new";
+            "-";
+          ]
         | Some b ->
           incr matched;
           let id = Printf.sprintf "%s C=%d" r.app r.cluster in
@@ -186,22 +226,28 @@ let diff_against ~base rows =
               Printf.sprintf "%s: sim_cycles %d -> %d (semantic drift)" id b.sim_cycles
                 r.sim_cycles
               :: !failures;
-          if r.allocated_mb > b.allocated_mb *. 1.1 then
+          (* Allocation is almost deterministic, but the OCaml 5
+             runtime's fiber-stack reuse adds ~2 MB of jitter to rows
+             that only allocate a few MB (the lock micros), so the gate
+             needs both a relative and an absolute trigger. *)
+          if
+            r.allocated_mb > b.allocated_mb *. 1.1
+            && r.allocated_mb -. b.allocated_mb > 3.0
+          then
             failures :=
-              Printf.sprintf "%s: allocated_mb %.1f -> %.1f (> +10%%)" id b.allocated_mb
-                r.allocated_mb
+              Printf.sprintf "%s: allocated_mb %.1f -> %.1f (> +10%% and > +3 MB)" id
+                b.allocated_mb r.allocated_mb
               :: !failures;
-          Some
-            [
-              r.app;
-              string_of_int r.cluster;
-              Printf.sprintf "%+.1f%%" (pct r.wall_s b.wall_s);
-              Printf.sprintf "%.1f -> %.1f (%+.1f%%)" b.allocated_mb r.allocated_mb
-                (pct r.allocated_mb b.allocated_mb);
-              (if r.sim_events = b.sim_events && r.sim_cycles = b.sim_cycles then "same"
-               else "CHANGED");
-              Printf.sprintf "%+.1f%%" (pct r.events_per_s b.events_per_s);
-            ])
+          [
+            r.app;
+            string_of_int r.cluster;
+            Printf.sprintf "%+.1f%%" (pct r.wall_s b.wall_s);
+            Printf.sprintf "%.1f -> %.1f (%+.1f%%)" b.allocated_mb r.allocated_mb
+              (pct r.allocated_mb b.allocated_mb);
+            (if r.sim_events = b.sim_events && r.sim_cycles = b.sim_cycles then "same"
+             else "CHANGED");
+            Printf.sprintf "%+.1f%%" (pct r.events_per_s b.events_per_s);
+          ])
       rows
   in
   Mgs_util.Tableprint.print
@@ -211,6 +257,10 @@ let diff_against ~base rows =
     prerr_endline "perf: --diff: no baseline rows match this run's matrix";
     exit 2
   end;
+  if !fresh > 0 then
+    Printf.printf "perf-diff: %d new row%s not in the baseline (reported, not gated)\n"
+      !fresh
+      (if !fresh = 1 then "" else "s");
   match List.rev !failures with
   | [] -> Printf.printf "perf-diff: OK (%d rows vs baseline)\n" !matched
   | fs ->
@@ -271,7 +321,7 @@ let () =
       (fun lock -> List.map (fun cluster -> measure_lock ~cluster ~fibers lock) clusters)
       (Mgs_sync.Locks.names ())
   in
-  let rows = rows @ lock_rows in
+  let rows = rows @ lock_rows @ (if !quick then [] else large_rows ()) in
   Mgs_util.Tableprint.print
     ~header:[ "app"; "C"; "wall (s)"; "alloc (MB)"; "sim events"; "events/s" ]
     ~rows:

@@ -82,10 +82,15 @@ let with_out file f =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let run app size iters procs cluster delay page_bytes protocol lock faults seed sweep jobs
-    no_verify trace spans metrics hist check csv =
+    par no_verify trace spans metrics hist check csv =
   let w, size_desc = workload ~app ~size ~iters ~lock in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
+  (* zero inter-SSMP latency leaves the sharded engine no lookahead
+     window; fall back to the sequential engine rather than refuse *)
+  if par > 0 && delay < 1 then
+    Printf.eprintf "mgs_run: --par ignored: --delay %d leaves no lookahead window\n%!" delay;
+  let par = if delay < 1 then 0 else par in
   let fault_spec =
     match faults with
     | Some spec when not (Mgs_net.Fault.is_zero spec) -> Some spec
@@ -105,7 +110,7 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
     let buf = Buffer.create 256 in
     let ppf = Format.formatter_of_buffer buf in
     let cfg =
-      Mgs.Machine.config ~page_words ~lan_latency:delay
+      Mgs.Machine.config ~page_words ~lan_latency:delay ~par_jobs:par
         ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs:procs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
@@ -331,6 +336,18 @@ let jobs_t =
           "Run up to $(docv) sweep points concurrently on separate domains.  \
            Output is identical to a sequential run.")
 
+let par_t =
+  Arg.(
+    value & opt int 0
+    & info [ "par" ] ~docv:"N"
+        ~doc:
+          "Run each point on the sharded event engine: one event partition per SSMP, \
+           executed on up to $(docv) domains with the inter-SSMP latency as the \
+           conservative lookahead window.  Results are byte-identical to the default \
+           sequential engine.  0 (the default) keeps the sequential engine; \
+           observability options (--trace, --spans, --metrics) force the sharded \
+           engine onto a single domain.")
+
 let no_verify_t =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip output verification.")
 
@@ -387,7 +404,7 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ no_verify_t $ trace_t
-      $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t)
+      $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ par_t $ no_verify_t
+      $ trace_t $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t)
 
 let () = exit (Cmd.eval cmd)

@@ -2,16 +2,21 @@ type recorder = Mgs_engine.Sim.time -> Mgs_net.Envelope.t -> unit
 
 module Span = Mgs_obs.Span
 
+(* Message counters live in per-SSMP cells so concurrent shards of the
+   sharded engine never write the same slot: posting bumps the sender's
+   cell, delivery decrements the receiver's in-flight cell, and the
+   accessors sum.  (A cell can go negative in isolation; only the sum is
+   meaningful.) *)
 type t = {
   sim : Mgs_engine.Sim.t;
   costs : Mgs_machine.Costs.t;
   topo : Mgs_machine.Topology.t;
   lan : Mgs_net.Lan.t;
   cpus : Mgs_machine.Cpu.t array;
-  counts : (string, int) Hashtbl.t;
+  counts : (string, int) Hashtbl.t array; (* per sender SSMP *)
   hlabels : (string, string) Hashtbl.t; (* tag -> "h." ^ tag, interned *)
-  mutable total : int;
-  mutable in_flight : int; (* posted but not yet delivered *)
+  total : int array; (* per sender SSMP *)
+  in_flight : int array; (* per SSMP: posted here minus delivered here *)
   mutable recorder : recorder option;
   mutable obs : Mgs_obs.Trace.t option;
 }
@@ -19,25 +24,27 @@ type t = {
 let create sim costs topo ~lan ~cpus =
   if Array.length cpus <> topo.Mgs_machine.Topology.nprocs then
     invalid_arg "Am.create: cpu count mismatch";
+  let nssmps = topo.Mgs_machine.Topology.nssmps in
   {
     sim;
     costs;
     topo;
     lan;
     cpus;
-    counts = Hashtbl.create 32;
+    counts = Array.init nssmps (fun _ -> Hashtbl.create 32);
     hlabels = Hashtbl.create 32;
-    total = 0;
-    in_flight = 0;
+    total = Array.make nssmps 0;
+    in_flight = Array.make nssmps 0;
     recorder = None;
     obs = None;
   }
 
-let bump am tag =
-  am.total <- am.total + 1;
-  match Hashtbl.find am.counts tag with
-  | prev -> Hashtbl.replace am.counts tag (prev + 1)
-  | exception Not_found -> Hashtbl.add am.counts tag 1
+let bump am ssmp tag =
+  am.total.(ssmp) <- am.total.(ssmp) + 1;
+  let counts = am.counts.(ssmp) in
+  match Hashtbl.find counts tag with
+  | prev -> Hashtbl.replace counts tag (prev + 1)
+  | exception Not_found -> Hashtbl.add counts tag 1
 
 (* The handler-span label for [tag], computed once per distinct tag:
    the tag set is small and fixed, and a fresh ["h." ^ tag] on every
@@ -56,11 +63,11 @@ let hlabel am tag =
    context-free message — so a stale context left by a suspending fiber
    can never leak into an unrelated handler. *)
 let post am ~tag ~src ~dst ~words ~cost k =
-  bump am tag;
-  am.in_flight <- am.in_flight + 1;
   let p = am.costs.Mgs_machine.Costs.proto in
   let src_ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo src in
   let dst_ssmp = Mgs_machine.Topology.ssmp_of_proc am.topo dst in
+  bump am src_ssmp tag;
+  am.in_flight.(src_ssmp) <- am.in_flight.(src_ssmp) + 1;
   let at = Mgs_engine.Sim.now am.sim in
   let pctx =
     match am.obs with
@@ -69,7 +76,7 @@ let post am ~tag ~src ~dst ~words ~cost k =
   in
   let env = { Mgs_net.Envelope.tag; src; dst; src_ssmp; dst_ssmp; words; cost } in
   let deliver arrive =
-    am.in_flight <- am.in_flight - 1;
+    am.in_flight.(dst_ssmp) <- am.in_flight.(dst_ssmp) - 1;
     (match am.recorder with Some r -> r arrive env | None -> ());
     let fin =
       Mgs_machine.Cpu.occupy am.cpus.(dst) ~at:arrive ~cost:(p.handler_dispatch + cost)
@@ -171,17 +178,30 @@ let run_on am ?tag ~proc ~at ~cost k =
 
 let set_recorder am r = am.recorder <- r
 
+let recording am = am.recorder <> None
+
 let set_obs am tr = am.obs <- tr
 
-let count am tag = Option.value ~default:0 (Hashtbl.find_opt am.counts tag)
+let count am tag =
+  Array.fold_left
+    (fun acc counts -> acc + Option.value ~default:0 (Hashtbl.find_opt counts tag))
+    0 am.counts
 
 let counts am =
-  List.sort compare (Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) am.counts [])
+  let merged = Hashtbl.create 32 in
+  Array.iter
+    (fun counts ->
+      Hashtbl.iter
+        (fun tag n ->
+          Hashtbl.replace merged tag (n + Option.value ~default:0 (Hashtbl.find_opt merged tag)))
+        counts)
+    am.counts;
+  List.sort compare (Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) merged [])
 
-let total_posted am = am.total
+let total_posted am = Array.fold_left ( + ) 0 am.total
 
-let in_flight am = am.in_flight
+let in_flight am = Array.fold_left ( + ) 0 am.in_flight
 
 let reset_counts am =
-  Hashtbl.reset am.counts;
-  am.total <- 0
+  Array.iter Hashtbl.reset am.counts;
+  Array.fill am.total 0 (Array.length am.total) 0

@@ -96,7 +96,7 @@ let lp_refill ctx ~vpn ~page ~twin ~fowner =
   ctx.lp_page <- page;
   ctx.lp_twin <- twin;
   ctx.lp_fowner <- fowner;
-  ctx.lp_mgen <- ctx.m.gen;
+  ctx.lp_mgen <- Atomic.get ctx.m.gen;
   ctx.lp_tgen <- Tlb.generation ctx.tlb
 
 (* Single-SSMP (C = P) accesses bypass the software protocol entirely —
@@ -157,7 +157,7 @@ let locate ctx ~write ~kind addr =
   let vpn = Geom.vpn_of_addr m.geom addr in
   if
     vpn = ctx.lp_vpn
-    && ctx.lp_mgen = m.gen
+    && ctx.lp_mgen = Atomic.get m.gen
     && ctx.lp_tgen = Tlb.generation ctx.tlb
     && ((not write) || ctx.lp_rw)
     && !fast_path_enabled

@@ -11,15 +11,23 @@ type config = {
   protocol : State.protocol;
   shadow : bool;
   tlb_entries : int option;
+  par_jobs : int;
+      (* 0 = sequential event engine (default, the oracle); >= 1 =
+         sharded engine, one shard per SSMP, run on [par_jobs] domains
+         (clamped to the SSMP count).  [1] exercises the sharded data
+         path single-threaded; results are byte-identical either way. *)
 }
 
 let config ?(page_words = 256) ?(line_words = 4) ?(costs = Costs.default) ?lan_latency
     ?(event_limit = 500_000_000) ?(shadow = Sys.getenv_opt "MGS_SHADOW" = Some "1")
     ?(features = State.default_features) ?(protocol = State.Protocol_mgs) ?tlb_entries
-    ~nprocs ~cluster () =
+    ?(par_jobs = 0) ~nprocs ~cluster () =
   let costs =
     match lan_latency with None -> costs | Some d -> Costs.with_lan_latency costs d
   in
+  if par_jobs < 0 then invalid_arg "Machine.config: par_jobs < 0";
+  if par_jobs > 0 && costs.Costs.lan.Costs.latency < 1 then
+    invalid_arg "Machine.config: the sharded engine needs lan latency >= 1 for lookahead";
   {
     nprocs;
     cluster;
@@ -31,6 +39,7 @@ let config ?(page_words = 256) ?(line_words = 4) ?(costs = Costs.default) ?lan_l
     protocol;
     shadow;
     tlb_entries;
+    par_jobs;
   }
 
 type t = State.t
@@ -39,6 +48,13 @@ let create cfg =
   let sim = Sim.create () in
   let geom = Geom.create ~page_words:cfg.page_words ~line_words:cfg.line_words () in
   let topo = Topology.create ~nprocs:cfg.nprocs ~cluster:cfg.cluster in
+  (* shard per SSMP; the fixed inter-SSMP LAN latency is the
+     conservative lookahead window (every cross-SSMP delivery pays at
+     least that much wire time, so events a shard runs inside a window
+     cannot affect another shard within it) *)
+  if cfg.par_jobs > 0 then
+    Sim.make_sharded sim ~nshards:topo.Topology.nssmps
+      ~lookahead:cfg.costs.Costs.lan.Costs.latency;
   let cpus = Array.init cfg.nprocs Cpu.create in
   let caches =
     Array.init topo.Topology.nssmps (fun _ ->
@@ -72,16 +88,21 @@ let create cfg =
       servers = Hashtbl.create 1024;
       tlbs = Array.init cfg.nprocs (fun _ -> Tlb.create ?capacity:cfg.tlb_entries ());
       pstats = Pstats.create ();
+      pstats_extra = Array.init topo.Topology.nssmps (fun _ -> Pstats.create ());
       sync_counters = { lock_acquires = 0; lock_hits = 0; barrier_episodes = 0 };
+      sync_extra =
+        Array.init topo.Topology.nssmps (fun _ ->
+            { lock_acquires = 0; lock_hits = 0; barrier_episodes = 0 });
       sync_hooks = [];
       rel_resume = Array.make cfg.nprocs None;
       fibers = [];
       event_limit = cfg.event_limit;
+      par_jobs = cfg.par_jobs;
       shadow = (if cfg.shadow then Some (Hashtbl.create 4096) else None);
       shadow_errors = 0;
       obs = None;
       metrics = None;
-      gen = 0;
+      gen = Atomic.make 0;
     }
   in
   m
@@ -119,10 +140,10 @@ let enable_metrics ?interval ?max_samples (m : t) =
     Mgs_obs.Metrics.probe mt "duq.psync" (fun () ->
         fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.psync) 0 m.duqs));
     Mgs_obs.Metrics.probe mt "sync.lock_acquires" (fun () ->
-        fi m.sync_counters.lock_acquires);
-    Mgs_obs.Metrics.probe mt "sync.lock_hits" (fun () -> fi m.sync_counters.lock_hits);
+        fi (sync_sum m).lock_acquires);
+    Mgs_obs.Metrics.probe mt "sync.lock_hits" (fun () -> fi (sync_sum m).lock_hits);
     Mgs_obs.Metrics.probe mt "sync.barrier_episodes" (fun () ->
-        fi m.sync_counters.barrier_episodes);
+        fi (sync_sum m).barrier_episodes);
     (* waiters parked in registered synchronization objects; the hook
        list grows as locks are created, so the probe re-reads it *)
     Mgs_obs.Metrics.probe mt "sync.lock_waiters" (fun () ->
@@ -172,12 +193,19 @@ let enable_checker ?capacity (m : t) = Invariant.attach m (enable_trace ?capacit
 let reset_stats (m : t) =
   bump_gen m;
   Pstats.reset m.pstats;
+  Array.iter Pstats.reset m.pstats_extra;
   Lan.reset m.lan;
   Array.iter Coherence.reset_stats m.caches;
   Am.reset_counts m.am;
   m.sync_counters.lock_acquires <- 0;
   m.sync_counters.lock_hits <- 0;
   m.sync_counters.barrier_episodes <- 0;
+  Array.iter
+    (fun s ->
+      s.lock_acquires <- 0;
+      s.lock_hits <- 0;
+      s.barrier_episodes <- 0)
+    m.sync_extra;
   (* registered synchronization objects (registry locks, condvars):
      their per-instance stats and any dead queued waiters go too, so a
      measured phase cannot inherit the warmup's handoff history or a
@@ -190,7 +218,20 @@ let topo (m : t) = m.topo
 let costs (m : t) = m.costs
 let geom (m : t) = m.geom
 
-let alloc (m : t) ~words ~home = Allocator.alloc m.heap ~words ~home
+let alloc (m : t) ~words ~home =
+  let addr = Allocator.alloc m.heap ~words ~home in
+  (* Materialize the server entry of every page up front: allocation is
+     host-side (apps build their working set in [prepare], before
+     {!run}), so with eager creation the [servers] table is never
+     mutated during a run — which is what lets concurrent shards read
+     it without locks.  [get_sentry] zero-fills the master page, same
+     as lazy first touch did. *)
+  let vpn0 = Geom.vpn_of_addr m.geom addr in
+  let vpn1 = Geom.vpn_of_addr m.geom (addr + words - 1) in
+  for vpn = vpn0 to vpn1 do
+    ignore (get_sentry m vpn)
+  done;
+  addr
 
 let check_addr (m : t) addr =
   if addr < 0 || addr >= Allocator.words_allocated m.heap then
@@ -218,9 +259,29 @@ let peek (m : t) addr =
 let run (m : t) body =
   let limit = m.event_limit in
   let t0 = Unix.gettimeofday () in
+  (if Sim.sharded m.sim then begin
+     (* tracing, metrics, shadow checking, the AM recorder, and
+        registered synchronization objects (registry locks, condvars —
+        anything in [sync_hooks]) are single-domain subsystems: shared
+        mutable tables with no per-shard cells.  Their presence forces
+        the sharded engine onto one domain.  Results are identical
+        either way — only wall time changes. *)
+     let eff =
+       if
+         m.obs <> None || m.metrics <> None || m.shadow <> None || Am.recording m.am
+         || m.sync_hooks <> []
+       then 1
+       else max 1 m.par_jobs
+     in
+     Sim.set_jobs m.sim eff
+   end);
   let fibers =
     List.init m.topo.Topology.nprocs (fun p ->
-        Mgs_engine.Fiber.spawn m.sim ~at:0 ~name:(Printf.sprintf "proc%d" p) (fun () ->
+        let shard =
+          if Sim.sharded m.sim then Some (Topology.ssmp_of_proc m.topo p) else None
+        in
+        Mgs_engine.Fiber.spawn m.sim ?shard ~at:0 ~name:(Printf.sprintf "proc%d" p)
+          (fun () ->
             let ctx = Api.make_ctx m ~proc:p in
             body ctx;
             Cpu.finish m.cpus.(p)))

@@ -25,6 +25,13 @@ type config = {
           diverge from it — a protocol-correctness oracle valid for
           data-race-free programs *)
   tlb_entries : int option;  (** finite TLB capacity (FIFO); unbounded if [None] *)
+  par_jobs : int;
+      (** 0 = sequential event engine (default, the oracle).  [>= 1]
+          selects the sharded engine — one event-queue shard per SSMP,
+          executed on [par_jobs] OCaml domains (clamped to the SSMP
+          count), synchronized conservatively on the inter-SSMP LAN
+          latency.  Reports are byte-identical to the sequential engine
+          for every [par_jobs]; only wall time differs. *)
 }
 
 val config :
@@ -37,12 +44,17 @@ val config :
   ?features:State.features ->
   ?protocol:State.protocol ->
   ?tlb_entries:int ->
+  ?par_jobs:int ->
   nprocs:int ->
   cluster:int ->
   unit ->
   config
 (** Defaults: 1 KB pages (256 words), 16 B lines, {!Mgs_machine.Costs.default} with
-    its LAN latency overridden by [lan_latency] when given. *)
+    its LAN latency overridden by [lan_latency] when given; [par_jobs]
+    defaults to 0 (sequential engine).
+    @raise Invalid_argument if [par_jobs < 0], or if [par_jobs > 0] with
+    a LAN latency below 1 cycle (the sharded engine needs a positive
+    lookahead window). *)
 
 type t = State.t
 

@@ -108,7 +108,7 @@ let rec complete_release m se =
     let ssmp = se.s_retained in
     se.s_retained <- -1;
     se.s_count <- 1;
-    m.pstats.invals <- m.pstats.invals + 1;
+    (stats m).invals <- (stats m).invals + 1;
     obs_emit m ~engine:Mgs_obs.Event.Server ~tag:"sv.epoch_extend" ~vpn:se.s_vpn
       ~src:se.s_home_proc ~dst:(-1) ~words:0 ~cost:0 ~dur:0;
     let dst = Hashtbl.find se.s_frame_procs ssmp in
@@ -198,8 +198,8 @@ and start_epoch m se ~releasers =
     List.iter
       (fun ssmp ->
         let sw = single && Bitset.mem se.s_write_dir ssmp in
-        if sw then m.pstats.one_winvals <- m.pstats.one_winvals + 1
-        else m.pstats.invals <- m.pstats.invals + 1;
+        if sw then (stats m).one_winvals <- (stats m).one_winvals + 1
+        else (stats m).invals <- (stats m).invals + 1;
         let dst = Hashtbl.find se.s_frame_procs ssmp in
         Am.post m.am
           ~tag:(if sw then "1WINV" else "INV")
@@ -222,7 +222,7 @@ and server_collect m ~vpn ~ssmp ~payload =
   assert (se.s_state = S_rel);
   (match payload with
   | `Ack ->
-    m.pstats.acks <- m.pstats.acks + 1;
+    (stats m).acks <- (stats m).acks + 1;
     Hashtbl.remove se.s_frame_procs ssmp
   | `Diff d ->
     se.s_pending_diffs <- d :: se.s_pending_diffs;
@@ -272,7 +272,7 @@ and finish_inv m ~ssmp ~vpn =
   | 3 when not was_dirty ->
     (* Retained copy already in sync with the home: a cheap 1WCLEAN
        keeps the retention without resending the page. *)
-    m.pstats.one_wclean <- m.pstats.one_wclean + 1;
+    (stats m).one_wclean <- (stats m).one_wclean + 1;
     Mlock.release m.sim ce.mlock;
     Am.post m.am ~tag:"1WCLEAN" ~src:rc ~dst:home ~words:0 ~cost:0 (fun _t ->
         server_collect m ~vpn ~ssmp ~payload:`Clean)
@@ -303,8 +303,8 @@ and finish_inv m ~ssmp ~vpn =
     let data = Option.get ce.cdata and twin = Option.get ce.ctwin in
     let d = Pagedata.diff data ~twin in
     let nd = Pagedata.diff_size d in
-    m.pstats.diffs <- m.pstats.diffs + 1;
-    m.pstats.diff_words <- m.pstats.diff_words + nd;
+    (stats m).diffs <- (stats m).diffs + 1;
+    (stats m).diff_words <- (stats m).diff_words + nd;
     let diff_cost =
       (m.geom.Geom.page_words * c.proto.diff_per_word) + (nd * c.proto.diff_word_out)
     in
@@ -324,7 +324,7 @@ and finish_inv m ~ssmp ~vpn =
     (match ce.ctwin with
     | Some t -> Pagedata.retwin t ~from:data
     | None -> assert false);
-    m.pstats.one_wdata <- m.pstats.one_wdata + 1;
+    (stats m).one_wdata <- (stats m).one_wdata + 1;
     let retwin_cost = m.geom.Geom.page_words * c.proto.twin_per_word in
     Am.run_on m.am ~tag:"rc.retwin" ~proc:rc ~at:(Sim.now m.sim) ~cost:retwin_cost (fun _t ->
         Mlock.release m.sim ce.mlock;
@@ -389,7 +389,7 @@ and client_inv m ~ssmp ~vpn ~single =
               List.iter
                 (fun lidx ->
                   let p = global_proc m ssmp lidx in
-                  m.pstats.pinvs <- m.pstats.pinvs + 1;
+                  (stats m).pinvs <- (stats m).pinvs + 1;
                   Am.post m.am ~tag:"PINV" ~src:rc ~dst:p ~words:0 ~cost:c.proto.tlb_inv
                     (fun _t ->
                       Tlb.invalidate m.tlbs.(p) ~vpn;
@@ -492,17 +492,17 @@ let fault m ~proc ~vpn ~write =
   match (ce.pstate, write) with
   | P_read, false ->
     (* Arc 1: fill from the existing local read copy. *)
-    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    (stats m).tlb_local_fills <- (stats m).tlb_local_fills + 1;
     fill ~rw:false ~to_duq:false;
     finish ()
   | P_write, _ ->
     (* Arcs 1, 3, 4: local copy has write privilege. *)
-    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    (stats m).tlb_local_fills <- (stats m).tlb_local_fills + 1;
     fill ~rw:write ~to_duq:write;
     finish ()
   | P_read, true ->
     (* Arc 2: upgrade through the Remote Client (arc 13), then arc 7. *)
-    m.pstats.upgrades <- m.pstats.upgrades + 1;
+    (stats m).upgrades <- (stats m).upgrades + 1;
     Bitset.add ce.tlb_dir lidx;
     Tlb.fill m.tlbs.(proc) ~vpn ~mode:Tlb.Rw;
     Cpu.advance cpu Mgs (c.svm.tlb_write + c.proto.msg_send);
@@ -527,7 +527,7 @@ let fault m ~proc ~vpn ~write =
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
     span_set m root;
-    m.pstats.upgrade_wait <- m.pstats.upgrade_wait + (cpu.Cpu.clock - t0);
+    (stats m).upgrade_wait <- (stats m).upgrade_wait + (cpu.Cpu.clock - t0);
     Cpu.advance cpu Mgs c.proto.duq_op;
     duq_add duq vpn;
     ce.c_dirty <- true;
@@ -535,8 +535,8 @@ let fault m ~proc ~vpn ~write =
     finish ()
   | P_inv, _ ->
     (* Arc 5: fetch from the home server; BUSY with the lock held. *)
-    if write then m.pstats.write_fetches <- m.pstats.write_fetches + 1
-    else m.pstats.read_fetches <- m.pstats.read_fetches + 1;
+    if write then (stats m).write_fetches <- (stats m).write_fetches + 1
+    else (stats m).read_fetches <- (stats m).read_fetches + 1;
     ce.pstate <- P_busy;
     Cpu.advance cpu Mgs c.proto.msg_send;
     let home = home_proc_of_vpn m vpn in
@@ -548,7 +548,7 @@ let fault m ~proc ~vpn ~write =
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
     span_set m root;
-    m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
+    (stats m).fetch_wait <- (stats m).fetch_wait + (cpu.Cpu.clock - t0);
     (* Arc 6/7: the install handler set the page state; finish locally. *)
     fill ~rw:write ~to_duq:write;
     finish ()
@@ -569,7 +569,7 @@ let release_all m ~proc =
     let duq = m.duqs.(proc) in
     Cpu.sync_busy cpu;
     if not (duq_is_empty duq && Hashtbl.length duq.psync = 0) then begin
-      m.pstats.release_ops <- m.pstats.release_ops + 1;
+      (stats m).release_ops <- (stats m).release_ops + 1;
       obs_emit m ~engine:Mgs_obs.Event.Local_client ~tag:"lc.release" ~src:proc
         ~cost:(Hashtbl.length duq.duq_set) ~vpn:(-1) ~dst:(-1) ~words:0 ~dur:0;
       (* Transaction root for the whole DUQ drain; reinstalled after
@@ -593,7 +593,7 @@ let release_all m ~proc =
           (match take_sync () with
           | None -> ()
           | Some vpn ->
-            m.pstats.syncs <- m.pstats.syncs + 1;
+            (stats m).syncs <- (stats m).syncs + 1;
             Cpu.advance cpu Mgs (c.proto.duq_op + c.proto.msg_send);
             let home = home_proc_of_vpn m vpn in
             Am.post m.am ~tag:"SYNC" ~src:proc ~dst:home ~words:0 ~cost:c.proto.duq_op
@@ -604,12 +604,12 @@ let release_all m ~proc =
                 m.rel_resume.(proc) <- Some resume);
             Cpu.resume_charge cpu Mgs (Sim.now m.sim);
             span_set m root;
-            m.pstats.sync_wait <- m.pstats.sync_wait + (cpu.Cpu.clock - t0));
+            (stats m).sync_wait <- (stats m).sync_wait + (cpu.Cpu.clock - t0));
           sync ()
         end
       in
       let send_rel vpn =
-        m.pstats.releases <- m.pstats.releases + 1;
+        (stats m).releases <- (stats m).releases + 1;
         Cpu.advance cpu Mgs (c.proto.duq_op + c.proto.msg_send);
         let home = home_proc_of_vpn m vpn in
         Am.post m.am ~tag:"REL" ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
@@ -638,7 +638,7 @@ let release_all m ~proc =
         done;
         Cpu.resume_charge cpu Mgs (Sim.now m.sim);
         span_set m root;
-        m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
+        (stats m).rel_wait <- (stats m).rel_wait + (cpu.Cpu.clock - t0);
         sync ()
       end
       else begin
@@ -652,7 +652,7 @@ let release_all m ~proc =
             await_rack ();
             Cpu.resume_charge cpu Mgs (Sim.now m.sim);
             span_set m root;
-            m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
+            (stats m).rel_wait <- (stats m).rel_wait + (cpu.Cpu.clock - t0);
             flush ()
         in
         flush ()

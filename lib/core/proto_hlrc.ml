@@ -11,8 +11,8 @@ let home_merge m ~vpn ~diff =
   Pagedata.apply_diff se.s_master diff;
   let prev = se.s_version in
   se.s_version <- se.s_version + 1;
-  m.pstats.diffs <- m.pstats.diffs + 1;
-  m.pstats.diff_words <- m.pstats.diff_words + Pagedata.diff_size diff;
+  (stats m).diffs <- (stats m).diffs + 1;
+  (stats m).diff_words <- (stats m).diff_words + Pagedata.diff_size diff;
   (prev, se.s_version)
 
 (* --- diff flushing ----------------------------------------------------- *)
@@ -48,7 +48,7 @@ let flush_locked m ~proc ~vpn k =
       + (nd * c.proto.diff_word_out)
       + (c.proto.tlb_inv * max 1 (List.length mappers))
       + c.proto.msg_send);
-    m.pstats.releases <- m.pstats.releases + 1;
+    (stats m).releases <- (stats m).releases + 1;
     let home = home_proc_of_vpn m vpn in
     if tracing then trace m vpn "flush by proc %d: %d words" proc nd;
     Am.post m.am ~tag:"HLRC_DIFF" ~src:proc ~dst:home ~words:(2 * nd)
@@ -107,7 +107,7 @@ let release_all m ~proc =
     let cpu = m.cpus.(proc) in
     Cpu.sync_busy cpu;
     if not (duq_is_empty duq) then begin
-      m.pstats.release_ops <- m.pstats.release_ops + 1;
+      (stats m).release_ops <- (stats m).release_ops + 1;
       (* transaction root for the whole DUQ flush *)
       let root =
         span_open m ~parent:Span.none ~label:"release"
@@ -121,7 +121,7 @@ let release_all m ~proc =
           Cpu.advance cpu Mgs m.costs.proto.duq_op;
           let t0 = cpu.Cpu.clock in
           flush_page_fiber m ~proc ~vpn;
-          m.pstats.rel_wait <- m.pstats.rel_wait + (cpu.Cpu.clock - t0);
+          (stats m).rel_wait <- (stats m).rel_wait + (cpu.Cpu.clock - t0);
           drain ()
       in
       drain ();
@@ -164,7 +164,13 @@ let apply_notices m ~proc map =
           stale := vpn :: !stale
         | _ -> ())
       map;
-    (* lazily invalidate every copy now known to be stale *)
+    (* Lazily invalidate every copy now known to be stale, in vpn order:
+       the notice map's iteration order depends on how it was assembled
+       (incrementally under one lock, staged-and-merged under a
+       barrier), so sorting is what keeps the invalidation sequence —
+       and hence the cycle counts — a function of the map's content
+       only. *)
+    let stale = List.sort_uniq compare !stale in
     let actx = span_current m in
     List.iter
       (fun vpn ->
@@ -192,10 +198,10 @@ let apply_notices m ~proc map =
           ce.c_dirty <- false;
           ce.pstate <- P_inv;
           if tracing then trace m vpn "lazy invalidate at ssmp %d (proc %d, known %d)" ssmp proc known;
-          m.pstats.invals <- m.pstats.invals + 1
+          (stats m).invals <- (stats m).invals + 1
         end;
         Mlock.release m.sim ce.mlock)
-      !stale
+      stale
   end
 
 (* --- fault path ----------------------------------------------------------- *)
@@ -231,14 +237,14 @@ let fault m ~proc ~vpn ~write =
   in
   match (ce.pstate, write) with
   | P_read, false ->
-    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    (stats m).tlb_local_fills <- (stats m).tlb_local_fills + 1;
     fill ~rw:false ~to_duq:false
   | P_write, _ ->
-    m.pstats.tlb_local_fills <- m.pstats.tlb_local_fills + 1;
+    (stats m).tlb_local_fills <- (stats m).tlb_local_fills + 1;
     fill ~rw:write ~to_duq:write
   | P_read, true ->
     (* multiple writers are allowed: twin locally, no server contact *)
-    m.pstats.upgrades <- m.pstats.upgrades + 1;
+    (stats m).upgrades <- (stats m).upgrades + 1;
     if tracing then trace m vpn "upgrade in place by proc %d (c_version=%d)" proc ce.c_version;
     bump_gen m;
     ce.ctwin <- Some (take_twin ce ~from:(Option.get ce.cdata));
@@ -246,8 +252,8 @@ let fault m ~proc ~vpn ~write =
     Cpu.advance cpu Mgs (c.proto.twin_alloc + (m.geom.Geom.page_words * c.proto.twin_per_word));
     fill ~rw:true ~to_duq:true
   | P_inv, _ ->
-    if write then m.pstats.write_fetches <- m.pstats.write_fetches + 1
-    else m.pstats.read_fetches <- m.pstats.read_fetches + 1;
+    if write then (stats m).write_fetches <- (stats m).write_fetches + 1
+    else (stats m).read_fetches <- (stats m).read_fetches + 1;
     ce.pstate <- P_busy;
     Cpu.advance cpu Mgs c.proto.msg_send;
     let home = home_proc_of_vpn m vpn in
@@ -286,6 +292,6 @@ let fault m ~proc ~vpn ~write =
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);
     span_set m root;
-    m.pstats.fetch_wait <- m.pstats.fetch_wait + (cpu.Cpu.clock - t0);
+    (stats m).fetch_wait <- (stats m).fetch_wait + (cpu.Cpu.clock - t0);
     fill ~rw:write ~to_duq:write
   | P_busy, _ -> assert false

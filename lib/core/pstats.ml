@@ -84,6 +84,41 @@ let reset t =
   t.lock_handoffs <- 0;
   t.lock_wait <- 0
 
+(* Accumulate [src] into [t] — every field is a commutative sum, which
+   is what lets the sharded engine keep one cell per shard and merge at
+   read time. *)
+let add_into t src =
+  t.tlb_local_fills <- t.tlb_local_fills + src.tlb_local_fills;
+  t.read_fetches <- t.read_fetches + src.read_fetches;
+  t.write_fetches <- t.write_fetches + src.write_fetches;
+  t.upgrades <- t.upgrades + src.upgrades;
+  t.releases <- t.releases + src.releases;
+  t.release_ops <- t.release_ops + src.release_ops;
+  t.invals <- t.invals + src.invals;
+  t.one_winvals <- t.one_winvals + src.one_winvals;
+  t.pinvs <- t.pinvs + src.pinvs;
+  t.diffs <- t.diffs + src.diffs;
+  t.diff_words <- t.diff_words + src.diff_words;
+  t.one_wdata <- t.one_wdata + src.one_wdata;
+  t.one_wclean <- t.one_wclean + src.one_wclean;
+  t.acks <- t.acks + src.acks;
+  t.syncs <- t.syncs + src.syncs;
+  t.sync_wait <- t.sync_wait + src.sync_wait;
+  t.rel_wait <- t.rel_wait + src.rel_wait;
+  t.fetch_wait <- t.fetch_wait + src.fetch_wait;
+  t.upgrade_wait <- t.upgrade_wait + src.upgrade_wait;
+  t.net_retries <- t.net_retries + src.net_retries;
+  t.net_dups <- t.net_dups + src.net_dups;
+  t.net_timeouts <- t.net_timeouts + src.net_timeouts;
+  t.lock_msgs <- t.lock_msgs + src.lock_msgs;
+  t.lock_handoffs <- t.lock_handoffs + src.lock_handoffs;
+  t.lock_wait <- t.lock_wait + src.lock_wait
+
+let copy t =
+  let c = create () in
+  add_into c t;
+  c
+
 let pp ppf t =
   Format.fprintf ppf
     "tlb_fills=%d rreq=%d wreq=%d upgrades=%d rel=%d rel_ops=%d inv=%d 1winv=%d pinv=%d \

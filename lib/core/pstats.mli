@@ -35,4 +35,10 @@ val create : unit -> t
 
 val reset : t -> unit
 
+val add_into : t -> t -> unit
+(** [add_into t src] accumulates every counter of [src] into [t]; the
+    sharded engine merges its per-shard cells with this. *)
+
+val copy : t -> t
+
 val pp : Format.formatter -> t -> unit

@@ -31,35 +31,6 @@ type t = {
   wall_seconds : float;
 }
 
-let copy_pstats (p : Pstats.t) : Pstats.t =
-  {
-    tlb_local_fills = p.tlb_local_fills;
-    read_fetches = p.read_fetches;
-    write_fetches = p.write_fetches;
-    upgrades = p.upgrades;
-    releases = p.releases;
-    release_ops = p.release_ops;
-    invals = p.invals;
-    one_winvals = p.one_winvals;
-    pinvs = p.pinvs;
-    diffs = p.diffs;
-    diff_words = p.diff_words;
-    one_wdata = p.one_wdata;
-    one_wclean = p.one_wclean;
-    acks = p.acks;
-    syncs = p.syncs;
-    sync_wait = p.sync_wait;
-    rel_wait = p.rel_wait;
-    fetch_wait = p.fetch_wait;
-    upgrade_wait = p.upgrade_wait;
-    net_retries = p.net_retries;
-    net_dups = p.net_dups;
-    net_timeouts = p.net_timeouts;
-    lock_msgs = p.lock_msgs;
-    lock_handoffs = p.lock_handoffs;
-    lock_wait = p.lock_wait;
-  }
-
 let aggregate_cache m : Coherence.stats =
   let acc : Coherence.stats =
     {
@@ -91,8 +62,11 @@ let of_machine ?(wall_seconds = 0.) ?(outcome = Completed) m =
   in
   let lan_stats = Lan.stats m.lan in
   (* transport counters live with the protocol counters: they are part
-     of the same "what did the coherence traffic cost" story *)
-  let pstats = copy_pstats m.pstats in
+     of the same "what did the coherence traffic cost" story.  The sum
+     merges the sharded engine's per-shard cells (a plain copy on a
+     sequential machine). *)
+  let pstats = pstats_sum m in
+  let sc = sync_sum m in
   pstats.Pstats.net_retries <- lan_stats.Lan.retransmits;
   pstats.Pstats.net_dups <- lan_stats.Lan.dup_drops;
   pstats.Pstats.net_timeouts <- lan_stats.Lan.timeouts;
@@ -109,9 +83,9 @@ let of_machine ?(wall_seconds = 0.) ?(outcome = Completed) m =
     lan_messages = lan_stats.Lan.messages;
     lan_words = lan_stats.Lan.data_words;
     messages_by_tag = Am.counts m.am;
-    lock_acquires = m.sync_counters.lock_acquires;
-    lock_hits = m.sync_counters.lock_hits;
-    barrier_episodes = m.sync_counters.barrier_episodes;
+    lock_acquires = sc.lock_acquires;
+    lock_hits = sc.lock_hits;
+    barrier_episodes = sc.barrier_episodes;
     sim_events = Sim.events_executed m.sim;
     peak_queue = Sim.peak_pending m.sim;
     wall_seconds;

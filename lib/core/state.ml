@@ -161,11 +161,22 @@ type t = {
   servers : (int, sentry) Hashtbl.t; (* vpn -> home-side entry *)
   tlbs : Tlb.t array;
   pstats : Pstats.t;
+      (* shard 0's (and every sequential run's) counter cell; shards
+         1.. write [pstats_extra] instead — see {!stats} *)
+  pstats_extra : Pstats.t array;
+      (* per-shard counter cells for the sharded engine, indexed by
+         SSMP; slot 0 is unused (shard 0 writes [pstats]).  Protocol
+         counters are commutative sums, so per-shard cells merged at
+         read time ({!pstats_sum}) equal the sequential totals. *)
   sync_counters : sync_counters;
+  sync_extra : sync_counters array; (* same scheme as [pstats_extra] *)
   mutable sync_hooks : sync_hook list;
   rel_resume : (unit -> unit) option array; (* per proc: fiber awaiting RACK *)
   mutable fibers : Mgs_engine.Fiber.t list;
   mutable event_limit : int; (* livelock guard for Machine.run *)
+  mutable par_jobs : int;
+      (* requested engine domains; 0 = sequential engine (the default
+         and the oracle), >= 1 = sharded engine with that many domains *)
   shadow : (int, float) Hashtbl.t option;
       (* sequentially-consistent mirror used to detect protocol data
          loss in data-race-free programs (config flag or MGS_SHADOW=1) *)
@@ -174,19 +185,58 @@ type t = {
       (* structured event trace; None = observability fully disabled *)
   mutable metrics : Mgs_obs.Metrics.t option;
       (* simulated-clock metrics sampler, piggybacking on [obs] *)
-  mutable gen : int;
+  gen : int Atomic.t;
       (* machine-wide mapping generation, bumped by every protocol
          downcall that can replace or retire a page's local state
          (install, flush, upgrade, phase reset).  Per-ctx fast-path
          caches snapshot it and self-invalidate when it moves; see
-         {!Api}. *)
+         {!Api}.  Atomic because any shard may bump while another
+         shard's fast path reads; a stale read only costs a spurious
+         slow-path trip (the caches cache their own SSMP's state, which
+         only their own shard retires). *)
 }
 
 (* Invalidate every per-ctx last-page cache.  Cheap (one increment), so
    protocol code calls it liberally — correctness only needs it on paths
    that retire [cdata]/[ctwin]/[frame_owner], staleness merely costs the
    next access its slow path. *)
-let bump_gen m = m.gen <- m.gen + 1
+let bump_gen m = Atomic.incr m.gen
+
+(* The counter cell protocol code must bump: the executing shard's.
+   Sequential runs (and host code) always resolve to [m.pstats], so the
+   sharded engine costs the sequential path nothing but this branch. *)
+let stats m =
+  let c = Mgs_engine.Shard.cur () in
+  if c <= 0 then m.pstats else m.pstats_extra.(c)
+
+let syncs m =
+  let c = Mgs_engine.Shard.cur () in
+  if c <= 0 then m.sync_counters else m.sync_extra.(c)
+
+(* Merged protocol counters: [m.pstats] plus every extra shard cell.
+   This — not [m.pstats] — is what reports read on a sharded machine. *)
+let pstats_sum m =
+  let t = Pstats.copy m.pstats in
+  Array.iteri (fun i p -> if i > 0 then Pstats.add_into t p) m.pstats_extra;
+  t
+
+let sync_sum m =
+  let t =
+    {
+      lock_acquires = m.sync_counters.lock_acquires;
+      lock_hits = m.sync_counters.lock_hits;
+      barrier_episodes = m.sync_counters.barrier_episodes;
+    }
+  in
+  Array.iteri
+    (fun i s ->
+      if i > 0 then begin
+        t.lock_acquires <- t.lock_acquires + s.lock_acquires;
+        t.lock_hits <- t.lock_hits + s.lock_hits;
+        t.barrier_episodes <- t.barrier_episodes + s.barrier_episodes
+      end)
+    m.sync_extra;
+  t
 
 let local_idx m proc = proc mod m.topo.Topology.cluster
 

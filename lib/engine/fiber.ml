@@ -12,7 +12,7 @@ let suspend register =
   try Effect.perform (Suspend register)
   with Effect.Unhandled _ -> failwith "Fiber.suspend: called outside a fiber"
 
-let spawn sim ~at ~name body =
+let spawn sim ?shard ~at ~name body =
   let fb = { status = Running; name } in
   let handled () =
     let open Effect.Deep in
@@ -29,7 +29,9 @@ let spawn sim ~at ~name body =
             | _ -> None);
       }
   in
-  Sim.at sim at handled;
+  (match shard with
+  | None -> Sim.at sim at handled
+  | Some s -> Sim.at_shard sim ~shard:s at handled);
   fb
 
 let sleep_until sim t = suspend (fun resume -> Sim.at sim t resume)

@@ -1,0 +1,410 @@
+(* Sharded discrete-event engine: one event partition ("shard") per
+   SSMP cluster, synchronized conservatively with the inter-SSMP LAN
+   latency as the lookahead window.
+
+   Every event carries a canonical genealogy key (see {!Shardq}).  The
+   engine runs in one of two modes, chosen by the effective job count
+   for the run:
+
+   - {b canonical-global} (jobs = 1): a single heap ordered by the
+     canonical key, drained on the calling domain.  This is a total
+     order over all shards and is the order the parallel mode must
+     reproduce per shard; it reproduces the sequential engine's
+     [(time, scheduling order)] tie-breaking exactly — the key's
+     recursive parent component resolves even cross-shard ties the way
+     the sequential insertion counter would.
+
+   - {b windowed} (jobs >= 2): per-shard heaps drained concurrently on
+     [jobs] domains between barriers.  Each window executes every event
+     with [fire < T + lookahead] where [T] is the globally earliest
+     pending fire time.  Cross-shard events are appended to the
+     scheduling shard's outbox and merged into the destination heap at
+     the barrier; because the LAN delivers cross-SSMP work no earlier
+     than [send + lookahead], a message created inside a window always
+     fires at or after the window's end, so the destination's per-shard
+     execution order is identical to its subsequence of the
+     canonical-global order — which is what makes the two modes produce
+     byte-identical results.
+
+   Shard-local clocks, counters and statistics are only ever touched by
+   the domain currently running that shard; the window barrier's mutex
+   publishes them between domains. *)
+
+type shard = {
+  id : int;
+  q : Shardq.t; (* per-shard heap (windowed mode) *)
+  mutable clock : int;
+  mutable ctr : int; (* scheduling counter: [seq] source *)
+  mutable running : Shardq.key; (* key of the event being executed *)
+  mutable executed : int;
+  mutable clamped : int; (* past-due schedules clamped to the clock *)
+  mutable peak : int;
+  mutable outbox : outmsg list; (* cross-shard sends, merged at barriers *)
+  mutable failure : exn option; (* first exception raised while draining *)
+}
+
+and outmsg = { o_dst : int; o_key : Shardq.key; o_fn : unit -> unit }
+
+type t = {
+  nshards : int;
+  lookahead : int;
+  mutable jobs : int; (* effective domains for the next run; >= 1 *)
+  shards : shard array;
+  g : Shardq.t; (* canonical-global heap (jobs = 1) *)
+  mutable strict : bool;
+  mutable gpeak : int;
+}
+
+exception Late_delivery of { dst : int; fire : int; clock : int }
+
+(* Which shard the running domain is currently executing; -1 between
+   events (host code).  Domain-local so concurrent shards each see
+   their own. *)
+let cur_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let cur () = Domain.DLS.get cur_key
+
+let set_cur v = Domain.DLS.set cur_key v
+
+let create ~nshards ~lookahead =
+  if nshards < 1 then invalid_arg "Shard.create: nshards < 1";
+  if lookahead < 1 then invalid_arg "Shard.create: lookahead < 1";
+  {
+    nshards;
+    lookahead;
+    jobs = 1;
+    shards =
+      Array.init nshards (fun id ->
+          {
+            id;
+            q = Shardq.create ();
+            clock = 0;
+            ctr = 0;
+            running = Shardq.no_parent;
+            executed = 0;
+            clamped = 0;
+            peak = 0;
+            outbox = [];
+            failure = None;
+          });
+    g = Shardq.create ();
+    strict = false;
+    gpeak = 0;
+  }
+
+let nshards eng = eng.nshards
+
+let lookahead eng = eng.lookahead
+
+let windowed eng = eng.jobs > 1
+
+let set_strict eng v = eng.strict <- v
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let now eng =
+  let c = cur () in
+  if c >= 0 then eng.shards.(c).clock
+  else
+    (* host view: the engine has advanced to the latest shard clock,
+       exactly as the sequential clock ends at the last executed time *)
+    Array.fold_left (fun acc s -> max acc s.clock) 0 eng.shards
+
+let executed eng = Array.fold_left (fun acc s -> acc + s.executed) 0 eng.shards
+
+let clamped eng = Array.fold_left (fun acc s -> acc + s.clamped) 0 eng.shards
+
+let pending eng =
+  Shardq.length eng.g
+  + Array.fold_left
+      (fun acc s -> acc + Shardq.length s.q + List.length s.outbox)
+      0 eng.shards
+
+let peak eng =
+  max eng.gpeak (Array.fold_left (fun acc s -> acc + s.peak) 0 eng.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let push_local eng ~key ~own fn =
+  if eng.jobs > 1 then begin
+    let d = eng.shards.(own) in
+    Shardq.push d.q ~key ~own fn;
+    let len = Shardq.length d.q in
+    if len > d.peak then d.peak <- len
+  end
+  else begin
+    Shardq.push eng.g ~key ~own fn;
+    let len = Shardq.length eng.g in
+    if len > eng.gpeak then eng.gpeak <- len
+  end
+
+(* Schedule [fn] to run on shard [dst] at absolute time [t].  The key is
+   minted from the scheduling context: inside an event, the executing
+   shard and the executing event's key as parent; host-side, the
+   destination shard itself with the root sentinel.  Past-due times are
+   clamped to the scheduler's clock — mirroring the sequential engine's
+   clamp to the global clock, which during event execution is the same
+   value — and counted. *)
+let at_shard eng ~shard:dst t fn =
+  if dst < 0 || dst >= eng.nshards then invalid_arg "Sim.at_shard: bad shard";
+  let c = cur () in
+  let s = if c >= 0 then eng.shards.(c) else eng.shards.(dst) in
+  let fire =
+    if t < s.clock then begin
+      s.clamped <- s.clamped + 1;
+      s.clock
+    end
+    else t
+  in
+  let seq = s.ctr in
+  s.ctr <- seq + 1;
+  let parent = if c >= 0 then s.running else Shardq.no_parent in
+  let key = Shardq.key ~fire ~sched:s.clock ~src:s.id ~seq ~parent in
+  if eng.jobs > 1 && c >= 0 && c <> dst then
+    (* cross-shard send from inside an event: park in the outbox; the
+       barrier merges it into [dst]'s heap before the next window *)
+    s.outbox <- { o_dst = dst; o_key = key; o_fn = fn } :: s.outbox
+  else push_local eng ~key ~own:dst fn
+
+(* [at] without an explicit target: stay on the executing shard (the
+   common case — timers, fiber resumptions, local protocol work).
+   Host-side calls without a target land on shard 0. *)
+let at eng t fn =
+  let c = cur () in
+  at_shard eng ~shard:(if c >= 0 then c else 0) t fn
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let limit_msg ~limit ~executed ~clock ~pending =
+  Printf.sprintf
+    "Sim.run: event limit exhausted (livelock?): limit=%d executed=%d clock=%d pending=%d"
+    limit executed clock pending
+
+(* jobs = 1: drain the canonical-global heap in key order. *)
+let run_global eng ~limit =
+  let n0 = executed eng in
+  let rec go n =
+    if n - n0 >= limit then
+      failwith (limit_msg ~limit ~executed:n ~clock:(now eng) ~pending:(pending eng))
+    else if Shardq.is_empty eng.g then n - n0
+    else begin
+      let fn = Shardq.pop_min eng.g in
+      let s = eng.shards.(Shardq.popped_own eng.g) in
+      let t = Shardq.popped_fire eng.g in
+      if t > s.clock then s.clock <- t;
+      s.executed <- s.executed + 1;
+      s.running <- Shardq.popped_key eng.g;
+      set_cur s.id;
+      (match fn () with
+      | () ->
+        s.running <- Shardq.no_parent;
+        set_cur (-1)
+      | exception e ->
+        s.running <- Shardq.no_parent;
+        set_cur (-1);
+        raise e);
+      go (n + 1)
+    end
+  in
+  go n0
+
+(* jobs >= 2: windowed execution on Domains.  Shard [i] is pinned to
+   worker [i mod jobs] for the whole run so fiber continuations never
+   migrate between domains mid-run. *)
+
+(* Drain every event of [s] with [fire < wend].  [allow] bounds the
+   number of events this one drain may execute (livelock guard: a shard
+   stuck rescheduling itself inside one window would otherwise never
+   reach the barrier). *)
+let drain s ~wend ~allow =
+  let n = ref 0 in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       match Shardq.min_fire s.q with
+       | Some f when f < wend ->
+         if !n >= allow then
+           failwith
+             (limit_msg ~limit:allow ~executed:(s.executed) ~clock:s.clock
+                ~pending:(Shardq.length s.q))
+         else begin
+           let fn = Shardq.pop_min s.q in
+           let t = Shardq.popped_fire s.q in
+           if t > s.clock then s.clock <- t;
+           s.executed <- s.executed + 1;
+           s.running <- Shardq.popped_key s.q;
+           incr n;
+           set_cur s.id;
+           fn ();
+           s.running <- Shardq.no_parent;
+           set_cur (-1)
+         end
+       | _ -> continue_ := false
+     done
+   with e ->
+     s.running <- Shardq.no_parent;
+     set_cur (-1);
+     s.failure <- Some e);
+  !n
+
+(* Merge every outbox message into its destination heap.  Runs on the
+   coordinating domain while the workers are parked at the barrier.  A
+   message firing before its destination's clock means the lookahead
+   argument was violated (an engine or cost-model bug, not a program
+   bug): it is counted as a clamp on the destination and, under strict
+   mode, raised. *)
+let flush_outboxes eng =
+  Array.iter
+    (fun s ->
+      let msgs = s.outbox in
+      s.outbox <- [];
+      List.iter
+        (fun o ->
+          let d = eng.shards.(o.o_dst) in
+          let key =
+            if o.o_key.Shardq.k_fire < d.clock then begin
+              d.clamped <- d.clamped + 1;
+              if eng.strict then
+                raise
+                  (Late_delivery
+                     { dst = d.id; fire = o.o_key.Shardq.k_fire; clock = d.clock });
+              Shardq.refire o.o_key ~fire:d.clock
+            end
+            else o.o_key
+          in
+          Shardq.push d.q ~key ~own:o.o_dst o.o_fn;
+          let len = Shardq.length d.q in
+          if len > d.peak then d.peak <- len)
+        msgs)
+    eng.shards
+
+let window_min eng =
+  Array.fold_left
+    (fun acc s ->
+      match Shardq.min_fire s.q with
+      | None -> acc
+      | Some f -> ( match acc with None -> Some f | Some a -> Some (min a f)))
+    None eng.shards
+
+let run_windowed eng ~jobs ~limit =
+  let nsh = eng.nshards in
+  Array.iter (fun s -> s.failure <- None) eng.shards;
+  let n0 = executed eng in
+  (* barrier state, all under [mu] *)
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let epoch = ref 0 in
+  let done_count = ref 0 in
+  let wend = ref 0 in
+  let allow = ref 0 in
+  let stop = ref false in
+  let drain_assigned w =
+    let executed_here = ref 0 in
+    let wendv = !wend and allowv = !allow in
+    let i = ref w in
+    while !i < nsh do
+      let s = eng.shards.(!i) in
+      if s.failure = None then executed_here := !executed_here + drain s ~wend:wendv ~allow:allowv;
+      i := !i + jobs
+    done;
+    !executed_here
+  in
+  let worker w () =
+    let my_epoch = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock mu;
+      while !epoch = !my_epoch && not !stop do
+        Condition.wait cv mu
+      done;
+      if !stop then begin
+        Mutex.unlock mu;
+        running := false
+      end
+      else begin
+        my_epoch := !epoch;
+        Mutex.unlock mu;
+        ignore (drain_assigned w);
+        Mutex.lock mu;
+        incr done_count;
+        Condition.broadcast cv;
+        Mutex.unlock mu
+      end
+    done
+  in
+  let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ())) in
+  let shutdown () =
+    Mutex.lock mu;
+    stop := true;
+    Condition.broadcast cv;
+    Mutex.unlock mu;
+    Array.iter Domain.join domains
+  in
+  Fun.protect ~finally:shutdown (fun () ->
+      let running = ref true in
+      while !running do
+        flush_outboxes eng;
+        match window_min eng with
+        | None -> running := false
+        | Some t ->
+          let total = executed eng - n0 in
+          if total >= limit then
+            failwith
+              (limit_msg ~limit ~executed:(executed eng) ~clock:(now eng)
+                 ~pending:(pending eng));
+          (* open the window *)
+          Mutex.lock mu;
+          wend := t + eng.lookahead;
+          allow := limit - total;
+          incr epoch;
+          done_count := 0;
+          Condition.broadcast cv;
+          Mutex.unlock mu;
+          (* the coordinator is worker 0 *)
+          ignore (drain_assigned 0);
+          Mutex.lock mu;
+          while !done_count < jobs - 1 do
+            Condition.wait cv mu
+          done;
+          Mutex.unlock mu;
+          (* deterministic failure propagation: every worker has
+             stopped; report the lowest-numbered failing shard *)
+          Array.iter
+            (fun s -> match s.failure with Some e -> raise e | None -> ())
+            eng.shards
+      done);
+  executed eng - n0
+
+let run eng ?(limit = max_int) () =
+  let jobs = max 1 (min eng.jobs eng.nshards) in
+  if jobs = 1 then run_global eng ~limit else run_windowed eng ~jobs ~limit
+
+(* Changing the job count switches which structure holds pending
+   events; migrate anything queued (e.g. left behind by an aborted run)
+   so nothing is stranded.  Keys are preserved, so order is too. *)
+let set_jobs eng jobs =
+  let jobs = max 1 (min jobs eng.nshards) in
+  if jobs <> eng.jobs then begin
+    let was_windowed = eng.jobs > 1 and now_windowed = jobs > 1 in
+    eng.jobs <- jobs;
+    let move src_q dst_q_of =
+      while not (Shardq.is_empty src_q) do
+        let fn = Shardq.pop_min src_q in
+        Shardq.push
+          (dst_q_of (Shardq.popped_own src_q))
+          ~key:(Shardq.popped_key src_q) ~own:(Shardq.popped_own src_q) fn
+      done
+    in
+    if was_windowed && not now_windowed then begin
+      flush_outboxes eng;
+      Array.iter (fun s -> move s.q (fun _ -> eng.g)) eng.shards
+    end
+    else if now_windowed && not was_windowed then
+      move eng.g (fun own -> eng.shards.(own).q)
+  end

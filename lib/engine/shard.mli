@@ -1,0 +1,67 @@
+(** Sharded discrete-event engine: one event partition per SSMP
+    cluster, synchronized conservatively with the inter-SSMP LAN
+    latency as the lookahead window.
+
+    Use through {!Sim}: [Sim.make_sharded] installs an engine behind a
+    simulator, after which [Sim.at]/[Sim.at_shard]/[Sim.run] dispatch
+    here.  With an effective job count of 1 the engine drains a single
+    heap in the canonical key order [(fire, sched, src, seq)] on the
+    calling domain; with jobs >= 2 it drains per-shard heaps on OCaml
+    Domains between lookahead barriers, merging cross-shard sends at
+    window boundaries.  Both modes produce identical results; the
+    contract relies on every cross-shard event firing at least
+    [lookahead] after its creation, which the LAN's fixed inter-SSMP
+    latency guarantees. *)
+
+type t
+
+exception Late_delivery of { dst : int; fire : int; clock : int }
+(** Raised (strict mode only) when a cross-shard event would fire
+    before its destination shard's clock — a lookahead violation. *)
+
+val create : nshards:int -> lookahead:int -> t
+(** @raise Invalid_argument when [nshards < 1] or [lookahead < 1] (a
+    zero-latency LAN admits no conservative window). *)
+
+val nshards : t -> int
+val lookahead : t -> int
+
+val set_jobs : t -> int -> unit
+(** Effective domain count for subsequent runs, clamped to
+    [1 .. nshards].  Pending events migrate between the global and
+    per-shard heaps when the mode changes, preserving their keys. *)
+
+val windowed : t -> bool
+(** [true] when the current job count is >= 2. *)
+
+val set_strict : t -> bool -> unit
+(** Strict mode: raise {!Late_delivery} instead of silently clamping a
+    late cross-shard merge. *)
+
+val cur : unit -> int
+(** Shard currently executing on this domain; -1 outside an event. *)
+
+val now : t -> int
+(** Executing shard's clock inside an event; the latest shard clock
+    from host code. *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** Schedule on the executing shard (shard 0 from host code). *)
+
+val at_shard : t -> shard:int -> int -> (unit -> unit) -> unit
+(** Schedule on an explicit shard.  Cross-shard calls park the event in
+    the scheduling shard's outbox until the next window barrier. *)
+
+val run : t -> ?limit:int -> unit -> int
+(** Drain every pending event; returns the number executed by this
+    call.  @raise Failure with full diagnostics when [limit] is
+    exhausted. *)
+
+val executed : t -> int
+val clamped : t -> int
+val pending : t -> int
+
+val peak : t -> int
+(** High-water mark of pending events.  In windowed mode this is the
+    sum of per-shard peaks (an upper bound on the true global peak —
+    the shards peak at different times). *)

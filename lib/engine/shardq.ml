@@ -1,0 +1,175 @@
+(* Binary min-heap over canonical genealogy keys.
+
+   The sharded engine orders every event by the key
+   [(fire, sched, src, seq, parent)]:
+
+   - [fire]   absolute simulated time the event runs at;
+   - [sched]  the scheduling shard's clock when the event was created
+     (events created at an earlier clock were inserted earlier in the
+     sequential engine, so they win fire-time ties);
+   - [src]    the scheduling shard's id;
+   - [seq]    the scheduling shard's private counter (program order
+     within one shard — the common, O(1) tie-break);
+   - [parent] the key of the event that created this one.  When two
+     events tie on [(fire, sched)] but come from different shards, the
+     sequential engine orders them by which creator popped first; the
+     creators' keys encode exactly that, so the tie recurses into them.
+     The recursion terminates: creators fired strictly earlier or were
+     host-scheduled roots, which carry the [no_parent] sentinel and
+     sort before execution-created peers (the sequential insertion
+     counter gives pre-run insertions the smallest values).
+
+   Keys are immutable records sharing parent tails, so a fiber's event
+   chain costs one small record per event and dies with its pending
+   descendants. *)
+
+type key = {
+  k_fire : int;
+  k_sched : int;
+  k_src : int;
+  k_seq : int;
+  k_parent : key; (* physically [no_parent] for roots *)
+}
+
+let rec no_parent =
+  { k_fire = min_int; k_sched = min_int; k_src = -1; k_seq = -1; k_parent = no_parent }
+
+let key ~fire ~sched ~src ~seq ~parent =
+  { k_fire = fire; k_sched = sched; k_src = src; k_seq = seq; k_parent = parent }
+
+let refire k ~fire = { k with k_fire = fire }
+
+let rec cmp_key a b =
+  if a == b then 0
+  else
+    let c = compare a.k_fire b.k_fire in
+    if c <> 0 then c
+    else
+      let c = compare a.k_sched b.k_sched in
+      if c <> 0 then c
+      else if a.k_src = b.k_src then compare a.k_seq b.k_seq
+      else if a.k_parent == no_parent then
+        if b.k_parent == no_parent then compare a.k_src b.k_src else -1
+      else if b.k_parent == no_parent then 1
+      else
+        let c = cmp_key a.k_parent b.k_parent in
+        if c <> 0 then c
+        else
+          (* distinct events from different shards always have distinct
+             creators, so this is unreachable; keep the order total. *)
+          let c = compare a.k_src b.k_src in
+          if c <> 0 then c else compare a.k_seq b.k_seq
+
+type t = {
+  mutable keys : key array;
+  mutable own : int array; (* shard that will execute the event *)
+  mutable fn : (unit -> unit) array;
+  mutable n : int;
+  mutable popped_key : key;
+  mutable popped_own : int;
+}
+
+let nop () = ()
+
+let create () =
+  let cap = 64 in
+  {
+    keys = Array.make cap no_parent;
+    own = Array.make cap 0;
+    fn = Array.make cap nop;
+    n = 0;
+    popped_key = no_parent;
+    popped_own = -1;
+  }
+
+let length q = q.n
+
+let is_empty q = q.n = 0
+
+let min_fire q = if q.n = 0 then None else Some q.keys.(0).k_fire
+
+(* strict key order: element [i] fires before element [j] *)
+let less q i j = cmp_key q.keys.(i) q.keys.(j) < 0
+
+let swap q i j =
+  let t = q.keys.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.keys.(j) <- t;
+  let t = q.own.(i) in
+  q.own.(i) <- q.own.(j);
+  q.own.(j) <- t;
+  let t = q.fn.(i) in
+  q.fn.(i) <- q.fn.(j);
+  q.fn.(j) <- t
+
+let grow q =
+  let cap = Array.length q.keys in
+  let ncap = cap * 2 in
+  let keys = Array.make ncap no_parent in
+  Array.blit q.keys 0 keys 0 cap;
+  q.keys <- keys;
+  let own = Array.make ncap 0 in
+  Array.blit q.own 0 own 0 cap;
+  q.own <- own;
+  let fn = Array.make ncap nop in
+  Array.blit q.fn 0 fn 0 cap;
+  q.fn <- fn
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less q i p then begin
+      swap q i p;
+      sift_up q p
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 in
+  if l < q.n then begin
+    let r = l + 1 in
+    let s = if r < q.n && less q r l then r else l in
+    if less q s i then begin
+      swap q i s;
+      sift_down q s
+    end
+  end
+
+let push q ~key ~own fn =
+  if q.n = Array.length q.keys then grow q;
+  let i = q.n in
+  q.keys.(i) <- key;
+  q.own.(i) <- own;
+  q.fn.(i) <- fn;
+  q.n <- i + 1;
+  sift_up q i
+
+exception Empty_queue
+
+let pop_min q =
+  if q.n = 0 then raise Empty_queue;
+  let f = q.fn.(0) in
+  q.popped_key <- q.keys.(0);
+  q.popped_own <- q.own.(0);
+  let last = q.n - 1 in
+  if last > 0 then begin
+    q.keys.(0) <- q.keys.(last);
+    q.own.(0) <- q.own.(last);
+    q.fn.(0) <- q.fn.(last)
+  end;
+  q.keys.(last) <- no_parent;
+  q.fn.(last) <- nop;
+  q.n <- last;
+  if last > 0 then sift_down q 0;
+  f
+
+let popped_key q = q.popped_key
+
+let popped_fire q = q.popped_key.k_fire
+
+let popped_own q = q.popped_own
+
+let clear q =
+  Array.fill q.keys 0 q.n no_parent;
+  Array.fill q.fn 0 q.n nop;
+  q.n <- 0

@@ -6,43 +6,110 @@ type t = {
   mutable seq : int;
   mutable executed : int;
   mutable peak : int;
+  mutable clamped : int;
+  mutable engine : Shard.t option;
+      (* when set, every operation dispatches to the sharded engine and
+         the sequential fields above stay frozen *)
 }
 
-let create () = { queue = Mgs_util.Pqueue.create (); clock = 0; seq = 0; executed = 0; peak = 0 }
+type stats = { s_executed : int; s_peak : int; s_clamped : int }
 
-let now sim = sim.clock
+let create () =
+  {
+    queue = Mgs_util.Pqueue.create ();
+    clock = 0;
+    seq = 0;
+    executed = 0;
+    peak = 0;
+    clamped = 0;
+    engine = None;
+  }
 
-let events_executed sim = sim.executed
+let make_sharded sim ~nshards ~lookahead =
+  (match sim.engine with
+  | Some e when Shard.nshards e = nshards && Shard.lookahead e = lookahead -> ()
+  | Some _ -> invalid_arg "Sim.make_sharded: engine already installed"
+  | None ->
+    if not (Mgs_util.Pqueue.is_empty sim.queue) then
+      invalid_arg "Sim.make_sharded: events already queued sequentially";
+    sim.engine <- Some (Shard.create ~nshards ~lookahead));
+  ()
 
-let peak_pending sim = sim.peak
+let sharded sim = sim.engine <> None
+
+let set_jobs sim jobs =
+  match sim.engine with
+  | None -> if jobs > 1 then invalid_arg "Sim.set_jobs: sequential simulator"
+  | Some e -> Shard.set_jobs e jobs
+
+let set_strict sim v = match sim.engine with None -> () | Some e -> Shard.set_strict e v
+
+let now sim = match sim.engine with None -> sim.clock | Some e -> Shard.now e
+
+let events_executed sim =
+  match sim.engine with None -> sim.executed | Some e -> Shard.executed e
+
+let peak_pending sim = match sim.engine with None -> sim.peak | Some e -> Shard.peak e
+
+let stats sim =
+  match sim.engine with
+  | None -> { s_executed = sim.executed; s_peak = sim.peak; s_clamped = sim.clamped }
+  | Some e -> { s_executed = Shard.executed e; s_peak = Shard.peak e; s_clamped = Shard.clamped e }
 
 let at sim t f =
-  let t = max t sim.clock in
-  sim.seq <- sim.seq + 1;
-  Mgs_util.Pqueue.push sim.queue ~prio:t ~seq:sim.seq f;
-  let len = Mgs_util.Pqueue.length sim.queue in
-  if len > sim.peak then sim.peak <- len
+  match sim.engine with
+  | None ->
+    let t =
+      if t < sim.clock then begin
+        sim.clamped <- sim.clamped + 1;
+        sim.clock
+      end
+      else t
+    in
+    sim.seq <- sim.seq + 1;
+    Mgs_util.Pqueue.push sim.queue ~prio:t ~seq:sim.seq f;
+    let len = Mgs_util.Pqueue.length sim.queue in
+    if len > sim.peak then sim.peak <- len
+  | Some e -> Shard.at e t f
+
+let at_shard sim ~shard t f =
+  match sim.engine with None -> at sim t f | Some e -> Shard.at_shard e ~shard t f
 
 let after sim d f =
   if d < 0 then invalid_arg "Sim.after: negative delay";
-  at sim (sim.clock + d) f
+  at sim (now sim + d) f
 
-let pending sim = Mgs_util.Pqueue.length sim.queue
+let pending sim =
+  match sim.engine with
+  | None -> Mgs_util.Pqueue.length sim.queue
+  | Some e -> Shard.pending e
 
 let step sim =
-  match Mgs_util.Pqueue.pop_min sim.queue with
-  | exception Mgs_util.Pqueue.Empty_queue -> false
-  | f ->
-    let t = Mgs_util.Pqueue.popped_prio sim.queue in
-    sim.clock <- max sim.clock t;
-    sim.executed <- sim.executed + 1;
-    f ();
-    true
+  match sim.engine with
+  | Some _ -> invalid_arg "Sim.step: sharded simulator (use run)"
+  | None -> (
+    match Mgs_util.Pqueue.pop_min sim.queue with
+    | exception Mgs_util.Pqueue.Empty_queue -> false
+    | f ->
+      let t = Mgs_util.Pqueue.popped_prio sim.queue in
+      sim.clock <- max sim.clock t;
+      sim.executed <- sim.executed + 1;
+      f ();
+      true)
 
 let run sim ?(limit = max_int) () =
-  let rec go n =
-    if n >= limit then failwith "Sim.run: event limit exhausted (livelock?)"
-    else if step sim then go (n + 1)
-    else n
-  in
-  go 0
+  match sim.engine with
+  | Some e -> Shard.run e ~limit ()
+  | None ->
+    let rec go n =
+      if n >= limit then
+        failwith
+          (Printf.sprintf
+             "Sim.run: event limit exhausted (livelock?): limit=%d executed=%d \
+              clock=%d pending=%d"
+             limit sim.executed sim.clock
+             (Mgs_util.Pqueue.length sim.queue))
+      else if step sim then go (n + 1)
+      else n
+    in
+    go 0

@@ -4,7 +4,14 @@
     executes events in nondecreasing time order; ties are broken by
     scheduling order, so a run is fully deterministic.  All simulated
     components (network links, protocol engines, processor fibers)
-    interact exclusively by scheduling events. *)
+    interact exclusively by scheduling events.
+
+    A simulator is sequential by default.  {!make_sharded} installs a
+    {!Shard} engine behind it: events are then partitioned per shard
+    (one per SSMP cluster) and {!run} can drain the shards on OCaml
+    Domains with conservative lookahead synchronization.  The sharded
+    engine is designed to be byte-identical to the sequential one and
+    the sequential engine remains the oracle. *)
 
 type time = int
 (** Simulated time in processor cycles. *)
@@ -13,7 +20,29 @@ type t
 (** A simulator instance. *)
 
 val create : unit -> t
-(** [create ()] is a fresh simulator at time 0 with no events. *)
+(** [create ()] is a fresh sequential simulator at time 0 with no
+    events. *)
+
+val make_sharded : t -> nshards:int -> lookahead:int -> unit
+(** Install a sharded engine with [nshards] partitions and a
+    conservative [lookahead] window (the inter-SSMP LAN latency).
+    Idempotent for identical parameters.
+    @raise Invalid_argument if a different engine is already installed,
+    if events were already queued sequentially, or if [lookahead < 1]. *)
+
+val sharded : t -> bool
+
+val set_jobs : t -> int -> unit
+(** Effective domain count for subsequent {!run}s of a sharded
+    simulator (clamped to [1 .. nshards]).  [1] drains a single heap in
+    the canonical order on the calling domain; [>= 2] runs shards
+    concurrently between lookahead barriers.
+    @raise Invalid_argument when [> 1] on a sequential simulator. *)
+
+val set_strict : t -> bool -> unit
+(** Strict mode (sharded only): a cross-shard event merged after its
+    destination's clock — a lookahead violation — raises
+    {!Shard.Late_delivery} instead of being clamped and counted. *)
 
 val now : t -> time
 (** [now sim] is the timestamp of the event currently executing (or the
@@ -23,7 +52,14 @@ val at : t -> time -> (unit -> unit) -> unit
 (** [at sim t f] schedules [f] to run at absolute time [max t (now sim)].
     Scheduling in the past is clamped to the present rather than
     rejected: protocol handlers routinely complete work whose latency
-    was accounted on a processor clock that lags global time. *)
+    was accounted on a processor clock that lags global time.  Each
+    clamp is counted in {!stats}.  On a sharded simulator the event
+    lands on the shard currently executing. *)
+
+val at_shard : t -> shard:int -> time -> (unit -> unit) -> unit
+(** [at_shard sim ~shard t f] schedules [f] on an explicit shard —
+    cross-SSMP message delivery and host-side seeding.  Equivalent to
+    {!at} on a sequential simulator. *)
 
 val after : t -> time -> (unit -> unit) -> unit
 (** [after sim d f] is [at sim (now sim + d) f].  [d] must be [>= 0]. *)
@@ -35,13 +71,26 @@ val events_executed : t -> int
 (** Total events executed since creation (throughput accounting). *)
 
 val peak_pending : t -> int
-(** High-water mark of the event queue length. *)
+(** High-water mark of the event queue length.  Windowed sharded runs
+    report the sum of per-shard peaks (an upper bound); this figure is
+    host-/engine-sensitive and deliberately excluded from the
+    determinism contract. *)
+
+type stats = { s_executed : int; s_peak : int; s_clamped : int }
+
+val stats : t -> stats
+(** Execution counters: events executed, peak pending, and the number
+    of past-due schedules clamped forward to the clock ([s_clamped] —
+    silent before, now observable so cross-shard delivery bugs surface
+    as counted clamps). *)
 
 val step : t -> bool
-(** [step sim] executes the next event; [false] when none remain. *)
+(** [step sim] executes the next event; [false] when none remain.
+    @raise Invalid_argument on a sharded simulator. *)
 
 val run : t -> ?limit:int -> unit -> int
 (** [run sim ()] executes events until none remain and returns the
-    number executed.  [limit] (default unlimited) bounds the count as a
-    livelock guard.
-    @raise Failure if [limit] is exhausted. *)
+    number executed by this call.  [limit] (default unlimited) bounds
+    the count as a livelock guard.
+    @raise Failure if [limit] is exhausted; the message carries the
+    limit, events executed, the clock, and the pending count. *)

@@ -70,16 +70,18 @@ let latency_study () =
     (fun d -> { baseline with label = Printf.sprintf "latency %d" d; lan_latency = d })
     [ 0; 1000; 4000; 16000 ]
 
-let run ?clusters ?(jobs = 1) ~nprocs ~variants w =
+let run ?clusters ?(jobs = 1) ?(par = 0) ~nprocs ~variants w =
   (* feature toggles are not part of Sweep.run_point's interface, so
      drive the machines directly *)
   let clusters = Option.value ~default:(Sweep.clusters_of nprocs) clusters in
   let run_cell (v, cluster) =
+    (* the zero-latency variant has no lookahead window to shard on *)
+    let par_jobs = if v.lan_latency < 1 then 0 else par in
     let cfg =
       Mgs.Machine.config ~page_words:v.page_words ~lan_latency:v.lan_latency
         ~features:v.features
         ~protocol:(Mgs.Protocol.proto_of_name v.protocol)
-        ?tlb_entries:v.tlb_entries ~nprocs ~cluster ()
+        ?tlb_entries:v.tlb_entries ~par_jobs ~nprocs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
     let body, check = w.Sweep.prepare m in

@@ -21,6 +21,7 @@ val baseline : variant
 val run :
   ?clusters:int list ->
   ?jobs:int ->
+  ?par:int ->
   nprocs:int ->
   variants:variant list ->
   Sweep.workload ->
@@ -28,7 +29,10 @@ val run :
 (** Run the workload under every variant; render a table with one
     runtime column per variant plus the framework metrics per variant.
     [jobs] (default 1) fans the variant x cluster grid out over a domain
-    pool; the rendered table is identical for any [jobs]. *)
+    pool; [par] (default 0 = sequential engine) shards the event engine
+    inside each cell (skipped for zero-latency variants, which have no
+    lookahead window); the rendered table is identical for any [jobs]
+    or [par]. *)
 
 val protocol_study : unit -> variant list
 (** MGS's eager multiple-writer RC protocol vs home-based lazy release

@@ -42,6 +42,7 @@ val lock_point :
   ?iters:int ->
   ?crit:int ->
   ?think:int ->
+  ?par:int ->
   lock:string ->
   protocol:string ->
   cluster:int ->
@@ -51,6 +52,8 @@ val lock_point :
 (** One run: [fibers] contenders (default 16 iterations each, 200-cycle
     critical sections, 1500-cycle think time) on a machine with
     [max fibers cluster] processors (rounded up so C divides P).
+    [par] selects the sharded event engine (registered locks force it
+    onto one domain; results are identical either way).
     @raise Failure if the protected counter lost an increment or the
     machine fails {!Mgs.Machine.assert_quiescent}. *)
 
@@ -58,6 +61,7 @@ val lock_family :
   ?iters:int ->
   ?crit:int ->
   ?think:int ->
+  ?par:int ->
   ?jobs:int ->
   (string * string * int * int) list ->
   lock_point list

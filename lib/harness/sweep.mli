@@ -28,6 +28,7 @@ val run_point :
   ?fault_seed:int ->
   ?verify:bool ->
   ?check:bool ->
+  ?par:int ->
   nprocs:int ->
   cluster:int ->
   workload ->
@@ -40,7 +41,11 @@ val run_point :
     {!Mgs.Machine.assert_quiescent} — skipped when the run ended in a
     partition, which the caller observes via [report.outcome]; [check]
     (default true) runs the online protocol invariant checker
-    ({!Mgs.Invariant}) and fails on any violation.
+    ({!Mgs.Invariant}) and fails on any violation; [par] (default 0 =
+    sequential engine) selects the sharded event engine on that many
+    domains — byte-identical results, and note that [check]'s trace
+    forces the sharded engine onto one domain, so pass [~check:false]
+    to actually run parallel.
     @raise Failure on a workload-verifier or invariant failure.
     @raise Invalid_argument on an unknown protocol name. *)
 
@@ -51,6 +56,7 @@ val sweep :
   ?protocol:string ->
   ?verify:bool ->
   ?check:bool ->
+  ?par:int ->
   ?clusters:int list ->
   ?jobs:int ->
   nprocs:int ->
@@ -58,8 +64,9 @@ val sweep :
   point list
 (** All cluster sizes (ascending).  [jobs] (default 1) runs up to that
     many points concurrently on separate domains ({!Mgs_util.Dpool});
-    results are identical to the sequential sweep regardless of
-    [jobs]. *)
+    [par] additionally shards the event engine {e inside} each point.
+    Results are identical to the sequential sweep regardless of either
+    knob. *)
 
 (** {1 Chaos sweeps}
 

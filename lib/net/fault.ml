@@ -135,6 +135,11 @@ type plan = {
   seed : int;
   nssmps : int;
   mutable chans : Rng.t array;  (* per (src * nssmps + dst) channel *)
+  mutable ack_chans : Rng.t array;
+      (* separate per-channel streams for the ack direction: the forward
+         draws happen at the sender and the ack draws at the receiver,
+         which under the sharded engine are different domains — a shared
+         stream would be a data race and a nondeterministic interleave *)
   slowf : float array;  (* per-SSMP slowdown factor, 1.0 = healthy *)
 }
 
@@ -142,13 +147,25 @@ let derive_chans ~seed ~nssmps =
   let base = Rng.create ~seed in
   Array.init (nssmps * nssmps) (fun i -> Rng.split_key base ~key:i)
 
+let derive_ack_chans ~seed ~nssmps =
+  let base = Rng.create ~seed in
+  let n = nssmps * nssmps in
+  Array.init n (fun i -> Rng.split_key base ~key:(n + i))
+
 let make spec ~seed ~nssmps =
   if nssmps <= 0 then invalid_arg "Fault.make: nssmps";
   let slowf = Array.make nssmps 1.0 in
   List.iter
     (fun (ssmp, f) -> if ssmp >= 0 && ssmp < nssmps && f > 1.0 then slowf.(ssmp) <- f)
     spec.slow;
-  { spec; seed; nssmps; chans = derive_chans ~seed ~nssmps; slowf }
+  {
+    spec;
+    seed;
+    nssmps;
+    chans = derive_chans ~seed ~nssmps;
+    ack_chans = derive_ack_chans ~seed ~nssmps;
+    slowf;
+  }
 
 let spec_of p = p.spec
 
@@ -157,9 +174,13 @@ let seed_of p = p.seed
 (* Re-derive every channel stream from the seed: after a reset the fault
    schedule restarts exactly as at creation, so a measured phase is
    unaffected by how much randomness warmup traffic consumed. *)
-let reset p = p.chans <- derive_chans ~seed:p.seed ~nssmps:p.nssmps
+let reset p =
+  p.chans <- derive_chans ~seed:p.seed ~nssmps:p.nssmps;
+  p.ack_chans <- derive_ack_chans ~seed:p.seed ~nssmps:p.nssmps
 
 let chan_rng p ~src ~dst = p.chans.((src * p.nssmps) + dst)
+
+let ack_rng p ~src ~dst = p.ack_chans.((src * p.nssmps) + dst)
 
 let slowdown p ssmp = p.slowf.(ssmp)
 

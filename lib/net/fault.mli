@@ -55,7 +55,13 @@ val reset : plan -> unit
     schedule exactly as at {!make} time. *)
 
 val chan_rng : plan -> src:int -> dst:int -> Mgs_util.Rng.t
-(** The stream owned by the (src, dst) SSMP channel. *)
+(** The stream owned by the (src, dst) SSMP channel's forward
+    direction; drawn at the sender. *)
+
+val ack_rng : plan -> src:int -> dst:int -> Mgs_util.Rng.t
+(** The (src, dst) channel's ack-direction stream; drawn at the
+    receiver.  Separate from {!chan_rng} so the sharded engine's sender
+    and receiver shards never share a stream. *)
 
 val slowdown : plan -> int -> float
 (** Slowdown factor of an SSMP; [1.0] when healthy. *)

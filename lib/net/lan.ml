@@ -48,10 +48,17 @@ type t = {
   nssmps : int;
   sender_free : Mgs_engine.Sim.time array; (* per-SSMP sender availability *)
   last_arrival : Mgs_engine.Sim.time array; (* FIFO watermark, src*nssmps+dst *)
-  stats : stats;
+  cells : stats array;
+      (* per-SSMP counter cells: each counter is bumped at the endpoint
+         whose shard executes the bump (messages/retransmits/timeouts at
+         the sender, acks/dup_drops at the receiver), so concurrent
+         shards never write one cell.  {!stats} merges them. *)
   mutable obs : Mgs_obs.Trace.t option;
   mutable rel : rel option;
 }
+
+let fresh_stats () =
+  { messages = 0; data_words = 0; retransmits = 0; dup_drops = 0; timeouts = 0; acks = 0 }
 
 let create sim costs ~nssmps =
   if nssmps <= 0 then invalid_arg "Lan.create: nssmps";
@@ -61,8 +68,7 @@ let create sim costs ~nssmps =
     nssmps;
     sender_free = Array.make nssmps 0;
     last_arrival = Array.make (nssmps * nssmps) 0;
-    stats =
-      { messages = 0; data_words = 0; retransmits = 0; dup_drops = 0; timeouts = 0; acks = 0 };
+    cells = Array.init nssmps (fun _ -> fresh_stats ());
     obs = None;
     rel = None;
   }
@@ -151,14 +157,19 @@ let ack_arrived rel ~chan ~seq =
    emulated LAN's control traffic rides for free, like the forward
    path's fixed latency. *)
 let send_ack lan rel ~chan ~seq ~src ~dst now =
-  lan.stats.acks <- lan.stats.acks + 1;
+  let c = lan.cells.(dst) in
+  c.acks <- c.acks + 1;
   let spec = Fault.spec_of rel.plan in
-  let g = Fault.chan_rng rel.plan ~src ~dst in
+  (* the ack direction owns its own stream: this draw happens on the
+     receiver's shard, the forward draws on the sender's *)
+  let g = Fault.ack_rng rel.plan ~src ~dst in
   let lost = Fault.flip g spec.drop in
   if not lost then begin
     let l = lan.costs.Mgs_machine.Costs.lan in
     let arrive = now + scaled (slow_of rel ~src ~dst) l.latency in
-    Mgs_engine.Sim.at lan.sim arrive (fun () -> ack_arrived rel ~chan ~seq)
+    (* the ack lands back on the sender's shard: [unacked] is sender
+       state *)
+    Mgs_engine.Sim.at_shard lan.sim ~shard:src arrive (fun () -> ack_arrived rel ~chan ~seq)
   end
 
 let on_arrival lan rel pend now =
@@ -169,7 +180,8 @@ let on_arrival lan rel pend now =
     (* already delivered or already waiting: a duplicate (wire dup or a
        retransmission racing its original).  Drop it, but re-ack — the
        first ack may have been the casualty. *)
-    lan.stats.dup_drops <- lan.stats.dup_drops + 1;
+    let c = lan.cells.(dst) in
+    c.dup_drops <- c.dup_drops + 1;
     send_ack lan rel ~chan ~seq:pend.pseq ~src ~dst now
   end
   else begin
@@ -239,20 +251,22 @@ let rec transmit lan rel pend ~at =
      later messages back either). *)
   let arrive = if reordered then raw else fifo_arrival lan ~src ~dst raw in
   if not dropped then
-    Mgs_engine.Sim.at lan.sim arrive (fun () -> on_arrival lan rel pend arrive);
+    Mgs_engine.Sim.at_shard lan.sim ~shard:dst arrive (fun () -> on_arrival lan rel pend arrive);
   if dupped then begin
     (* The wire delivered a second copy just behind the first; it skips
        the FIFO clamp so it cannot delay legitimate traffic. *)
     let darrive = raw + 1 in
-    Mgs_engine.Sim.at lan.sim darrive (fun () -> on_arrival lan rel pend darrive)
+    Mgs_engine.Sim.at_shard lan.sim ~shard:dst darrive (fun () -> on_arrival lan rel pend darrive)
   end;
+  (* the retransmission timer stays on the sender's shard *)
   let fire = depart + pend.cur_rto in
   Mgs_engine.Sim.at lan.sim fire (fun () -> on_timeout lan rel pend fire)
 
 and on_timeout lan rel pend now =
   if Hashtbl.mem rel.unacked.(pend.pchan) pend.pseq then begin
     (* still unacked: the message (or its ack) is lost or very late *)
-    lan.stats.timeouts <- lan.stats.timeouts + 1;
+    let c = lan.cells.(pend.penv.Envelope.src_ssmp) in
+    c.timeouts <- c.timeouts + 1;
     let spec = Fault.spec_of rel.plan in
     if pend.retries >= spec.max_retries then
       raise
@@ -266,7 +280,8 @@ and on_timeout lan rel pend now =
     else begin
       pend.retries <- pend.retries + 1;
       pend.cur_rto <- next_rto pend.cur_rto;
-      lan.stats.retransmits <- lan.stats.retransmits + 1;
+      let c = lan.cells.(pend.penv.Envelope.src_ssmp) in
+      c.retransmits <- c.retransmits + 1;
       emit_retry lan pend now;
       transmit lan rel pend ~at:now
     end
@@ -276,8 +291,9 @@ let send_reliable lan rel (env : Envelope.t) ~at k =
   let chan = (env.src_ssmp * lan.nssmps) + env.dst_ssmp in
   let seq = rel.next_seq.(chan) in
   rel.next_seq.(chan) <- seq + 1;
-  lan.stats.messages <- lan.stats.messages + 1;
-  lan.stats.data_words <- lan.stats.data_words + env.words;
+  let c = lan.cells.(env.src_ssmp) in
+  c.messages <- c.messages + 1;
+  c.data_words <- c.data_words + env.words;
   let pctx =
     match lan.obs with
     | Some tr -> Mgs_obs.Span.current (Mgs_obs.Trace.spans tr)
@@ -310,12 +326,24 @@ let send lan (env : Envelope.t) ~at k =
       let depart = max at lan.sender_free.(src) in
       lan.sender_free.(src) <- depart + l.send_occupancy;
       let arrive = fifo_arrival lan ~src ~dst (depart + l.latency + (env.words * p.dma_per_word)) in
-      lan.stats.messages <- lan.stats.messages + 1;
-      lan.stats.data_words <- lan.stats.data_words + env.words;
+      let c = lan.cells.(src) in
+      c.messages <- c.messages + 1;
+      c.data_words <- c.data_words + env.words;
       emit_delivery lan env ~post_at:at ~arrive;
-      Mgs_engine.Sim.at lan.sim arrive (fun () -> k arrive)
+      Mgs_engine.Sim.at_shard lan.sim ~shard:dst arrive (fun () -> k arrive)
 
-let stats lan = lan.stats
+let stats lan =
+  let t = fresh_stats () in
+  Array.iter
+    (fun c ->
+      t.messages <- t.messages + c.messages;
+      t.data_words <- t.data_words + c.data_words;
+      t.retransmits <- t.retransmits + c.retransmits;
+      t.dup_drops <- t.dup_drops + c.dup_drops;
+      t.timeouts <- t.timeouts + c.timeouts;
+      t.acks <- t.acks + c.acks)
+    lan.cells;
+  t
 
 let set_obs lan tr = lan.obs <- tr
 
@@ -345,12 +373,15 @@ let unacked lan =
   | None -> 0
 
 let reset_stats lan =
-  lan.stats.messages <- 0;
-  lan.stats.data_words <- 0;
-  lan.stats.retransmits <- 0;
-  lan.stats.dup_drops <- 0;
-  lan.stats.timeouts <- 0;
-  lan.stats.acks <- 0
+  Array.iter
+    (fun c ->
+      c.messages <- 0;
+      c.data_words <- 0;
+      c.retransmits <- 0;
+      c.dup_drops <- 0;
+      c.timeouts <- 0;
+      c.acks <- 0)
+    lan.cells
 
 (* Full reset between measured phases: beyond the counters, clear the
    sender-occupancy horizons and per-channel FIFO watermarks so warmup

@@ -1,6 +1,15 @@
 open Mgs.State
 
-type blocal = { mutable arrived : int; waiters : Mgs_engine.Waitq.t }
+type blocal = {
+  mutable arrived : int;
+  waiters : Mgs_engine.Waitq.t;
+  staged : (int, int) Hashtbl.t;
+      (* HLRC: this SSMP's published write notices, merged into
+         [notices] at the combine point.  Staging per SSMP keeps the
+         publish local to the arriving fiber's engine shard; only the
+         combine handler (which runs at the master's shard, after every
+         SSMP's combine message) touches the shared map. *)
+}
 
 type t = {
   m : Mgs.State.t;
@@ -15,7 +24,7 @@ let create (m : Mgs.Machine.t) =
     m;
     locals =
       Array.init m.topo.Topology.nssmps (fun _ ->
-          { arrived = 0; waiters = Mgs_engine.Waitq.create () });
+          { arrived = 0; waiters = Mgs_engine.Waitq.create (); staged = Hashtbl.create 16 });
     notices = Hashtbl.create 64;
     global_arrived = 0;
     episodes = 0;
@@ -28,12 +37,26 @@ let release_ssmp b s =
   loc.arrived <- 0;
   ignore (Mgs_engine.Waitq.wake_all b.m.sim loc.waiters)
 
+(* Fold every SSMP's staged notices into the shared map (version
+   max-merge, so the SSMP visiting order is immaterial to the content). *)
+let merge_staged b =
+  Array.iter
+    (fun loc ->
+      Hashtbl.iter
+        (fun vpn v ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt b.notices vpn) in
+          if v > prev then Hashtbl.replace b.notices vpn v)
+        loc.staged;
+      Hashtbl.reset loc.staged)
+    b.locals
+
 let on_combine b =
   b.global_arrived <- b.global_arrived + 1;
   if b.global_arrived = b.m.topo.Topology.nssmps then begin
     b.global_arrived <- 0;
+    merge_staged b;
     b.episodes <- b.episodes + 1;
-    b.m.sync_counters.barrier_episodes <- b.m.sync_counters.barrier_episodes + 1;
+    (syncs b.m).barrier_episodes <- (syncs b.m).barrier_episodes + 1;
     obs_emit b.m ~engine:Mgs_obs.Event.Sync ~tag:"sync.barrier_episode"
       ~src:(master_proc b) ~cost:b.episodes ~vpn:(-1) ~dst:(-1) ~words:0 ~dur:0;
     for s = 0 to b.m.topo.Topology.nssmps - 1 do
@@ -60,7 +83,7 @@ let wait ctx b =
     loc.arrived <- loc.arrived + 1;
     if loc.arrived = m.topo.Topology.nprocs then begin
       b.episodes <- b.episodes + 1;
-      m.sync_counters.barrier_episodes <- m.sync_counters.barrier_episodes + 1;
+      (syncs m).barrier_episodes <- (syncs m).barrier_episodes + 1;
       obs_emit m ~engine:Mgs_obs.Event.Sync ~tag:"sync.barrier_episode" ~src:proc
         ~cost:b.episodes ~vpn:(-1) ~dst:(-1) ~words:0 ~dur:0;
       release_ssmp b 0
@@ -72,8 +95,9 @@ let wait ctx b =
   end
   else begin
     (* Release point: make this SSMP's writes visible first (HLRC also
-       publishes its write notices into the barrier). *)
-    Mgs.Consistency.at_release m ~proc ~notices:b.notices;
+       publishes its write notices into the barrier, staged per SSMP). *)
+    let s = Topology.ssmp_of_proc m.topo proc in
+    Mgs.Consistency.at_release m ~proc ~notices:b.locals.(s).staged;
     (* Transaction root: this processor's barrier episode, from arrival
        (post-release) to departure. *)
     let root =
@@ -82,7 +106,6 @@ let wait ctx b =
     in
     span_set m root;
     Cpu.advance cpu Barrier m.costs.sync.barrier_local;
-    let s = Topology.ssmp_of_proc m.topo proc in
     let loc = b.locals.(s) in
     loc.arrived <- loc.arrived + 1;
     if loc.arrived = m.topo.Topology.cluster then begin

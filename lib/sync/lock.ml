@@ -9,6 +9,10 @@ type local = {
   mutable requested : bool; (* LOCKREQ outstanding at the home *)
   mutable recall : bool; (* home asked this SSMP to surrender the token *)
   mutable grants_left : int; (* local handoffs allowed while recall pending *)
+  (* per-SSMP stat cells: acquiring fibers on different engine shards
+     bump their own SSMP's cell; the accessors below sum them *)
+  mutable l_acquires : int;
+  mutable l_hits : int;
 }
 
 type t = {
@@ -20,8 +24,6 @@ type t = {
   mutable transfer : bool; (* a recall/grant cycle is in flight *)
   pending : int Queue.t; (* requester SSMPs queued at the home *)
   notices : (int, int) Hashtbl.t; (* HLRC: write notices riding the lock *)
-  mutable acquires : int;
-  mutable hits : int;
 }
 
 let create (m : Mgs.Machine.t) ?(home = 0) ?grant_bound () =
@@ -43,6 +45,8 @@ let create (m : Mgs.Machine.t) ?(home = 0) ?grant_bound () =
           requested = false;
           recall = false;
           grants_left = bound;
+          l_acquires = 0;
+          l_hits = 0;
         })
   in
   {
@@ -54,8 +58,6 @@ let create (m : Mgs.Machine.t) ?(home = 0) ?grant_bound () =
     transfer = false;
     pending = Queue.create ();
     notices = Hashtbl.create 64;
-    acquires = 0;
-    hits = 0;
   }
 
 let home_proc l = Topology.first_proc_of_ssmp l.m.topo l.home_ssmp
@@ -142,8 +144,8 @@ let acquire ctx l =
   Cpu.sync_busy cpu;
   let flat = Topology.single_ssmp m.topo in
   Cpu.advance cpu Lock (if flat then m.costs.sync.flat_lock else m.costs.sync.lock_local_acquire);
-  l.acquires <- l.acquires + 1;
-  m.sync_counters.lock_acquires <- m.sync_counters.lock_acquires + 1;
+  loc.l_acquires <- loc.l_acquires + 1;
+  (syncs m).lock_acquires <- (syncs m).lock_acquires + 1;
   (* Transaction root: one lock-acquire episode.  The LK_* messages it
      triggers (request, recall, token transfer) all inherit this ID. *)
   let root =
@@ -155,8 +157,8 @@ let acquire ctx l =
     ~dst:(home_proc l)
     ~cost:(if loc.has_token then 1 else 0) ~vpn:(-1) ~words:0 ~dur:0;
   if loc.has_token then begin
-    l.hits <- l.hits + 1;
-    m.sync_counters.lock_hits <- m.sync_counters.lock_hits + 1;
+    loc.l_hits <- loc.l_hits + 1;
+    (syncs m).lock_hits <- (syncs m).lock_hits + 1;
     if not loc.held then loc.held <- true
     else begin
       (* Parked fibers are woken only by ownership transfer. *)
@@ -232,17 +234,19 @@ let reset l =
       loc.held <- false;
       loc.requested <- false;
       loc.recall <- false;
-      loc.grants_left <- l.grant_bound)
+      loc.grants_left <- l.grant_bound;
+      loc.l_acquires <- 0;
+      loc.l_hits <- 0)
     l.locals;
   l.token_at <- l.home_ssmp;
   l.transfer <- false;
   Queue.clear l.pending;
-  Hashtbl.reset l.notices;
-  l.acquires <- 0;
-  l.hits <- 0
+  Hashtbl.reset l.notices
 
-let acquires l = l.acquires
+let acquires l = Array.fold_left (fun acc loc -> acc + loc.l_acquires) 0 l.locals
 
-let hits l = l.hits
+let hits l = Array.fold_left (fun acc loc -> acc + loc.l_hits) 0 l.locals
 
-let hit_ratio l = if l.acquires = 0 then 1.0 else float_of_int l.hits /. float_of_int l.acquires
+let hit_ratio l =
+  let a = acquires l in
+  if a = 0 then 1.0 else float_of_int (hits l) /. float_of_int a

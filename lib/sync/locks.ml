@@ -30,7 +30,7 @@ type raw = {
 
 (* --- shared fiber-side plumbing ------------------------------------ *)
 
-let msg m = m.pstats.Mgs.Pstats.lock_msgs <- m.pstats.Mgs.Pstats.lock_msgs + 1
+let msg m = (stats m).Mgs.Pstats.lock_msgs <- (stats m).Mgs.Pstats.lock_msgs + 1
 
 (* One-shot parking lot: hand [wake] to a message handler, then [park]
    the calling fiber until it fires. *)
@@ -46,7 +46,7 @@ let enter_acquire m (ctx : Mgs.Api.ctx) ~home_proc =
   let cpu = ctx.cpu in
   Cpu.sync_busy cpu;
   Cpu.advance cpu Lock m.costs.sync.lock_local_acquire;
-  m.sync_counters.lock_acquires <- m.sync_counters.lock_acquires + 1;
+  (syncs m).lock_acquires <- (syncs m).lock_acquires + 1;
   let root =
     span_open m ~parent:Span.none ~label:"sync.lock" ~engine:Mgs_obs.Event.Sync
       ~src:ctx.Mgs.Api.proc ~dst:home_proc ()
@@ -57,7 +57,7 @@ let enter_acquire m (ctx : Mgs.Api.ctx) ~home_proc =
   root
 
 let exit_acquire m root ~hit ~notices ~proc =
-  if hit then m.sync_counters.lock_hits <- m.sync_counters.lock_hits + 1;
+  if hit then (syncs m).lock_hits <- (syncs m).lock_hits + 1;
   Mgs.Consistency.at_acquire m ~proc ~notices;
   span_close m root;
   span_set m Span.none
@@ -697,11 +697,11 @@ let acquire (ctx : Mgs.Api.ctx) t =
   (* Host-side accounting only below this line: nothing here may post a
      message, charge a cpu, or schedule an event. *)
   if not t.is_baseline then
-    m.pstats.Mgs.Pstats.lock_wait <- m.pstats.Mgs.Pstats.lock_wait + (t1 - t0);
+    (stats m).Mgs.Pstats.lock_wait <- (stats m).Mgs.Pstats.lock_wait + (t1 - t0);
   if t.last_holder >= 0 && t.last_holder <> proc then begin
     t.handoffs <- t.handoffs + 1;
     if not t.is_baseline then
-      m.pstats.Mgs.Pstats.lock_handoffs <- m.pstats.Mgs.Pstats.lock_handoffs + 1;
+      (stats m).Mgs.Pstats.lock_handoffs <- (stats m).Mgs.Pstats.lock_handoffs + 1;
     if t.last_release >= 0 && t1 >= t.last_release then begin
       t.gaps <- (t1 - t.last_release) :: t.gaps;
       (* Retroactive handoff span: the lock was in flight from the

@@ -42,9 +42,55 @@ let test_event_limit () =
   let sim = Sim.create () in
   let rec forever () = Sim.after sim 1 forever in
   forever ();
+  (* the failure must carry the diagnosis: limit, progress, clock, and
+     queue depth (a bare "livelock?" gave nothing to debug with) *)
   Alcotest.check_raises "limit trips"
-    (Failure "Sim.run: event limit exhausted (livelock?)") (fun () ->
-      ignore (Sim.run sim ~limit:100 ()))
+    (Failure
+       "Sim.run: event limit exhausted (livelock?): limit=100 executed=100 clock=100 \
+        pending=1") (fun () -> ignore (Sim.run sim ~limit:100 ()))
+
+let test_clamp_counted () =
+  let sim = Sim.create () in
+  Sim.at sim 100 (fun () ->
+      Sim.at sim 50 (fun () -> ());
+      Sim.at sim 60 (fun () -> ());
+      Sim.at sim 200 (fun () -> ()));
+  ignore (Sim.run sim ());
+  let st = Sim.stats sim in
+  Alcotest.(check int) "two past-due schedules counted" 2 st.Sim.s_clamped;
+  Alcotest.(check int) "executed" 4 st.Sim.s_executed
+
+(* A cross-shard message that lands after its destination's clock (a
+   lookahead violation by construction: due in 10 cycles where the
+   window is 1000 wide) is clamped-and-counted by default... *)
+let test_sharded_late_merge_clamped () =
+  let sim = Sim.create () in
+  Sim.make_sharded sim ~nshards:2 ~lookahead:1000;
+  Sim.set_jobs sim 2;
+  (* shard 1 busies itself deep into the first window *)
+  Sim.at_shard sim ~shard:1 900 (fun () -> ());
+  let landed = ref (-1) in
+  Sim.at_shard sim ~shard:0 10 (fun () ->
+      Sim.at_shard sim ~shard:1 20 (fun () -> landed := Sim.now sim));
+  ignore (Sim.run sim ());
+  Alcotest.(check int) "late merge clamped to the destination clock" 900 !landed;
+  Alcotest.(check int) "clamp counted" 1 (Sim.stats sim).Sim.s_clamped
+
+(* ...and raises under strict mode, for debugging lookahead bugs. *)
+let test_sharded_strict_raises () =
+  let sim = Sim.create () in
+  Sim.make_sharded sim ~nshards:2 ~lookahead:1000;
+  Sim.set_jobs sim 2;
+  Sim.set_strict sim true;
+  Sim.at_shard sim ~shard:1 900 (fun () -> ());
+  Sim.at_shard sim ~shard:0 10 (fun () ->
+      Sim.at_shard sim ~shard:1 20 (fun () -> ()));
+  match Sim.run sim () with
+  | _ -> Alcotest.fail "expected Late_delivery"
+  | exception Mgs_engine.Shard.Late_delivery { dst; fire; clock } ->
+    Alcotest.(check int) "dst shard" 1 dst;
+    Alcotest.(check int) "fire" 20 fire;
+    Alcotest.(check int) "destination clock" 900 clock
 
 let test_fiber_completes () =
   let sim = Sim.create () in
@@ -161,6 +207,11 @@ let () =
           Alcotest.test_case "past clamped to now" `Quick test_past_clamped;
           Alcotest.test_case "negative delay rejected" `Quick test_after_negative;
           Alcotest.test_case "event limit" `Quick test_event_limit;
+          Alcotest.test_case "clamps counted" `Quick test_clamp_counted;
+          Alcotest.test_case "late cross-shard merge clamped" `Quick
+            test_sharded_late_merge_clamped;
+          Alcotest.test_case "strict mode raises on late merge" `Quick
+            test_sharded_strict_raises;
         ] );
       ( "fiber",
         [
