@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke trace-lint perf perf-smoke perf-diff clean
+.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke obs-par-smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -51,15 +51,25 @@ par-smoke: build
 	@cat _build/par-smoke.out
 	@grep -q "par-smoke: OK" _build/par-smoke.out
 
+# Observability under the parallel engine: with trace + metrics on,
+# the engine keeps its domains and every merged export is byte-
+# identical to the sequential engine's.
+obs-par-smoke: build
+	$(DUNE) exec bench/main.exe -- obs-par-smoke > _build/obs-par-smoke.out
+	@cat _build/obs-par-smoke.out
+	@grep -q "obs-par-smoke: OK" _build/obs-par-smoke.out
+
 # Validate every observability export against its own contract: run the
 # CLI with the trace, span, and metrics exporters on, then lint the
-# files (strict JSON, schemas, balanced spans, monotone sample times).
-# The tracked perf baseline is schema-checked along the way.
+# files (strict JSON, schemas, balanced spans, monotone sample times,
+# merged-stream execution order, and — via --latency, matching the
+# run's 1000-cycle LAN — cross-SSMP handler starts that respect the
+# wire).  The tracked perf baseline is schema-checked along the way.
 trace-lint: build
 	$(DUNE) exec bin/mgs_run.exe -- --app jacobi --procs 8 --cluster 2 \
 	  --size 32 --iters 2 --check --trace _build/lint-trace.json \
 	  --spans _build/lint-spans.json --metrics _build/lint-metrics.json
-	$(DUNE) exec bin/trace_lint.exe -- \
+	$(DUNE) exec bin/trace_lint.exe -- --latency 1000 \
 	  --chrome _build/lint-trace.json \
 	  --spans _build/lint-spans.json \
 	  --metrics _build/lint-metrics.json \
@@ -98,7 +108,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke chaos-smoke lock-smoke par-smoke trace-lint perf-smoke perf-diff fmt-check
+check: build test smoke chaos-smoke lock-smoke par-smoke obs-par-smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

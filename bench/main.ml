@@ -213,6 +213,57 @@ let par_smoke () =
   Printf.printf "par-smoke: OK (%d sharded runs identical to the sequential engine)\n"
     !checked
 
+(* Observability under the parallel engine, for `make obs-par-smoke`:
+   with the trace and metrics subscribers installed the engine must
+   keep its par_jobs domains (no single-domain forcing), and the
+   merged chrome JSON, span dump, metrics CSV, and histogram summary
+   must each be byte-identical to the sequential engine's. *)
+let obs_par_smoke () =
+  let cells =
+    [
+      ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny, "mgs");
+      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "hlrc");
+    ]
+  in
+  let exports par (_, w, protocol) =
+    let cfg =
+      Mgs.Machine.config ~lan_latency:1000 ~par_jobs:par
+        ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs:8 ~cluster:2 ()
+    in
+    let m = Mgs.Machine.create cfg in
+    let tr = Mgs.Machine.enable_trace m in
+    let mt = Mgs.Machine.enable_metrics m in
+    let body, check = w.Sweep.prepare m in
+    ignore (Mgs.Machine.run m body);
+    Mgs.Machine.assert_quiescent m;
+    check m;
+    [
+      Mgs_obs.Trace.chrome_json tr;
+      Mgs_obs.Span.json (Mgs_obs.Trace.spans tr);
+      Mgs_obs.Metrics.csv mt;
+      Format.asprintf "%a" Mgs_obs.Trace.pp_summary tr;
+    ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun ((name, _, protocol) as cell) ->
+      let oracle = exports 0 cell in
+      List.iter
+        (fun par ->
+          incr checked;
+          if exports par cell <> oracle then
+            failwith
+              (Printf.sprintf
+                 "obs-par-smoke: %s/%s exports diverge from the sequential engine at \
+                  par=%d"
+                 name protocol par))
+        [ 1; 4 ])
+    cells;
+  Printf.printf
+    "obs-par-smoke: OK (%d traced+metered sharded runs export-identical to the \
+     sequential engine)\n"
+    !checked
+
 let summary () =
   print_endline "=== Framework metrics summary (paper section 2.4) ===";
   print_string
@@ -461,6 +512,7 @@ let targets : (string * (unit -> unit)) list =
     ("locktable", locktable);
     ("lock-smoke", lock_smoke);
     ("par-smoke", par_smoke);
+    ("obs-par-smoke", obs_par_smoke);
     ("ablation-singlewriter", ablation_single_writer);
     ("ablation-earlyack", ablation_early_ack);
     ("ablation-pagesize", ablation_page_size);

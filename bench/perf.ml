@@ -92,6 +92,56 @@ let large_rows () =
         [ jacobi; water ])
     [ (64, 16); (64, 64); (256, 16); (256, 64); (1024, 16); (1024, 64) ]
 
+(* Observability-on rows at P = 256: the same large-P shapes with the
+   per-shard trace and metrics subscribers installed, still sharded
+   across 4 domains, and the merged exports forced so their cost is in
+   the row.  Tracks the overhead of cell recording + genealogy merge;
+   rows newer than a baseline diff as "new" and never gate. *)
+let traced_rows () =
+  let nprocs = 256 in
+  let apps =
+    [
+      ( "jacobi+obs",
+        Mgs_apps.Jacobi.workload
+          { Mgs_apps.Jacobi.default with Mgs_apps.Jacobi.n = nprocs + 2; iters = 2 } );
+      ( "water+obs",
+        Mgs_apps.Water.workload
+          { Mgs_apps.Water.default with Mgs_apps.Water.nmol = 256; iters = 1 } );
+    ]
+  in
+  List.concat_map
+    (fun cluster ->
+      List.map
+        (fun (name, w) ->
+          let a0 = Gc.allocated_bytes () in
+          let t0 = Unix.gettimeofday () in
+          let cfg = Mgs.Machine.config ~lan_latency:1000 ~par_jobs:4 ~nprocs ~cluster () in
+          let m = Mgs.Machine.create cfg in
+          let tr = Mgs.Machine.enable_trace m in
+          let mt = Mgs.Machine.enable_metrics m in
+          let body, check = w.Sweep.prepare m in
+          let report = Mgs.Machine.run m body in
+          Mgs.Machine.assert_quiescent m;
+          check m;
+          ignore (String.length (Mgs_obs.Trace.chrome_json tr));
+          ignore (String.length (Mgs_obs.Metrics.csv mt));
+          let wall = Unix.gettimeofday () -. t0 in
+          let allocated = Gc.allocated_bytes () -. a0 in
+          {
+            app = name;
+            nprocs;
+            cluster;
+            wall_s = wall;
+            allocated_mb = allocated /. 1048576.;
+            sim_events = report.Mgs.Report.sim_events;
+            sim_cycles = report.Mgs.Report.runtime;
+            events_per_s =
+              (if wall > 0. then float_of_int report.Mgs.Report.sim_events /. wall
+               else 0.);
+          })
+        apps)
+    [ 16; 64 ]
+
 let json_of_rows ~quick rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -321,7 +371,9 @@ let () =
       (fun lock -> List.map (fun cluster -> measure_lock ~cluster ~fibers lock) clusters)
       (Mgs_sync.Locks.names ())
   in
-  let rows = rows @ lock_rows @ (if !quick then [] else large_rows ()) in
+  let rows =
+    rows @ lock_rows @ (if !quick then [] else large_rows () @ traced_rows ())
+  in
   Mgs_util.Tableprint.print
     ~header:[ "app"; "C"; "wall (s)"; "alloc (MB)"; "sim events"; "events/s" ]
     ~rows:

@@ -82,7 +82,7 @@ let with_out file f =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let run app size iters procs cluster delay page_bytes protocol lock faults seed sweep jobs
-    par no_verify trace spans metrics hist check csv =
+    par no_verify trace spans metrics hist check csv engine_stats =
   let w, size_desc = workload ~app ~size ~iters ~lock in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
@@ -116,6 +116,7 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
     let m = Mgs.Machine.create cfg in
     if trace <> None || hist || spans <> None then ignore (Mgs.Machine.enable_trace m);
     if metrics <> None then ignore (Mgs.Machine.enable_metrics m);
+    if engine_stats then ignore (Mgs.Machine.enable_engine_stats m);
     let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
     (match fault_spec with
     | Some spec -> Mgs.Machine.set_faults m ~seed spec
@@ -169,6 +170,8 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
         (List.length (Mgs_obs.Metrics.columns mt))
         (Mgs_obs.Metrics.dropped mt) file
     | _ -> ());
+    if engine_stats then
+      Format.fprintf ppf "%s" (Mgs_harness.Figures.pp_shard_table m.Mgs.State.sim);
     (match Mgs.Machine.trace m with
     | Some tr when hist ->
       Format.fprintf ppf "%a@." Mgs_obs.Trace.pp_summary tr;
@@ -344,9 +347,10 @@ let par_t =
           "Run each point on the sharded event engine: one event partition per SSMP, \
            executed on up to $(docv) domains with the inter-SSMP latency as the \
            conservative lookahead window.  Results are byte-identical to the default \
-           sequential engine.  0 (the default) keeps the sequential engine; \
-           observability options (--trace, --spans, --metrics) force the sharded \
-           engine onto a single domain.")
+           sequential engine, including every observability export (--trace, --spans, \
+           --metrics record per shard and merge deterministically).  0 (the default) \
+           keeps the sequential engine.  The shadow heap (MGS_SHADOW=1), message \
+           recording, and --check still reduce a parallel run to one domain, loudly.")
 
 let no_verify_t =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip output verification.")
@@ -377,10 +381,10 @@ let metrics_t =
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:
-          "Sample machine metrics (queue depth, DUQ lengths, pages per state, \
-           messages in flight) on the simulated clock and write the time-series \
-           to $(docv): CSV if $(docv) ends in .csv, otherwise JSON (schema \
-           mgs-metrics-1).  With --sweep, one file per cluster size.")
+          "Sample machine metrics (per-shard engine progress, DUQ lengths, pages \
+           per state, messages in flight) on the simulated clock and write the \
+           time-series to $(docv): CSV if $(docv) ends in .csv, otherwise JSON \
+           (schema mgs-metrics-1).  With --sweep, one file per cluster size.")
 
 let hist_t =
   Arg.(
@@ -398,6 +402,17 @@ let check_t =
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"With --sweep: print CSV instead of the figure.")
 
+let engine_stats_t =
+  Arg.(
+    value & flag
+    & info [ "engine-stats" ]
+        ~doc:
+          "Print the engine's per-shard self-profile after each point (events \
+           executed, cross-shard sends, outbox merges, window stalls, barrier \
+           wall time) and add the engine.* series to the metrics sampler.  \
+           These series describe the host-side run: they are not byte-stable \
+           across --par job counts, which is why they are opt-in.")
+
 let cmd =
   let doc = "run MGS multigrain shared-memory applications on a simulated DSSMP" in
   Cmd.v
@@ -405,6 +420,6 @@ let cmd =
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
       $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ par_t $ no_verify_t
-      $ trace_t $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t)
+      $ trace_t $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t $ engine_stats_t)
 
 let () = exit (Cmd.eval cmd)

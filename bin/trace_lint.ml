@@ -6,12 +6,19 @@
      trace_lint --spans FILE     span dump, schema mgs-spans-1 (--spans)
      trace_lint --metrics FILE   metrics series, schema mgs-metrics-1
      trace_lint --bench FILE     perf baseline, schema mgs-perf-1
+     trace_lint --latency N ...  lower-bound cross-shard handler starts
 
    Checks: the file is one well-formed JSON value, schemas match,
    timestamps are monotone, every span is balanced (t1 >= t0, parents
    precede children in the same transaction), and Chrome async
-   begin/end and flow start/finish events pair up exactly.  Any
-   violation prints to stderr and the exit status is 1. *)
+   begin/end and flow start/finish events pair up exactly.  Merged
+   multi-shard traces get the genealogy-order invariants: 'X' slices
+   appear in execution order (end = ts + dur globally nondecreasing),
+   per-shard 'M'/'C' lane metadata is accepted, and with --latency N
+   every handler span (label "h.*") that landed on a different SSMP
+   than its parent must start at least N cycles after the parent
+   opened — a cross-shard message cannot beat the LAN.  Any violation
+   prints to stderr and the exit status is 1. *)
 
 open Mgs_obs
 
@@ -85,21 +92,35 @@ let lint_chrome file =
       Hashtbl.replace tbl key (Option.value ~default:0 (Hashtbl.find_opt tbl key) + d)
     in
     (* Stream order is emission order, not timestamp order: a message
-       posted now lands in the future, and wire/DMA spans are recorded
-       retroactively at delivery.  The monotonicity that IS guaranteed
-       is per interval: every slice has nonnegative duration and every
-       async pair ends at or after its begin. *)
+       posted now lands in the future (its slice ends at delivery), and
+       deliveries are backdated (their slice starts at the post).  What
+       IS guaranteed: every slice has nonnegative duration, every async
+       pair ends at or after its begin, and — because the 'X' slices
+       are written in merged genealogy order, which is execution order
+       on every engine, and each slice's emission instant lies inside
+       its [ts, ts+dur] interval — no slice may end before an
+       earlier-emitted slice started. *)
+    let max_ts = ref neg_infinity in
     List.iteri
       (fun i e ->
         let what = Printf.sprintf "traceEvents[%d]" i in
         let ph = get_str file what e "ph" in
         ignore (get_str file what e "name");
+        if ph = "M" then () (* per-shard lane metadata: no timestamp *)
+        else begin
         let ts = get_num file what e "ts" in
         if ts < 0. then errf file "%s has negative ts %g" what ts;
         match ph with
         | "X" ->
           let dur = get_num file what e "dur" in
-          if dur < 0. then errf file "%s has negative dur %g" what dur
+          if dur < 0. then errf file "%s has negative dur %g" what dur;
+          if ts +. dur < !max_ts then
+            errf file
+              "%s ends at %g, before an earlier slice's start %g — the merged \
+               stream is not in execution order"
+              what (ts +. dur) !max_ts;
+          if ts > !max_ts then max_ts := ts
+        | "C" -> () (* per-shard engine counter lane *)
         | "b" ->
           let key = (get_str file what e "cat", int_of_float (get_num file what e "id")) in
           let stack =
@@ -124,7 +145,8 @@ let lint_chrome file =
         | "s" | "f" ->
           let id = int_of_float (get_num file what e "id") in
           bump flow id (if ph = "s" then 1 else -1)
-        | _ -> errf file "%s has unknown phase %S" what ph)
+        | _ -> errf file "%s has unknown phase %S" what ph
+        end)
       events;
     Hashtbl.iter
       (fun (cat, id) stack ->
@@ -140,7 +162,7 @@ let lint_chrome file =
 
 (* --- span dump ----------------------------------------------------- *)
 
-let lint_spans file =
+let lint_spans ?latency file =
   match parse_file file with
   | None -> ()
   | Some v ->
@@ -148,8 +170,9 @@ let lint_spans file =
     if get_num file "top-level object" v "dropped" < 0. then
       errf file "negative dropped count";
     let spans = arr file "spans" (get file "top-level object" v "spans") in
-    (* sid -> txn, for the parent link check; sids are dense *)
-    let txn_of = Hashtbl.create 1024 in
+    (* sid -> (txn, t0, ssmp), for the parent link and latency checks;
+       sids are dense *)
+    let info = Hashtbl.create 1024 in
     let last_sid = ref (-1) in
     List.iteri
       (fun i s ->
@@ -159,7 +182,10 @@ let lint_spans file =
         let txn = int_of_float (get_num file what s "txn") in
         let t0 = int_of_float (get_num file what s "t0") in
         let t1 = int_of_float (get_num file what s "t1") in
-        ignore (get_str file what s "label");
+        let src_ssmp = int_of_float (get_num file what s "src_ssmp") in
+        let dst_ssmp = int_of_float (get_num file what s "dst_ssmp") in
+        let label = get_str file what s "label" in
+        let ssmp = if dst_ssmp >= 0 then dst_ssmp else max src_ssmp 0 in
         ignore (get_str file what s "engine");
         if sid <= !last_sid then
           errf file "%s sid %d not increasing (previous %d)" what sid !last_sid;
@@ -169,14 +195,30 @@ let lint_spans file =
         if parent < -1 then errf file "%s has parent sid %d" what parent;
         if parent >= sid then
           errf file "%s parent %d does not precede child %d" what parent sid;
-        (match Hashtbl.find_opt txn_of parent with
-        | Some ptxn when parent >= 0 && ptxn <> txn ->
+        (match Hashtbl.find_opt info parent with
+        | Some (ptxn, _, _) when parent >= 0 && ptxn <> txn ->
           errf file "%s crosses transactions: parent %d has txn %d, child has %d" what
             parent ptxn txn
+        | Some (_, pt0, pssmp) when parent >= 0 -> (
+          (* A handler that landed on a different SSMP than its parent
+             is causally downstream of at least one inter-SSMP message,
+             so it cannot start sooner than one LAN traversal after the
+             parent opened. *)
+          match latency with
+          | Some lat
+            when String.length label > 2
+                 && String.sub label 0 2 = "h."
+                 && pssmp <> ssmp
+                 && t0 < pt0 + lat ->
+            errf file
+              "%s (%s, sid %d) crossed shards %d -> %d but starts at %d, less than \
+               parent t0 %d + lan latency %d"
+              what label sid pssmp ssmp t0 pt0 lat
+          | _ -> ())
         | None when parent >= 0 ->
           errf file "%s references missing parent sid %d" what parent
         | _ -> ());
-        Hashtbl.replace txn_of sid txn)
+        Hashtbl.replace info sid (txn, t0, ssmp))
       spans
 
 (* --- metrics series ------------------------------------------------ *)
@@ -237,21 +279,28 @@ let lint_bench file =
 
 let usage () =
   prerr_endline
-    "usage: trace_lint [--chrome FILE | --spans FILE | --metrics FILE | --bench FILE]...";
+    "usage: trace_lint [--latency N] [--chrome FILE | --spans FILE | --metrics FILE | \
+     --bench FILE]...";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if args = [] then usage ();
   let nfiles = ref 0 in
+  let latency = ref None in
   let rec go = function
     | [] -> ()
+    | "--latency" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some lat when lat >= 0 -> latency := Some lat
+      | _ -> usage ());
+      go rest
     | flag :: file :: rest ->
       incr nfiles;
       (try
          (match flag with
          | "--chrome" -> lint_chrome file
-         | "--spans" -> lint_spans file
+         | "--spans" -> lint_spans ?latency:!latency file
          | "--metrics" -> lint_metrics file
          | "--bench" -> lint_bench file
          | _ -> usage ())

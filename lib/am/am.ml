@@ -14,7 +14,9 @@ type t = {
   lan : Mgs_net.Lan.t;
   cpus : Mgs_machine.Cpu.t array;
   counts : (string, int) Hashtbl.t array; (* per sender SSMP *)
-  hlabels : (string, string) Hashtbl.t; (* tag -> "h." ^ tag, interned *)
+  hlabels : (string, string) Hashtbl.t array;
+      (* tag -> "h." ^ tag, interned per receiving SSMP (the intern
+         happens in [deliver], which runs on the receiver's shard) *)
   total : int array; (* per sender SSMP *)
   in_flight : int array; (* per SSMP: posted here minus delivered here *)
   mutable recorder : recorder option;
@@ -32,7 +34,7 @@ let create sim costs topo ~lan ~cpus =
     lan;
     cpus;
     counts = Array.init nssmps (fun _ -> Hashtbl.create 32);
-    hlabels = Hashtbl.create 32;
+    hlabels = Array.init nssmps (fun _ -> Hashtbl.create 32);
     total = Array.make nssmps 0;
     in_flight = Array.make nssmps 0;
     recorder = None;
@@ -46,14 +48,15 @@ let bump am ssmp tag =
   | prev -> Hashtbl.replace counts tag (prev + 1)
   | exception Not_found -> Hashtbl.add counts tag 1
 
-(* The handler-span label for [tag], computed once per distinct tag:
-   the tag set is small and fixed, and a fresh ["h." ^ tag] on every
-   post is a per-message allocation. *)
-let hlabel am tag =
-  try Hashtbl.find am.hlabels tag
+(* The handler-span label for [tag], computed once per distinct tag and
+   receiving SSMP: the tag set is small and fixed, and a fresh
+   ["h." ^ tag] on every post is a per-message allocation. *)
+let hlabel am ssmp tag =
+  let hlabels = am.hlabels.(ssmp) in
+  try Hashtbl.find hlabels tag
   with Not_found ->
     let l = "h." ^ tag in
-    Hashtbl.add am.hlabels tag l;
+    Hashtbl.add hlabels tag l;
     l
 
 (* The ambient span context is captured when the message is posted and
@@ -120,7 +123,7 @@ let post am ~tag ~src ~dst ~words ~cost k =
             in
             Span.close sp d ~time:arrive
           end;
-          let label = hlabel am tag in
+          let label = hlabel am dst_ssmp tag in
           Span.open_span_x sp ~parent:pctx ~time:arrive ~label
             ~engine:(Span.engine_of_label label) ~vpn:(-1) ~src ~dst ~src_ssmp ~dst_ssmp
             ~words
@@ -201,6 +204,8 @@ let counts am =
 let total_posted am = Array.fold_left ( + ) 0 am.total
 
 let in_flight am = Array.fold_left ( + ) 0 am.in_flight
+
+let in_flight_cell am c = am.in_flight.(c)
 
 let reset_counts am =
   Array.iter Hashtbl.reset am.counts;

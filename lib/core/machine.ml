@@ -48,6 +48,10 @@ let create cfg =
   let sim = Sim.create () in
   let geom = Geom.create ~page_words:cfg.page_words ~line_words:cfg.line_words () in
   let topo = Topology.create ~nprocs:cfg.nprocs ~cluster:cfg.cluster in
+  (* declare the shard layout even on the sequential engine: per-shard
+     observability cells and engine counters attribute events to the
+     same SSMP the sharded engine would run them on *)
+  Sim.set_topology sim ~nshards:topo.Topology.nssmps;
   (* shard per SSMP; the fixed inter-SSMP LAN latency is the
      conservative lookahead window (every cross-SSMP delivery pays at
      least that much wire time, so events a shard runs inside a window
@@ -113,7 +117,12 @@ let enable_trace ?capacity (m : t) =
   match m.obs with
   | Some tr -> tr
   | None ->
-    let tr = Mgs_obs.Trace.create ?capacity () in
+    (* one trace cell per SSMP: each engine shard emits into its own
+       ring/span store and exports merge on genealogy stamps, so the
+       trace no longer forces the sharded engine onto one domain *)
+    let cells = m.topo.Topology.nssmps in
+    let tr = Mgs_obs.Trace.create ?capacity ~cells () in
+    if cells > 1 then Sim.enable_stamps m.sim;
     m.obs <- Some tr;
     Am.set_obs m.am (Some tr);
     Lan.set_obs m.lan (Some tr);
@@ -121,53 +130,97 @@ let enable_trace ?capacity (m : t) =
 
 let trace (m : t) = m.obs
 
-(* The sampler piggybacks on the event trace: every emitted event calls
-   {!Mgs_obs.Metrics.tick}, which snapshots the probes when at least one
-   sampling interval has passed.  (A self-rescheduling simulator event
-   would keep the run alive forever, so the trace is the clock.)  The
-   final partial interval is captured by {!run}. *)
+(* The sampler rides the engine's per-event hook: before each event
+   runs, {!Mgs_obs.Metrics.on_event} snapshots the executing shard's
+   cell at every sampling boundary it crossed.  (A self-rescheduling
+   simulator event would keep the run alive forever, so the event
+   stream is the clock.)  Every probe is per-cell and reads only state
+   the sampling shard owns — its SSMP's pages, processors, parked
+   fibers — so sampling is race-free under the parallel engine and the
+   merged series is byte-identical across job counts.  The final
+   partial interval is captured by {!run}. *)
 let enable_metrics ?interval ?max_samples (m : t) =
   match m.metrics with
   | Some mt -> mt
   | None ->
     let tr = enable_trace m in
-    let mt = Mgs_obs.Metrics.create ?interval ?max_samples () in
+    let cells = m.topo.Topology.nssmps in
+    let mt = Mgs_obs.Metrics.create ?interval ?max_samples ~cells () in
     let fi = float_of_int in
-    Mgs_obs.Metrics.probe mt "sim.queue_depth" (fun () -> fi (Sim.pending m.sim));
-    Mgs_obs.Metrics.probe mt "am.in_flight" (fun () -> fi (Am.in_flight m.am));
-    Mgs_obs.Metrics.probe mt "duq.entries" (fun () ->
-        fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.duq_set) 0 m.duqs));
-    Mgs_obs.Metrics.probe mt "duq.psync" (fun () ->
-        fi (Array.fold_left (fun acc d -> acc + Hashtbl.length d.psync) 0 m.duqs));
-    Mgs_obs.Metrics.probe mt "sync.lock_acquires" (fun () ->
-        fi (sync_sum m).lock_acquires);
-    Mgs_obs.Metrics.probe mt "sync.lock_hits" (fun () -> fi (sync_sum m).lock_hits);
-    Mgs_obs.Metrics.probe mt "sync.barrier_episodes" (fun () ->
-        fi (sync_sum m).barrier_episodes);
-    (* waiters parked in registered synchronization objects; the hook
-       list grows as locks are created, so the probe re-reads it *)
-    Mgs_obs.Metrics.probe mt "sync.lock_waiters" (fun () ->
-        fi (List.fold_left (fun acc h -> acc + h.sh_waiters ()) 0 m.sync_hooks));
-    let count_pages st () =
-      fi
-        (Array.fold_left
-           (fun acc cl ->
-             Hashtbl.fold (fun _ ce n -> if ce.pstate = st then n + 1 else n) cl.cl_pages acc)
-           0 m.clients)
+    (* per-shard engine self-profiling; both are deterministic (the
+       executed-event and cross-shard-send prefixes at a sampling
+       boundary are pure functions of the simulated program) *)
+    Mgs_obs.Metrics.probe_cell mt "engine.executed" (fun c ->
+        fi (Sim.shard_executed m.sim c));
+    Mgs_obs.Metrics.probe_cell mt "engine.xsends" (fun c ->
+        fi (Sim.shard_xsends m.sim c));
+    Mgs_obs.Metrics.probe_cell mt "am.in_flight" (fun c -> fi (Am.in_flight_cell m.am c));
+    let fold_procs_of c f =
+      let lo = c * m.topo.Topology.cluster in
+      let acc = ref 0 in
+      for p = lo to lo + m.topo.Topology.cluster - 1 do
+        acc := !acc + f p
+      done;
+      !acc
     in
-    Mgs_obs.Metrics.probe mt "pages.inv" (count_pages P_inv);
-    Mgs_obs.Metrics.probe mt "pages.read" (count_pages P_read);
-    Mgs_obs.Metrics.probe mt "pages.write" (count_pages P_write);
-    Mgs_obs.Metrics.probe mt "pages.busy" (count_pages P_busy);
-    Mgs_obs.Metrics.probe mt "servers.rel_in_prog" (fun () ->
-        fi (Hashtbl.fold (fun _ se n -> if se.s_state = S_rel then n + 1 else n) m.servers 0));
-    Mgs_obs.Metrics.probe mt "spans.open" (fun () ->
-        fi (Mgs_obs.Span.open_count (Mgs_obs.Trace.spans tr)));
-    Mgs_obs.Trace.subscribe tr (fun e -> Mgs_obs.Metrics.tick mt ~now:e.Mgs_obs.Event.time);
+    Mgs_obs.Metrics.probe_cell mt "duq.entries" (fun c ->
+        fi (fold_procs_of c (fun p -> Hashtbl.length m.duqs.(p).duq_set)));
+    Mgs_obs.Metrics.probe_cell mt "duq.psync" (fun c ->
+        fi (fold_procs_of c (fun p -> Hashtbl.length m.duqs.(p).psync)));
+    let sync_cell c = if c = 0 then m.sync_counters else m.sync_extra.(c) in
+    Mgs_obs.Metrics.probe_cell mt "sync.lock_acquires" (fun c ->
+        fi (sync_cell c).lock_acquires);
+    Mgs_obs.Metrics.probe_cell mt "sync.lock_hits" (fun c -> fi (sync_cell c).lock_hits);
+    Mgs_obs.Metrics.probe_cell mt "sync.barrier_episodes" (fun c ->
+        fi (sync_cell c).barrier_episodes);
+    (* waiters parked in registered synchronization objects, attributed
+       to the waiting processor's SSMP; the hook list grows as locks
+       are created, so the probe re-reads it *)
+    Mgs_obs.Metrics.probe_cell mt "sync.lock_waiters" (fun c ->
+        fi (List.fold_left (fun acc h -> acc + h.sh_waiters_cell c) 0 m.sync_hooks));
+    let count_pages st c =
+      let cl = m.clients.(c) in
+      fi (Hashtbl.fold (fun _ ce n -> if ce.pstate = st then n + 1 else n) cl.cl_pages 0)
+    in
+    Mgs_obs.Metrics.probe_cell mt "pages.inv" (count_pages P_inv);
+    Mgs_obs.Metrics.probe_cell mt "pages.read" (count_pages P_read);
+    Mgs_obs.Metrics.probe_cell mt "pages.write" (count_pages P_write);
+    Mgs_obs.Metrics.probe_cell mt "pages.busy" (count_pages P_busy);
+    (* a server entry belongs to the home processor's SSMP — only that
+       shard's handlers mutate it *)
+    Mgs_obs.Metrics.probe_cell mt "servers.rel_in_prog" (fun c ->
+        fi
+          (Hashtbl.fold
+             (fun vpn se n ->
+               if
+                 se.s_state = S_rel
+                 && Topology.ssmp_of_proc m.topo (home_proc_of_vpn m vpn) = c
+               then n + 1
+               else n)
+             m.servers 0));
+    Mgs_obs.Metrics.probe_cell mt "spans.open" (fun c ->
+        fi (Mgs_obs.Span.open_count_cell (Mgs_obs.Trace.spans tr) c));
+    Sim.set_on_event m.sim
+      (Some (fun ~shard ~now -> Mgs_obs.Metrics.on_event mt ~cell:shard ~now));
     m.metrics <- Some mt;
     mt
 
 let metrics (m : t) = m.metrics
+
+(* Engine self-profiling series that are NOT deterministic — outbox
+   merges, window stalls, barrier wait and per-shard wall time depend on
+   domain scheduling — so they only register on request: a metrics CSV
+   without them stays byte-identical across job counts. *)
+let enable_engine_stats (m : t) =
+  let mt = enable_metrics m in
+  let fi = float_of_int in
+  Mgs_obs.Metrics.probe mt "engine.windows" (fun () -> fi (Sim.windows m.sim));
+  Mgs_obs.Metrics.probe mt "engine.barrier_wall" (fun () -> Sim.barrier_wall m.sim);
+  Mgs_obs.Metrics.probe_cell mt "engine.merges" (fun c ->
+      fi (Sim.shard_stats m.sim).(c).Sim.st_merges);
+  Mgs_obs.Metrics.probe_cell mt "engine.stalls" (fun c ->
+      fi (Sim.shard_stats m.sim).(c).Sim.st_stalls);
+  mt
 
 let set_faults (m : t) ?(seed = 42) spec =
   if Mgs_net.Fault.is_zero spec then Lan.set_fault_plan m.lan None
@@ -260,27 +313,48 @@ let run (m : t) body =
   let limit = m.event_limit in
   let t0 = Unix.gettimeofday () in
   (if Sim.sharded m.sim then begin
-     (* tracing, metrics, shadow checking, the AM recorder, and
-        registered synchronization objects (registry locks, condvars —
-        anything in [sync_hooks]) are single-domain subsystems: shared
-        mutable tables with no per-shard cells.  Their presence forces
-        the sharded engine onto one domain.  Results are identical
-        either way — only wall time changes. *)
+     (* trace, spans, and metrics are per-shard (each domain writes only
+        its own cell) and no longer constrain the engine.  What still
+        forces a single domain: the shadow heap, the AM recorder, and
+        trace subscribers (the online invariant checker) — each is one
+        shared mutable structure written from every shard.  Results are
+        identical either way — only wall time changes — but the
+        reduction is loud so a slow "parallel" run is explicable. *)
+     let force what =
+       Printf.eprintf
+         "mgs: %s is a single-domain subsystem; parallel engine reduced from %d \
+          domains to 1 (results are unchanged)\n\
+          %!"
+         what (max 1 m.par_jobs)
+     in
      let eff =
-       if
-         m.obs <> None || m.metrics <> None || m.shadow <> None || Am.recording m.am
-         || m.sync_hooks <> []
-       then 1
+       if m.par_jobs >= 2 && m.shadow <> None then begin
+         force "shadow heap checking";
+         1
+       end
+       else if m.par_jobs >= 2 && Am.recording m.am then begin
+         force "message recording (trace_messages)";
+         1
+       end
+       else if
+         m.par_jobs >= 2
+         && (match m.obs with Some tr -> Mgs_obs.Trace.has_subscribers tr | None -> false)
+       then begin
+         force "the online invariant checker (trace subscribers)";
+         1
+       end
        else max 1 m.par_jobs
      in
      Sim.set_jobs m.sim eff
    end);
   let fibers =
     List.init m.topo.Topology.nprocs (fun p ->
-        let shard =
-          if Sim.sharded m.sim then Some (Topology.ssmp_of_proc m.topo p) else None
-        in
-        Mgs_engine.Fiber.spawn m.sim ?shard ~at:0 ~name:(Printf.sprintf "proc%d" p)
+        (* always pin the fiber to its processor's SSMP: the sequential
+           engine uses the shard purely as an attribution tag, so
+           per-shard observability cells fill identically in both
+           modes *)
+        let shard = Topology.ssmp_of_proc m.topo p in
+        Mgs_engine.Fiber.spawn m.sim ~shard ~at:0 ~name:(Printf.sprintf "proc%d" p)
           (fun () ->
             let ctx = Api.make_ctx m ~proc:p in
             body ctx;
@@ -303,10 +377,33 @@ let run (m : t) body =
           retries = p.Lan.part_retries;
         }
   in
-  (* capture the final partial sampling interval *)
+  (* capture the final partial sampling interval (per-cell probes must
+     read the still-sharded counters, so this precedes the collapse) *)
   (match m.metrics with
   | Some mt -> Mgs_obs.Metrics.sample mt ~now:(Sim.now m.sim)
   | None -> ());
+  (* collapse the per-shard counter cells into the base cell: protocol
+     counters are commutative sums, and post-run readers (tests, REPL
+     poking at [m.pstats]) expect totals regardless of engine mode *)
+  Array.iteri
+    (fun i p ->
+      if i > 0 then begin
+        Pstats.add_into m.pstats p;
+        Pstats.reset p
+      end)
+    m.pstats_extra;
+  Array.iteri
+    (fun i s ->
+      if i > 0 then begin
+        m.sync_counters.lock_acquires <- m.sync_counters.lock_acquires + s.lock_acquires;
+        m.sync_counters.lock_hits <- m.sync_counters.lock_hits + s.lock_hits;
+        m.sync_counters.barrier_episodes <-
+          m.sync_counters.barrier_episodes + s.barrier_episodes;
+        s.lock_acquires <- 0;
+        s.lock_hits <- 0;
+        s.barrier_episodes <- 0
+      end)
+    m.sync_extra;
   Report.of_machine ~wall_seconds:(Unix.gettimeofday () -. t0) ~outcome m
 
 let trace_messages (m : t) sink =

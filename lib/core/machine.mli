@@ -74,14 +74,26 @@ val trace : t -> Mgs_obs.Trace.t option
 
 val enable_metrics : ?interval:int -> ?max_samples:int -> t -> Mgs_obs.Metrics.t
 (** Install the simulated-clock metrics sampler (implies
-    {!enable_trace}): event-queue depth, messages in flight, DUQ
-    lengths, pages per protocol state, servers in REL_IN_PROG, and open
-    spans are snapshotted every [interval] cycles (default 10000) into
-    a bounded time-series.  Idempotent.  Call before [run]; the run's
-    final partial interval is always captured. *)
+    {!enable_trace}): per-shard engine progress ([engine.executed],
+    [engine.xsends]), messages in flight, DUQ lengths, synchronization
+    counters and parked waiters, pages per protocol state, servers in
+    REL_IN_PROG, and open spans are snapshotted on a boundary grid
+    every [interval] cycles (default 10000) into a bounded time-series.
+    Every series is per-SSMP-cell and read shard-locally, so sampling
+    runs race-free under the parallel engine and the merged export is
+    byte-identical across job counts.  Idempotent.  Call before [run];
+    the run's final partial interval is always captured. *)
 
 val metrics : t -> Mgs_obs.Metrics.t option
 (** The installed metrics sampler, if any. *)
+
+val enable_engine_stats : t -> Mgs_obs.Metrics.t
+(** Additionally sample the engine's nondeterministic self-profiling
+    series — window count, outbox merges, window stalls, barrier wait
+    wall time (all 0 on the sequential engine).  These depend on domain
+    scheduling, so they are opt-in: without them the metrics export
+    stays byte-identical across job counts.  Implies {!enable_metrics};
+    call before [run]. *)
 
 val set_faults : t -> ?seed:int -> Mgs_net.Fault.spec -> unit
 (** Install a deterministic fault plan on the LAN (seed default 42):

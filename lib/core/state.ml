@@ -116,6 +116,10 @@ type sync_hook = {
   sh_name : string;
   sh_reset : unit -> unit; (* zero stats + drop dead queued waiters *)
   sh_waiters : unit -> int; (* fibers currently parked in the object *)
+  sh_waiters_cell : int -> int;
+      (* waiters attributed to one SSMP — read from that shard's own
+         event context by the per-cell metrics sampler, so it must only
+         touch state the shard owns (its processors' parked fibers) *)
 }
 
 (* Protocol feature toggles (ablation studies; see bench targets). *)

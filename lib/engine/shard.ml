@@ -41,6 +41,11 @@ type shard = {
   mutable peak : int;
   mutable outbox : outmsg list; (* cross-shard sends, merged at barriers *)
   mutable failure : exn option; (* first exception raised while draining *)
+  (* engine self-profiling; only the owning domain writes these *)
+  mutable xsends : int; (* cross-shard sends originated by this shard *)
+  mutable merges : int; (* outbox messages merged INTO this shard *)
+  mutable stalls : int; (* windows in which this shard drained 0 events *)
+  mutable wall : float; (* host seconds spent draining this shard *)
 }
 
 and outmsg = { o_dst : int; o_key : Shardq.key; o_fn : unit -> unit }
@@ -53,6 +58,13 @@ type t = {
   g : Shardq.t; (* canonical-global heap (jobs = 1) *)
   mutable strict : bool;
   mutable gpeak : int;
+  mutable windows : int; (* lookahead windows opened (windowed mode) *)
+  mutable barrier_wall : float; (* coordinator seconds waiting at barriers *)
+  mutable on_event : (shard:int -> now:int -> unit) option;
+      (* called on the executing domain immediately before each event,
+         after the shard clock and counters have advanced.  Used by the
+         metrics sampler; the callback must only touch state owned by
+         [shard] or the determinism contract breaks. *)
 }
 
 exception Late_delivery of { dst : int; fire : int; clock : int }
@@ -65,6 +77,51 @@ let cur_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
 let cur () = Domain.DLS.get cur_key
 
 let set_cur v = Domain.DLS.set cur_key v
+
+(* Genealogy key of the event this domain is currently executing.  The
+   observability layer stamps every emission with it so per-shard cells
+   can be merged back into the canonical execution order at export.
+   Only meaningful while [cur () >= 0]; the sequential engine publishes
+   a (time, insertion-seq) pseudo-key here when stamps are enabled. *)
+let run_key : Shardq.key Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Shardq.no_parent)
+
+(* The sequential engine's pseudo-key is two scalars; minting a key
+   record per pop would put an allocation on every event whether or not
+   anything observes it, so the record is materialized lazily on the
+   first [running_key] call for that event. *)
+type pending = { mutable p_fire : int; mutable p_sched : int; mutable p_set : bool }
+
+let pending_key : pending Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { p_fire = 0; p_sched = 0; p_set = false })
+
+let running_key () =
+  let p = Domain.DLS.get pending_key in
+  if p.p_set then begin
+    p.p_set <- false;
+    Domain.DLS.set run_key
+      (Shardq.key ~fire:p.p_fire ~sched:p.p_sched ~src:0 ~seq:0
+         ~parent:Shardq.no_parent)
+  end;
+  Domain.DLS.get run_key
+
+let set_run_key k =
+  (Domain.DLS.get pending_key).p_set <- false;
+  Domain.DLS.set run_key k
+
+let set_run_key_seq ~fire ~sched =
+  let p = Domain.DLS.get pending_key in
+  p.p_fire <- fire;
+  p.p_sched <- sched;
+  p.p_set <- true
+
+(* Scalar access to an unmaterialized pseudo-key, for recorders that
+   store stamps unboxed.  Meaningful only while [running_scalar ()]. *)
+let running_scalar () = (Domain.DLS.get pending_key).p_set
+
+let running_fire () = (Domain.DLS.get pending_key).p_fire
+
+let running_sched () = (Domain.DLS.get pending_key).p_sched
 
 let create ~nshards ~lookahead =
   if nshards < 1 then invalid_arg "Shard.create: nshards < 1";
@@ -86,10 +143,17 @@ let create ~nshards ~lookahead =
             peak = 0;
             outbox = [];
             failure = None;
+            xsends = 0;
+            merges = 0;
+            stalls = 0;
+            wall = 0.;
           });
     g = Shardq.create ();
     strict = false;
     gpeak = 0;
+    windows = 0;
+    barrier_wall = 0.;
+    on_event = None;
   }
 
 let nshards eng = eng.nshards
@@ -99,6 +163,8 @@ let lookahead eng = eng.lookahead
 let windowed eng = eng.jobs > 1
 
 let set_strict eng v = eng.strict <- v
+
+let set_on_event eng h = eng.on_event <- h
 
 (* ------------------------------------------------------------------ *)
 (* Observation                                                         *)
@@ -124,6 +190,44 @@ let pending eng =
 
 let peak eng =
   max eng.gpeak (Array.fold_left (fun acc s -> acc + s.peak) 0 eng.shards)
+
+(* Per-shard self-profiling snapshot.  [st_executed] and [st_xsends] are
+   deterministic (a pure function of the simulated program); the rest
+   depend on the job count, the host, and outbox timing, and are
+   deliberately excluded from the byte-identity contract. *)
+type shard_stat = {
+  st_id : int;
+  st_executed : int;
+  st_xsends : int;
+  st_clamped : int;
+  st_peak : int;
+  st_merges : int;
+  st_stalls : int;
+  st_wall : float;
+}
+
+let shard_stats eng =
+  Array.map
+    (fun s ->
+      {
+        st_id = s.id;
+        st_executed = s.executed;
+        st_xsends = s.xsends;
+        st_clamped = s.clamped;
+        st_peak = s.peak;
+        st_merges = s.merges;
+        st_stalls = s.stalls;
+        st_wall = s.wall;
+      })
+    eng.shards
+
+let windows eng = eng.windows
+
+let barrier_wall eng = eng.barrier_wall
+
+let shard_executed eng i = eng.shards.(i).executed
+
+let shard_xsends eng i = eng.shards.(i).xsends
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
@@ -164,6 +268,7 @@ let at_shard eng ~shard:dst t fn =
   s.ctr <- seq + 1;
   let parent = if c >= 0 then s.running else Shardq.no_parent in
   let key = Shardq.key ~fire ~sched:s.clock ~src:s.id ~seq ~parent in
+  if c >= 0 && c <> dst then s.xsends <- s.xsends + 1;
   if eng.jobs > 1 && c >= 0 && c <> dst then
     (* cross-shard send from inside an event: park in the outbox; the
        barrier merges it into [dst]'s heap before the next window *)
@@ -201,6 +306,8 @@ let run_global eng ~limit =
       s.executed <- s.executed + 1;
       s.running <- Shardq.popped_key eng.g;
       set_cur s.id;
+      set_run_key s.running;
+      (match eng.on_event with Some h -> h ~shard:s.id ~now:t | None -> ());
       (match fn () with
       | () ->
         s.running <- Shardq.no_parent;
@@ -222,7 +329,8 @@ let run_global eng ~limit =
    number of events this one drain may execute (livelock guard: a shard
    stuck rescheduling itself inside one window would otherwise never
    reach the barrier). *)
-let drain s ~wend ~allow =
+let drain eng s ~wend ~allow =
+  let t0 = Unix.gettimeofday () in
   let n = ref 0 in
   (try
      let continue_ = ref true in
@@ -241,6 +349,8 @@ let drain s ~wend ~allow =
            s.running <- Shardq.popped_key s.q;
            incr n;
            set_cur s.id;
+           set_run_key s.running;
+           (match eng.on_event with Some h -> h ~shard:s.id ~now:t | None -> ());
            fn ();
            s.running <- Shardq.no_parent;
            set_cur (-1)
@@ -251,6 +361,8 @@ let drain s ~wend ~allow =
      s.running <- Shardq.no_parent;
      set_cur (-1);
      s.failure <- Some e);
+  if !n = 0 then s.stalls <- s.stalls + 1;
+  s.wall <- s.wall +. (Unix.gettimeofday () -. t0);
   !n
 
 (* Merge every outbox message into its destination heap.  Runs on the
@@ -279,6 +391,7 @@ let flush_outboxes eng =
             else o.o_key
           in
           Shardq.push d.q ~key ~own:o.o_dst o.o_fn;
+          d.merges <- d.merges + 1;
           let len = Shardq.length d.q in
           if len > d.peak then d.peak <- len)
         msgs)
@@ -310,7 +423,8 @@ let run_windowed eng ~jobs ~limit =
     let i = ref w in
     while !i < nsh do
       let s = eng.shards.(!i) in
-      if s.failure = None then executed_here := !executed_here + drain s ~wend:wendv ~allow:allowv;
+      if s.failure = None then
+        executed_here := !executed_here + drain eng s ~wend:wendv ~allow:allowv;
       i := !i + jobs
     done;
     !executed_here
@@ -359,6 +473,7 @@ let run_windowed eng ~jobs ~limit =
               (limit_msg ~limit ~executed:(executed eng) ~clock:(now eng)
                  ~pending:(pending eng));
           (* open the window *)
+          eng.windows <- eng.windows + 1;
           Mutex.lock mu;
           wend := t + eng.lookahead;
           allow := limit - total;
@@ -368,11 +483,13 @@ let run_windowed eng ~jobs ~limit =
           Mutex.unlock mu;
           (* the coordinator is worker 0 *)
           ignore (drain_assigned 0);
+          let b0 = Unix.gettimeofday () in
           Mutex.lock mu;
           while !done_count < jobs - 1 do
             Condition.wait cv mu
           done;
           Mutex.unlock mu;
+          eng.barrier_wall <- eng.barrier_wall +. (Unix.gettimeofday () -. b0);
           (* deterministic failure propagation: every worker has
              stopped; report the lowest-numbered failing shard *)
           Array.iter

@@ -41,6 +41,43 @@ val set_strict : t -> bool -> unit
 val cur : unit -> int
 (** Shard currently executing on this domain; -1 outside an event. *)
 
+val set_cur : int -> unit
+(** Publish the executing shard on this domain (engine internal;
+    exposed for the sequential engine's per-shard attribution). *)
+
+val running_key : unit -> Shardq.key
+(** Genealogy key of the event this domain is currently executing; the
+    observability layer stamps emissions with it so per-shard cells
+    merge back into the canonical execution order.  Meaningful only
+    while {!cur} is [>= 0].  The sequential engine publishes a
+    (time, insertion-seq) pseudo-key when [Sim.enable_stamps] is on. *)
+
+val set_run_key : Shardq.key -> unit
+(** Publish the executing event's key on this domain (engine internal;
+    exposed for the sequential engine). *)
+
+val set_run_key_seq : fire:int -> sched:int -> unit
+(** Publish a sequential-engine pseudo-key [(fire, sched, 0, 0, root)]
+    without allocating: the key record is materialized lazily on the
+    first {!running_key} call for this event, so unobserved events cost
+    two scalar stores (engine internal). *)
+
+val running_scalar : unit -> bool
+(** True while the current event's pseudo-key is unmaterialized: a
+    recorder that stores stamps unboxed can read {!running_fire} /
+    {!running_sched} instead of forcing the record through
+    {!running_key}. *)
+
+val running_fire : unit -> int
+
+val running_sched : unit -> int
+
+val set_on_event : t -> (shard:int -> now:int -> unit) option -> unit
+(** Install a callback invoked on the executing domain immediately
+    before each event, after the shard clock/counters advance.  The
+    callback must only touch state owned by [shard], or runs stop being
+    byte-identical across job counts. *)
+
 val now : t -> int
 (** Executing shard's clock inside an event; the latest shard clock
     from host code. *)
@@ -65,3 +102,35 @@ val peak : t -> int
 (** High-water mark of pending events.  In windowed mode this is the
     sum of per-shard peaks (an upper bound on the true global peak —
     the shards peak at different times). *)
+
+(** {2 Engine self-profiling} *)
+
+type shard_stat = {
+  st_id : int;
+  st_executed : int;  (** events executed by this shard (deterministic) *)
+  st_xsends : int;  (** cross-shard sends originated here (deterministic) *)
+  st_clamped : int;  (** past-due schedules clamped on this shard *)
+  st_peak : int;  (** per-shard heap high-water mark *)
+  st_merges : int;  (** outbox messages merged into this shard *)
+  st_stalls : int;  (** windows in which this shard executed nothing *)
+  st_wall : float;  (** host seconds spent draining this shard *)
+}
+
+val shard_stats : t -> shard_stat array
+(** One entry per shard.  [st_executed] and [st_xsends] are pure
+    functions of the simulated program; the remaining fields depend on
+    the job count and host and are excluded from the byte-identity
+    contract. *)
+
+val windows : t -> int
+(** Lookahead windows opened so far (0 unless windowed runs happened). *)
+
+val barrier_wall : t -> float
+(** Host seconds the coordinator spent waiting at window barriers. *)
+
+val shard_executed : t -> int -> int
+(** [shard_executed eng i] — events executed by shard [i]; shard-local,
+    safe to read from shard [i]'s own event context. *)
+
+val shard_xsends : t -> int -> int
+(** [shard_xsends eng i] — cross-shard sends originated by shard [i]. *)

@@ -10,6 +10,17 @@ type t = {
   mutable engine : Shard.t option;
       (* when set, every operation dispatches to the sharded engine and
          the sequential fields above stay frozen *)
+  (* sequential per-shard attribution: the sequential engine routes
+     every event to the same shard the sharded engine would, so
+     per-shard observability cells fill identically in both modes. *)
+  mutable sexec : int array; (* events executed, per shard *)
+  mutable sxsend : int array; (* cross-shard sends originated, per shard *)
+  mutable sclamp : int array; (* clamps attributed, per shard *)
+  mutable stamps : bool;
+      (* publish a (time, insertion-seq) pseudo-key per event so the
+         observability layer can stamp emissions; off by default to keep
+         the sequential fast path allocation-free *)
+  mutable hook : (shard:int -> now:int -> unit) option;
 }
 
 type stats = { s_executed : int; s_peak : int; s_clamped : int }
@@ -23,7 +34,23 @@ let create () =
     peak = 0;
     clamped = 0;
     engine = None;
+    sexec = Array.make 1 0;
+    sxsend = Array.make 1 0;
+    sclamp = Array.make 1 0;
+    stamps = false;
+    hook = None;
   }
+
+(* Declare the shard count for per-shard attribution on a sequential
+   simulator (the sharded engine knows its own).  Call before running;
+   resizing discards prior per-shard counts. *)
+let set_topology sim ~nshards =
+  if nshards < 1 then invalid_arg "Sim.set_topology: nshards < 1";
+  if Array.length sim.sexec <> nshards then begin
+    sim.sexec <- Array.make nshards 0;
+    sim.sxsend <- Array.make nshards 0;
+    sim.sclamp <- Array.make nshards 0
+  end
 
 let make_sharded sim ~nshards ~lookahead =
   (match sim.engine with
@@ -32,10 +59,17 @@ let make_sharded sim ~nshards ~lookahead =
   | None ->
     if not (Mgs_util.Pqueue.is_empty sim.queue) then
       invalid_arg "Sim.make_sharded: events already queued sequentially";
-    sim.engine <- Some (Shard.create ~nshards ~lookahead));
+    let e = Shard.create ~nshards ~lookahead in
+    Shard.set_on_event e sim.hook;
+    sim.engine <- Some e);
   ()
 
 let sharded sim = sim.engine <> None
+
+let nshards sim =
+  match sim.engine with
+  | None -> Array.length sim.sexec
+  | Some e -> Shard.nshards e
 
 let set_jobs sim jobs =
   match sim.engine with
@@ -43,6 +77,15 @@ let set_jobs sim jobs =
   | Some e -> Shard.set_jobs e jobs
 
 let set_strict sim v = match sim.engine with None -> () | Some e -> Shard.set_strict e v
+
+let enable_stamps sim =
+  (* the sharded engine always publishes real genealogy keys; only the
+     sequential engine needs the opt-in pseudo-key *)
+  match sim.engine with None -> sim.stamps <- true | Some _ -> ()
+
+let set_on_event sim h =
+  sim.hook <- h;
+  match sim.engine with None -> () | Some e -> Shard.set_on_event e h
 
 let now sim = match sim.engine with None -> sim.clock | Some e -> Shard.now e
 
@@ -56,24 +99,82 @@ let stats sim =
   | None -> { s_executed = sim.executed; s_peak = sim.peak; s_clamped = sim.clamped }
   | Some e -> { s_executed = Shard.executed e; s_peak = Shard.peak e; s_clamped = Shard.clamped e }
 
+type shard_stat = Shard.shard_stat = {
+  st_id : int;
+  st_executed : int;
+  st_xsends : int;
+  st_clamped : int;
+  st_peak : int;
+  st_merges : int;
+  st_stalls : int;
+  st_wall : float;
+}
+
+let shard_stats sim =
+  match sim.engine with
+  | Some e -> Shard.shard_stats e
+  | None ->
+    Array.init (Array.length sim.sexec) (fun i ->
+        {
+          st_id = i;
+          st_executed = sim.sexec.(i);
+          st_xsends = sim.sxsend.(i);
+          st_clamped = sim.sclamp.(i);
+          st_peak = 0;
+          st_merges = 0;
+          st_stalls = 0;
+          st_wall = 0.;
+        })
+
+let windows sim = match sim.engine with None -> 0 | Some e -> Shard.windows e
+
+let barrier_wall sim =
+  match sim.engine with None -> 0. | Some e -> Shard.barrier_wall e
+
+let shard_executed sim i =
+  match sim.engine with None -> sim.sexec.(i) | Some e -> Shard.shard_executed e i
+
+let shard_xsends sim i =
+  match sim.engine with None -> sim.sxsend.(i) | Some e -> Shard.shard_xsends e i
+
+(* Sequential scheduling with per-shard attribution.  [dst] is the shard
+   that will execute the event — the same value the sharded engine's
+   [at_shard] would route to — carried through the heap as the [own]
+   tag. *)
+let seq_schedule sim ~dst t f =
+  let c = Shard.cur () in
+  let fire =
+    if t < sim.clock then begin
+      sim.clamped <- sim.clamped + 1;
+      let attr = if c >= 0 && c < Array.length sim.sclamp then c else dst in
+      sim.sclamp.(attr) <- sim.sclamp.(attr) + 1;
+      sim.clock
+    end
+    else t
+  in
+  if c >= 0 && c <> dst && c < Array.length sim.sxsend then
+    sim.sxsend.(c) <- sim.sxsend.(c) + 1;
+  sim.seq <- sim.seq + 1;
+  Mgs_util.Pqueue.push sim.queue ~prio:fire ~seq:sim.seq ~own:dst f;
+  let len = Mgs_util.Pqueue.length sim.queue in
+  if len > sim.peak then sim.peak <- len
+
 let at sim t f =
   match sim.engine with
   | None ->
-    let t =
-      if t < sim.clock then begin
-        sim.clamped <- sim.clamped + 1;
-        sim.clock
-      end
-      else t
-    in
-    sim.seq <- sim.seq + 1;
-    Mgs_util.Pqueue.push sim.queue ~prio:t ~seq:sim.seq f;
-    let len = Mgs_util.Pqueue.length sim.queue in
-    if len > sim.peak then sim.peak <- len
+    let c = Shard.cur () in
+    let dst = if c >= 0 && c < Array.length sim.sexec then c else 0 in
+    seq_schedule sim ~dst t f
   | Some e -> Shard.at e t f
 
 let at_shard sim ~shard t f =
-  match sim.engine with None -> at sim t f | Some e -> Shard.at_shard e ~shard t f
+  match sim.engine with
+  | None ->
+    (* tolerate out-of-range shards (a simulator whose topology was
+       never declared): attribution falls back to shard 0 *)
+    let dst = if shard >= 0 && shard < Array.length sim.sexec then shard else 0 in
+    seq_schedule sim ~dst t f
+  | Some e -> Shard.at_shard e ~shard t f
 
 let after sim d f =
   if d < 0 then invalid_arg "Sim.after: negative delay";
@@ -92,9 +193,23 @@ let step sim =
     | exception Mgs_util.Pqueue.Empty_queue -> false
     | f ->
       let t = Mgs_util.Pqueue.popped_prio sim.queue in
+      let own = Mgs_util.Pqueue.popped_own sim.queue in
       sim.clock <- max sim.clock t;
       sim.executed <- sim.executed + 1;
-      f ();
+      sim.sexec.(own) <- sim.sexec.(own) + 1;
+      if sim.stamps then
+        (* pseudo-key ordered exactly like the sequential pop order:
+           fire time, then global insertion sequence (materialized
+           lazily so unobserved events allocate nothing) *)
+        Shard.set_run_key_seq ~fire:t
+          ~sched:(Mgs_util.Pqueue.popped_seq sim.queue);
+      Shard.set_cur own;
+      (match sim.hook with Some h -> h ~shard:own ~now:t | None -> ());
+      (match f () with
+      | () -> Shard.set_cur (-1)
+      | exception e ->
+        Shard.set_cur (-1);
+        raise e);
       true)
 
 let run sim ?(limit = max_int) () =

@@ -32,6 +32,30 @@ val make_sharded : t -> nshards:int -> lookahead:int -> unit
 
 val sharded : t -> bool
 
+val set_topology : t -> nshards:int -> unit
+(** Declare the shard (SSMP) count of a sequential simulator so events
+    and statistics are attributed to the same per-shard cells the
+    sharded engine would use — the observability layer's per-shard
+    stores rely on this routing being identical across modes.  The
+    sharded engine knows its own count; calling this after
+    {!make_sharded} is a no-op.  Resizing discards per-shard counts. *)
+
+val nshards : t -> int
+(** Declared shard count ([1] when never declared). *)
+
+val enable_stamps : t -> unit
+(** Sequential engines only: publish a (time, insertion-seq) pseudo
+    genealogy key per event (readable via {!Shard.running_key}) so
+    observability emissions can be order-stamped.  Off by default — the
+    key is a fresh allocation per event and the untraced fast path stays
+    allocation-free.  The sharded engine always publishes real keys. *)
+
+val set_on_event : t -> (shard:int -> now:int -> unit) option -> unit
+(** Install a callback run immediately before each event on the
+    executing domain (after clock/counters advance).  Used by the
+    metrics sampler.  The callback must only touch state owned by
+    [shard]; anything else breaks byte-identity across job counts. *)
+
 val set_jobs : t -> int -> unit
 (** Effective domain count for subsequent {!run}s of a sharded
     simulator (clamped to [1 .. nshards]).  [1] drains a single heap in
@@ -83,6 +107,38 @@ val stats : t -> stats
     of past-due schedules clamped forward to the clock ([s_clamped] —
     silent before, now observable so cross-shard delivery bugs surface
     as counted clamps). *)
+
+type shard_stat = Shard.shard_stat = {
+  st_id : int;
+  st_executed : int;
+  st_xsends : int;
+  st_clamped : int;
+  st_peak : int;
+  st_merges : int;
+  st_stalls : int;
+  st_wall : float;
+}
+
+val shard_stats : t -> shard_stat array
+(** Per-shard self-profiling, in both modes: the sequential engine
+    synthesizes entries from its per-shard attribution counters
+    (merges/stalls/wall are 0 there).  [st_executed]/[st_xsends] are
+    deterministic; the rest are not part of the byte-identity
+    contract. *)
+
+val windows : t -> int
+(** Lookahead windows opened (0 for sequential or jobs = 1 runs). *)
+
+val barrier_wall : t -> float
+(** Host seconds the windowed coordinator spent at barriers (0 when
+    never windowed). *)
+
+val shard_executed : t -> int -> int
+(** Events executed by one shard — shard-local, deterministic. *)
+
+val shard_xsends : t -> int -> int
+(** Cross-shard sends originated by one shard — shard-local,
+    deterministic. *)
 
 val step : t -> bool
 (** [step sim] executes the next event; [false] when none remain.

@@ -95,6 +95,37 @@ let pp_lock_table points =
       ]
     ~rows
 
+(* Engine self-profile: one row per shard of the discrete-event engine.
+   Executed and cross-shard sends are deterministic (identical between
+   jobs=1 and jobs>=2); merges, stalls, and wall seconds describe the
+   host-side windowed run and vary with scheduling. *)
+let pp_shard_table sim =
+  let rows =
+    Mgs_engine.Sim.shard_stats sim |> Array.to_list
+    |> List.map (fun (s : Mgs_engine.Sim.shard_stat) ->
+           [
+             string_of_int s.Mgs_engine.Sim.st_id;
+             string_of_int s.Mgs_engine.Sim.st_executed;
+             string_of_int s.Mgs_engine.Sim.st_xsends;
+             string_of_int s.Mgs_engine.Sim.st_clamped;
+             string_of_int s.Mgs_engine.Sim.st_peak;
+             string_of_int s.Mgs_engine.Sim.st_merges;
+             string_of_int s.Mgs_engine.Sim.st_stalls;
+             Printf.sprintf "%.3f" s.Mgs_engine.Sim.st_wall;
+           ])
+  in
+  let table =
+    Mgs_util.Tableprint.render
+      ~header:
+        [
+          "Shard"; "Executed"; "X-sends"; "Clamped"; "Peak"; "Merges"; "Stalls"; "Wall s";
+        ]
+      ~rows
+  in
+  table
+  ^ Printf.sprintf "windows = %d, barrier wall = %.3fs\n" (Mgs_engine.Sim.windows sim)
+      (Mgs_engine.Sim.barrier_wall sim)
+
 let csv_of_sweep ~name points =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "app,cluster,runtime,user,lock,barrier,mgs,lan_messages,lan_words,lock_hit_ratio\n";

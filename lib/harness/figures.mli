@@ -34,6 +34,14 @@ val metrics_summary : (string * Sweep.point list) list -> string
 (** One row per workload: breakup penalty, multigrain potential,
     curvature class. *)
 
+val pp_shard_table : Mgs_engine.Sim.t -> string
+(** Engine self-profile: one row per shard (SSMP) — events executed,
+    cross-shard sends, clamped schedules, peak heap occupancy, outbox
+    merges, window stalls, and host wall seconds, plus a footer with
+    the window count and coordinator barrier wall time.  Executed and
+    x-send columns are deterministic across job counts; the rest
+    describe the host-side run. *)
+
 val csv_of_sweep : name:string -> Sweep.point list -> string
 (** Machine-readable export: one line per cluster size with runtime,
     the four buckets, LAN traffic, and the lock hit ratio. *)

@@ -43,9 +43,10 @@ val run_point :
     (default true) runs the online protocol invariant checker
     ({!Mgs.Invariant}) and fails on any violation; [par] (default 0 =
     sequential engine) selects the sharded event engine on that many
-    domains — byte-identical results, and note that [check]'s trace
-    forces the sharded engine onto one domain, so pass [~check:false]
-    to actually run parallel.
+    domains — byte-identical results.  Trace, span, and metrics
+    subscribers are per-shard and do not limit parallelism; only the
+    online invariant checker's global state still forces one domain,
+    so pass [~check:false] to actually run parallel.
     @raise Failure on a workload-verifier or invariant failure.
     @raise Invalid_argument on an unknown protocol name. *)
 

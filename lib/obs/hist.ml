@@ -27,6 +27,20 @@ let add t v =
   if v < t.vmin then t.vmin <- v;
   if v > t.vmax then t.vmax <- v
 
+(* Fold [src] into [dst].  Bucket counts, totals, and extrema all merge
+   exactly, so per-shard histograms combined at export equal the
+   histogram a single store would have accumulated. *)
+let merge ~into:dst src =
+  for b = 0 to nbuckets - 1 do
+    dst.counts.(b) <- dst.counts.(b) + src.counts.(b)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  if src.n > 0 then begin
+    if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+    if src.vmax > dst.vmax then dst.vmax <- src.vmax
+  end
+
 let count t = t.n
 
 let sum t = t.sum

@@ -11,6 +11,11 @@ val create : unit -> t
 val add : t -> int -> unit
 (** Record one sample; negative samples clamp to 0. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into:dst src] folds [src]'s samples into [dst] exactly
+    (bucket counts, totals, extrema) — per-shard histograms combined at
+    export equal one histogram fed every sample. *)
+
 val count : t -> int
 
 val sum : t -> int

@@ -9,9 +9,20 @@
    The scheduler is deterministic, so IDs and spans are reproducible
    run-to-run and identical under parallel sweeps.
 
-   Storage is bounded: past [capacity] spans new opens are counted as
-   dropped and return a sentinel context whose close is a no-op, so a
-   run of any length cannot grow memory without bound. *)
+   Storage is per shard ("cell"): under the parallel engine each domain
+   opens spans only in its own SSMP's cell, so the hot path shares
+   nothing across domains.  Cells are merged at export by ordering each
+   span's genealogy stamp — the key of the simulator event that opened
+   it (see {!Mgs_engine.Shardq}) — which reconstructs the canonical
+   execution order regardless of the job count.  Span and transaction
+   IDs are renumbered densely in that order at export, so every export
+   is byte-identical between sequential, jobs=1, and jobs>=2 runs.
+   Single-cell stores skip stamping entirely and export raw IDs — the
+   original single-domain behavior, byte for byte.
+
+   Storage is bounded: past [capacity] spans (per cell) new opens are
+   counted as dropped and return a sentinel context whose close is a
+   no-op, so a run of any length cannot grow memory without bound. *)
 
 type ctx = { txn : int; sid : int }
 
@@ -33,13 +44,18 @@ type span = {
   words : int;
 }
 
-(* Storage is struct-of-arrays: the integer fields of span [sid] live at
-   [ints.(sid * stride) ..], the label and engine in parallel arrays.
-   Opening a span writes array slots and allocates only the returned
-   2-field [ctx] — a per-message record-plus-[Some] here was one of the
-   largest allocation sources in a traced run.  The [span] record above
-   survives as the read-side view: [iter] and [get] materialize
-   snapshots for the (cold) analysis and export paths. *)
+(* Storage is struct-of-arrays: the integer fields of local span [l]
+   live at [ints.(l * stride) ..], the label and engine in parallel
+   arrays.  Opening a span writes array slots and allocates only the
+   returned 2-field [ctx] — a per-message record-plus-[Some] here was
+   one of the largest allocation sources in a traced run.  The [span]
+   record above survives as the read-side view: [iter] materializes
+   snapshots for the (cold) analysis and export paths.
+
+   A span's public ID encodes its cell: [sid = local * ncells + cell],
+   so a [ctx] stays a flat pair of ints and [close] can route back to
+   the owning cell without a lookup.  With one cell the encoding is the
+   identity. *)
 let stride = 10
 
 let f_parent = 0
@@ -62,71 +78,100 @@ let f_dst_ssmp = 8
 
 let f_words = 9
 
-type t = {
-  capacity : int;
+type cell = {
   mutable ints : int array; (* stride slots per span *)
   mutable labels : string array;
   mutable engines : Event.engine array;
-  mutable n : int;
-  mutable next_txn : int;
-  mutable open_spans : int;
-  mutable dropped : int;
-  mutable current : ctx;
+  mutable keys : Mgs_engine.Shardq.key array; (* order stamps; ncells > 1 only *)
+  mutable cn : int;
+  mutable c_txns : int; (* local transaction mint counter *)
+  mutable c_open : int;
+  mutable c_dropped : int;
+  mutable c_current : ctx;
+}
+
+type t = {
+  capacity : int; (* per cell *)
+  ncells : int;
+  cells : cell array;
+  mutable host_seq : int; (* order stamp for host-side (non-event) opens *)
 }
 
 let default_capacity = 1 lsl 17
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?(cells = 1) () =
   if capacity <= 0 then invalid_arg "Span.create: capacity";
-  let room = min capacity 1024 in
-  {
-    capacity;
-    ints = Array.make (room * stride) 0;
-    labels = Array.make room "";
-    engines = Array.make room Event.Local_client;
-    n = 0;
-    next_txn = 0;
-    open_spans = 0;
-    dropped = 0;
-    current = none;
-  }
+  if cells < 1 then invalid_arg "Span.create: cells";
+  (* [capacity] is the TOTAL budget, divided among the cells: a
+     16-SSMP machine must not retain (and allocate) 16x the memory of
+     the single-cell store it replaced *)
+  let capacity = max (min capacity 64) ((capacity + cells - 1) / cells) in
+  let mk_cell () =
+    let room = min capacity 1024 in
+    {
+      ints = Array.make (room * stride) 0;
+      labels = Array.make room "";
+      engines = Array.make room Event.Local_client;
+      keys = (if cells > 1 then Array.make room Mgs_engine.Shardq.no_parent else [||]);
+      cn = 0;
+      c_txns = 0;
+      c_open = 0;
+      c_dropped = 0;
+      c_current = none;
+    }
+  in
+  { capacity; ncells = cells; cells = Array.init cells (fun _ -> mk_cell ()); host_seq = 0 }
 
-let mint_txn t =
-  let id = t.next_txn in
-  t.next_txn <- t.next_txn + 1;
-  id
+let cells t = t.ncells
 
-let ensure_room t =
-  if t.n >= Array.length t.labels && t.n < t.capacity then begin
-    let cap = min t.capacity (2 * Array.length t.labels) in
-    let ints = Array.make (cap * stride) 0 in
-    Array.blit t.ints 0 ints 0 (t.n * stride);
-    t.ints <- ints;
-    let labels = Array.make cap "" in
-    Array.blit t.labels 0 labels 0 t.n;
-    t.labels <- labels;
-    let engines = Array.make cap Event.Local_client in
-    Array.blit t.engines 0 engines 0 t.n;
-    t.engines <- engines
+(* The cell the running domain writes to: the executing shard's, or
+   cell 0 for host code (and for shards beyond the declared count). *)
+let cur_cell t =
+  let c = Mgs_engine.Shard.cur () in
+  if c < 0 || c >= t.ncells then 0 else c
+
+(* The order stamp for an emission happening now: the executing event's
+   genealogy key, or a synthetic host key ordered by emission time then
+   a host-side counter.  [sched = max_int] makes a host emission sort
+   after every event emission of the same instant — matching the
+   sequential engine, where host code runs only once the queue has
+   drained past that time. *)
+let stamp t ~time =
+  if Mgs_engine.Shard.cur () >= 0 then Mgs_engine.Shard.running_key ()
+  else begin
+    let seq = t.host_seq in
+    t.host_seq <- seq + 1;
+    Mgs_engine.Shardq.key ~fire:time ~sched:max_int ~src:max_int ~seq
+      ~parent:Mgs_engine.Shardq.no_parent
   end
 
-let get t sid =
-  let b = sid * stride in
-  {
-    sid;
-    parent = t.ints.(b + f_parent);
-    txn = t.ints.(b + f_txn);
-    label = t.labels.(sid);
-    engine = t.engines.(sid);
-    t0 = t.ints.(b + f_t0);
-    t1 = t.ints.(b + f_t1);
-    vpn = t.ints.(b + f_vpn);
-    src = t.ints.(b + f_src);
-    dst = t.ints.(b + f_dst);
-    src_ssmp = t.ints.(b + f_src_ssmp);
-    dst_ssmp = t.ints.(b + f_dst_ssmp);
-    words = t.ints.(b + f_words);
-  }
+let mint_in t cl c =
+  let id = cl.c_txns in
+  cl.c_txns <- id + 1;
+  (id * t.ncells) + c
+
+let mint_txn t =
+  let c = cur_cell t in
+  mint_in t t.cells.(c) c
+
+let ensure_room t cl =
+  if cl.cn >= Array.length cl.labels && cl.cn < t.capacity then begin
+    let cap = min t.capacity (2 * Array.length cl.labels) in
+    let ints = Array.make (cap * stride) 0 in
+    Array.blit cl.ints 0 ints 0 (cl.cn * stride);
+    cl.ints <- ints;
+    let labels = Array.make cap "" in
+    Array.blit cl.labels 0 labels 0 cl.cn;
+    cl.labels <- labels;
+    let engines = Array.make cap Event.Local_client in
+    Array.blit cl.engines 0 engines 0 cl.cn;
+    cl.engines <- engines;
+    if t.ncells > 1 then begin
+      let keys = Array.make cap Mgs_engine.Shardq.no_parent in
+      Array.blit cl.keys 0 keys 0 cl.cn;
+      cl.keys <- keys
+    end
+  end
 
 (* Open a span.  [parent = none] starts a fresh transaction (a new ID is
    minted); otherwise the parent's transaction is inherited.  When the
@@ -135,30 +180,33 @@ let get t sid =
    still threads through so child spans that do fit stay attributed. *)
 let open_span_x t ~(parent : ctx) ~time ~label ~engine ~vpn ~src ~dst ~src_ssmp ~dst_ssmp
     ~words =
-  let txn = if parent.txn >= 0 then parent.txn else mint_txn t in
-  if t.n >= t.capacity then begin
-    t.dropped <- t.dropped + 1;
+  let c = cur_cell t in
+  let cl = t.cells.(c) in
+  let txn = if parent.txn >= 0 then parent.txn else mint_in t cl c in
+  if cl.cn >= t.capacity then begin
+    cl.c_dropped <- cl.c_dropped + 1;
     { txn; sid = -2 }
   end
   else begin
-    ensure_room t;
-    let sid = t.n in
-    let b = sid * stride in
-    t.ints.(b + f_parent) <- (if parent.sid >= 0 then parent.sid else -1);
-    t.ints.(b + f_txn) <- txn;
-    t.ints.(b + f_t0) <- time;
-    t.ints.(b + f_t1) <- -1;
-    t.ints.(b + f_vpn) <- vpn;
-    t.ints.(b + f_src) <- src;
-    t.ints.(b + f_dst) <- dst;
-    t.ints.(b + f_src_ssmp) <- src_ssmp;
-    t.ints.(b + f_dst_ssmp) <- dst_ssmp;
-    t.ints.(b + f_words) <- words;
-    t.labels.(sid) <- label;
-    t.engines.(sid) <- engine;
-    t.n <- t.n + 1;
-    t.open_spans <- t.open_spans + 1;
-    { txn; sid }
+    ensure_room t cl;
+    let l = cl.cn in
+    let b = l * stride in
+    cl.ints.(b + f_parent) <- (if parent.sid >= 0 then parent.sid else -1);
+    cl.ints.(b + f_txn) <- txn;
+    cl.ints.(b + f_t0) <- time;
+    cl.ints.(b + f_t1) <- -1;
+    cl.ints.(b + f_vpn) <- vpn;
+    cl.ints.(b + f_src) <- src;
+    cl.ints.(b + f_dst) <- dst;
+    cl.ints.(b + f_src_ssmp) <- src_ssmp;
+    cl.ints.(b + f_dst_ssmp) <- dst_ssmp;
+    cl.ints.(b + f_words) <- words;
+    cl.labels.(l) <- label;
+    cl.engines.(l) <- engine;
+    if t.ncells > 1 then cl.keys.(l) <- stamp t ~time;
+    cl.cn <- l + 1;
+    cl.c_open <- cl.c_open + 1;
+    { txn; sid = (l * t.ncells) + c }
   end
 
 (* Optional-argument convenience wrapper.  Hot paths call [open_span_x]
@@ -169,36 +217,147 @@ let open_span t ~(parent : ctx) ~time ~label ~engine ?(vpn = -1) ?(src = -1) ?(d
   open_span_x t ~parent ~time ~label ~engine ~vpn ~src ~dst ~src_ssmp ~dst_ssmp ~words
 
 let close t (ctx : ctx) ~time =
-  if ctx.sid >= 0 && ctx.sid < t.n then begin
-    let b = ctx.sid * stride in
-    if t.ints.(b + f_t1) < 0 then begin
-      t.ints.(b + f_t1) <- max time t.ints.(b + f_t0);
-      t.open_spans <- t.open_spans - 1
+  if ctx.sid >= 0 then begin
+    let c = ctx.sid mod t.ncells in
+    let l = ctx.sid / t.ncells in
+    let cl = t.cells.(c) in
+    if l < cl.cn then begin
+      let b = l * stride in
+      if cl.ints.(b + f_t1) < 0 then begin
+        cl.ints.(b + f_t1) <- max time cl.ints.(b + f_t0);
+        cl.c_open <- cl.c_open - 1
+      end
     end
   end
 
-let current t = t.current
+let current t = t.cells.(cur_cell t).c_current
 
-let set_current t ctx = t.current <- ctx
+let set_current t ctx = t.cells.(cur_cell t).c_current <- ctx
 
-let count t = t.n
+let count t = Array.fold_left (fun acc cl -> acc + cl.cn) 0 t.cells
 
-let open_count t = t.open_spans
+let open_count t = Array.fold_left (fun acc cl -> acc + cl.c_open) 0 t.cells
 
-let dropped t = t.dropped
+let open_count_cell t c = t.cells.(c).c_open
 
-let txns t = t.next_txn
+let dropped t = Array.fold_left (fun acc cl -> acc + cl.c_dropped) 0 t.cells
 
-let iter t f =
-  for i = 0 to t.n - 1 do
-    f (get t i)
-  done
+let txns t = Array.fold_left (fun acc cl -> acc + cl.c_txns) 0 t.cells
+
+(* Span [enc] (encoded public ID) materialized with raw encoded
+   sid/parent/txn fields. *)
+let enc_get t enc =
+  let c = enc mod t.ncells in
+  let l = enc / t.ncells in
+  let cl = t.cells.(c) in
+  let b = l * stride in
+  {
+    sid = enc;
+    parent = cl.ints.(b + f_parent);
+    txn = cl.ints.(b + f_txn);
+    label = cl.labels.(l);
+    engine = cl.engines.(l);
+    t0 = cl.ints.(b + f_t0);
+    t1 = cl.ints.(b + f_t1);
+    vpn = cl.ints.(b + f_vpn);
+    src = cl.ints.(b + f_src);
+    dst = cl.ints.(b + f_dst);
+    src_ssmp = cl.ints.(b + f_src_ssmp);
+    dst_ssmp = cl.ints.(b + f_dst_ssmp);
+    words = cl.ints.(b + f_words);
+  }
+
+(* --- canonical merged view ------------------------------------------ *)
+
+(* Read-side view of a multi-cell store: every span ordered by its
+   genealogy stamp (= canonical execution order), with span and
+   transaction IDs renumbered densely in that order.  In the
+   single-cell case the emission order already IS the execution order
+   and raw IDs are already dense, so the view is the identity and no
+   sort happens — exports from a single-cell store are byte-identical
+   to the historical single-domain implementation. *)
+type view = {
+  v_ident : bool;
+  v_order : int array; (* encoded sids, canonical order ([||] when ident) *)
+  v_sid : int array; (* encoded sid -> dense sid ([||] when ident) *)
+  v_txn : (int, int) Hashtbl.t; (* encoded txn -> dense txn *)
+}
+
+let view t =
+  if t.ncells = 1 then
+    { v_ident = true; v_order = [||]; v_sid = [||]; v_txn = Hashtbl.create 1 }
+  else begin
+    let total = count t in
+    let order = Array.make total 0 in
+    let idx = ref 0 in
+    Array.iteri
+      (fun c cl ->
+        for l = 0 to cl.cn - 1 do
+          order.(!idx) <- (l * t.ncells) + c;
+          incr idx
+        done)
+      t.cells;
+    let key_of enc = (t.cells.(enc mod t.ncells)).keys.(enc / t.ncells) in
+    (* equal stamps only happen within one cell (one simulator event
+       executes on exactly one shard), where the local index breaks the
+       tie in emission order — so this comparison is total. *)
+    Array.sort
+      (fun a b ->
+        let k = Mgs_engine.Shardq.cmp_key (key_of a) (key_of b) in
+        if k <> 0 then k else compare a b)
+      order;
+    let maxcn = Array.fold_left (fun acc cl -> max acc cl.cn) 0 t.cells in
+    let v_sid = Array.make (max 1 (maxcn * t.ncells)) (-1) in
+    let v_txn = Hashtbl.create 256 in
+    Array.iteri
+      (fun dense enc ->
+        v_sid.(enc) <- dense;
+        let tx = (t.cells.(enc mod t.ncells)).ints.((enc / t.ncells * stride) + f_txn) in
+        if not (Hashtbl.mem v_txn tx) then Hashtbl.add v_txn tx (Hashtbl.length v_txn))
+      order;
+    { v_ident = false; v_order = order; v_sid; v_txn }
+  end
+
+let view_sid v enc = if v.v_ident || enc < 0 then enc else v.v_sid.(enc)
+
+let view_txn v tx =
+  if v.v_ident || tx < 0 then tx
+  else match Hashtbl.find_opt v.v_txn tx with Some d -> d | None -> -1
+
+(* Map an encoded transaction ID (as carried on trace events) to its
+   dense export ID.  [-1] (no transaction) maps to itself; a
+   transaction none of whose spans survived maps to [-1]. *)
+let txn_mapper t =
+  let v = view t in
+  fun tx -> view_txn v tx
+
+let view_iter t v f =
+  let emit enc =
+    let s = enc_get t enc in
+    f
+      {
+        s with
+        sid = view_sid v enc;
+        parent = view_sid v s.parent;
+        txn = view_txn v s.txn;
+      }
+  in
+  if v.v_ident then
+    for l = 0 to t.cells.(0).cn - 1 do
+      emit l
+    done
+  else Array.iter emit v.v_order
+
+let iter t f = view_iter t (view t) f
 
 let open_labels t =
   let acc = ref [] in
-  for i = 0 to t.n - 1 do
-    if t.ints.((i * stride) + f_t1) < 0 then acc := t.labels.(i) :: !acc
-  done;
+  Array.iter
+    (fun cl ->
+      for l = 0 to cl.cn - 1 do
+        if cl.ints.((l * stride) + f_t1) < 0 then acc := cl.labels.(l) :: !acc
+      done)
+    t.cells;
   List.rev !acc
 
 (* --- critical-path analysis ---------------------------------------- *)
@@ -313,7 +472,8 @@ let attribute ~lo ~hi ivals acc =
   sweep acc cuts
 
 let fault_breakdown t =
-  (* group spans by transaction *)
+  (* group spans by transaction; the canonical view keeps the grouping
+     and the txn iteration order identical across job counts *)
   let roots = Hashtbl.create 256 in
   let children = Hashtbl.create 256 in
   iter t (fun s ->
@@ -364,7 +524,7 @@ let json t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "{\"schema\":\"mgs-spans-1\",\"txns\":%d,\"dropped\":%d,\"spans\":["
-       t.next_txn t.dropped);
+       (txns t) (dropped t));
   let first = ref true in
   iter t (fun s ->
       if !first then first := false else Buffer.add_char buf ',';
@@ -380,7 +540,8 @@ let write_json t oc = output_string oc (json t)
    into one track) plus a flow arrow from each parent to its child,
    which Perfetto draws across processors. *)
 let chrome_section buf t ~emit_sep =
-  iter t (fun s ->
+  let v = view t in
+  view_iter t v (fun s ->
       if s.t1 >= 0 then begin
         let pid = if s.dst_ssmp >= 0 then s.dst_ssmp else max s.src_ssmp 0 in
         let tid = if s.dst >= 0 then s.dst else max s.src 0 in
@@ -394,10 +555,18 @@ let chrome_section buf t ~emit_sep =
           (Printf.sprintf
              "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
              (json_escape s.label) s.txn s.t1 pid tid);
-        match (if s.parent >= 0 && s.parent < t.n then Some (get t s.parent) else None) with
-        | Some p ->
+        if s.parent >= 0 then begin
           (* flow arrow: from the parent's location at the moment the
-             child begins, to the child — the causal hand-off *)
+             child begins, to the child — the causal hand-off.  The
+             parent's dense ID decodes back through the view to the raw
+             store for its location fields. *)
+          let p_enc =
+            if v.v_ident then s.parent
+            else (
+              (* dense -> encoded: position [s.parent] of the order *)
+              v.v_order.(s.parent))
+          in
+          let p = enc_get t p_enc in
           let ppid = if p.dst_ssmp >= 0 then p.dst_ssmp else max p.src_ssmp 0 in
           let ptid = if p.dst >= 0 then p.dst else max p.src 0 in
           emit_sep ();
@@ -410,5 +579,5 @@ let chrome_section buf t ~emit_sep =
             (Printf.sprintf
                "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
                s.sid s.t0 pid tid)
-        | None -> ()
+        end
       end)

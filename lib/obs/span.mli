@@ -9,7 +9,15 @@
 
     Storage is bounded by [capacity]; spans opened past it are counted
     as dropped and their close is a no-op, while the transaction ID
-    keeps threading so surviving child spans stay attributed. *)
+    keeps threading so surviving child spans stay attributed.
+
+    A store created with [cells > 1] keeps one span store per shard
+    (SSMP): each simulator domain writes only its own cell — nothing on
+    the hot path is shared — and reads merge the cells by each span's
+    genealogy stamp, reconstructing the canonical execution order.
+    Span/transaction IDs are renumbered densely in that order at
+    read/export time, so exports are byte-identical across job counts.
+    Single-cell stores behave exactly as before. *)
 
 type ctx = { txn : int; sid : int }
 (** A position in the span tree: transaction ID plus the enclosing
@@ -18,7 +26,7 @@ type ctx = { txn : int; sid : int }
 val none : ctx
 
 type span = {
-  sid : int;  (** dense span ID, allocation order *)
+  sid : int;  (** dense span ID, canonical execution order *)
   parent : int;  (** parent span ID, [-1] for a transaction root *)
   txn : int;
   label : string;
@@ -35,8 +43,14 @@ type span = {
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Capacity defaults to 131072 spans. *)
+val create : ?capacity:int -> ?cells:int -> unit -> t
+(** Capacity defaults to 131072 spans total — divided among the cells
+    (floor 64 per cell, never above the total), so memory does not
+    scale with the shard count.  [cells] (default 1) is the shard
+    count: pass the machine's SSMP count so each simulator domain
+    writes its own cell. *)
+
+val cells : t -> int
 
 val mint_txn : t -> int
 (** Reserve a fresh transaction ID without opening a span. *)
@@ -93,13 +107,25 @@ val open_count : t -> int
 (** Spans begun but not yet ended.  0 at quiescence — anything else is
     an orphaned transaction (a request whose reply never came). *)
 
+val open_count_cell : t -> int -> int
+(** Open spans in one cell — shard-local, safe to read from that
+    shard's own event context (the metrics sampler's [spans.open]). *)
+
 val dropped : t -> int
 
 val txns : t -> int
 (** Transactions minted. *)
 
 val iter : t -> (span -> unit) -> unit
-(** All recorded spans in [sid] order. *)
+(** All recorded spans in canonical execution order with dense
+    renumbered IDs (identical across job counts; for a single-cell
+    store this is the raw emission order and raw IDs). *)
+
+val txn_mapper : t -> int -> int
+(** Map a raw transaction ID (as stamped on trace events) to its dense
+    export ID.  [-1] maps to itself; a transaction none of whose spans
+    survived maps to [-1].  Partially applied form is O(n log n) once;
+    the returned closure is O(1) per call. *)
 
 val open_labels : t -> string list
 (** Labels of still-open spans (for diagnostics). *)

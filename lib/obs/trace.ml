@@ -1,48 +1,226 @@
-type t = {
+(* Bounded event trace, sharded per SSMP.
+
+   Each shard ("cell") owns a private event ring and per-tag histogram
+   table: under the parallel engine every domain emits only into its
+   own cell, so the hot path shares nothing.  Reads merge the cells —
+   events by their genealogy stamp (the key of the simulator event that
+   emitted them), histograms exactly — reconstructing the canonical
+   execution order, so every export is byte-identical across job
+   counts.  A single-cell trace skips stamping and behaves exactly as
+   the historical single-domain implementation.
+
+   Subscribers remain global and run synchronously at every emit: the
+   online invariant checker builds cross-shard state, which is exactly
+   why an installed subscriber still forces the engine onto one
+   domain. *)
+
+type cell = {
   ring : Event.t Ring.t;
+  (* Order stamps for the ring's slots, same rotation: the event in slot
+     [i] was emitted under the genealogy key [skey.(i)] — or, when that
+     slot holds [Shardq.no_parent] (or [skey] was never allocated),
+     under the unboxed scalar pseudo-key [(sfire, ssched, 0, 0).(i)]
+     the sequential engine published.  Scalar stamps stay unboxed so a
+     traced sequential event costs no allocation; they are materialized
+     as key records only at merge time (bounded by the ring capacity).
+     Each array is allocated on first use — a sequential run never
+     allocates [skey], a sharded run never allocates [sfire]/[ssched] —
+     and single-cell traces skip stamping entirely. *)
+  cell_cap : int;
+  mutable skey : Mgs_engine.Shardq.key array;
+  mutable sfire : int array;
+  mutable ssched : int array;
   hists : (string, Hist.t) Hashtbl.t;
+}
+
+type t = {
+  ncells : int;
+  cells : cell array;
   mutable subscribers : (Event.t -> unit) list;
   spans : Span.t;
+  mutable host_seq : int; (* order stamp for host-side emissions *)
 }
 
 let default_capacity = 65536
 
-let create ?(capacity = default_capacity) ?span_capacity () =
+let create ?(capacity = default_capacity) ?span_capacity ?(cells = 1) () =
+  if cells < 1 then invalid_arg "Trace.create: cells";
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  (* [capacity] is the TOTAL event budget, divided among the cells, so
+     a multi-cell trace costs what the single-cell one did *)
+  let cell_cap = max (min capacity 64) ((capacity + cells - 1) / cells) in
   {
-    ring = Ring.create ~capacity;
-    hists = Hashtbl.create 32;
+    ncells = cells;
+    cells =
+      Array.init cells (fun _ ->
+          {
+            ring = Ring.create ~capacity:cell_cap;
+            cell_cap;
+            skey = [||];
+            sfire = [||];
+            ssched = [||];
+            hists = Hashtbl.create 32;
+          });
     subscribers = [];
-    spans = Span.create ?capacity:span_capacity ();
+    spans = Span.create ?capacity:span_capacity ~cells ();
+    host_seq = 0;
   }
 
 let subscribe t f = t.subscribers <- f :: t.subscribers
 
+let has_subscribers t = t.subscribers <> []
+
 let spans t = t.spans
 
-let hist_for t tag =
-  try Hashtbl.find t.hists tag
+let cells t = t.ncells
+
+let cur_cell t =
+  let c = Mgs_engine.Shard.cur () in
+  if c < 0 || c >= t.ncells then 0 else c
+
+let hist_for cl tag =
+  try Hashtbl.find cl.hists tag
   with Not_found ->
     let h = Hist.create () in
-    Hashtbl.add t.hists tag h;
+    Hashtbl.add cl.hists tag h;
     h
 
+(* A single-cell trace skips the stamp (the ring order is already the
+   execution order).  Multi-cell emissions record the executing event's
+   genealogy — as scalars when the sequential engine's pseudo-key is
+   still unmaterialized, as the (already-allocated) key record when the
+   sharded engine minted one — or a synthetic (time, host counter)
+   scalar key host-side.  The slot index mirrors [Ring.push]'s write
+   position, so the stamp arrays rotate with the ring. *)
+let store_key cl slot k =
+  if Array.length cl.skey = 0 then
+    cl.skey <- Array.make cl.cell_cap Mgs_engine.Shardq.no_parent;
+  cl.skey.(slot) <- k
+
+let store_scalar cl slot ~fire ~sched =
+  if Array.length cl.sfire = 0 then begin
+    cl.sfire <- Array.make cl.cell_cap 0;
+    cl.ssched <- Array.make cl.cell_cap 0
+  end;
+  if Array.length cl.skey > 0 then
+    cl.skey.(slot) <- Mgs_engine.Shardq.no_parent;
+  cl.sfire.(slot) <- fire;
+  cl.ssched.(slot) <- sched
+
 let emit t (e : Event.t) =
-  Ring.push t.ring e;
-  Hist.add (hist_for t e.tag) e.dur;
+  let cl = t.cells.(cur_cell t) in
+  if t.ncells > 1 then begin
+    let slot = Ring.pushed cl.ring mod cl.cell_cap in
+    if Mgs_engine.Shard.cur () >= 0 then
+      if Mgs_engine.Shard.running_scalar () then
+        store_scalar cl slot ~fire:(Mgs_engine.Shard.running_fire ())
+          ~sched:(Mgs_engine.Shard.running_sched ())
+      else store_key cl slot (Mgs_engine.Shard.running_key ())
+    else begin
+      (* Host emissions (outside any event) are rare — a materialized
+         synthetic key, ordered by time then a host counter, is fine.
+         [sched = max_int] sorts it after every event emission of the
+         same instant, matching the sequential engine where host code
+         runs only once the queue has drained past that time. *)
+      let seq = t.host_seq in
+      t.host_seq <- seq + 1;
+      store_key cl slot
+        (Mgs_engine.Shardq.key ~fire:e.time ~sched:max_int ~src:max_int ~seq
+           ~parent:Mgs_engine.Shardq.no_parent)
+    end
+  end;
+  Ring.push cl.ring e;
+  Hist.add (hist_for cl e.tag) e.dur;
   List.iter (fun f -> f e) t.subscribers
 
-let events t = Ring.to_list t.ring
+(* The genealogy key of the event in ring slot [slot]: the recorded key
+   record, or a scalar stamp materialized on demand (merge-time only,
+   bounded by the ring capacity). *)
+let key_at cl slot =
+  let k =
+    if Array.length cl.skey = 0 then Mgs_engine.Shardq.no_parent
+    else cl.skey.(slot)
+  in
+  if k != Mgs_engine.Shardq.no_parent then k
+  else
+    Mgs_engine.Shardq.key ~fire:cl.sfire.(slot) ~sched:cl.ssched.(slot) ~src:0
+      ~seq:0 ~parent:Mgs_engine.Shardq.no_parent
 
-let emitted t = Ring.pushed t.ring
+let emitted t = Array.fold_left (fun acc cl -> acc + Ring.pushed cl.ring) 0 t.cells
 
-let retained t = Ring.length t.ring
+let retained t = Array.fold_left (fun acc cl -> acc + Ring.length cl.ring) 0 t.cells
 
-let dropped t = Ring.dropped t.ring
+let dropped t = Array.fold_left (fun acc cl -> acc + Ring.dropped cl.ring) 0 t.cells
 
-let hist t tag = Hashtbl.find_opt t.hists tag
+(* Merge the retained events of every cell into canonical execution
+   order: sort by genealogy stamp, ties (same event emitting several
+   events — necessarily one cell) by position in that cell's ring.
+   Single-cell: the ring order, no sort. *)
+let merged t =
+  if t.ncells = 1 then Array.of_list (Ring.to_list t.cells.(0).ring)
+  else begin
+    let total = retained t in
+    let nil = Event.make ~time:0 ~engine:Event.Network ~tag:"" () in
+    let entries = Array.make total (Mgs_engine.Shardq.no_parent, 0, nil) in
+    let idx = ref 0 in
+    Array.iter
+      (fun cl ->
+        let cap = Ring.capacity cl.ring in
+        let start = (Ring.pushed cl.ring - Ring.length cl.ring) mod cap in
+        let pos = ref 0 in
+        Ring.iter
+          (fun ev ->
+            entries.(!idx) <- (key_at cl ((start + !pos) mod cap), !pos, ev);
+            incr idx;
+            incr pos)
+          cl.ring)
+      t.cells;
+    Array.sort
+      (fun (k1, p1, _) (k2, p2, _) ->
+        let c = Mgs_engine.Shardq.cmp_key k1 k2 in
+        if c <> 0 then c else compare p1 p2)
+      entries;
+    Array.map (fun (_, _, e) -> e) entries
+  end
+
+(* Events with transaction IDs translated to their dense export values
+   (identity for a single-cell trace). *)
+let merged_mapped t =
+  let tx = Span.txn_mapper t.spans in
+  Array.map
+    (fun (e : Event.t) ->
+      let m = tx e.txn in
+      if m = e.txn then e else { e with txn = m })
+    (merged t)
+
+let events t = Array.to_list (merged_mapped t)
+
+let hist t tag =
+  let found = ref None in
+  Array.iter
+    (fun cl ->
+      match Hashtbl.find_opt cl.hists tag with
+      | None -> ()
+      | Some h ->
+        let acc =
+          match !found with
+          | Some acc -> acc
+          | None ->
+            let acc = Hist.create () in
+            found := Some acc;
+            acc
+        in
+        Hist.merge ~into:acc h)
+    t.cells;
+  !found
 
 let histograms t =
-  List.sort compare (Hashtbl.fold (fun tag h acc -> (tag, h) :: acc) t.hists [])
+  let tags = Hashtbl.create 32 in
+  Array.iter
+    (fun cl -> Hashtbl.iter (fun tag _ -> Hashtbl.replace tags tag ()) cl.hists)
+    t.cells;
+  let tag_list = List.sort compare (Hashtbl.fold (fun tag () acc -> tag :: acc) tags []) in
+  List.map (fun tag -> (tag, Option.get (hist t tag))) tag_list
 
 (* --- Chrome trace_event export ------------------------------------- *)
 
@@ -75,26 +253,56 @@ let chrome_json t =
     if !first then first := false else Buffer.add_char buf ',';
     Buffer.add_char buf '\n'
   in
-  Ring.iter
+  Array.iter
     (fun e ->
       sep ();
       chrome_event buf e)
-    t.ring;
+    (merged_mapped t);
   (* the spans section: async begin/end per span plus parent-to-child
      flow arrows, in the same traceEvents array *)
   Span.chrome_section buf t.spans ~emit_sep:sep;
+  (* multi-cell traces add one engine lane per shard: a process_name
+     metadata record plus a per-shard emitted-events counter.  Both are
+     deterministic (per-shard emission counts are a pure function of
+     the simulated program). *)
+  if t.ncells > 1 then
+    Array.iteri
+      (fun c cl ->
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"ssmp%d (shard %d)\"}}"
+             c c c);
+        let last = ref 0 in
+        Ring.iter (fun (ev : Event.t) -> last := ev.time) cl.ring;
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"engine.events\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"args\":{\"emitted\":%d}}"
+             !last c (Ring.pushed cl.ring)))
+      t.cells;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
 let write_chrome t oc = output_string oc (chrome_json t)
 
 let pp_overflow_warning ppf t =
-  if dropped t > 0 then
+  if dropped t > 0 then begin
     Format.fprintf ppf
       "WARNING: event ring overflowed: %d of %d events dropped — histograms are \
        complete, but the retained event window (and any decomposition derived from \
        it) covers only the last %d events; rerun with a larger trace capacity@."
-      (dropped t) (emitted t) (retained t)
+      (dropped t) (emitted t) (retained t);
+    if t.ncells > 1 then
+      Array.iteri
+        (fun c cl ->
+          if Ring.dropped cl.ring > 0 then
+            Format.fprintf ppf
+              "         shard %d dropped %d of %d (a quiet shard's intact ring does \
+               not recover another shard's history)@."
+              c (Ring.dropped cl.ring) (Ring.pushed cl.ring))
+        t.cells
+  end
 
 let pp_summary ppf t =
   Format.fprintf ppf "events: %d emitted, %d retained, %d dropped@." (emitted t)

@@ -4,17 +4,35 @@
     buffer, (2) folded into a per-tag latency histogram, and (3) handed
     to each subscriber — the hook the online invariant checker uses.
     Memory is bounded by the ring capacity plus one histogram per
-    distinct tag; a run of any length cannot grow it further. *)
+    distinct tag; a run of any length cannot grow it further.
+
+    A trace created with [cells > 1] keeps one ring and histogram table
+    per shard (SSMP): each simulator domain writes only its own cell —
+    nothing on the emit path is shared — and reads merge the cells by
+    each event's genealogy stamp (the key of the simulator event that
+    emitted it), reconstructing the canonical execution order.  Every
+    export is therefore byte-identical across engine job counts.
+    Single-cell traces skip stamping and behave exactly as before. *)
 
 type t
 
-val create : ?capacity:int -> ?span_capacity:int -> unit -> t
-(** Ring capacity defaults to 65536 events; the span store to
-    {!Span.create}'s default. *)
+val create : ?capacity:int -> ?span_capacity:int -> ?cells:int -> unit -> t
+(** Ring capacity defaults to 65536 events total — divided among the
+    cells (floor 64 per cell, never above the total), so memory does
+    not scale with the shard count; the span store to {!Span.create}'s
+    default.  [cells]
+    (default 1) is the shard count: pass the machine's SSMP count so
+    each simulator domain writes its own cell. *)
+
+val cells : t -> int
 
 val subscribe : t -> (Event.t -> unit) -> unit
 (** Subscribers run synchronously at every emit, in reverse order of
-    subscription.  They must not mutate simulated state. *)
+    subscription.  They must not mutate simulated state.  Subscribers
+    are global (not per-cell), so an installed subscriber forces the
+    engine onto a single domain. *)
+
+val has_subscribers : t -> bool
 
 val spans : t -> Span.t
 (** The causal span collector that travels with this trace. *)
@@ -22,7 +40,8 @@ val spans : t -> Span.t
 val emit : t -> Event.t -> unit
 
 val events : t -> Event.t list
-(** Retained events, oldest first. *)
+(** Retained events in canonical execution order (oldest first), with
+    transaction IDs mapped to their dense export values. *)
 
 val emitted : t -> int
 (** Total events ever emitted. *)
@@ -32,17 +51,19 @@ val retained : t -> int
 val dropped : t -> int
 
 val hist : t -> string -> Hist.t option
-(** Latency histogram for one tag. *)
+(** Latency histogram for one tag, merged across cells. *)
 
 val histograms : t -> (string * Hist.t) list
-(** All (tag, histogram) pairs, sorted by tag. *)
+(** All (tag, histogram) pairs, sorted by tag, merged across cells. *)
 
 val chrome_json : t -> string
 (** The retained events in Chrome [trace_event] JSON (the
     [chrome://tracing] / Perfetto format): one complete slice per
     event, [pid] = destination SSMP, [tid] = destination processor,
     timestamps in simulated cycles — plus a spans section (async
-    begin/end per finished span and parent-to-child flow arrows). *)
+    begin/end per finished span and parent-to-child flow arrows).
+    Multi-cell traces append one engine lane per shard: a process-name
+    metadata record and a per-shard emitted-events counter. *)
 
 val write_chrome : t -> out_channel -> unit
 

@@ -226,6 +226,8 @@ let release ctx l =
 let waiters l =
   Array.fold_left (fun acc loc -> acc + Mgs_engine.Waitq.length loc.waiters) 0 l.locals
 
+let waiters_cell l c = Mgs_engine.Waitq.length l.locals.(c).waiters
+
 let reset l =
   Array.iteri
     (fun s loc ->

@@ -45,6 +45,10 @@ val release : Mgs.Api.ctx -> t -> unit
 val waiters : t -> int
 (** Fibers currently parked in the lock's local wait queues. *)
 
+val waiters_cell : t -> int -> int
+(** Fibers parked in one SSMP's local wait queue — shard-local, safe
+    for the per-cell metrics sampler. *)
+
 val reset : t -> unit
 (** Restore the lock to its just-created state: token parked at the
     home, no holder, queues empty, HLRC notices and hit counters

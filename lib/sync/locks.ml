@@ -25,6 +25,7 @@ type raw = {
   r_acquires : unit -> int;
   r_hits : unit -> int;
   r_waiters : unit -> int;
+  r_waiters_cell : int -> int; (* one SSMP's parked fibers, shard-local *)
   r_reset : unit -> unit;
 }
 
@@ -86,6 +87,12 @@ let exit_release m root =
 let home_local m ~home_proc proc =
   Topology.ssmp_of_proc m.topo proc = Topology.ssmp_of_proc m.topo home_proc
 
+(* Per-SSMP episode counters: fiber-side code bumps the cell of the
+   calling processor's SSMP — the shard it executes on — so concurrent
+   shards of the parallel engine never write the same slot.  Accessors
+   sum; sums are commutative, so they match the sequential engine. *)
+let asum = Array.fold_left ( + ) 0
+
 (* --- test-and-set with exponential backoff ------------------------- *)
 
 (* The simplest contender: fire a TAS message at the home, and on
@@ -98,20 +105,21 @@ module Tas = struct
     home : int;
     mutable held : bool;
     notices : (int, int) Hashtbl.t;
-    mutable acquires : int;
-    mutable hits : int;
-    mutable blocked : int;
+    acquires : int array; (* per caller SSMP *)
+    hits : int array;
+    blocked : int array;
   }
 
   let create (m : Mgs.Machine.t) ~home =
+    let n = m.topo.Topology.nssmps in
     {
       m;
       home = Topology.first_proc_of_ssmp m.topo home;
       held = false;
       notices = Hashtbl.create 16;
-      acquires = 0;
-      hits = 0;
-      blocked = 0;
+      acquires = Array.make n 0;
+      hits = Array.make n 0;
+      blocked = Array.make n 0;
     }
 
   (* Backoff base ~ one LAN round trip; capped so a long wait never
@@ -125,7 +133,8 @@ module Tas = struct
     let cpu = ctx.cpu in
     let proc = ctx.Mgs.Api.proc in
     let root = enter_acquire m ctx ~home_proc:l.home in
-    l.acquires <- l.acquires + 1;
+    let cell = Topology.ssmp_of_proc m.topo proc in
+    l.acquires.(cell) <- l.acquires.(cell) + 1;
     let attempt = ref 0 in
     let won = ref false in
     while not !won do
@@ -143,23 +152,23 @@ module Tas = struct
           msg m;
           Am.post m.am ~tag:"TAS_ACK" ~src:l.home ~dst:proc ~words:0
             ~cost:m.costs.sync.lock_local_acquire (fun _t -> wake ()));
-      l.blocked <- l.blocked + 1;
+      l.blocked.(cell) <- l.blocked.(cell) + 1;
       Mgs_engine.Waitq.park q;
-      l.blocked <- l.blocked - 1;
+      l.blocked.(cell) <- l.blocked.(cell) - 1;
       Cpu.resume_charge cpu Lock (Sim.now m.sim);
       span_set m root;
       if !granted then won := true
       else begin
         (* back off in simulated time, charged to the Lock bucket *)
-        l.blocked <- l.blocked + 1;
+        l.blocked.(cell) <- l.blocked.(cell) + 1;
         Mgs_engine.Fiber.sleep_until m.sim (Sim.now m.sim + backoff m !attempt);
-        l.blocked <- l.blocked - 1;
+        l.blocked.(cell) <- l.blocked.(cell) - 1;
         Cpu.resume_charge cpu Lock (Sim.now m.sim);
         span_set m root
       end
     done;
     let hit = !attempt = 1 && home_local m ~home_proc:l.home proc in
-    if hit then l.hits <- l.hits + 1;
+    if hit then l.hits.(cell) <- l.hits.(cell) + 1;
     exit_acquire m root ~hit ~notices:l.notices ~proc
 
   let release (ctx : Mgs.Api.ctx) l =
@@ -174,19 +183,20 @@ module Tas = struct
 
   let reset l =
     l.held <- false;
-    l.blocked <- 0;
+    Array.fill l.blocked 0 (Array.length l.blocked) 0;
     Hashtbl.reset l.notices;
-    l.acquires <- 0;
-    l.hits <- 0
+    Array.fill l.acquires 0 (Array.length l.acquires) 0;
+    Array.fill l.hits 0 (Array.length l.hits) 0
 
   let impl m ~home =
     let l = create m ~home in
     {
       r_acquire = (fun ctx -> acquire ctx l);
       r_release = (fun ctx -> release ctx l);
-      r_acquires = (fun () -> l.acquires);
-      r_hits = (fun () -> l.hits);
-      r_waiters = (fun () -> l.blocked);
+      r_acquires = (fun () -> asum l.acquires);
+      r_hits = (fun () -> asum l.hits);
+      r_waiters = (fun () -> asum l.blocked);
+      r_waiters_cell = (fun c -> l.blocked.(c));
       r_reset = (fun () -> reset l);
     }
 end
@@ -205,12 +215,13 @@ module Ticket = struct
     waiting : (int, unit -> unit) Hashtbl.t; (* ticket -> grant *)
     mutable held : bool;
     notices : (int, int) Hashtbl.t;
-    mutable acquires : int;
-    mutable hits : int;
-    mutable blocked : int;
+    acquires : int array; (* per caller SSMP *)
+    hits : int array;
+    blocked : int array;
   }
 
   let create (m : Mgs.Machine.t) ~home =
+    let n = m.topo.Topology.nssmps in
     {
       m;
       home = Topology.first_proc_of_ssmp m.topo home;
@@ -219,9 +230,9 @@ module Ticket = struct
       waiting = Hashtbl.create 64;
       held = false;
       notices = Hashtbl.create 16;
-      acquires = 0;
-      hits = 0;
-      blocked = 0;
+      acquires = Array.make n 0;
+      hits = Array.make n 0;
+      blocked = Array.make n 0;
     }
 
   let acquire (ctx : Mgs.Api.ctx) l =
@@ -229,7 +240,8 @@ module Ticket = struct
     let cpu = ctx.cpu in
     let proc = ctx.Mgs.Api.proc in
     let root = enter_acquire m ctx ~home_proc:l.home in
-    l.acquires <- l.acquires + 1;
+    let cell = Topology.ssmp_of_proc m.topo proc in
+    l.acquires.(cell) <- l.acquires.(cell) + 1;
     Cpu.advance cpu Lock m.costs.proto.msg_send;
     msg m;
     let q, wake = parker m in
@@ -250,13 +262,13 @@ module Ticket = struct
           grant ()
         end
         else Hashtbl.replace l.waiting ticket grant);
-    l.blocked <- l.blocked + 1;
+    l.blocked.(cell) <- l.blocked.(cell) + 1;
     Mgs_engine.Waitq.park q;
-    l.blocked <- l.blocked - 1;
+    l.blocked.(cell) <- l.blocked.(cell) - 1;
     Cpu.resume_charge cpu Lock (Sim.now m.sim);
     span_set m root;
     let hit = !immediate && home_local m ~home_proc:l.home proc in
-    if hit then l.hits <- l.hits + 1;
+    if hit then l.hits.(cell) <- l.hits.(cell) + 1;
     exit_acquire m root ~hit ~notices:l.notices ~proc
 
   let release (ctx : Mgs.Api.ctx) l =
@@ -281,19 +293,20 @@ module Ticket = struct
     l.now_serving <- 0;
     Hashtbl.reset l.waiting;
     l.held <- false;
-    l.blocked <- 0;
+    Array.fill l.blocked 0 (Array.length l.blocked) 0;
     Hashtbl.reset l.notices;
-    l.acquires <- 0;
-    l.hits <- 0
+    Array.fill l.acquires 0 (Array.length l.acquires) 0;
+    Array.fill l.hits 0 (Array.length l.hits) 0
 
   let impl m ~home =
     let l = create m ~home in
     {
       r_acquire = (fun ctx -> acquire ctx l);
       r_release = (fun ctx -> release ctx l);
-      r_acquires = (fun () -> l.acquires);
-      r_hits = (fun () -> l.hits);
-      r_waiters = (fun () -> l.blocked);
+      r_acquires = (fun () -> asum l.acquires);
+      r_hits = (fun () -> asum l.hits);
+      r_waiters = (fun () -> asum l.blocked);
+      r_waiters_cell = (fun c -> l.blocked.(c));
       r_reset = (fun () -> reset l);
     }
 end
@@ -319,40 +332,65 @@ module Mcs = struct
     m : Mgs.State.t;
     home : int;
     nodes : (int, node) Hashtbl.t;
+    nodes_mu : Mutex.t;
+        (* the table structure is touched from the requester's, the
+           home's, and the successor's shards; individual node fields
+           stay unguarded — they are only accessed from the owning
+           processor's shard or with message-enforced ordering *)
     mutable tail : int option; (* home's view of the queue tail *)
-    mutable next_id : int;
+    mint : int array; (* per-proc node-id counters; ids = proc + nprocs*k *)
     mutable holder : int; (* node id of the current holder, -1 if free *)
     notices : (int, int) Hashtbl.t;
-    mutable acquires : int;
-    mutable hits : int;
-    mutable blocked : int;
+    acquires : int array; (* per caller SSMP *)
+    hits : int array;
+    blocked : int array;
   }
 
   let create (m : Mgs.Machine.t) ~home =
+    let n = m.topo.Topology.nssmps in
     {
       m;
       home = Topology.first_proc_of_ssmp m.topo home;
       nodes = Hashtbl.create 64;
+      nodes_mu = Mutex.create ();
       tail = None;
-      next_id = 0;
+      mint = Array.make m.topo.Topology.nprocs 0;
       holder = -1;
       notices = Hashtbl.create 16;
-      acquires = 0;
-      hits = 0;
-      blocked = 0;
+      acquires = Array.make n 0;
+      hits = Array.make n 0;
+      blocked = Array.make n 0;
     }
+
+  let with_nodes l f =
+    Mutex.lock l.nodes_mu;
+    match f () with
+    | r ->
+      Mutex.unlock l.nodes_mu;
+      r
+    | exception e ->
+      Mutex.unlock l.nodes_mu;
+      raise e
+
+  (* Deterministic node IDs without a shared counter: each processor
+     mints from its own stripe, so concurrent acquires on different
+     shards allocate the same IDs the sequential engine would. *)
+  let mint_id l proc =
+    let k = l.mint.(proc) in
+    l.mint.(proc) <- k + 1;
+    proc + (Array.length l.mint * k)
 
   let acquire (ctx : Mgs.Api.ctx) l =
     let m = l.m in
     let cpu = ctx.cpu in
     let proc = ctx.Mgs.Api.proc in
     let root = enter_acquire m ctx ~home_proc:l.home in
-    l.acquires <- l.acquires + 1;
-    let me = l.next_id in
-    l.next_id <- me + 1;
+    let cell = Topology.ssmp_of_proc m.topo proc in
+    l.acquires.(cell) <- l.acquires.(cell) + 1;
+    let me = mint_id l proc in
     let q, wake = parker m in
     let node = { owner = proc; next = None; wake; rel_parked = None } in
-    Hashtbl.replace l.nodes me node;
+    with_nodes l (fun () -> Hashtbl.replace l.nodes me node);
     Cpu.advance cpu Lock m.costs.proto.msg_send;
     msg m;
     let free = ref false in
@@ -367,7 +405,7 @@ module Mcs = struct
           Am.post m.am ~tag:"MCS_GRANT" ~src:l.home ~dst:proc ~words:0
             ~cost:m.costs.sync.lock_local_acquire (fun _t -> wake ())
         | Some pred_id ->
-          let pred = Hashtbl.find l.nodes pred_id in
+          let pred = with_nodes l (fun () -> Hashtbl.find l.nodes pred_id) in
           msg m;
           Am.post m.am ~tag:"MCS_LINK" ~src:l.home ~dst:pred.owner ~words:0
             ~cost:m.costs.sync.lock_local_acquire (fun _t ->
@@ -377,14 +415,14 @@ module Mcs = struct
                 pred.rel_parked <- None;
                 k ()
               | None -> ()));
-    l.blocked <- l.blocked + 1;
+    l.blocked.(cell) <- l.blocked.(cell) + 1;
     Mgs_engine.Waitq.park q;
-    l.blocked <- l.blocked - 1;
+    l.blocked.(cell) <- l.blocked.(cell) - 1;
     Cpu.resume_charge cpu Lock (Sim.now m.sim);
     span_set m root;
     l.holder <- me;
     let hit = !free && home_local m ~home_proc:l.home proc in
-    if hit then l.hits <- l.hits + 1;
+    if hit then l.hits.(cell) <- l.hits.(cell) + 1;
     exit_acquire m root ~hit ~notices:l.notices ~proc
 
   let release (ctx : Mgs.Api.ctx) l =
@@ -394,15 +432,15 @@ module Mcs = struct
     if l.holder < 0 then failwith "Locks(mcs): release of a free lock";
     let me = l.holder in
     l.holder <- -1;
-    let node = Hashtbl.find l.nodes me in
+    let node = with_nodes l (fun () -> Hashtbl.find l.nodes me) in
     let root = enter_release m ctx ~home_proc:l.home ~notices:l.notices in
     (* Direct handoff: one message from the old holder to the new. *)
     let handoff succ_id =
-      let succ = Hashtbl.find l.nodes succ_id in
+      let succ = with_nodes l (fun () -> Hashtbl.find l.nodes succ_id) in
       msg m;
       Am.post m.am ~tag:"MCS_HANDOFF" ~src:proc ~dst:succ.owner ~words:0
         ~cost:m.costs.sync.lock_local_acquire (fun _t ->
-          Hashtbl.remove l.nodes me;
+          with_nodes l (fun () -> Hashtbl.remove l.nodes me);
           succ.wake ())
     in
     Cpu.advance cpu Lock m.costs.proto.msg_send;
@@ -419,7 +457,7 @@ module Mcs = struct
             msg m;
             Am.post m.am ~tag:"MCS_RELOK" ~src:l.home ~dst:proc ~words:0
               ~cost:m.costs.sync.lock_local_release (fun _t ->
-                Hashtbl.remove l.nodes me;
+                with_nodes l (fun () -> Hashtbl.remove l.nodes me);
                 wake ())
           end
           else begin
@@ -440,31 +478,33 @@ module Mcs = struct
                         | None -> assert false);
                         wake ()))
           end);
-      l.blocked <- l.blocked + 1;
+      let cell = Topology.ssmp_of_proc m.topo proc in
+      l.blocked.(cell) <- l.blocked.(cell) + 1;
       Mgs_engine.Waitq.park q;
-      l.blocked <- l.blocked - 1;
+      l.blocked.(cell) <- l.blocked.(cell) - 1;
       Cpu.resume_charge cpu Lock (Sim.now m.sim);
       span_set m root);
     exit_release m root
 
   let reset l =
-    Hashtbl.reset l.nodes;
+    with_nodes l (fun () -> Hashtbl.reset l.nodes);
     l.tail <- None;
-    l.next_id <- 0;
+    Array.fill l.mint 0 (Array.length l.mint) 0;
     l.holder <- -1;
-    l.blocked <- 0;
+    Array.fill l.blocked 0 (Array.length l.blocked) 0;
     Hashtbl.reset l.notices;
-    l.acquires <- 0;
-    l.hits <- 0
+    Array.fill l.acquires 0 (Array.length l.acquires) 0;
+    Array.fill l.hits 0 (Array.length l.hits) 0
 
   let impl m ~home =
     let l = create m ~home in
     {
       r_acquire = (fun ctx -> acquire ctx l);
       r_release = (fun ctx -> release ctx l);
-      r_acquires = (fun () -> l.acquires);
-      r_hits = (fun () -> l.hits);
-      r_waiters = (fun () -> l.blocked);
+      r_acquires = (fun () -> asum l.acquires);
+      r_hits = (fun () -> asum l.hits);
+      r_waiters = (fun () -> asum l.blocked);
+      r_waiters_cell = (fun c -> l.blocked.(c));
       r_reset = (fun () -> reset l);
     }
 end
@@ -489,51 +529,72 @@ module Clh = struct
     m : Mgs.State.t;
     home : int;
     nodes : (int, node) Hashtbl.t;
+    nodes_mu : Mutex.t; (* same discipline as MCS: guard the table, not fields *)
     mutable tail : int; (* node id *)
-    mutable next_id : int;
+    mint : int array; (* per-proc counters; ids = 1 + proc + nprocs*k *)
     mutable holder : int; (* node id of the current holder, -1 if free *)
     notices : (int, int) Hashtbl.t;
-    mutable acquires : int;
-    mutable hits : int;
-    mutable blocked : int;
+    acquires : int array; (* per caller SSMP *)
+    hits : int array;
+    blocked : int array;
   }
 
+  let with_nodes l f =
+    Mutex.lock l.nodes_mu;
+    match f () with
+    | r ->
+      Mutex.unlock l.nodes_mu;
+      r
+    | exception e ->
+      Mutex.unlock l.nodes_mu;
+      raise e
+
   let init l home_proc =
-    Hashtbl.reset l.nodes;
-    (* sentinel: an already-released node owned by the home *)
-    Hashtbl.replace l.nodes 0 { owner = home_proc; released = true; watcher = None };
+    with_nodes l (fun () ->
+        Hashtbl.reset l.nodes;
+        (* sentinel: an already-released node owned by the home *)
+        Hashtbl.replace l.nodes 0 { owner = home_proc; released = true; watcher = None });
     l.tail <- 0;
-    l.next_id <- 1;
+    Array.fill l.mint 0 (Array.length l.mint) 0;
     l.holder <- -1
 
   let create (m : Mgs.Machine.t) ~home =
     let home_proc = Topology.first_proc_of_ssmp m.topo home in
+    let n = m.topo.Topology.nssmps in
     let l =
       {
         m;
         home = home_proc;
         nodes = Hashtbl.create 64;
+        nodes_mu = Mutex.create ();
         tail = 0;
-        next_id = 1;
+        mint = Array.make m.topo.Topology.nprocs 0;
         holder = -1;
         notices = Hashtbl.create 16;
-        acquires = 0;
-        hits = 0;
-        blocked = 0;
+        acquires = Array.make n 0;
+        hits = Array.make n 0;
+        blocked = Array.make n 0;
       }
     in
     init l home_proc;
     l
+
+  (* per-proc minting, offset past the sentinel's id 0 *)
+  let mint_id l proc =
+    let k = l.mint.(proc) in
+    l.mint.(proc) <- k + 1;
+    1 + proc + (Array.length l.mint * k)
 
   let acquire (ctx : Mgs.Api.ctx) l =
     let m = l.m in
     let cpu = ctx.cpu in
     let proc = ctx.Mgs.Api.proc in
     let root = enter_acquire m ctx ~home_proc:l.home in
-    l.acquires <- l.acquires + 1;
-    let me = l.next_id in
-    l.next_id <- me + 1;
-    Hashtbl.replace l.nodes me { owner = proc; released = false; watcher = None };
+    let cell = Topology.ssmp_of_proc m.topo proc in
+    l.acquires.(cell) <- l.acquires.(cell) + 1;
+    let me = mint_id l proc in
+    with_nodes l (fun () ->
+        Hashtbl.replace l.nodes me { owner = proc; released = false; watcher = None });
     let q, wake = parker m in
     Cpu.advance cpu Lock m.costs.proto.msg_send;
     msg m;
@@ -542,9 +603,9 @@ module Clh = struct
       ~cost:m.costs.sync.lock_local_acquire (fun _t ->
         let prev = l.tail in
         l.tail <- me;
-        let pred = Hashtbl.find l.nodes prev in
+        let pred = with_nodes l (fun () -> Hashtbl.find l.nodes prev) in
         let grant () =
-          Hashtbl.remove l.nodes prev;
+          with_nodes l (fun () -> Hashtbl.remove l.nodes prev);
           msg m;
           Am.post m.am ~tag:"CLH_GRANT" ~src:pred.owner ~dst:proc ~words:0
             ~cost:m.costs.sync.lock_local_acquire (fun _t -> wake ())
@@ -558,14 +619,14 @@ module Clh = struct
               grant ()
             end
             else pred.watcher <- Some grant));
-    l.blocked <- l.blocked + 1;
+    l.blocked.(cell) <- l.blocked.(cell) + 1;
     Mgs_engine.Waitq.park q;
-    l.blocked <- l.blocked - 1;
+    l.blocked.(cell) <- l.blocked.(cell) - 1;
     Cpu.resume_charge cpu Lock (Sim.now m.sim);
     span_set m root;
     l.holder <- me;
     let hit = !free && home_local m ~home_proc:l.home proc in
-    if hit then l.hits <- l.hits + 1;
+    if hit then l.hits.(cell) <- l.hits.(cell) + 1;
     exit_acquire m root ~hit ~notices:l.notices ~proc
 
   let release (ctx : Mgs.Api.ctx) l =
@@ -573,7 +634,7 @@ module Clh = struct
     if l.holder < 0 then failwith "Locks(clh): release of a free lock";
     let me = l.holder in
     l.holder <- -1;
-    let node = Hashtbl.find l.nodes me in
+    let node = with_nodes l (fun () -> Hashtbl.find l.nodes me) in
     let root = enter_release m ctx ~home_proc:l.home ~notices:l.notices in
     node.released <- true;
     (match node.watcher with
@@ -585,19 +646,20 @@ module Clh = struct
 
   let reset l =
     init l l.home;
-    l.blocked <- 0;
+    Array.fill l.blocked 0 (Array.length l.blocked) 0;
     Hashtbl.reset l.notices;
-    l.acquires <- 0;
-    l.hits <- 0
+    Array.fill l.acquires 0 (Array.length l.acquires) 0;
+    Array.fill l.hits 0 (Array.length l.hits) 0
 
   let impl m ~home =
     let l = create m ~home in
     {
       r_acquire = (fun ctx -> acquire ctx l);
       r_release = (fun ctx -> release ctx l);
-      r_acquires = (fun () -> l.acquires);
-      r_hits = (fun () -> l.hits);
-      r_waiters = (fun () -> l.blocked);
+      r_acquires = (fun () -> asum l.acquires);
+      r_hits = (fun () -> asum l.hits);
+      r_waiters = (fun () -> asum l.blocked);
+      r_waiters_cell = (fun c -> l.blocked.(c));
       r_reset = (fun () -> reset l);
     }
 end
@@ -612,6 +674,7 @@ let token_impl m ~home =
     r_acquires = (fun () -> Lock.acquires l);
     r_hits = (fun () -> Lock.hits l);
     r_waiters = (fun () -> Lock.waiters l);
+    r_waiters_cell = (fun c -> Lock.waiters_cell l c);
     r_reset = (fun () -> Lock.reset l);
   }
 
@@ -684,6 +747,7 @@ let make (m : Mgs.Machine.t) ?(home = 0) name =
         sh_name = Printf.sprintf "lock:%s" name;
         sh_reset = (fun () -> wrapper_reset t);
         sh_waiters = raw.r_waiters;
+        sh_waiters_cell = raw.r_waiters_cell;
       }
       :: m.sync_hooks;
     t

@@ -42,6 +42,9 @@ type raw = {
   r_acquires : unit -> int;
   r_hits : unit -> int;  (** acquires that never left the home SSMP nor waited *)
   r_waiters : unit -> int;  (** fibers currently blocked inside the algorithm *)
+  r_waiters_cell : int -> int;
+      (** one SSMP's blocked fibers — shard-local, safe for the
+          per-cell metrics sampler *)
   r_reset : unit -> unit;  (** back to the just-created state; drops dead waiters *)
 }
 (** What an algorithm must provide: one lock instance as closures. *)

@@ -1,12 +1,25 @@
 type 'a node =
   | Empty
-  | Node of { prio : int; seq : int; value : 'a; mutable children : 'a node list }
+  | Node of {
+      prio : int;
+      seq : int;
+      own : int;
+      value : 'a;
+      mutable children : 'a node list;
+    }
 
-type 'a t = { mutable root : 'a node; mutable size : int; mutable popped_prio : int }
+type 'a t = {
+  mutable root : 'a node;
+  mutable size : int;
+  mutable popped_prio : int;
+  mutable popped_seq : int;
+  mutable popped_own : int;
+}
 
 exception Empty_queue
 
-let create () = { root = Empty; size = 0; popped_prio = 0 }
+let create () =
+  { root = Empty; size = 0; popped_prio = 0; popped_seq = 0; popped_own = 0 }
 
 let is_empty q = q.size = 0
 
@@ -30,8 +43,8 @@ let meld a b =
       b'
     end
 
-let push q ~prio ~seq value =
-  q.root <- meld q.root (Node { prio; seq; value; children = [] });
+let push q ~prio ~seq ?(own = 0) value =
+  q.root <- meld q.root (Node { prio; seq; own; value; children = [] });
   q.size <- q.size + 1
 
 let min_prio q = match q.root with Empty -> None | Node n -> Some n.prio
@@ -70,9 +83,15 @@ let pop_min q =
     q.root <- merge_pairs n.children;
     q.size <- q.size - 1;
     q.popped_prio <- n.prio;
+    q.popped_seq <- n.seq;
+    q.popped_own <- n.own;
     n.value
 
 let popped_prio q = q.popped_prio
+
+let popped_seq q = q.popped_seq
+
+let popped_own q = q.popped_own
 
 let clear q =
   q.root <- Empty;

@@ -18,8 +18,11 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 (** [length q] is the number of queued elements. *)
 
-val push : 'a t -> prio:int -> seq:int -> 'a -> unit
-(** [push q ~prio ~seq x] inserts [x] with key [(prio, seq)]. *)
+val push : 'a t -> prio:int -> seq:int -> ?own:int -> 'a -> unit
+(** [push q ~prio ~seq ?own x] inserts [x] with key [(prio, seq)].
+    [own] (default [0]) is an opaque ownership tag carried alongside the
+    element — the simulator uses it to remember which shard an event
+    belongs to — readable via {!popped_own} after {!pop_min}. *)
 
 val min_prio : 'a t -> int option
 (** [min_prio q] is the priority of the minimum element, if any. *)
@@ -43,3 +46,11 @@ val pop_min : 'a t -> 'a
 val popped_prio : 'a t -> int
 (** [popped_prio q] is the priority of the element most recently removed
     by {!pop_min}; [0] before any pop. *)
+
+val popped_seq : 'a t -> int
+(** [popped_seq q] is the sequence number of the element most recently
+    removed by {!pop_min}; [0] before any pop. *)
+
+val popped_own : 'a t -> int
+(** [popped_own q] is the ownership tag of the element most recently
+    removed by {!pop_min}; [0] before any pop. *)

@@ -288,15 +288,16 @@ let test_metrics_registry_and_sampler () =
   Alcotest.(check (float 0.)) "gauge value" 2.5 (Metrics.gauge_value g);
   Metrics.sample mt ~now:0;
   Metrics.tick mt ~now:5;
-  (* under the interval: no sample *)
+  (* inside boundary 0's interval: no new row *)
   Metrics.tick mt ~now:15;
-  Alcotest.(check int) "tick honors the interval" 2 (Metrics.sample_count mt);
+  (* boundary 1 crossed: one row back-filled at t=10 *)
+  Alcotest.(check int) "tick snapshots the boundary grid" 2 (Metrics.sample_count mt);
   Alcotest.(check (list string)) "columns in registration order"
     [ "msgs{engine=server}"; "depth"; "live" ] (Metrics.columns mt);
   (match Metrics.samples mt with
-  | [ (0, row0); (15, _) ] ->
+  | [ (0, row0); (10, _) ] ->
     Alcotest.(check (float 0.)) "probe polled" 7.0 row0.(2)
-  | _ -> Alcotest.fail "expected samples at t=0 and t=15");
+  | _ -> Alcotest.fail "expected samples at t=0 and t=10");
   Alcotest.check_raises "registration is frozen after first sample"
     (Invalid_argument "Metrics: cannot register late after sampling started") (fun () ->
       ignore (Metrics.counter mt "late"));
@@ -315,7 +316,8 @@ let test_metrics_ring_bound () =
     Metrics.sample mt ~now:t
   done;
   Alcotest.(check int) "window bounded" 2 (List.length (Metrics.samples mt));
-  Alcotest.(check int) "evictions counted" 3 (Metrics.dropped mt);
+  (* the grid back-fills boundary 0, so 5 sample calls push 6 rows *)
+  Alcotest.(check int) "evictions counted" 4 (Metrics.dropped mt);
   Alcotest.(check (list int)) "newest window kept" [ 4; 5 ]
     (List.map fst (Metrics.samples mt))
 

@@ -1,0 +1,207 @@
+(* Shard-safe observability: with trace, spans, and metrics installed,
+   the sharded engine keeps running on par_jobs domains — no forcing —
+   and every export is byte-identical to the sequential oracle:
+
+   - full machines: chrome JSON, span dump, metrics CSV, and the
+     histogram summary across par in {0, 1, 2, 4}, for every protocol
+     x app cell;
+   - registry locks and condition variables under the parallel engine
+     (the paper's workloads barely contend, so a dedicated contended
+     run covers the lock/CV protocols);
+   - raw engine: a qcheck micro-DAG emitting into a per-shard trace,
+     with delays piled onto same-cycle and window-edge collisions —
+     the merged genealogy order must be identical for any job count
+     and equal to the sequential engine's execution order. *)
+
+module Sim = Mgs_engine.Sim
+module Trace = Mgs_obs.Trace
+module Locks = Mgs_sync.Locks
+module Condvar = Mgs_sync.Condvar
+
+(* --- export identity on full machines ------------------------------ *)
+
+let exports ~protocol ~par w =
+  let cfg =
+    Mgs.Machine.config ~lan_latency:1000 ~par_jobs:par
+      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs:8 ~cluster:2 ()
+  in
+  let m = Mgs.Machine.create cfg in
+  let tr = Mgs.Machine.enable_trace m in
+  let mt = Mgs.Machine.enable_metrics m in
+  let body, check = w.Mgs_harness.Sweep.prepare m in
+  ignore (Mgs.Machine.run m body);
+  Mgs.Machine.assert_quiescent m;
+  check m;
+  let sp = Trace.spans tr in
+  ( Trace.chrome_json tr,
+    Mgs_obs.Span.json sp,
+    Mgs_obs.Metrics.csv mt,
+    Format.asprintf "%a" Trace.pp_summary tr )
+
+let apps =
+  [
+    ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny);
+    ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny);
+    ("tsp", Mgs_apps.Tsp.workload Mgs_apps.Tsp.tiny);
+  ]
+
+let protocols = [ "mgs"; "hlrc"; "ivy" ]
+
+let test_export_identity () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun (aname, w) ->
+          let c0, s0, m0, h0 = exports ~protocol ~par:0 w in
+          List.iter
+            (fun par ->
+              let c, s, mm, h = exports ~protocol ~par w in
+              let lbl what =
+                Printf.sprintf "%s/%s par=%d: %s identical" protocol aname par what
+              in
+              Alcotest.(check string) (lbl "chrome") c0 c;
+              Alcotest.(check string) (lbl "spans") s0 s;
+              Alcotest.(check string) (lbl "metrics csv") m0 mm;
+              Alcotest.(check string) (lbl "summary") h0 h)
+            [ 1; 2; 4 ])
+        apps)
+    protocols
+
+(* --- registry locks and condvars under the parallel engine --------- *)
+
+(* Eight fibers on four shards hammer an MCS lock and pass items
+   through a condition variable; the traced, metered run must be
+   byte-identical for any job count.  The shared host counter is safe:
+   every access happens inside the lock's critical section, which the
+   handoff messages causally order across shards. *)
+let contended ~par name =
+  let cfg = Mgs.Machine.config ~lan_latency:1000 ~par_jobs:par ~nprocs:8 ~cluster:2 () in
+  let m = Mgs.Machine.create cfg in
+  let tr = Mgs.Machine.enable_trace m in
+  let mt = Mgs.Machine.enable_metrics m in
+  let lock = Locks.make m name in
+  let cv = Condvar.create m lock in
+  let items = ref 0 in
+  let hits = ref 0 in
+  ignore
+    (Mgs.Machine.run m (fun ctx ->
+         let p = Mgs.Api.proc ctx in
+         if p < 4 then begin
+           (* producers: publish one item each, well separated *)
+           Mgs.Api.compute ctx ((p + 1) * 1700);
+           Locks.acquire ctx lock;
+           incr items;
+           ignore (Condvar.signal ctx cv);
+           Locks.release ctx lock
+         end
+         else begin
+           Locks.acquire ctx lock;
+           while !items = 0 do
+             Condvar.wait ctx cv
+           done;
+           decr items;
+           incr hits;
+           Locks.release ctx lock
+         end));
+  Mgs.Machine.assert_quiescent m;
+  ( Printf.sprintf "consumed=%d acquires=%d handoffs=%d" !hits (Locks.acquires lock)
+      (Locks.handoffs lock),
+    Trace.chrome_json tr,
+    Mgs_obs.Metrics.csv mt )
+
+let test_lock_cv_par () =
+  let i0, c0, m0 = contended ~par:0 "mcs" in
+  Alcotest.(check string) "all items consumed" "consumed=4" (String.sub i0 0 10);
+  List.iter
+    (fun par ->
+      let i, c, mm = contended ~par "mcs" in
+      Alcotest.(check string) (Printf.sprintf "mcs par=%d: counters" par) i0 i;
+      Alcotest.(check string) (Printf.sprintf "mcs par=%d: chrome" par) c0 c;
+      Alcotest.(check string) (Printf.sprintf "mcs par=%d: metrics" par) m0 mm)
+    [ 1; 2; 4 ]
+
+(* --- raw engine: same-cycle cross-shard emit ordering -------------- *)
+
+(* Random event forests where delays land on the same cycle and on
+   lookahead-window edges, each execution emitting into a per-shard
+   trace cell.  The merged order (genealogy keys) must be identical
+   for every job count and equal to the sequential engine's. *)
+
+type node = { hop : int; (* 0 = stay; k > 0 = (shard + k) mod n *) pad : int; kids : node list }
+
+let la = 100
+
+let gen_node : node QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized_size (int_bound 4) @@ fix (fun self n ->
+      let* hop = frequency [ (3, pure 0); (2, int_range 1 3) ] in
+      let* pad = oneofl [ 0; 0; 1; la - 1; la; la + 1; 2 * la ] in
+      let* kids = if n = 0 then pure [] else list_size (int_bound 3) (self (n - 1)) in
+      pure { hop; pad; kids })
+
+let gen_plan : (int * int * node) list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  list_size (int_range 1 10)
+    (let* shard = int_bound 3 in
+     let* t = oneofl [ 0; 0; 1; la; (2 * la) + 1 ] in
+     let* n = gen_node in
+     pure (shard, t, n))
+
+let run_traced ~mode plan =
+  let nshards = 4 in
+  (* Host-scheduled roots tie-break by shard id in genealogy order, so
+     the engine contract requires seeding them in (time, shard) order —
+     exactly what Machine.run does by spawning fibers in proc order.
+     Events created *during* execution carry full genealogy and need no
+     such discipline. *)
+  let plan =
+    List.stable_sort (fun (s1, t1, _) (s2, t2, _) -> compare (t1, s1) (t2, s2)) plan
+  in
+  let sim = Sim.create () in
+  (match mode with
+  | `Seq ->
+    Sim.set_topology sim ~nshards;
+    Sim.enable_stamps sim
+  | `Jobs j ->
+    Sim.make_sharded sim ~nshards ~lookahead:la;
+    Sim.set_jobs sim j);
+  let tr = Trace.create ~capacity:8192 ~cells:nshards () in
+  let rec exec id ~shard node () =
+    Trace.emit tr
+      (Mgs_obs.Event.make ~time:(Sim.now sim) ~engine:Mgs_obs.Event.Network
+         ~tag:(string_of_int id) ());
+    List.iteri
+      (fun i kid ->
+        let dst = (shard + kid.hop) mod nshards in
+        let d = if kid.hop = 0 then kid.pad else la + kid.pad in
+        Sim.at_shard sim ~shard:dst
+          (Sim.now sim + d)
+          (exec ((id * 8) + i + 1) ~shard:dst kid))
+      node.kids
+  in
+  List.iteri
+    (fun i (shard, t, n) -> Sim.at_shard sim ~shard t (exec (i * 1000) ~shard n))
+    plan;
+  ignore (Sim.run sim ());
+  List.map
+    (fun (e : Mgs_obs.Event.t) -> Printf.sprintf "%s@%d" e.Mgs_obs.Event.tag e.Mgs_obs.Event.time)
+    (Trace.events tr)
+
+let prop_emit_order =
+  QCheck2.Test.make ~name:"merged emit order identical for any job count" ~count:120
+    gen_plan (fun plan ->
+      let oracle = run_traced ~mode:`Seq plan in
+      List.for_all (fun j -> run_traced ~mode:(`Jobs j) plan = oracle) [ 1; 2; 4 ])
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_emit_order ]
+
+let () =
+  Alcotest.run "obs-par"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "protocol x app export matrix" `Quick test_export_identity;
+          Alcotest.test_case "mcs lock + condvar under par" `Quick test_lock_cv_par;
+        ] );
+      ("emit-order", qsuite);
+    ]

@@ -7,8 +7,9 @@
    - full machines: every protocol x app x faults cell, sequential vs
      par=1 vs par=2 vs par=4;
    - observability: the span/trace dump of an instrumented run matches
-     (the trace forces one domain, but still exercises the sharded
-     scheduling path);
+     (the trace is per-shard-celled and merged at export, so par >= 2
+     really runs multi-domain; test_obs_par covers the full export
+     matrix);
    - raw engine: randomized micro-DAGs over a bare sharded simulator,
      with delays chosen to pile events onto lookahead-window
      boundaries, compared per-shard between job counts. *)
@@ -98,8 +99,8 @@ let test_job_ladder () =
 
 (* --- observability parity -------------------------------------------- *)
 
-(* With a trace installed the engine is forced onto one domain, but the
-   sharded scheduling path is still exercised; the event dump must be
+(* The trace keeps one cell per shard and merges at export, so the
+   engine stays on par_jobs domains; the merged event dump must be
    byte-identical to the sequential engine's. *)
 let trace_dump par =
   let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny in
@@ -123,7 +124,7 @@ let test_trace_parity () =
   Alcotest.(check string) "report" i0 i1;
   Alcotest.(check string) "event dump" d0 d1;
   let i4, d4 = trace_dump 4 in
-  Alcotest.(check string) "report (par=4, forced single-domain)" i0 i4;
+  Alcotest.(check string) "report (par=4, multi-domain)" i0 i4;
   Alcotest.(check string) "event dump (par=4)" d0 d4
 
 (* --- raw-engine micro-DAGs ------------------------------------------- *)
