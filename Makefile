@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke obs-par-smoke trace-lint perf perf-smoke perf-diff clean
+.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke obs-par-smoke adapt-smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -59,6 +59,14 @@ obs-par-smoke: build
 	@cat _build/obs-par-smoke.out
 	@grep -q "obs-par-smoke: OK" _build/obs-par-smoke.out
 
+# Adaptive per-page coherence: tiny static-vs-adaptive cells with the
+# invariant checker on, adaptive reruns byte-identical, classifier
+# engaged.
+adapt-smoke: build
+	$(DUNE) exec bench/main.exe -- adapt-smoke > _build/adapt-smoke.out
+	@cat _build/adapt-smoke.out
+	@grep -q "adapt-smoke: OK" _build/adapt-smoke.out
+
 # Validate every observability export against its own contract: run the
 # CLI with the trace, span, and metrics exporters on, then lint the
 # files (strict JSON, schemas, balanced spans, monotone sample times,
@@ -74,6 +82,12 @@ trace-lint: build
 	  --spans _build/lint-spans.json \
 	  --metrics _build/lint-metrics.json \
 	  --bench BENCH_sim.json
+	$(DUNE) exec bin/mgs_run.exe -- --app water --procs 8 --cluster 2 \
+	  --adapt --check --trace _build/lint-adapt-trace.json \
+	  --metrics _build/lint-adapt-metrics.json
+	$(DUNE) exec bin/trace_lint.exe -- --latency 1000 \
+	  --chrome _build/lint-adapt-trace.json \
+	  --metrics _build/lint-adapt-metrics.json
 
 # Perf baseline: full matrix -> BENCH_sim.json (slow; run by hand when
 # chasing a regression), and a seconds-long smoke slice for CI that
@@ -108,7 +122,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke chaos-smoke lock-smoke par-smoke obs-par-smoke trace-lint perf-smoke perf-diff fmt-check
+check: build test smoke chaos-smoke lock-smoke par-smoke obs-par-smoke adapt-smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

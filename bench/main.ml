@@ -175,6 +175,46 @@ let lock_smoke () =
   Printf.printf "lock-smoke: OK (%d points: %s)\n" (List.length points)
     (String.concat ", " (Mgs_sync.Locks.names ()))
 
+(* Adaptive-coherence gate for `make check`: tiny static-vs-adaptive
+   cells with app verification and the protocol invariant checker both
+   on (a regime switch that corrupts a page or leaks a twin fails
+   here), a determinism double-run of every adaptive cell, and a
+   confirmation that the classifier actually engaged. *)
+let adapt_smoke () =
+  let ident (r : Mgs.Report.t) =
+    Format.asprintf "%d/%d/%d/%d/%a" r.Mgs.Report.runtime r.Mgs.Report.sim_events
+      r.Mgs.Report.lan_messages r.Mgs.Report.lan_words Mgs.Pstats.pp r.Mgs.Report.pstats
+  in
+  let cells =
+    [
+      ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny, "mgs");
+      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "mgs");
+      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "hlrc");
+    ]
+  in
+  let engaged = ref 0 in
+  List.iter
+    (fun (name, w, protocol) ->
+      let run adapt =
+        (Sweep.run_point ~adapt ~check:true ~protocol ~nprocs:8 ~cluster:2 w)
+          .Sweep.report
+      in
+      ignore (run false);
+      let a1 = run true and a2 = run true in
+      if ident a1 <> ident a2 then
+        failwith (Printf.sprintf "adapt-smoke: %s/%s adaptive rerun diverges" name protocol);
+      let p = a1.Mgs.Report.pstats in
+      if
+        p.Mgs.Pstats.adapt_res_mw + p.Mgs.Pstats.adapt_res_sw
+        + p.Mgs.Pstats.adapt_res_inv
+        > 0
+      then incr engaged)
+    cells;
+  if !engaged = 0 then failwith "adapt-smoke: the adaptive layer never engaged";
+  Printf.printf
+    "adapt-smoke: OK (%d cells static+adaptive, checker on, reruns identical, %d engaged)\n"
+    (List.length cells) !engaged
+
 (* Sharded-engine identity gate for `make check`: small machines run on
    the sequential engine and on the sharded engine at several job
    counts must produce identical reports.  Wall-clock and peak queue
@@ -384,6 +424,66 @@ let ablation_protocol () =
        water);
   print_newline ()
 
+(* Adaptive-coherence ablation: every paper app static vs adaptive
+   across cluster sizes, plus larger machines with the workloads scaled
+   the way the perf large-P rows scale them (jacobi one row per
+   processor, water capped at 256 molecules) so the grid stays
+   tractable.  Large machines run sharded with the invariant checker
+   off; P = 16 keeps it on. *)
+let adapt_ablation () =
+  print_endline "=== Ablation: adaptive vs static per-page coherence ===";
+  let grid =
+    let paper_apps =
+      [
+        ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default);
+        ("water", Mgs_apps.Water.workload water_params);
+        ("tsp", Mgs_apps.Tsp.workload { Mgs_apps.Tsp.default with Mgs_apps.Tsp.ncities = 9 });
+        ("barnes", Mgs_apps.Barnes.workload Mgs_apps.Barnes.default);
+      ]
+    in
+    let scaled_apps nprocs =
+      [
+        ( "jacobi",
+          Mgs_apps.Jacobi.workload
+            { Mgs_apps.Jacobi.default with Mgs_apps.Jacobi.n = nprocs + 2; iters = 2 } );
+        ( "water",
+          Mgs_apps.Water.workload
+            { water_params with Mgs_apps.Water.nmol = min nprocs 256; iters = 1 } );
+      ]
+    in
+    List.concat_map
+      (fun (nprocs, apps) ->
+        List.concat_map
+          (fun (name, w) ->
+            List.filter_map
+              (fun cluster ->
+                if cluster > nprocs then None else Some (name, w, nprocs, cluster))
+              [ 1; 4; 16 ])
+          apps)
+      [ (16, paper_apps); (64, scaled_apps 64); (256, scaled_apps 256) ]
+  in
+  let rows =
+    Mgs_util.Dpool.map ~jobs:!jobs
+      (fun (name, w, nprocs, cluster) ->
+        let par = if nprocs > 16 then 4 else 0 in
+        let check = nprocs <= 16 in
+        let cell adapt =
+          (Sweep.run_point ~adapt ~check ~par ~protocol:"mgs" ~nprocs ~cluster w)
+            .Sweep.report
+        in
+        {
+          Figures.ar_app = name;
+          ar_protocol = "mgs";
+          ar_procs = nprocs;
+          ar_cluster = cluster;
+          ar_static = cell false;
+          ar_adapt = cell true;
+        })
+      grid
+  in
+  print_string (Figures.pp_adapt_table rows);
+  print_newline ()
+
 (* LU is not part of the paper's evaluation; provided as an extra
    workload over the same framework. *)
 let extra_lu () =
@@ -520,6 +620,8 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-protocol", ablation_protocol);
     ("ablation-pipeline", ablation_pipeline);
     ("ablation-tlb", ablation_tlb);
+    ("ablation-adapt", adapt_ablation);
+    ("adapt-smoke", adapt_smoke);
     ("extra-lu", extra_lu);
     ("extra-fft", extra_fft);
     ("extra-radix", extra_radix);

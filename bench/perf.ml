@@ -23,10 +23,10 @@ type row = {
   events_per_s : float;
 }
 
-let measure ?(par = 0) ?(check = true) ~nprocs ~cluster (name, w) =
+let measure ?(par = 0) ?(check = true) ?(adapt = false) ~nprocs ~cluster (name, w) =
   let a0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
-  let pt = Sweep.run_point ~check ~par ~nprocs ~cluster w in
+  let pt = Sweep.run_point ~check ~par ~adapt ~nprocs ~cluster w in
   let wall = Unix.gettimeofday () -. t0 in
   let allocated = Gc.allocated_bytes () -. a0 in
   let r = pt.Sweep.report in
@@ -141,6 +141,19 @@ let traced_rows () =
           })
         apps)
     [ 16; 64 ]
+
+(* Adaptive-coherence rows: the same app matrix with --adapt on.  Their
+   sim_cycles gate like every other row, so a policy or classifier
+   change that shifts what the adaptive machine simulates is caught
+   here, and the delta against the static rows above documents the
+   optimisation's effect release-over-release. *)
+let adapt_rows ~nprocs ~clusters apps =
+  List.concat_map
+    (fun (name, w) ->
+      List.map
+        (fun cluster -> measure ~adapt:true ~nprocs ~cluster ("adapt-" ^ name, w))
+        clusters)
+    apps
 
 let json_of_rows ~quick rows =
   let buf = Buffer.create 1024 in
@@ -372,7 +385,9 @@ let () =
       (Mgs_sync.Locks.names ())
   in
   let rows =
-    rows @ lock_rows @ (if !quick then [] else large_rows () @ traced_rows ())
+    rows @ lock_rows
+    @ adapt_rows ~nprocs ~clusters apps
+    @ (if !quick then [] else large_rows () @ traced_rows ())
   in
   Mgs_util.Tableprint.print
     ~header:[ "app"; "C"; "wall (s)"; "alloc (MB)"; "sim events"; "events/s" ]

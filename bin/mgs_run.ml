@@ -82,7 +82,7 @@ let with_out file f =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let run app size iters procs cluster delay page_bytes protocol lock faults seed sweep jobs
-    par no_verify trace spans metrics hist check csv engine_stats =
+    par adapt no_verify trace spans metrics hist check csv engine_stats =
   let w, size_desc = workload ~app ~size ~iters ~lock in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
@@ -91,13 +91,22 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
   if par > 0 && delay < 1 then
     Printf.eprintf "mgs_run: --par ignored: --delay %d leaves no lookahead window\n%!" delay;
   let par = if delay < 1 then 0 else par in
+  (* surface the Machine.config adapt/protocol incompatibility as a CLI
+     error instead of an uncaught exception *)
+  if adapt && protocol = "ivy" then begin
+    Printf.eprintf
+      "mgs_run: --adapt is not supported by protocol \"ivy\": none of the adaptive \
+       regimes (single-writer, invalidate-on-read) applies to it; use mgs or hlrc\n%!";
+    exit 2
+  end;
   let fault_spec =
     match faults with
     | Some spec when not (Mgs_net.Fault.is_zero spec) -> Some spec
     | _ -> None
   in
-  Printf.printf "app=%s (%s)  P=%d  delay=%d cycles  page=%dB  protocol=%s%s\n%!" app
+  Printf.printf "app=%s (%s)  P=%d  delay=%d cycles  page=%dB  protocol=%s%s%s\n%!" app
     size_desc procs delay page_bytes protocol
+    (if adapt then "  adapt=on" else "")
     (if lock = "token" then "" else Printf.sprintf "  lock=%s" lock);
   (match fault_spec with
   | Some spec ->
@@ -110,7 +119,7 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
     let buf = Buffer.create 256 in
     let ppf = Format.formatter_of_buffer buf in
     let cfg =
-      Mgs.Machine.config ~page_words ~lan_latency:delay ~par_jobs:par
+      Mgs.Machine.config ~page_words ~lan_latency:delay ~par_jobs:par ~adapt
         ~protocol:(Mgs.Protocol.proto_of_name protocol) ~nprocs:procs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
@@ -352,6 +361,18 @@ let par_t =
            keeps the sequential engine.  The shadow heap (MGS_SHADOW=1), message \
            recording, and --check still reduce a parallel run to one domain, loudly.")
 
+let adapt_t =
+  Arg.(
+    value & flag
+    & info [ "adapt" ]
+        ~doc:
+          "Adaptive per-page coherence: classify each page's sharing pattern online \
+           at invalidation-epoch boundaries, switch it between the multiple-writer, \
+           single-writer (twinless) and invalidate-on-read regimes, and migrate its \
+           home to a dominant writer's SSMP.  Decisions are deterministic; with the \
+           flag off every export is byte-identical to a build without the layer.  \
+           Requires a protocol with adaptive regimes (mgs or hlrc).")
+
 let no_verify_t =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip output verification.")
 
@@ -419,7 +440,8 @@ let cmd =
     (Cmd.info "mgs_run" ~doc)
     Term.(
       const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
-      $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ par_t $ no_verify_t
-      $ trace_t $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t $ engine_stats_t)
+      $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ par_t $ adapt_t
+      $ no_verify_t $ trace_t $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t
+      $ engine_stats_t)
 
 let () = exit (Cmd.eval cmd)

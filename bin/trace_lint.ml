@@ -17,8 +17,10 @@
    per-shard 'M'/'C' lane metadata is accepted, and with --latency N
    every handler span (label "h.*") that landed on a different SSMP
    than its parent must start at least N cycles after the parent
-   opened — a cross-shard message cannot beat the LAN.  Any violation
-   prints to stderr and the exit status is 1. *)
+   opened — a cross-shard message cannot beat the LAN.  ADAPT slices
+   (adaptive-coherence regime switches) must chain per page, walk only
+   legal regime-lattice edges, and never land inside an invalidation
+   epoch.  Any violation prints to stderr and the exit status is 1. *)
 
 open Mgs_obs
 
@@ -88,6 +90,18 @@ let lint_chrome file =
     (* (cat, id) -> stack of open async 'b' ts; flow id -> start count *)
     let async : (string * int, float list ref) Hashtbl.t = Hashtbl.create 256 in
     let flow = Hashtbl.create 256 in
+    (* Adaptive-coherence contract: ADAPT slices carry the old regime
+       code in args.cost and the new one in args.words.  Per page, the
+       transitions must chain (each old code equals the previous new
+       code; the first event seen for a page seeds the chain, since a
+       bounded ring may have evicted its earlier history), every step
+       must be a legal lattice edge (0 <-> 1, 0 <-> 2: the specialised
+       regimes only reach each other through the default), and none may
+       land inside an invalidation epoch (between sv.epoch_start and
+       sv.epoch_end for that vpn) — regime switches are epoch-boundary
+       decisions. *)
+    let in_epoch : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let regime : (int, int) Hashtbl.t = Hashtbl.create 64 in
     let bump tbl key d =
       Hashtbl.replace tbl key (Option.value ~default:0 (Hashtbl.find_opt tbl key) + d)
     in
@@ -105,7 +119,48 @@ let lint_chrome file =
       (fun i e ->
         let what = Printf.sprintf "traceEvents[%d]" i in
         let ph = get_str file what e "ph" in
-        ignore (get_str file what e "name");
+        let name = get_str file what e "name" in
+        if ph = "X" then begin
+          let argv field =
+            match Json.member "args" e with
+            | Some a -> int_of_float (get_num file (what ^ ".args") a field)
+            | None ->
+              errf file "%s lacks args" what;
+              -1
+          in
+          match name with
+          | "sv.epoch_start" -> Hashtbl.replace in_epoch (argv "vpn") ()
+          | "sv.epoch_end" -> Hashtbl.remove in_epoch (argv "vpn")
+          | "ADAPT" ->
+            let vpn = argv "vpn" in
+            let old_r = argv "cost" and new_r = argv "words" in
+            if old_r < 0 || old_r > 2 || new_r < 0 || new_r > 2 then
+              errf file "%s ADAPT vpn=%d has regime codes %d -> %d outside 0..2" what vpn
+                old_r new_r
+            else begin
+              if old_r = new_r then
+                errf file "%s ADAPT vpn=%d is a self-transition (regime %d)" what vpn old_r;
+              if old_r <> 0 && new_r <> 0 then
+                errf file
+                  "%s ADAPT vpn=%d steps %d -> %d directly between specialised \
+                   regimes (not a lattice edge)"
+                  what vpn old_r new_r
+            end;
+            (* The event ring is bounded, so an overflowed trace starts
+               mid-run: the first ADAPT seen for a page establishes its
+               regime (from the old code it carries) rather than being
+               checked against the boot default. *)
+            (match Hashtbl.find_opt regime vpn with
+            | Some prev when old_r <> prev ->
+              errf file "%s ADAPT vpn=%d leaves regime %d but the page was in %d" what vpn
+                old_r prev
+            | _ -> ());
+            Hashtbl.replace regime vpn new_r;
+            if Hashtbl.mem in_epoch vpn then
+              errf file "%s ADAPT vpn=%d lands mid-epoch (inside sv.epoch_start/end)" what
+                vpn
+          | _ -> ()
+        end;
         if ph = "M" then () (* per-shard lane metadata: no timestamp *)
         else begin
         let ts = get_num file what e "ts" in

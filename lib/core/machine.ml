@@ -16,18 +16,28 @@ type config = {
          sharded engine, one shard per SSMP, run on [par_jobs] domains
          (clamped to the SSMP count).  [1] exercises the sharded data
          path single-threaded; results are byte-identical either way. *)
+  adapt : bool;
+      (* adaptive per-page coherence: online sharing-pattern
+         classification, regime switching and home migration.  Off by
+         default; off is byte-identical to a build without the layer. *)
 }
 
 let config ?(page_words = 256) ?(line_words = 4) ?(costs = Costs.default) ?lan_latency
     ?(event_limit = 500_000_000) ?(shadow = Sys.getenv_opt "MGS_SHADOW" = Some "1")
     ?(features = State.default_features) ?(protocol = State.Protocol_mgs) ?tlb_entries
-    ?(par_jobs = 0) ~nprocs ~cluster () =
+    ?(par_jobs = 0) ?(adapt = false) ~nprocs ~cluster () =
   let costs =
     match lan_latency with None -> costs | Some d -> Costs.with_lan_latency costs d
   in
   if par_jobs < 0 then invalid_arg "Machine.config: par_jobs < 0";
   if par_jobs > 0 && costs.Costs.lan.Costs.latency < 1 then
     invalid_arg "Machine.config: the sharded engine needs lan latency >= 1 for lookahead";
+  if adapt && protocol = State.Protocol_ivy then
+    invalid_arg
+      "Machine.config: protocol \"ivy\" supports no adaptive coherence regime \
+       (its single-writer pages have no twins to skip for the single-writer \
+       regime and every read already invalidates for the invalidate-on-read \
+       regime); --adapt requires mgs or hlrc";
   {
     nprocs;
     cluster;
@@ -40,6 +50,7 @@ let config ?(page_words = 256) ?(line_words = 4) ?(costs = Costs.default) ?lan_l
     shadow;
     tlb_entries;
     par_jobs;
+    adapt;
   }
 
 type t = State.t
@@ -106,6 +117,10 @@ let create cfg =
       shadow_errors = 0;
       obs = None;
       metrics = None;
+      adapt =
+        (if cfg.adapt then
+           Some (Mgs_cache.Adapt.create ~nssmps:topo.Topology.nssmps)
+         else None);
       gen = Atomic.make 0;
     }
   in
@@ -200,6 +215,22 @@ let enable_metrics ?interval ?max_samples (m : t) =
              m.servers 0));
     Mgs_obs.Metrics.probe_cell mt "spans.open" (fun c ->
         fi (Mgs_obs.Span.open_count_cell (Mgs_obs.Trace.spans tr) c));
+    (* adaptive-coherence gauges, registered only under --adapt so a
+       static run's metrics CSV keeps its exact pre-adapt column set.
+       Each reads the sampling shard's own pstats cell — per-shard
+       commutative sums, so the merged series is byte-identical across
+       job counts (no probe walks sentries: after a cross-shard home
+       migration their policy fields belong to another shard). *)
+    (match m.adapt with
+    | None -> ()
+    | Some _ ->
+      let pcell c = if c = 0 then m.pstats else m.pstats_extra.(c) in
+      Mgs_obs.Metrics.probe_cell mt "adapt.reclass" (fun c ->
+          fi (pcell c).Pstats.adapt_reclass);
+      Mgs_obs.Metrics.probe_cell mt "adapt.migs" (fun c -> fi (pcell c).Pstats.adapt_migs);
+      Mgs_obs.Metrics.probe_cell mt "adapt.fwds" (fun c -> fi (pcell c).Pstats.adapt_fwds);
+      Mgs_obs.Metrics.probe_cell mt "adapt.yields" (fun c ->
+          fi (pcell c).Pstats.adapt_yields));
     Sim.set_on_event m.sim
       (Some (fun ~shard ~now -> Mgs_obs.Metrics.on_event mt ~cell:shard ~now));
     m.metrics <- Some mt;
@@ -264,6 +295,20 @@ let reset_stats (m : t) =
      measured phase cannot inherit the warmup's handoff history or a
      parked fiber from an abandoned run *)
   List.iter (fun h -> h.sh_reset ()) m.sync_hooks;
+  (* adaptive classifier windows and streaks are statistics and reset
+     with the phase; regimes, home locations, views and forwarding
+     tables are live protocol state (an untwinned copy granted under
+     the single-writer regime must keep being treated as such, and a
+     migrated page's requests must keep finding its home) and survive *)
+  (match m.adapt with
+  | Some _ ->
+    Hashtbl.iter
+      (fun _ se ->
+        match se.s_ad with
+        | Some p -> Mgs_cache.Adapt.reset_page p
+        | None -> ())
+      m.servers
+  | None -> ());
   m.shadow_errors <- 0
 
 let shadow_mismatches (m : t) = m.shadow_errors

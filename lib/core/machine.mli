@@ -32,6 +32,14 @@ type config = {
           count), synchronized conservatively on the inter-SSMP LAN
           latency.  Reports are byte-identical to the sequential engine
           for every [par_jobs]; only wall time differs. *)
+  adapt : bool;
+      (** adaptive per-page coherence ({!Mgs_cache.Adapt}): classify
+          each page's sharing pattern at invalidation-epoch boundaries,
+          switch it between the eager-RC multiple-writer, single-writer
+          (twinless) and invalidate-on-read regimes, and migrate its
+          home to a dominant writer's SSMP.  Off by default; when off,
+          every export and counter is byte-identical to a machine
+          without the adaptive layer. *)
 }
 
 val config :
@@ -45,16 +53,18 @@ val config :
   ?protocol:State.protocol ->
   ?tlb_entries:int ->
   ?par_jobs:int ->
+  ?adapt:bool ->
   nprocs:int ->
   cluster:int ->
   unit ->
   config
 (** Defaults: 1 KB pages (256 words), 16 B lines, {!Mgs_machine.Costs.default} with
     its LAN latency overridden by [lan_latency] when given; [par_jobs]
-    defaults to 0 (sequential engine).
+    defaults to 0 (sequential engine); [adapt] defaults to [false].
     @raise Invalid_argument if [par_jobs < 0], or if [par_jobs > 0] with
     a LAN latency below 1 cycle (the sharded engine needs a positive
-    lookahead window). *)
+    lookahead window), or if [adapt] is combined with a protocol that
+    supports no adaptive regime (ivy). *)
 
 type t = State.t
 

@@ -37,3 +37,31 @@ val release_all : State.t -> proc:int -> unit
 
 val duq_pending : State.t -> proc:int -> int
 (** Number of dirty pages currently queued in [proc]'s SSMP. *)
+
+(** {2 Adaptive-coherence plumbing}
+
+    Shared with the HLRC engine (which reuses the classification and
+    home-migration halves of the adaptive layer).  All four are no-ops
+    / identities unless the machine was configured with [adapt]. *)
+
+val home_for : State.t -> ssmp:int -> int -> int
+(** Where [ssmp]'s clients should address page [vpn]'s home: the SSMP's
+    own view of the (possibly migrated) home, falling back to the
+    allocator's static home.  A stale view costs one forwarding hop,
+    never correctness. *)
+
+val view_note : State.t -> ssmp:int -> vpn:int -> int -> unit
+(** Record at [ssmp] that [vpn]'s home answered from the given
+    processor.  Call only from handlers executing on [ssmp]'s shard. *)
+
+val forward : State.t -> self:int -> vpn:int -> tag:string -> cost:int -> (int -> unit) -> bool
+(** If [self]'s SSMP has a forwarding entry for [vpn] (the home moved
+    away), repost the message toward the current home and return true;
+    the caller must then leave the sentry alone. *)
+
+val adapt_move_home :
+  State.t -> Mgs_cache.Adapt.t -> Mgs_cache.Adapt.page -> State.sentry -> unit
+(** Migrate the page's home to the dominant writer's SSMP (same local
+    slot), update forwarding and view tables, and post the MIGRATE
+    custody message.  The caller has already verified the move is safe
+    (no foreign directory members, no open epoch). *)

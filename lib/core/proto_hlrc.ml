@@ -5,14 +5,38 @@ open State
 (* Merging a diff bumps the page version; both the previous and the new
    version are returned: the flusher's copy is complete with respect to
    the new version only if no foreign merge intervened since its fetch
-   (i.e. the previous version is exactly the one its copy reflects). *)
-let home_merge m ~vpn ~diff =
+   (i.e. the previous version is exactly the one its copy reflects).
+
+   HLRC has no invalidation epochs, so a merge is its natural adaptive
+   decision point.  Only the classification and home-migration halves
+   of the adaptive layer apply (regimes describe MGS mechanics — twins
+   and recalls — that HLRC does not use): a writer SSMP flushing
+   [Adapt.migrate_streak] consecutive merges with no foreign merge in
+   between pulls the page's home to itself, turning its subsequent
+   flushes into local merges. *)
+let home_merge m ~vpn ~flusher ~diff =
   let se = get_sentry m vpn in
   Pagedata.apply_diff se.s_master diff;
   let prev = se.s_version in
   se.s_version <- se.s_version + 1;
   (stats m).diffs <- (stats m).diffs + 1;
   (stats m).diff_words <- (stats m).diff_words + Pagedata.diff_size diff;
+  (match (m.adapt, se.s_ad) with
+  | Some a, Some p ->
+    (stats m).adapt_res_mw <- (stats m).adapt_res_mw + 1;
+    let fs = Topology.ssmp_of_proc m.topo flusher in
+    p.Adapt.w_wreq <- p.Adapt.w_wreq + 1;
+    Bitset.add p.Adapt.w_writers fs;
+    (if p.Adapt.dom = fs then p.Adapt.dom_streak <- p.Adapt.dom_streak + 1
+     else begin
+       p.Adapt.dom <- fs;
+       p.Adapt.dom_streak <- 1
+     end);
+    if
+      p.Adapt.dom_streak >= Adapt.migrate_streak
+      && fs <> Topology.ssmp_of_proc m.topo se.s_cur_home
+    then Proto.adapt_move_home m a p se
+  | _ -> ());
   (prev, se.s_version)
 
 (* --- diff flushing ----------------------------------------------------- *)
@@ -49,21 +73,35 @@ let flush_locked m ~proc ~vpn k =
       + (c.proto.tlb_inv * max 1 (List.length mappers))
       + c.proto.msg_send);
     (stats m).releases <- (stats m).releases + 1;
-    let home = home_proc_of_vpn m vpn in
+    let home = Proto.home_for m ~ssmp vpn in
     if tracing then trace m vpn "flush by proc %d: %d words" proc nd;
-    Am.post m.am ~tag:"HLRC_DIFF" ~src:proc ~dst:home ~words:(2 * nd)
-      ~cost:(c.proto.server_op + (nd * c.proto.merge_per_word))
-      (fun _t ->
-        let prev, v = home_merge m ~vpn ~diff:d in
-        Am.post m.am ~tag:"HLRC_VACK" ~src:home ~dst:proc ~words:0 ~cost:0 (fun _t ->
+    let rec handle self =
+      if
+        Proto.forward m ~self ~vpn ~tag:"HLRC_DIFF"
+          ~cost:(c.proto.server_op + (nd * c.proto.merge_per_word))
+          (fun next -> handle next)
+      then ()
+      else begin
+        let prev, v = home_merge m ~vpn ~flusher:proc ~diff:d in
+        (* read after the merge: the decision above may just have moved
+           the home (to the flusher's own SSMP); the VACK carries the
+           fresh address back so the next flush goes there directly *)
+        let newhome = (get_sentry m vpn).s_cur_home in
+        Am.post m.am ~tag:"HLRC_VACK" ~src:self ~dst:proc ~words:0 ~cost:0 (fun _t ->
             (* our copy now reflects version [v] only if it already
                reflected [prev] — a foreign merge in between means our
                copy misses those words and must stay marked stale *)
             if tracing then trace m vpn "vack proc %d: prev=%d v=%d c_version=%d" proc prev v ce.c_version;
+            Proto.view_note m ~ssmp ~vpn newhome;
             if ce.c_version = prev then ce.c_version <- v;
             let known = Option.value ~default:0 (Hashtbl.find_opt cl.k_map vpn) in
             if v > known then Hashtbl.replace cl.k_map vpn v;
-            k ()))
+            k ())
+      end
+    in
+    Am.post m.am ~tag:"HLRC_DIFF" ~src:proc ~dst:home ~words:(2 * nd)
+      ~cost:(c.proto.server_op + (nd * c.proto.merge_per_word))
+      (fun _t -> handle home)
   end
 
 (* Run [flush_locked] from fiber context, suspending until the home's
@@ -256,12 +294,21 @@ let fault m ~proc ~vpn ~write =
     else (stats m).read_fetches <- (stats m).read_fetches + 1;
     ce.pstate <- P_busy;
     Cpu.advance cpu Mgs c.proto.msg_send;
-    let home = home_proc_of_vpn m vpn in
-    Am.post m.am
-      ~tag:(if write then "HLRC_WREQ" else "HLRC_RREQ")
-      ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
-      (fun _t ->
+    let home = Proto.home_for m ~ssmp vpn in
+    let rec handle self =
+      if
+        Proto.forward m ~self ~vpn
+          ~tag:(if write then "HLRC_WREQ" else "HLRC_RREQ")
+          ~cost:c.proto.server_op
+          (fun next -> handle next)
+      then ()
+      else begin
         let se = get_sentry m vpn in
+        (match se.s_ad with
+        | Some p when not write ->
+          p.Adapt.w_rreq <- p.Adapt.w_rreq + 1;
+          Bitset.add p.Adapt.w_readers ssmp
+        | _ -> ());
         let payload = Pagedata.copy se.s_master in
         let version = se.s_version in
         if tracing then trace m vpn "fetch by proc %d write=%b version=%d" proc write version;
@@ -273,7 +320,7 @@ let fault m ~proc ~vpn ~write =
         in
         Am.post m.am
           ~tag:(if write then "HLRC_WDAT" else "HLRC_RDAT")
-          ~src:home ~dst:proc ~words:m.geom.Geom.page_words ~cost:install_cost (fun _t ->
+          ~src:self ~dst:proc ~words:m.geom.Geom.page_words ~cost:install_cost (fun _t ->
             assert (ce.pstate = P_busy);
             bump_gen m;
             ce.cdata <- Some payload;
@@ -283,11 +330,18 @@ let fault m ~proc ~vpn ~write =
             ce.c_dirty <- false;
             ce.c_version <- version;
             Bitset.clear ce.tlb_dir;
+            Proto.view_note m ~ssmp ~vpn self;
             match ce.fetch_resume with
             | Some resume ->
               ce.fetch_resume <- None;
               resume ()
-            | None -> assert false));
+            | None -> assert false)
+      end
+    in
+    Am.post m.am
+      ~tag:(if write then "HLRC_WREQ" else "HLRC_RREQ")
+      ~src:proc ~dst:home ~words:0 ~cost:c.proto.server_op
+      (fun _t -> handle home);
     let t0 = cpu.Cpu.clock in
     Mgs_engine.Fiber.suspend (fun resume -> ce.fetch_resume <- Some resume);
     Cpu.resume_charge cpu Mgs (Sim.now m.sim);

@@ -26,6 +26,14 @@ type t = {
   mutable lock_msgs : int; (* lock-protocol messages (LK_*, MCS_*, ...) *)
   mutable lock_handoffs : int; (* ownership transfers between holders *)
   mutable lock_wait : int; (* cycles fibers spent blocked in acquire *)
+  (* adaptive-coherence counters, nonzero only under --adapt *)
+  mutable adapt_reclass : int; (* regime switches (lattice steps) *)
+  mutable adapt_migs : int; (* home migrations *)
+  mutable adapt_fwds : int; (* requests forwarded from a former home *)
+  mutable adapt_yields : int; (* twinless write copies shipped whole on recall *)
+  mutable adapt_res_mw : int; (* decision windows resident in each regime *)
+  mutable adapt_res_sw : int;
+  mutable adapt_res_inv : int;
 }
 
 let create () =
@@ -55,6 +63,13 @@ let create () =
     lock_msgs = 0;
     lock_handoffs = 0;
     lock_wait = 0;
+    adapt_reclass = 0;
+    adapt_migs = 0;
+    adapt_fwds = 0;
+    adapt_yields = 0;
+    adapt_res_mw = 0;
+    adapt_res_sw = 0;
+    adapt_res_inv = 0;
   }
 
 let reset t =
@@ -82,7 +97,14 @@ let reset t =
   t.net_timeouts <- 0;
   t.lock_msgs <- 0;
   t.lock_handoffs <- 0;
-  t.lock_wait <- 0
+  t.lock_wait <- 0;
+  t.adapt_reclass <- 0;
+  t.adapt_migs <- 0;
+  t.adapt_fwds <- 0;
+  t.adapt_yields <- 0;
+  t.adapt_res_mw <- 0;
+  t.adapt_res_sw <- 0;
+  t.adapt_res_inv <- 0
 
 (* Accumulate [src] into [t] — every field is a commutative sum, which
    is what lets the sharded engine keep one cell per shard and merge at
@@ -112,7 +134,14 @@ let add_into t src =
   t.net_timeouts <- t.net_timeouts + src.net_timeouts;
   t.lock_msgs <- t.lock_msgs + src.lock_msgs;
   t.lock_handoffs <- t.lock_handoffs + src.lock_handoffs;
-  t.lock_wait <- t.lock_wait + src.lock_wait
+  t.lock_wait <- t.lock_wait + src.lock_wait;
+  t.adapt_reclass <- t.adapt_reclass + src.adapt_reclass;
+  t.adapt_migs <- t.adapt_migs + src.adapt_migs;
+  t.adapt_fwds <- t.adapt_fwds + src.adapt_fwds;
+  t.adapt_yields <- t.adapt_yields + src.adapt_yields;
+  t.adapt_res_mw <- t.adapt_res_mw + src.adapt_res_mw;
+  t.adapt_res_sw <- t.adapt_res_sw + src.adapt_res_sw;
+  t.adapt_res_inv <- t.adapt_res_inv + src.adapt_res_inv
 
 let copy t =
   let c = create () in
@@ -134,4 +163,15 @@ let pp ppf t =
   (* a run without registry locks prints exactly as before they existed *)
   if t.lock_msgs <> 0 || t.lock_handoffs <> 0 || t.lock_wait <> 0 then
     Format.fprintf ppf " lock_msgs=%d lock_handoffs=%d lock_wait=%d" t.lock_msgs
-      t.lock_handoffs t.lock_wait
+      t.lock_handoffs t.lock_wait;
+  (* a static-protocol run prints exactly as before --adapt existed *)
+  if
+    t.adapt_reclass <> 0 || t.adapt_migs <> 0 || t.adapt_fwds <> 0
+    || t.adapt_yields <> 0 || t.adapt_res_mw <> 0 || t.adapt_res_sw <> 0
+    || t.adapt_res_inv <> 0
+  then
+    Format.fprintf ppf
+      " adapt_reclass=%d adapt_migs=%d adapt_fwds=%d adapt_yields=%d \
+       adapt_res=%d/%d/%d"
+      t.adapt_reclass t.adapt_migs t.adapt_fwds t.adapt_yields t.adapt_res_mw
+      t.adapt_res_sw t.adapt_res_inv

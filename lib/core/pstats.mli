@@ -29,6 +29,13 @@ type t = {
   mutable lock_msgs : int;  (** lock-protocol messages (registry locks only) *)
   mutable lock_handoffs : int;  (** lock ownership transfers between holders *)
   mutable lock_wait : int;  (** cycles fibers spent blocked acquiring a lock *)
+  mutable adapt_reclass : int;  (** adaptive regime switches ([--adapt] only) *)
+  mutable adapt_migs : int;  (** home migrations to the dominant writer's SSMP *)
+  mutable adapt_fwds : int;  (** requests forwarded from a former home *)
+  mutable adapt_yields : int;  (** twinless write copies shipped whole on recall *)
+  mutable adapt_res_mw : int;  (** decision windows spent in the eager-RC regime *)
+  mutable adapt_res_sw : int;  (** decision windows spent in single-writer *)
+  mutable adapt_res_inv : int;  (** decision windows spent in invalidate-on-read *)
 }
 
 val create : unit -> t

@@ -16,6 +16,7 @@ module Topology = Mgs_machine.Topology
 module Costs = Mgs_machine.Costs
 module Cpu = Mgs_machine.Cpu
 module Coherence = Mgs_cache.Coherence
+module Adapt = Mgs_cache.Adapt
 module Lan = Mgs_net.Lan
 module Am = Mgs_am.Am
 module Tlb = Mgs_svm.Tlb
@@ -45,6 +46,10 @@ type centry = {
   mutable inv_tt : int; (* 1 = read inv, 2 = write inv (diff), 3 = single writer *)
   mutable c_dirty : bool; (* written since the last twin sync (dirty bit) *)
   mutable c_version : int; (* HLRC: home version this copy reflects *)
+  mutable c_notwin : bool;
+      (* adaptive single-writer regime: this write copy was granted
+         without a twin (no diffing possible; a recall ships the whole
+         page instead) *)
 }
 
 type ssmp_client = {
@@ -98,6 +103,20 @@ type sentry = {
   mutable s_ivy_grantee : int; (* Ivy: processor awaiting the pending grant *)
   mutable s_ivy_grant_write : bool;
   mutable s_version : int; (* HLRC: bumped on every merged update *)
+  mutable s_cur_home : int;
+      (* adaptive home migration: the processor currently serving this
+         page.  Equals [s_home_proc] (the allocator's static home)
+         until the policy migrates the page; only ever mutated by the
+         serving shard at an epoch boundary. *)
+  s_ad : Mgs_cache.Adapt.page option;
+      (* per-page classifier window + regime; Some iff [t.adapt] *)
+  mutable s_ext_diffs : Pagedata.diff list;
+      (* diffs applied in pass 1 of an epoch extension whose retained
+         copy is twinless: the recalled full page would clobber them,
+         so they are re-applied after the blit in pass 2 *)
+  mutable s_retained_notwin : bool;
+      (* the copy in [s_retained] has no twin (granted under the
+         single-writer regime) *)
 }
 
 (* Counters shared with the synchronization library (Figure 11). *)
@@ -189,6 +208,11 @@ type t = {
       (* structured event trace; None = observability fully disabled *)
   mutable metrics : Mgs_obs.Metrics.t option;
       (* simulated-clock metrics sampler, piggybacking on [obs] *)
+  adapt : Mgs_cache.Adapt.t option;
+      (* adaptive per-page coherence: per-SSMP home views and
+         forwarding tables.  None = the static protocol, whose wire
+         traffic and counters stay byte-identical to a build without
+         the adaptive layer. *)
   gen : int Atomic.t;
       (* machine-wide mapping generation, bumped by every protocol
          downcall that can replace or retire a page's local state
@@ -269,6 +293,7 @@ let get_centry m ssmp vpn =
         inv_tt = 0;
         c_dirty = false;
         c_version = 0;
+        c_notwin = false;
       }
     in
     Hashtbl.add cl.cl_pages vpn e;
@@ -313,6 +338,13 @@ let get_sentry m vpn =
         s_ivy_grantee = -1;
         s_ivy_grant_write = false;
         s_version = 0;
+        s_cur_home = home_proc_of_vpn m vpn;
+        s_ad =
+          (match m.adapt with
+          | Some _ -> Some (Adapt.new_page ~nssmps:m.topo.Topology.nssmps)
+          | None -> None);
+        s_ext_diffs = [];
+        s_retained_notwin = false;
       }
     in
     Hashtbl.add m.servers vpn e;

@@ -5,6 +5,7 @@ type variant = {
   features : Mgs.State.features;
   protocol : string;  (* a Mgs.Protocol registry name *)
   tlb_entries : int option;
+  adapt : bool;
 }
 
 let baseline =
@@ -15,6 +16,7 @@ let baseline =
     features = Mgs.State.default_features;
     protocol = "mgs";
     tlb_entries = None;
+    adapt = false;
   }
 
 let protocol_study () =
@@ -70,6 +72,14 @@ let latency_study () =
     (fun d -> { baseline with label = Printf.sprintf "latency %d" d; lan_latency = d })
     [ 0; 1000; 4000; 16000 ]
 
+let adapt_study () =
+  [
+    { baseline with label = "static mgs" };
+    { baseline with label = "adaptive mgs"; adapt = true };
+    { baseline with label = "static hlrc"; protocol = "hlrc" };
+    { baseline with label = "adaptive hlrc"; protocol = "hlrc"; adapt = true };
+  ]
+
 let run ?clusters ?(jobs = 1) ?(par = 0) ~nprocs ~variants w =
   (* feature toggles are not part of Sweep.run_point's interface, so
      drive the machines directly *)
@@ -81,7 +91,7 @@ let run ?clusters ?(jobs = 1) ?(par = 0) ~nprocs ~variants w =
       Mgs.Machine.config ~page_words:v.page_words ~lan_latency:v.lan_latency
         ~features:v.features
         ~protocol:(Mgs.Protocol.proto_of_name v.protocol)
-        ?tlb_entries:v.tlb_entries ~par_jobs ~nprocs ~cluster ()
+        ?tlb_entries:v.tlb_entries ~par_jobs ~adapt:v.adapt ~nprocs ~cluster ()
     in
     let m = Mgs.Machine.create cfg in
     let body, check = w.Sweep.prepare m in

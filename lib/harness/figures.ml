@@ -95,6 +95,54 @@ let pp_lock_table points =
       ]
     ~rows
 
+(* Adaptive-vs-static ablation table: one row per (app, protocol, P, C)
+   cell, pairing the static run's cycles against the adaptive run's and
+   showing what the adaptive layer actually did (reclassifications,
+   home migrations, forwarded requests, yielded pages). *)
+type adapt_row = {
+  ar_app : string;
+  ar_protocol : string;
+  ar_procs : int;
+  ar_cluster : int;
+  ar_static : Mgs.Report.t;
+  ar_adapt : Mgs.Report.t;
+}
+
+let pp_adapt_table rows =
+  let table_rows =
+    List.map
+      (fun r ->
+        let s = r.ar_static.Mgs.Report.runtime and a = r.ar_adapt.Mgs.Report.runtime in
+        let delta =
+          if s = 0 then "-"
+          else Printf.sprintf "%+.1f%%" (100. *. float_of_int (a - s) /. float_of_int s)
+        in
+        let ps = r.ar_adapt.Mgs.Report.pstats in
+        [
+          r.ar_app;
+          r.ar_protocol;
+          string_of_int r.ar_procs;
+          string_of_int r.ar_cluster;
+          string_of_int s;
+          string_of_int a;
+          delta;
+          string_of_int ps.Mgs.Pstats.adapt_reclass;
+          string_of_int ps.Mgs.Pstats.adapt_migs;
+          string_of_int ps.Mgs.Pstats.adapt_fwds;
+          string_of_int ps.Mgs.Pstats.adapt_yields;
+          Printf.sprintf "%d/%d/%d" ps.Mgs.Pstats.adapt_res_mw ps.Mgs.Pstats.adapt_res_sw
+            ps.Mgs.Pstats.adapt_res_inv;
+        ])
+      rows
+  in
+  Mgs_util.Tableprint.render
+    ~header:
+      [
+        "App"; "Proto"; "P"; "C"; "Static"; "Adaptive"; "Delta"; "Reclass"; "Migs";
+        "Fwds"; "Yields"; "Res mw/sw/inv";
+      ]
+    ~rows:table_rows
+
 (* Engine self-profile: one row per shard of the discrete-event engine.
    Executed and cross-shard sends are deterministic (identical between
    jobs=1 and jobs>=2); merges, stalls, and wall seconds describe the

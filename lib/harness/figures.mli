@@ -14,6 +14,23 @@ val pp_lock_table : Micro.lock_point list -> string
     point — acquires, hit ratio, handoffs, handoff-gap mean/max and
     coefficient of variation (the fairness figure), and runtime. *)
 
+(** One adaptive-vs-static ablation cell: the same workload and machine
+    shape run with the adaptive layer off ([ar_static]) and on
+    ([ar_adapt]). *)
+type adapt_row = {
+  ar_app : string;
+  ar_protocol : string;
+  ar_procs : int;
+  ar_cluster : int;
+  ar_static : Mgs.Report.t;
+  ar_adapt : Mgs.Report.t;
+}
+
+val pp_adapt_table : adapt_row list -> string
+(** One row per cell: static vs adaptive cycles, the percentage delta,
+    and the adaptive layer's own counters (reclassifications, home
+    migrations, forwarded requests, yielded pages, regime residency). *)
+
 val fault_latency : (int * Mgs_obs.Span.breakdown) list -> string
 (** Table-4-style remote-fault latency decomposition, one row per
     cluster size, rendered purely from the span critical-path

@@ -201,13 +201,14 @@ type lock_point = {
   lk_sim_events : int;
 }
 
-let lock_point ?(iters = 16) ?(crit = 200) ?(think = 1500) ?(par = 0) ~lock ~protocol
-    ~cluster ~fibers () =
+let lock_point ?(iters = 16) ?(crit = 200) ?(think = 1500) ?(par = 0) ?(adapt = false)
+    ~lock ~protocol ~cluster ~fibers () =
   (* enough processors for the contenders, rounded up so C divides P *)
   let nprocs = (max fibers cluster + cluster - 1) / cluster * cluster in
   let cfg =
     Mgs.Machine.config ~lan_latency:1000
-      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~par_jobs:par ~nprocs ~cluster ()
+      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~par_jobs:par ~adapt ~nprocs
+      ~cluster ()
   in
   let m = Mgs.Machine.create cfg in
   let counter =
@@ -256,10 +257,10 @@ let lock_point ?(iters = 16) ?(crit = 200) ?(think = 1500) ?(par = 0) ~lock ~pro
 (* The full family, in deterministic order; [jobs] fans points out over
    domains with byte-identical results.  [specs] rows are
    (lock, protocol, cluster, fibers). *)
-let lock_family ?iters ?crit ?think ?par ?(jobs = 1) specs =
+let lock_family ?iters ?crit ?think ?par ?adapt ?(jobs = 1) specs =
   Mgs_util.Dpool.map ~jobs
     (fun (lock, protocol, cluster, fibers) ->
-      lock_point ?iters ?crit ?think ?par ~lock ~protocol ~cluster ~fibers ())
+      lock_point ?iters ?crit ?think ?par ?adapt ~lock ~protocol ~cluster ~fibers ())
     specs
 
 (* lock scalability: every registered lock at C in {1,4,16} under every

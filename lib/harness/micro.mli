@@ -43,6 +43,7 @@ val lock_point :
   ?crit:int ->
   ?think:int ->
   ?par:int ->
+  ?adapt:bool ->
   lock:string ->
   protocol:string ->
   cluster:int ->
@@ -53,7 +54,9 @@ val lock_point :
     critical sections, 1500-cycle think time) on a machine with
     [max fibers cluster] processors (rounded up so C divides P).
     [par] selects the sharded event engine (registered locks force it
-    onto one domain; results are identical either way).
+    onto one domain; results are identical either way); [adapt] turns
+    on the adaptive coherence layer — lock-protected counters are the
+    canonical migratory pattern.
     @raise Failure if the protected counter lost an increment or the
     machine fails {!Mgs.Machine.assert_quiescent}. *)
 
@@ -62,6 +65,7 @@ val lock_family :
   ?crit:int ->
   ?think:int ->
   ?par:int ->
+  ?adapt:bool ->
   ?jobs:int ->
   (string * string * int * int) list ->
   lock_point list

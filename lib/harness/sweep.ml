@@ -11,10 +11,11 @@ let clusters_of nprocs =
 
 let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_latency = 1000)
     ?(protocol = "mgs") ?faults ?(fault_seed = 42) ?(verify = true) ?(check = true)
-    ?(par = 0) ~nprocs ~cluster w =
+    ?(par = 0) ?(adapt = false) ~nprocs ~cluster w =
   let cfg =
     Mgs.Machine.config ~page_words ~costs ~lan_latency
-      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~par_jobs:par ~nprocs ~cluster ()
+      ~protocol:(Mgs.Protocol.proto_of_name protocol) ~par_jobs:par ~adapt ~nprocs ~cluster
+      ()
   in
   let m = Mgs.Machine.create cfg in
   let checker = if check then Some (Mgs.Machine.enable_checker m) else None in
@@ -37,7 +38,7 @@ let run_point ?(page_words = 256) ?(costs = Mgs_machine.Costs.default) ?(lan_lat
   | None -> ());
   { cluster; report; lock_hit_ratio = Mgs.Report.lock_hit_ratio report }
 
-let sweep ?page_words ?costs ?lan_latency ?protocol ?verify ?check ?par ?clusters
+let sweep ?page_words ?costs ?lan_latency ?protocol ?verify ?check ?par ?adapt ?clusters
     ?(jobs = 1) ~nprocs w =
   let clusters = Option.value ~default:(clusters_of nprocs) clusters in
   (* Every point is a self-contained machine, so the sweep fans out over
@@ -45,8 +46,8 @@ let sweep ?page_words ?costs ?lan_latency ?protocol ?verify ?check ?par ?cluster
      the output independent of [jobs]. *)
   Mgs_util.Dpool.map ~jobs
     (fun cluster ->
-      run_point ?page_words ?costs ?lan_latency ?protocol ?verify ?check ?par ~nprocs
-        ~cluster w)
+      run_point ?page_words ?costs ?lan_latency ?protocol ?verify ?check ?par ?adapt
+        ~nprocs ~cluster w)
     clusters
 
 (* --- chaos sweeps ---------------------------------------------------- *)

@@ -29,6 +29,7 @@ val run_point :
   ?verify:bool ->
   ?check:bool ->
   ?par:int ->
+  ?adapt:bool ->
   nprocs:int ->
   cluster:int ->
   workload ->
@@ -46,9 +47,13 @@ val run_point :
     domains — byte-identical results.  Trace, span, and metrics
     subscribers are per-shard and do not limit parallelism; only the
     online invariant checker's global state still forces one domain,
-    so pass [~check:false] to actually run parallel.
+    so pass [~check:false] to actually run parallel.  [adapt] (default
+    false) turns on the adaptive per-page coherence layer
+    ({!Mgs_cache.Adapt}): online sharing-pattern classification, regime
+    switching, and home migration.
     @raise Failure on a workload-verifier or invariant failure.
-    @raise Invalid_argument on an unknown protocol name. *)
+    @raise Invalid_argument on an unknown protocol name, or on [adapt]
+    with a protocol that supports no adaptive regime (ivy). *)
 
 val sweep :
   ?page_words:int ->
@@ -58,6 +63,7 @@ val sweep :
   ?verify:bool ->
   ?check:bool ->
   ?par:int ->
+  ?adapt:bool ->
   ?clusters:int list ->
   ?jobs:int ->
   nprocs:int ->

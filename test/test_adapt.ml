@@ -1,0 +1,399 @@
+(* Tests for the adaptive per-page coherence layer: classifier ground
+   truth, switch hysteresis and the one-step regime lattice, event-
+   driven demotion, home-migration gating, machine-level determinism of
+   adaptive runs across engine job counts, byte-identity of the default
+   (adapt-off) configuration, phase-reset parity, and the ivy guard. *)
+
+module Adapt = Mgs_cache.Adapt
+module Bitset = Mgs_util.Bitset
+module Sweep = Mgs_harness.Sweep
+module Locks = Mgs_sync.Locks
+
+let pattern = Alcotest.testable (Fmt.of_to_string Adapt.pattern_name) ( = )
+
+let switch =
+  Alcotest.(
+    option
+      (pair
+         (testable (Fmt.of_to_string Adapt.regime_name) ( = ))
+         (testable (Fmt.of_to_string Adapt.regime_name) ( = ))))
+
+(* ------------------------------------------------------------------ *)
+(* Classifier ground truth.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cls ?(readers = 0) ?(writers = 0) ?(wreq = 0) ?(upg = 0) ?(clean = 0)
+    ?(regime = Adapt.Rmw) () =
+  Adapt.classify ~readers ~writers ~wreq ~upg ~clean ~regime
+
+let test_classify () =
+  Alcotest.check pattern "no traffic" Adapt.Idle (cls ());
+  Alcotest.check pattern "readers only" Adapt.Read_mostly (cls ~readers:3 ());
+  Alcotest.check pattern "one writer, no readers" Adapt.Single_writer
+    (cls ~writers:1 ~wreq:4 ());
+  Alcotest.check pattern "one writer plus readers" Adapt.Producer_consumer
+    (cls ~readers:2 ~writers:1 ~wreq:2 ());
+  Alcotest.check pattern "upgrade storm is migratory" Adapt.Migratory
+    (cls ~readers:2 ~writers:2 ~wreq:4 ~upg:3 ());
+  Alcotest.check pattern "two upgrades are not yet evidence" Adapt.Multi_writer
+    (cls ~readers:2 ~writers:2 ~wreq:4 ~upg:2 ());
+  Alcotest.check pattern "read sharing beyond the writers: not migratory"
+    Adapt.Multi_writer
+    (cls ~readers:5 ~writers:2 ~wreq:4 ~upg:3 ());
+  (* Under Rinv the eager write grants themselves suppress upgrades, so
+     the evidence inverts: copies recalled dirty (low clean rate)
+     confirm the migratory call, mostly-clean recalls retract it. *)
+  Alcotest.check pattern "Rinv, dirty recalls: still migratory" Adapt.Migratory
+    (cls ~writers:2 ~wreq:8 ~clean:2 ~regime:Adapt.Rinv ());
+  Alcotest.check pattern "Rinv, clean recalls: demote to multi-writer"
+    Adapt.Multi_writer
+    (cls ~writers:2 ~wreq:4 ~clean:3 ~regime:Adapt.Rinv ())
+
+let test_legal_edges () =
+  let open Adapt in
+  List.iter
+    (fun (a, b, want) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %s" (regime_name a) (regime_name b))
+        want (legal_edge a b))
+    [
+      (Rmw, Rsw, true);
+      (Rmw, Rinv, true);
+      (Rsw, Rmw, true);
+      (Rinv, Rmw, true);
+      (Rsw, Rinv, false);
+      (Rinv, Rsw, false);
+      (Rmw, Rmw, false);
+      (Rsw, Rsw, false);
+      (Rinv, Rinv, false);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Switch policy: hysteresis and the one-step lattice.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed one synthetic decision window: populate the counters [decide]
+   consumes, then run the decision. *)
+let window ?(readers = []) ?(writers = []) ?(wreq = 0) ?(upg = 0) ?(clean = 0) p =
+  List.iter (Bitset.add p.Adapt.w_readers) readers;
+  List.iter (Bitset.add p.Adapt.w_writers) writers;
+  p.Adapt.w_rreq <- List.length readers;
+  p.Adapt.w_wreq <- (if wreq > 0 then wreq else List.length writers);
+  p.Adapt.w_upg <- upg;
+  p.Adapt.w_clean <- clean;
+  Adapt.decide p
+
+let sw p = window ~writers:[ 1 ] p
+let mw p = window ~writers:[ 1; 2 ] ~upg:1 p
+let mig p = window ~readers:[ 1; 2 ] ~writers:[ 1; 2 ] ~wreq:4 ~upg:3 p
+let pc p = window ~readers:[ 2; 3 ] ~writers:[ 1 ] p
+
+let test_hysteresis () =
+  let p = Adapt.new_page ~nssmps:4 in
+  Alcotest.check switch "first single-writer window: no switch" None (sw p);
+  Alcotest.check switch "second window completes the streak"
+    (Some (Adapt.Rmw, Adapt.Rsw))
+    (sw p);
+  Alcotest.check switch "steady state is quiet" None (sw p);
+  (* demotion back to the default needs the same streak *)
+  Alcotest.check switch "one multi-writer window: no demotion" None (mw p);
+  Alcotest.check switch "second demotes" (Some (Adapt.Rsw, Adapt.Rmw)) (mw p)
+
+(* Producer-consumer pages stay in the default: a twinless copy's
+   recall ships the whole page, which every consumer would pay for.
+   They demote an Rsw page that gains readers and never promote one. *)
+let test_pc_stays_default () =
+  let p = Adapt.new_page ~nssmps:4 in
+  for _ = 1 to 4 do
+    Alcotest.check switch "no promotion on producer-consumer" None (pc p)
+  done;
+  Alcotest.(check bool) "dominant writer still tracked" true
+    (p.Adapt.dom = 1 && p.Adapt.dom_streak = 4);
+  Alcotest.(check bool) "so migration is the PC payoff" true (Adapt.wants_migration p);
+  ignore (sw p);
+  ignore (sw p);
+  Alcotest.(check bool) "page parked in Rsw" true (p.Adapt.regime = Adapt.Rsw);
+  Alcotest.check switch "a reader appears: streak building" None (pc p);
+  Alcotest.check switch "consumers demote the twinless copy"
+    (Some (Adapt.Rsw, Adapt.Rmw))
+    (pc p)
+
+let test_lattice_one_step () =
+  let p = Adapt.new_page ~nssmps:4 in
+  ignore (sw p);
+  ignore (sw p);
+  Alcotest.check switch "page parked in Rsw" None (sw p);
+  (* a migratory phase cannot jump Rsw -> Rinv: the streak first routes
+     through the safe default, then specialises *)
+  Alcotest.check switch "streak building" None (mig p);
+  Alcotest.check switch "first step lands on Rmw"
+    (Some (Adapt.Rsw, Adapt.Rmw))
+    (mig p);
+  Alcotest.check switch "second step specialises"
+    (Some (Adapt.Rmw, Adapt.Rinv))
+    (mig p)
+
+let test_alternation_never_switches () =
+  let p = Adapt.new_page ~nssmps:4 in
+  for i = 1 to 32 do
+    let r = if i mod 2 = 0 then sw p else mw p in
+    Alcotest.check switch "strict alternation never reaches the streak" None r
+  done;
+  Alcotest.(check bool) "page stayed in the default" true (p.Adapt.regime = Adapt.Rmw)
+
+(* Any window sequence: every switch walks a legal lattice edge from
+   the regime the page was actually in, and switches closer together
+   than [switch_streak] windows never return to the regime just left —
+   they can only be the second leg of a lattice traversal (X -> Rmw
+   -> Y with Y <> X, one sustained pattern routed through the default).
+   That is the hysteresis contract: ping-pong is impossible, crossing
+   the lattice is not. *)
+let prop_switch_invariants =
+  QCheck.Test.make ~count:200 ~name:"policy: legal edges, chained, no ping-pong"
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 0 3))
+    (fun kinds ->
+      let p = Adapt.new_page ~nssmps:4 in
+      let cur = ref Adapt.Rmw in
+      let last = ref None (* (window, old regime) of the previous switch *) in
+      List.iteri
+        (fun i k ->
+          let r =
+            match k with
+            | 0 -> sw p
+            | 1 -> mw p
+            | 2 -> mig p
+            | _ -> window ~readers:[ 0; 3 ] p
+          in
+          match r with
+          | None -> ()
+          | Some (old, nxt) ->
+            if old <> !cur then
+              QCheck.Test.fail_reportf "switch leaves %s but page was in %s"
+                (Adapt.regime_name old) (Adapt.regime_name nxt);
+            if not (Adapt.legal_edge old nxt) then
+              QCheck.Test.fail_reportf "illegal edge %s -> %s" (Adapt.regime_name old)
+                (Adapt.regime_name nxt);
+            (match !last with
+            | Some (j, prev_old) when i - j < Adapt.switch_streak && nxt = prev_old ->
+              QCheck.Test.fail_reportf "ping-pong: back to %s %d windows after leaving"
+                (Adapt.regime_name nxt) (i - j)
+            | _ -> ());
+            last := Some (i, old);
+            cur := nxt)
+        kinds;
+      p.Adapt.regime = !cur)
+
+let test_demote () =
+  let p = Adapt.new_page ~nssmps:4 in
+  Alcotest.check switch "demote is a no-op outside Rsw" None (Adapt.demote p);
+  ignore (sw p);
+  ignore (sw p);
+  Alcotest.check switch "direct evidence demotes immediately"
+    (Some (Adapt.Rsw, Adapt.Rmw))
+    (Adapt.demote p);
+  (* the seeded multi-writer streak blocks an instant re-promotion *)
+  Alcotest.check switch "next single-writer window cannot re-promote" None (sw p);
+  Alcotest.check switch "but a fresh streak can"
+    (Some (Adapt.Rmw, Adapt.Rsw))
+    (sw p)
+
+let test_migration_gate () =
+  let p = Adapt.new_page ~nssmps:4 in
+  ignore (sw p);
+  ignore (sw p);
+  Alcotest.(check bool) "streak of 2 is not enough" false (Adapt.wants_migration p);
+  ignore (sw p);
+  Alcotest.(check int) "dominant writer tracked" 1 p.Adapt.dom;
+  Alcotest.(check int) "dominance streak" 3 p.Adapt.dom_streak;
+  Alcotest.(check bool) "streak of 3 qualifies" true (Adapt.wants_migration p);
+  (* a different writer restarts the streak *)
+  ignore (window ~writers:[ 2 ] p);
+  Alcotest.(check int) "new dominant writer" 2 p.Adapt.dom;
+  Alcotest.(check int) "streak restarted" 1 p.Adapt.dom_streak;
+  Alcotest.(check bool) "no migration on a fresh streak" false (Adapt.wants_migration p);
+  (* multi-writer windows clear the candidate entirely *)
+  ignore (mw p);
+  Alcotest.(check int) "contention clears the candidate" (-1) p.Adapt.dom
+
+let test_page_resets () =
+  let p = Adapt.new_page ~nssmps:4 in
+  ignore (sw p);
+  ignore (sw p);
+  Bitset.add p.Adapt.w_writers 1;
+  p.Adapt.w_wreq <- 5;
+  Adapt.reset_window p;
+  Alcotest.(check int) "window counters cleared" 0
+    (Bitset.cardinal p.Adapt.w_writers + p.Adapt.w_wreq + p.Adapt.w_rreq
+   + p.Adapt.w_upg + p.Adapt.w_clean);
+  Alcotest.(check int) "reset_window keeps the dominance streak" 2 p.Adapt.dom_streak;
+  Adapt.reset_page p;
+  Alcotest.(check int) "reset_page clears streaks" 0
+    (p.Adapt.dom_streak + p.Adapt.streak);
+  Alcotest.(check int) "and the candidate" (-1) p.Adapt.dom;
+  Alcotest.(check bool) "but the regime survives (it is protocol state)" true
+    (p.Adapt.regime = Adapt.Rsw)
+
+(* ------------------------------------------------------------------ *)
+(* Machine level.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in a report except wall_seconds and peak_queue (the
+   test_par identity, including pstats — so the adaptive counters
+   themselves must also be byte-identical across job counts). *)
+let ident (r : Mgs.Report.t) =
+  let b = r.Mgs.Report.breakdown in
+  let c = r.Mgs.Report.cache in
+  Format.asprintf
+    "out=%a rt=%d ev=%d | user=%.3f lock=%.3f barrier=%.3f mgs=%.3f | lan=%d/%d | \
+     sync=%d/%d/%d | cache=%d,%d,%d,%d,%d,%d | tags=%s | procs=%s | %a"
+    Mgs.Report.pp_outcome r.Mgs.Report.outcome r.Mgs.Report.runtime r.Mgs.Report.sim_events
+    b.Mgs.Report.user b.Mgs.Report.lock b.Mgs.Report.barrier b.Mgs.Report.mgs
+    r.Mgs.Report.lan_messages r.Mgs.Report.lan_words r.Mgs.Report.lock_acquires
+    r.Mgs.Report.lock_hits r.Mgs.Report.barrier_episodes c.Mgs_cache.Coherence.hits
+    c.Mgs_cache.Coherence.local_misses c.Mgs_cache.Coherence.remote_misses
+    c.Mgs_cache.Coherence.misses_2party c.Mgs_cache.Coherence.misses_3party
+    c.Mgs_cache.Coherence.software_extensions
+    (String.concat ","
+       (List.map
+          (fun (t, n) -> Printf.sprintf "%s:%d" t n)
+          r.Mgs.Report.messages_by_tag))
+    (String.concat ","
+       (List.map string_of_int (Array.to_list r.Mgs.Report.per_proc_total)))
+    Mgs.Pstats.pp r.Mgs.Report.pstats
+
+let adapt_total (p : Mgs.Pstats.t) =
+  p.Mgs.Pstats.adapt_reclass + p.Mgs.Pstats.adapt_migs + p.Mgs.Pstats.adapt_fwds
+  + p.Mgs.Pstats.adapt_yields + p.Mgs.Pstats.adapt_res_mw + p.Mgs.Pstats.adapt_res_sw
+  + p.Mgs.Pstats.adapt_res_inv
+
+let test_adapt_off_identity () =
+  let w = Mgs_apps.Water.workload Mgs_apps.Water.tiny in
+  let plain = Sweep.run_point ~protocol:"mgs" ~nprocs:8 ~cluster:2 w in
+  let off = Sweep.run_point ~adapt:false ~protocol:"mgs" ~nprocs:8 ~cluster:2 w in
+  Alcotest.(check string) "adapt:false is the plain machine"
+    (ident plain.Sweep.report) (ident off.Sweep.report);
+  Alcotest.(check int) "no adaptive counter moves when off" 0
+    (adapt_total plain.Sweep.report.Mgs.Report.pstats)
+
+let test_adapt_par_identity () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun (aname, w) ->
+          let run par =
+            (Sweep.run_point ~adapt:true ~check:false ~protocol ~par ~nprocs:8
+               ~cluster:2 w)
+              .Sweep.report
+          in
+          let oracle = run 0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: the adaptive layer engaged" protocol aname)
+            true
+            (adapt_total oracle.Mgs.Report.pstats > 0);
+          List.iter
+            (fun par ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s: par=%d matches sequential" protocol aname par)
+                (ident oracle)
+                (ident (run par)))
+            [ 1; 2; 4 ])
+        [
+          ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny);
+          ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny);
+        ])
+    [ "mgs"; "hlrc" ]
+
+let test_adapt_faulty_identity () =
+  let w = Mgs_apps.Water.workload Mgs_apps.Water.tiny in
+  let faults = Mgs_net.Fault.scale Mgs_net.Fault.default_chaos ~intensity:0.25 in
+  let run par =
+    ident
+      (Sweep.run_point ~adapt:true ~check:false ~faults ~protocol:"mgs" ~par ~nprocs:8
+         ~cluster:2 w)
+        .Sweep.report
+  in
+  Alcotest.(check string) "adaptive run under faults: par=2 matches sequential" (run 0)
+    (run 2)
+
+let test_ivy_rejected () =
+  Alcotest.(check bool) "ivy + adapt is a configuration error" true
+    (try
+       ignore
+         (Mgs.Machine.config ~protocol:Mgs.State.Protocol_ivy ~adapt:true ~nprocs:8
+            ~cluster:2 ());
+       false
+     with Invalid_argument msg ->
+       (* the message must say what to do instead *)
+       let affix = "requires mgs or hlrc" in
+       let n = String.length msg and k = String.length affix in
+       let rec scan i = i + k <= n && (String.sub msg i k = affix || scan (i + 1)) in
+       scan 0)
+
+(* Phase-reset parity: an adaptive warmup phase moves the adaptive
+   counters; [reset_stats] must zero every one of them (and the
+   classifier windows behind them) while leaving the machine fully
+   usable — the canonical migratory workload then reruns correctly. *)
+let test_reset_parity () =
+  let cfg = Mgs.Machine.config ~adapt:true ~nprocs:8 ~cluster:2 () in
+  let m = Mgs.Machine.create cfg in
+  let cell = Mgs.Machine.alloc m ~words:1 ~home:(Mgs_mem.Allocator.On_proc 0) in
+  let lock = Locks.make m "ticket" in
+  let phase () =
+    ignore
+      (Mgs.Machine.run m (fun ctx ->
+           for _ = 1 to 6 do
+             Locks.acquire ctx lock;
+             Mgs.Api.write ctx cell (Mgs.Api.read ctx cell +. 1.0);
+             Locks.release ctx lock;
+             Mgs.Api.compute ctx 2_000
+           done));
+    Mgs.Machine.assert_quiescent m
+  in
+  phase ();
+  let open Mgs.State in
+  Alcotest.(check bool) "warmup ran decision windows" true
+    (m.pstats.Mgs.Pstats.adapt_res_mw + m.pstats.Mgs.Pstats.adapt_res_sw
+     + m.pstats.Mgs.Pstats.adapt_res_inv
+    > 0);
+  Mgs.Machine.reset_stats m;
+  Alcotest.(check int) "every adaptive counter reset" 0 (adapt_total m.pstats);
+  phase ();
+  Alcotest.(check (float 0.)) "second phase counter" (float_of_int (2 * 8 * 6))
+    (Mgs.Machine.peek m cell)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "classifier",
+        [
+          Alcotest.test_case "ground truth" `Quick test_classify;
+          Alcotest.test_case "lattice edges" `Quick test_legal_edges;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "hysteresis" `Quick test_hysteresis;
+          Alcotest.test_case "one lattice step per decision" `Quick
+            test_lattice_one_step;
+          Alcotest.test_case "adversarial alternation" `Quick
+            test_alternation_never_switches;
+          Alcotest.test_case "producer-consumer stays default" `Quick
+            test_pc_stays_default;
+          Alcotest.test_case "event-driven demotion" `Quick test_demote;
+          Alcotest.test_case "migration gating" `Quick test_migration_gate;
+          Alcotest.test_case "window and phase resets" `Quick test_page_resets;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "adapt off is byte-identical" `Quick
+            test_adapt_off_identity;
+          Alcotest.test_case "adaptive runs match across job counts" `Quick
+            test_adapt_par_identity;
+          Alcotest.test_case "and under faults" `Quick test_adapt_faulty_identity;
+          Alcotest.test_case "ivy rejected" `Quick test_ivy_rejected;
+          Alcotest.test_case "reset parity" `Quick test_reset_parity;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_switch_invariants ] );
+    ]
