@@ -6,7 +6,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke obs-par-smoke adapt-smoke trace-lint perf perf-smoke perf-diff clean
+.PHONY: all build test check fmt fmt-check smoke chaos-smoke lock-smoke par-smoke obs-par-smoke adapt-smoke kv-smoke trace-lint perf perf-smoke perf-diff clean
 
 all: build
 
@@ -67,6 +67,20 @@ adapt-smoke: build
 	@cat _build/adapt-smoke.out
 	@grep -q "adapt-smoke: OK" _build/adapt-smoke.out
 
+# Request-serving KV tier: a tiny run with the app verifier and the
+# protocol invariant checker on, double-run determinism, sharded-engine
+# identity, and the adaptive layer provably engaging on serving traffic
+# (thundering-herd cell reaches invalidate-on-read, contended cell
+# migrates a home), plus a CLI run whose tail-latency table must render.
+kv-smoke: build
+	$(DUNE) exec bench/main.exe -- kv-smoke > _build/kv-smoke.out
+	@cat _build/kv-smoke.out
+	@grep -q "kv-smoke: OK" _build/kv-smoke.out
+	$(DUNE) exec bin/mgs_run.exe -- --app kv --procs 8 --cluster 2 \
+	  --iters 40 --size 64 --check > _build/kv-cli.out
+	@grep -q "kv.put" _build/kv-cli.out
+	@grep -q "verification: OK" _build/kv-cli.out
+
 # Validate every observability export against its own contract: run the
 # CLI with the trace, span, and metrics exporters on, then lint the
 # files (strict JSON, schemas, balanced spans, monotone sample times,
@@ -122,7 +136,7 @@ fmt:
 	  echo "ocamlformat not installed"; exit 1; \
 	fi
 
-check: build test smoke chaos-smoke lock-smoke par-smoke obs-par-smoke adapt-smoke trace-lint perf-smoke perf-diff fmt-check
+check: build test smoke chaos-smoke lock-smoke par-smoke obs-par-smoke adapt-smoke kv-smoke trace-lint perf-smoke perf-diff fmt-check
 	@echo "check: OK"
 
 clean:

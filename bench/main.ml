@@ -30,28 +30,35 @@ let jobs = ref 1
 
 module Sweep = Mgs_harness.Sweep
 module Figures = Mgs_harness.Figures
+module Workload = Mgs_harness.Workload
 
-let water_params = Mgs_apps.Water.default
+(* every application is resolved by name through the workload registry;
+   the per-app construction boilerplate lives in Mgs_apps.Workloads *)
+let () = Mgs_apps.Workloads.ensure ()
 
-let kernel_params = { Mgs_apps.Water_kernel.default with Mgs_apps.Water_kernel.nmol = 64 }
+let wargs ?size ?iters () = { Workload.default_args with Workload.size; iters }
+
+let wl ?size ?iters name = Workload.instantiate ~args:(wargs ?size ?iters ()) name
+
+let tiny = Workload.tiny
 
 (* Each application's sweep is computed once and shared by every target
    that needs it. *)
 let sweep_of w = lazy (Sweep.sweep ~jobs:!jobs ~nprocs w)
 
-let jacobi = sweep_of (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default)
+let jacobi = sweep_of (wl "jacobi")
 
-let matmul = sweep_of (Mgs_apps.Matmul.workload Mgs_apps.Matmul.default)
+let matmul = sweep_of (wl "matmul")
 
-let tsp = sweep_of (Mgs_apps.Tsp.workload Mgs_apps.Tsp.default)
+let tsp = sweep_of (wl "tsp")
 
-let water = sweep_of (Mgs_apps.Water.workload water_params)
+let water = sweep_of (wl "water")
 
-let barnes = sweep_of (Mgs_apps.Barnes.workload Mgs_apps.Barnes.default)
+let barnes = sweep_of (wl "barnes")
 
-let wkern = sweep_of (Mgs_apps.Water_kernel.workload kernel_params)
+let wkern = sweep_of (wl ~size:64 "water-kernel")
 
-let wkern_tiled = sweep_of (Mgs_apps.Water_kernel.workload_tiled kernel_params)
+let wkern_tiled = sweep_of (wl ~size:64 "water-kernel-tiled")
 
 let table3 () =
   print_endline "=== Table 3: costs of primitive MGS operations ===";
@@ -64,32 +71,17 @@ let seq_runtime w =
 
 let table4 () =
   print_endline "=== Table 4: applications, sequential runtime, speedup on 32 procs ===";
+  let spec app ?size name sweep =
+    (app, Workload.problem_size ~args:(wargs ?size ()) name, wl ?size name, sweep)
+  in
   let specs =
     [
-      ( "Jacobi",
-        Mgs_apps.Jacobi.problem_size Mgs_apps.Jacobi.default,
-        Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default,
-        jacobi );
-      ( "Matrix Multiply",
-        Mgs_apps.Matmul.problem_size Mgs_apps.Matmul.default,
-        Mgs_apps.Matmul.workload Mgs_apps.Matmul.default,
-        matmul );
-      ( "TSP",
-        Mgs_apps.Tsp.problem_size Mgs_apps.Tsp.default,
-        Mgs_apps.Tsp.workload Mgs_apps.Tsp.default,
-        tsp );
-      ( "Water",
-        Mgs_apps.Water.problem_size water_params,
-        Mgs_apps.Water.workload water_params,
-        water );
-      ( "Barnes-Hut",
-        Mgs_apps.Barnes.problem_size Mgs_apps.Barnes.default,
-        Mgs_apps.Barnes.workload Mgs_apps.Barnes.default,
-        barnes );
-      ( "Water-kernel",
-        Mgs_apps.Water_kernel.problem_size kernel_params,
-        Mgs_apps.Water_kernel.workload kernel_params,
-        wkern );
+      spec "Jacobi" "jacobi" jacobi;
+      spec "Matrix Multiply" "matmul" matmul;
+      spec "TSP" "tsp" tsp;
+      spec "Water" "water" water;
+      spec "Barnes-Hut" "barnes" barnes;
+      spec "Water-kernel" ~size:64 "water-kernel" wkern;
     ]
   in
   (* the sequential runtimes are independent single-point runs: fan them
@@ -187,9 +179,9 @@ let adapt_smoke () =
   in
   let cells =
     [
-      ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny, "mgs");
-      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "mgs");
-      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "hlrc");
+      ("jacobi", tiny "jacobi", "mgs");
+      ("water", tiny "water", "mgs");
+      ("water", tiny "water", "hlrc");
     ]
   in
   let engaged = ref 0 in
@@ -215,6 +207,76 @@ let adapt_smoke () =
     "adapt-smoke: OK (%d cells static+adaptive, checker on, reruns identical, %d engaged)\n"
     (List.length cells) !engaged
 
+(* Request-serving gate for `make kv-smoke` / `make check`: a tiny KV
+   cell with the application verifier and the protocol invariant
+   checker both on, a determinism double-run, sharded-engine identity,
+   and two adaptive cells proving the classifier engages on serving
+   traffic — a thundering-herd cell whose synchronized put waves over
+   one striped page must reach the invalidate-on-read regime, and a
+   contended skewed cell that must migrate at least one home. *)
+let kv_smoke () =
+  let ident (r : Mgs.Report.t) =
+    Format.asprintf "%d/%d/%d/%d/%d/%a" r.Mgs.Report.runtime r.Mgs.Report.sim_events
+      r.Mgs.Report.lan_messages r.Mgs.Report.lan_words r.Mgs.Report.lock_acquires
+      Mgs.Pstats.pp r.Mgs.Report.pstats
+  in
+  let w = Mgs_serve.Kv.workload Mgs_serve.Kv.tiny in
+  let run par = (Sweep.run_point ~check:true ~par ~nprocs:8 ~cluster:2 w).Sweep.report in
+  let oracle = ident (run 0) in
+  if ident (run 0) <> oracle then failwith "kv-smoke: rerun diverges";
+  List.iter
+    (fun par ->
+      if ident (run par) <> oracle then
+        failwith
+          (Printf.sprintf "kv-smoke: diverges from the sequential engine at par=%d" par))
+    [ 1; 4 ];
+  let herd =
+    {
+      Mgs_serve.Kv.default with
+      Mgs_serve.Kv.nkeys = 8;
+      nshards = 1;
+      stripes = 8;
+      ops = 200;
+      get_pct = 0;
+      put_pct = 100;
+      theta = 0.;
+      churn = 0;
+      period = 200_000;
+      burst = 200_000;
+      think = 10_000;
+    }
+  in
+  let contended =
+    {
+      Mgs_serve.Kv.default with
+      Mgs_serve.Kv.nkeys = 16;
+      nshards = 1;
+      stripes = 16;
+      ops = 300;
+      get_pct = 5;
+      put_pct = 95;
+      theta = 1.1;
+      churn = 0;
+      period = 2_000;
+    }
+  in
+  let pstats p =
+    (Sweep.run_point ~adapt:true ~check:true ~nprocs:8 ~cluster:2
+       (Mgs_serve.Kv.workload p))
+      .Sweep.report.Mgs.Report.pstats
+  in
+  let h = pstats herd in
+  if h.Mgs.Pstats.adapt_reclass = 0 || h.Mgs.Pstats.adapt_res_inv = 0 then
+    failwith "kv-smoke: the herd cell never reached the invalidate-on-read regime";
+  let c = pstats contended in
+  if c.Mgs.Pstats.adapt_migs = 0 || c.Mgs.Pstats.adapt_fwds = 0 then
+    failwith "kv-smoke: the contended cell never migrated a home";
+  Printf.printf
+    "kv-smoke: OK (checker on, rerun + par 1/4 identical; herd reclass=%d res_inv=%d, \
+     contended migs=%d fwds=%d)\n"
+    h.Mgs.Pstats.adapt_reclass h.Mgs.Pstats.adapt_res_inv c.Mgs.Pstats.adapt_migs
+    c.Mgs.Pstats.adapt_fwds
+
 (* Sharded-engine identity gate for `make check`: small machines run on
    the sequential engine and on the sharded engine at several job
    counts must produce identical reports.  Wall-clock and peak queue
@@ -228,9 +290,9 @@ let par_smoke () =
   in
   let cells =
     [
-      ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny, "mgs");
-      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "hlrc");
-      ("tsp", Mgs_apps.Tsp.workload Mgs_apps.Tsp.tiny, "ivy");
+      ("jacobi", tiny "jacobi", "mgs");
+      ("water", tiny "water", "hlrc");
+      ("tsp", tiny "tsp", "ivy");
     ]
   in
   let checked = ref 0 in
@@ -259,12 +321,7 @@ let par_smoke () =
    merged chrome JSON, span dump, metrics CSV, and histogram summary
    must each be byte-identical to the sequential engine's. *)
 let obs_par_smoke () =
-  let cells =
-    [
-      ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny, "mgs");
-      ("water", Mgs_apps.Water.workload Mgs_apps.Water.tiny, "hlrc");
-    ]
-  in
+  let cells = [ ("jacobi", tiny "jacobi", "mgs"); ("water", tiny "water", "hlrc") ] in
   let exports par (_, w, protocol) =
     let cfg =
       Mgs.Machine.config ~lan_latency:1000 ~par_jobs:par
@@ -333,18 +390,14 @@ let bechamel () =
     Test.make_grouped ~name:"simulator"
       [
         micro_test;
-        t "table4+fig6-jacobi" (Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.tiny) ~cluster:2;
-        t "fig7-matmul" (Mgs_apps.Matmul.workload Mgs_apps.Matmul.tiny) ~cluster:2;
-        t "fig8-tsp" (Mgs_apps.Tsp.workload Mgs_apps.Tsp.tiny) ~cluster:2;
-        t "fig9-water" (Mgs_apps.Water.workload Mgs_apps.Water.tiny) ~cluster:2;
-        t "fig10-barnes" (Mgs_apps.Barnes.workload Mgs_apps.Barnes.tiny) ~cluster:2;
-        t "fig11-locks" (Mgs_apps.Water.workload Mgs_apps.Water.tiny) ~cluster:4;
-        t "fig12-kernel"
-          (Mgs_apps.Water_kernel.workload Mgs_apps.Water_kernel.tiny)
-          ~cluster:2;
-        t "fig12-kernel-tiled"
-          (Mgs_apps.Water_kernel.workload_tiled Mgs_apps.Water_kernel.tiny)
-          ~cluster:2;
+        t "table4+fig6-jacobi" (tiny "jacobi") ~cluster:2;
+        t "fig7-matmul" (tiny "matmul") ~cluster:2;
+        t "fig8-tsp" (tiny "tsp") ~cluster:2;
+        t "fig9-water" (tiny "water") ~cluster:2;
+        t "fig10-barnes" (tiny "barnes") ~cluster:2;
+        t "fig11-locks" (tiny "water") ~cluster:4;
+        t "fig12-kernel" (tiny "water-kernel") ~cluster:2;
+        t "fig12-kernel-tiled" (tiny "water-kernel-tiled") ~cluster:2;
       ]
   in
   let benchmark () =
@@ -376,7 +429,7 @@ let bechamel () =
 
 let ablation study name () =
   Printf.printf "=== Ablation: %s ===\n" name;
-  let w = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
+  let w = wl ~size:64 "water" in
   print_string (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16 ~variants:(study ()) w);
   print_newline ()
 
@@ -393,7 +446,7 @@ let ablation_latency =
 
 let ablation_tlb () =
   Printf.printf "=== Ablation: software TLB capacity (Jacobi) ===\n";
-  let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default in
+  let w = wl "jacobi" in
   print_string
     (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.tlb_study ())
@@ -402,7 +455,7 @@ let ablation_tlb () =
 
 let ablation_pipeline () =
   Printf.printf "=== Ablation: serial vs pipelined release (Jacobi) ===\n";
-  let w = Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default in
+  let w = wl "jacobi" in
   print_string
     (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.pipelined_release_study ())
@@ -411,17 +464,15 @@ let ablation_pipeline () =
 
 let ablation_protocol () =
   Printf.printf "=== Ablation: MGS vs Ivy baseline protocol ===\n";
-  let tsp = Mgs_apps.Tsp.workload { Mgs_apps.Tsp.default with Mgs_apps.Tsp.ncities = 8 } in
   print_string
     (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.protocol_study ())
-       tsp);
+       (wl ~size:8 "tsp"));
   print_newline ();
-  let water = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
   print_string
     (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.protocol_study ())
-       water);
+       (wl ~size:64 "water"));
   print_newline ()
 
 (* Adaptive-coherence ablation: every paper app static vs adaptive
@@ -435,20 +486,16 @@ let adapt_ablation () =
   let grid =
     let paper_apps =
       [
-        ("jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default);
-        ("water", Mgs_apps.Water.workload water_params);
-        ("tsp", Mgs_apps.Tsp.workload { Mgs_apps.Tsp.default with Mgs_apps.Tsp.ncities = 9 });
-        ("barnes", Mgs_apps.Barnes.workload Mgs_apps.Barnes.default);
+        ("jacobi", wl "jacobi");
+        ("water", wl "water");
+        ("tsp", wl ~size:9 "tsp");
+        ("barnes", wl "barnes");
       ]
     in
     let scaled_apps nprocs =
       [
-        ( "jacobi",
-          Mgs_apps.Jacobi.workload
-            { Mgs_apps.Jacobi.default with Mgs_apps.Jacobi.n = nprocs + 2; iters = 2 } );
-        ( "water",
-          Mgs_apps.Water.workload
-            { water_params with Mgs_apps.Water.nmol = min nprocs 256; iters = 1 } );
+        ("jacobi", wl ~size:(nprocs + 2) ~iters:2 "jacobi");
+        ("water", wl ~size:(min nprocs 256) ~iters:1 "water");
       ]
     in
     List.concat_map
@@ -488,7 +535,7 @@ let adapt_ablation () =
    workload over the same framework. *)
 let extra_lu () =
   print_endline "=== Extra: LU decomposition (not in the paper) ===";
-  let points = Sweep.sweep ~jobs:!jobs ~nprocs (Mgs_apps.Lu.workload Mgs_apps.Lu.default) in
+  let points = Sweep.sweep ~jobs:!jobs ~nprocs (wl "lu") in
   print_string (Figures.breakdown_figure ~title:"LU, P = 32" points);
   print_newline ()
 
@@ -498,20 +545,18 @@ let extra_lu () =
    keep.  Shown as a sweep plus the three-protocol comparison. *)
 let extra_radix () =
   print_endline "=== Extra: SPLASH-2 RADIX sort (not in the paper) ===";
-  let w = Mgs_apps.Radix.workload Mgs_apps.Radix.default in
-  let points = Sweep.sweep ~jobs:!jobs ~nprocs w in
+  let points = Sweep.sweep ~jobs:!jobs ~nprocs (wl "radix") in
   print_string (Figures.breakdown_figure ~title:"Radix, P = 32" points);
   print_newline ();
   print_string
     (Mgs_harness.Ablation.run ~jobs:!jobs ~nprocs:16
        ~variants:(Mgs_harness.Ablation.protocol_study ())
-       (Mgs_apps.Radix.workload
-          { Mgs_apps.Radix.default with Mgs_apps.Radix.nkeys = 1024 }));
+       (wl ~size:1024 "radix"));
   print_newline ()
 
 let extra_fft () =
   print_endline "=== Extra: six-step FFT (not in the paper) ===";
-  let points = Sweep.sweep ~jobs:!jobs ~nprocs (Mgs_apps.Fft.workload Mgs_apps.Fft.default) in
+  let points = Sweep.sweep ~jobs:!jobs ~nprocs (wl "fft") in
   print_string (Figures.breakdown_figure ~title:"FFT, P = 32" points);
   print_newline ()
 
@@ -541,12 +586,7 @@ let hlrc_figs () =
       let points = sweep_hlrc w in
       print_string (Figures.breakdown_figure ~title:(name ^ " under HLRC") points);
       print_newline ())
-    [
-      ("Jacobi", Mgs_apps.Jacobi.workload Mgs_apps.Jacobi.default);
-      ("TSP", Mgs_apps.Tsp.workload Mgs_apps.Tsp.default);
-      ("Water", Mgs_apps.Water.workload water_params);
-      ("Barnes-Hut", Mgs_apps.Barnes.workload Mgs_apps.Barnes.default);
-    ]
+    [ ("Jacobi", wl "jacobi"); ("TSP", wl "tsp"); ("Water", wl "water"); ("Barnes-Hut", wl "barnes") ]
 
 (* beyond the paper's fixed P = 32: scalability in total processors at
    a fixed cluster size (are bigger DSSMPs built from 8-way SSMPs
@@ -556,7 +596,7 @@ let scaling () =
   let rows =
     Mgs_util.Dpool.map ~jobs:!jobs
       (fun p ->
-        let w = Mgs_apps.Water.workload { water_params with Mgs_apps.Water.nmol = 64 } in
+        let w = wl ~size:64 "water" in
         let pt = Sweep.run_point ~nprocs:p ~cluster:(min 8 p) w in
         let r = pt.Sweep.report in
         [
@@ -585,8 +625,7 @@ let csv () =
          Figures.csv_of_sweep ~name:"barnes" (Lazy.force barnes);
          Figures.csv_of_sweep ~name:"water-kernel" (Lazy.force wkern);
          Figures.csv_of_sweep ~name:"water-kernel-tiled" (Lazy.force wkern_tiled);
-         Figures.csv_of_sweep ~name:"radix"
-           (Sweep.sweep ~jobs:!jobs ~nprocs (Mgs_apps.Radix.workload Mgs_apps.Radix.default));
+         Figures.csv_of_sweep ~name:"radix" (Sweep.sweep ~jobs:!jobs ~nprocs (wl "radix"));
        ])
 
 let messages () =
@@ -622,6 +661,7 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-tlb", ablation_tlb);
     ("ablation-adapt", adapt_ablation);
     ("adapt-smoke", adapt_smoke);
+    ("kv-smoke", kv_smoke);
     ("extra-lu", extra_lu);
     ("extra-fft", extra_fft);
     ("extra-radix", extra_radix);

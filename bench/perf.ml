@@ -142,6 +142,25 @@ let traced_rows () =
         apps)
     [ 16; 64 ]
 
+(* Request-serving rows: the KV tier at P = 64 and 256, all-software
+   (C=1) and clustered (C=16), static and adaptive.  Sharded across 4
+   domains with the invariant checker off, like the other large-P rows;
+   sim_events/sim_cycles still gate the diff because the offered load
+   is a pure function of the seed. *)
+let kv_rows () =
+  List.concat_map
+    (fun nprocs ->
+      let w = Mgs_serve.Kv.workload Mgs_serve.Kv.default in
+      List.concat_map
+        (fun cluster ->
+          List.map
+            (fun adapt ->
+              let name = if adapt then "adapt-kv" else "kv" in
+              measure ~par:4 ~check:false ~adapt ~nprocs ~cluster (name, w))
+            [ false; true ])
+        [ 1; 16 ])
+    [ 64; 256 ]
+
 (* Adaptive-coherence rows: the same app matrix with --adapt on.  Their
    sim_cycles gate like every other row, so a policy or classifier
    change that shifts what the adaptive machine simulates is caught
@@ -387,7 +406,7 @@ let () =
   let rows =
     rows @ lock_rows
     @ adapt_rows ~nprocs ~clusters apps
-    @ (if !quick then [] else large_rows () @ traced_rows ())
+    @ (if !quick then [] else large_rows () @ traced_rows () @ kv_rows ())
   in
   Mgs_util.Tableprint.print
     ~header:[ "app"; "C"; "wall (s)"; "alloc (MB)"; "sim events"; "events/s" ]

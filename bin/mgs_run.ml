@@ -9,59 +9,41 @@
 
 open Cmdliner
 
-let apps =
-  [
-    "jacobi"; "matmul"; "tsp"; "water"; "barnes"; "water-kernel"; "water-kernel-tiled"; "lu";
-    "fft"; "radix";
-  ]
+(* All workload selection goes through the Mgs_harness.Workload
+   registry; Workloads.ensure forces the registering module to link. *)
+let () = Mgs_apps.Workloads.ensure ()
 
-let workload ~app ~size ~iters ~lock =
-  let d v = Option.value ~default:v in
-  match app with
-  | "jacobi" ->
-    let p = Mgs_apps.Jacobi.default in
-    let p = { p with Mgs_apps.Jacobi.n = d p.Mgs_apps.Jacobi.n size } in
-    let p = { p with Mgs_apps.Jacobi.iters = d p.Mgs_apps.Jacobi.iters iters } in
-    (Mgs_apps.Jacobi.workload p, Mgs_apps.Jacobi.problem_size p)
-  | "matmul" ->
-    let p = Mgs_apps.Matmul.default in
-    let p = { p with Mgs_apps.Matmul.n = d p.Mgs_apps.Matmul.n size } in
-    (Mgs_apps.Matmul.workload p, Mgs_apps.Matmul.problem_size p)
-  | "tsp" ->
-    let p = Mgs_apps.Tsp.default in
-    let p = { p with Mgs_apps.Tsp.ncities = d p.Mgs_apps.Tsp.ncities size; lock } in
-    (Mgs_apps.Tsp.workload p, Mgs_apps.Tsp.problem_size p)
-  | "water" ->
-    let p = Mgs_apps.Water.default in
-    let p = { p with Mgs_apps.Water.nmol = d p.Mgs_apps.Water.nmol size; lock } in
-    let p = { p with Mgs_apps.Water.iters = d p.Mgs_apps.Water.iters iters } in
-    (Mgs_apps.Water.workload p, Mgs_apps.Water.problem_size p)
-  | "barnes" ->
-    let p = Mgs_apps.Barnes.default in
-    let p = { p with Mgs_apps.Barnes.nbodies = d p.Mgs_apps.Barnes.nbodies size; lock } in
-    let p = { p with Mgs_apps.Barnes.iters = d p.Mgs_apps.Barnes.iters iters } in
-    (Mgs_apps.Barnes.workload p, Mgs_apps.Barnes.problem_size p)
-  | "water-kernel" ->
-    let p = Mgs_apps.Water_kernel.default in
-    let p = { p with Mgs_apps.Water_kernel.nmol = d p.Mgs_apps.Water_kernel.nmol size } in
-    (Mgs_apps.Water_kernel.workload p, Mgs_apps.Water_kernel.problem_size p)
-  | "water-kernel-tiled" ->
-    let p = Mgs_apps.Water_kernel.default in
-    let p = { p with Mgs_apps.Water_kernel.nmol = d p.Mgs_apps.Water_kernel.nmol size } in
-    (Mgs_apps.Water_kernel.workload_tiled p, Mgs_apps.Water_kernel.problem_size p)
-  | "lu" ->
-    let p = Mgs_apps.Lu.default in
-    let p = { p with Mgs_apps.Lu.n = d p.Mgs_apps.Lu.n size } in
-    (Mgs_apps.Lu.workload p, Mgs_apps.Lu.problem_size p)
-  | "fft" ->
-    let p = Mgs_apps.Fft.default in
-    let p = { p with Mgs_apps.Fft.m = d p.Mgs_apps.Fft.m size } in
-    (Mgs_apps.Fft.workload p, Mgs_apps.Fft.problem_size p)
-  | "radix" ->
-    let p = Mgs_apps.Radix.default in
-    let p = { p with Mgs_apps.Radix.nkeys = d p.Mgs_apps.Radix.nkeys size } in
-    (Mgs_apps.Radix.workload p, Mgs_apps.Radix.problem_size p)
-  | _ -> failwith "unknown app"
+(* Resolve the workload and build its arguments, turning registry
+   errors (unknown workload, unknown or malformed parameter) into CLI
+   errors that list the accepted names. *)
+let workload ~app ~size ~iters ~lock ~params =
+  let cli_err msg =
+    Printf.eprintf "mgs_run: %s\n%!" msg;
+    exit 2
+  in
+  let (module W : Mgs_harness.Workload.WORKLOAD) =
+    try Mgs_harness.Workload.of_name app with Invalid_argument msg -> cli_err msg
+  in
+  let extra =
+    List.map
+      (fun s ->
+        try Mgs_harness.Workload.parse_kv s with Invalid_argument msg -> cli_err msg)
+      params
+  in
+  (* --lock defaults to "token" for every app; only an explicit
+     non-default selection is pushed through the registry, so apps
+     without a lock knob keep accepting the default silently. *)
+  let args =
+    {
+      Mgs_harness.Workload.size;
+      iters;
+      lock = (if lock = "token" then None else Some lock);
+      extra;
+    }
+  in
+  match (W.instantiate args, W.problem_size args) with
+  | w, desc -> (w, desc, W.epilogue)
+  | exception Invalid_argument msg -> cli_err msg
 
 (* In sweep mode each cluster size gets its own export file:
    out.json -> out.c1.json, out.c2.json, ... *)
@@ -81,9 +63,9 @@ let with_out file f =
   let oc = try open_out file with Sys_error msg -> raise (Trace_write_error msg) in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let run app size iters procs cluster delay page_bytes protocol lock faults seed sweep jobs
-    par adapt no_verify trace spans metrics hist check csv engine_stats =
-  let w, size_desc = workload ~app ~size ~iters ~lock in
+let run app size iters params procs cluster delay page_bytes protocol lock faults seed
+    sweep jobs par adapt no_verify trace spans metrics hist check csv engine_stats =
+  let w, size_desc, epilogue = workload ~app ~size ~iters ~lock ~params in
   let page_words = page_bytes / Mgs_mem.Geom.bytes_per_word in
   let verify = not no_verify in
   (* zero inter-SSMP latency leaves the sharded engine no lookahead
@@ -189,6 +171,10 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
       Format.fprintf ppf "throughput: events=%d peak_queue=%d@."
         report.Mgs.Report.sim_events report.Mgs.Report.peak_queue
     | _ -> ());
+    (* workload-specific post-run report (e.g. the KV tier's
+       tail-latency table), rendered from the machine's observability
+       state into the per-point buffer so -j N output stays identical *)
+    Format.fprintf ppf "%s" (epilogue m);
     let violations =
       match checker with
       | Some c ->
@@ -261,14 +247,26 @@ let run app size iters procs cluster delay page_bytes protocol lock faults seed 
 let app_t =
   Arg.(
     required
-    & opt (some (enum (List.map (fun a -> (a, a)) apps))) None
-    & info [ "app"; "a" ] ~docv:"APP" ~doc:"Application to run: $(docv).")
+    & opt (some string) None
+    & info [ "app"; "a" ] ~docv:"APP"
+        ~doc:
+          (Printf.sprintf "Workload to run (from the workload registry): %s."
+             (String.concat ", " (Mgs_harness.Workload.names ()))))
 
 let size_t =
   Arg.(value & opt (some int) None & info [ "size"; "n" ] ~docv:"N" ~doc:"Problem size.")
 
 let iters_t =
   Arg.(value & opt (some int) None & info [ "iters"; "i" ] ~docv:"I" ~doc:"Iterations.")
+
+let params_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "param" ] ~docv:"KEY=VALUE"
+        ~doc:
+          "Workload-specific parameter (repeatable), validated against the workload's \
+           published spec — an unknown key is an error naming the accepted ones.  \
+           E.g. $(b,--app kv --param theta=1.2 --param put=50).")
 
 let procs_t =
   Arg.(value & opt int 32 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Total processors.")
@@ -303,8 +301,8 @@ let lock_t =
     & info [ "lock" ] ~docv:"LOCK"
         ~doc:
           (Printf.sprintf
-             "Lock algorithm for the applications with a lock knob (tsp, water, \
-              barnes): %s."
+             "Lock algorithm for the workloads with a lock knob (tsp, water, barnes, \
+              kv): %s."
              (String.concat ", " names)))
 
 let faults_t =
@@ -439,7 +437,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mgs_run" ~doc)
     Term.(
-      const run $ app_t $ size_t $ iters_t $ procs_t $ cluster_t $ delay_t $ page_t
+      const run $ app_t $ size_t $ iters_t $ params_t $ procs_t $ cluster_t $ delay_t $ page_t
       $ protocol_t $ lock_t $ faults_t $ seed_t $ sweep_t $ jobs_t $ par_t $ adapt_t
       $ no_verify_t $ trace_t $ spans_t $ metrics_t $ hist_t $ check_t $ csv_t
       $ engine_stats_t)

@@ -1,0 +1,10 @@
+(** Registration of every application (and the KV serving tier) with
+    the {!Mgs_harness.Workload} registry.
+
+    Linking this module registers: jacobi, matmul, tsp, water, barnes,
+    water-kernel, water-kernel-tiled, lu, fft, radix, kv. *)
+
+val ensure : unit -> unit
+(** No-op whose only job is to force this module (and therefore its
+    registrations) to be linked into the executable.  Call it once at
+    startup before consulting [Mgs_harness.Workload.names]. *)

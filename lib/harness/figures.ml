@@ -283,6 +283,42 @@ let fault_latency rows =
         ]
       ~rows:table_rows
 
+(* Tail-latency table for the request-serving tier: one row per
+   operation class, percentiles in simulated cycles. *)
+type latency_row = {
+  lr_op : string;
+  lr_count : int;
+  lr_mean : float;
+  lr_p50 : int;
+  lr_p99 : int;
+  lr_p999 : int;
+  lr_max : int;
+}
+
+let pp_latency_table ?coverage rows =
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.lr_op;
+          string_of_int r.lr_count;
+          Printf.sprintf "%.0f" r.lr_mean;
+          string_of_int r.lr_p50;
+          string_of_int r.lr_p99;
+          string_of_int r.lr_p999;
+          string_of_int r.lr_max;
+        ])
+      rows
+  in
+  "Request latency (simulated cycles, open-loop: queueing included)\n"
+  ^ Mgs_util.Tableprint.render
+      ~header:[ "op"; "count"; "mean"; "p50"; "p99"; "p999"; "max" ]
+      ~rows:table_rows
+  ^
+  match coverage with
+  | None -> ""
+  | Some c -> Printf.sprintf "span attribution: %.1f%% of op latency covered\n" (100. *. c)
+
 type table4_row = { app : string; problem_size : string; seq_runtime : int; speedup : float }
 
 let table4 rows =

@@ -38,6 +38,24 @@ val fault_latency : (int * Mgs_obs.Span.breakdown) list -> string
     server-occupancy, remote-client, and queueing components, the
     uninstrumented residual, and the coverage fraction. *)
 
+(** One operation class of the request-serving tier's tail-latency
+    report: sample count, mean, and nearest-rank percentiles in
+    simulated cycles (computed exactly from the recorded spans). *)
+type latency_row = {
+  lr_op : string;
+  lr_count : int;
+  lr_mean : float;
+  lr_p50 : int;
+  lr_p99 : int;
+  lr_p999 : int;
+  lr_max : int;
+}
+
+val pp_latency_table : ?coverage:float -> latency_row list -> string
+(** Aligned p50/p99/p999 table, one row per operation class; with
+    [coverage], a trailing line reports the fraction of operation
+    latency the span layer attributed to sub-phases. *)
+
 type table4_row = {
   app : string;
   problem_size : string;

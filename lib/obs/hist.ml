@@ -63,6 +63,30 @@ let buckets t =
   done;
   !acc
 
+(* Nearest-rank percentile resolved to its containing bucket: the
+   [ceil (q * n)]-th smallest sample lies within the returned
+   [(lo, hi)] interval (hi inclusive).  The raw bucket bounds are
+   tightened by the recorded extrema, so a single-sample or
+   single-bucket histogram with equal extrema answers exactly. *)
+let percentile_bounds t q =
+  if t.n = 0 then (0, 0)
+  else begin
+    let q = if q > 1. then 1. else q in
+    let rank = int_of_float (ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    let b = ref 0 and seen = ref 0 in
+    while !seen + t.counts.(!b) < rank do
+      seen := !seen + t.counts.(!b);
+      incr b
+    done;
+    let lo = if !b = 0 then 0 else 1 lsl (!b - 1) in
+    let hi = if !b = 0 then 0 else (1 lsl !b) - 1 in
+    (max lo t.vmin, min hi t.vmax)
+  end
+
+(* Upper bound of {!percentile_bounds} — a pessimistic point estimate. *)
+let percentile t q = snd (percentile_bounds t q)
+
 let pp ppf t =
   if t.n = 0 then Format.fprintf ppf "n=0"
   else begin

@@ -32,4 +32,15 @@ val mean : t -> float
 val buckets : t -> (int * int * int) list
 (** Nonempty buckets as [(lo, hi, count)], ascending, [hi] inclusive. *)
 
+val percentile_bounds : t -> float -> int * int
+(** [percentile_bounds t q] brackets the nearest-rank [q]-quantile (the
+    [ceil (q * n)]-th smallest sample, [0 < q <= 1]): the sample lies in
+    the returned [(lo, hi)] interval, [hi] inclusive — the containing
+    power-of-two bucket tightened by the recorded extrema.  [(0, 0)]
+    when empty. *)
+
+val percentile : t -> float -> int
+(** Upper bound of {!percentile_bounds}: a pessimistic nearest-rank
+    percentile estimate.  0 when empty. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(* Zipfian rank sampling for the request-serving load generator.
+
+   The CDF over ranks 0..n-1 with weight (i+1)^-theta is precomputed
+   once and shared; each draw is one uniform deviate plus a binary
+   search, so a sampler costs O(n) words regardless of how many
+   requests it feeds.  Draws consume exactly one [Rng.float], which
+   keeps the load schedule a pure function of the seed — the basis of
+   the byte-identity guarantees across -j and --par. *)
+
+type dist = { n : int; cdf : float array }
+
+let dist ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.dist: n must be positive";
+  if theta < 0. then invalid_arg "Zipf.dist: theta must be nonnegative";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. (float_of_int (i + 1) ** theta));
+    cdf.(i) <- !acc
+  done;
+  let z = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. z
+  done;
+  (* guard against rounding: the last bucket must catch every deviate *)
+  cdf.(n - 1) <- 1.;
+  { n; cdf }
+
+let n d = d.n
+
+let mass d i =
+  if i < 0 || i >= d.n then invalid_arg "Zipf.mass: rank out of range";
+  if i = 0 then d.cdf.(0) else d.cdf.(i) -. d.cdf.(i - 1)
+
+let draw d rng =
+  let u = Mgs_util.Rng.float rng 1.0 in
+  (* first rank whose cumulative mass exceeds u *)
+  let lo = ref 0 and hi = ref (d.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,21 @@
+(** Deterministic zipfian rank sampler.
+
+    Popularity rank [r] (0 = most popular) is drawn with probability
+    proportional to [(r+1){^-theta}]; [theta = 0] degenerates to
+    uniform.  A sampler is one precomputed CDF shared by any number of
+    generators; each draw consumes exactly one uniform deviate from the
+    caller's {!Mgs_util.Rng} stream, so request schedules derived from
+    split RNG keys are pure functions of the seed. *)
+
+type dist
+
+val dist : n:int -> theta:float -> dist
+(** @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val n : dist -> int
+
+val mass : dist -> int -> float
+(** Probability of rank [i].  @raise Invalid_argument out of range. *)
+
+val draw : dist -> Mgs_util.Rng.t -> int
+(** A rank in [0 .. n-1]. *)
